@@ -1,0 +1,19 @@
+//! Criterion bench for the Figure 2 example: plain hit-or-miss vs
+//! stratified sampling at the same sample budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcoral_bench::table1;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(20);
+    for samples in [1_000u64, 10_000] {
+        g.bench_with_input(BenchmarkId::new("all_methods", samples), &samples, |b, &n| {
+            b.iter(|| table1::run(n, 42));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

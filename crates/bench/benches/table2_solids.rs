@@ -1,0 +1,21 @@
+//! Criterion bench for Table 2: full-qCORAL volume estimation per solid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcoral_bench::table2;
+use qcoral_subjects::all_solids;
+
+fn bench_solids(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    let solids = all_solids();
+    for name in ["Cube", "Sphere", "Torus", "Two spheres intersection"] {
+        let solid = solids.iter().find(|s| s.name == name).expect("known solid");
+        g.bench_with_input(BenchmarkId::new("solid", name), solid, |b, s| {
+            b.iter(|| table2::run_one(s, 10_000, 1, 7));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solids);
+criterion_main!(benches);

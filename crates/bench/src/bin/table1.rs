@@ -1,0 +1,47 @@
+//! Regenerates the paper's Figure 2 / Table 1 stratification example.
+//!
+//! Usage: `cargo run --release -p qcoral-bench --bin table1 [--samples N] [--seed S]`
+
+use qcoral_bench::{table1, text};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let samples: u64 = text::flag_value(&args, "--samples")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let seed: u64 = text::flag_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20140609);
+
+    println!("Figure 2 / Table 1: x <= -y && y <= x over [-1,1]^2 (exact probability 0.25)");
+    println!("Total samples: {samples}\n");
+
+    println!("Per-box breakdown (paper's Table 1; {} samples per sampled box):", samples / 4);
+    let per_box = table1::per_box_table(samples / 4, seed);
+    let rows: Vec<Vec<String>> = per_box
+        .iter()
+        .map(|(name, w, mean, var)| {
+            vec![
+                name.clone(),
+                format!("{w:.4}"),
+                format!("{mean:.4}"),
+                format!("{var:.4}"),
+            ]
+        })
+        .collect();
+    println!("{}", text::render(&["box", "w", "E[X]", "Var[X]"], &rows));
+
+    println!("Method comparison:");
+    let rows: Vec<Vec<String>> = table1::run(samples, seed)
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.clone(),
+                r.strata.to_string(),
+                format!("{:.4}", r.mean),
+                format!("{:.3e}", r.variance),
+            ]
+        })
+        .collect();
+    println!("{}", text::render(&["method", "strata", "mean", "variance"], &rows));
+}

@@ -1,0 +1,56 @@
+//! Regenerates the paper's Table 2 (micro-benchmarks).
+//!
+//! Usage: `cargo run --release -p qcoral-bench --bin table2
+//!         [--reps N] [--quick] [--seed S] [--json PATH]`
+//!
+//! `--quick` limits the budgets to 10^3..10^4 with 5 repetitions; the
+//! default reproduces the paper's protocol (10^3..10^6, 30 repetitions).
+
+use qcoral_bench::{table2, text};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = text::has_flag(&args, "--quick");
+    let reps: u64 = text::flag_value(&args, "--reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 5 } else { 30 });
+    let seed: u64 = text::flag_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20140609);
+    let budgets: Vec<u64> = if quick {
+        vec![1_000, 10_000]
+    } else {
+        vec![1_000, 10_000, 100_000, 1_000_000]
+    };
+
+    eprintln!("Table 2: {} repetitions per cell, budgets {budgets:?}", reps);
+    let rows = table2::run(&budgets, reps, seed);
+
+    let mut out: Vec<Vec<String>> = Vec::new();
+    let mut last_group = String::new();
+    for r in &rows {
+        if r.group != last_group {
+            out.push(vec![format!("-- {} --", r.group)]);
+            last_group = r.group.clone();
+        }
+        out.push(vec![
+            r.subject.clone(),
+            format!("{:.6}", r.analytic),
+            r.samples.to_string(),
+            format!("{:.4}", r.estimate),
+            format!("{:.4}", r.error_sigma),
+            format!("{:.3}", r.secs),
+        ]);
+    }
+    println!(
+        "{}",
+        text::render(
+            &["subject", "analytic", "samples", "estimate", "error (sigma)", "time(s)"],
+            &out
+        )
+    );
+    if let Some(path) = text::flag_value(&args, "--json") {
+        std::fs::write(path, serde_json::to_string_pretty(&rows).expect("serializable rows"))
+            .expect("write json");
+    }
+}

@@ -1,0 +1,67 @@
+//! Regenerates the paper's Table 3 (NIntegrate vs VolComp vs qCORAL).
+//!
+//! Usage: `cargo run --release -p qcoral-bench --bin table3
+//!         [--samples N] [--reps R] [--seed S] [--json PATH]`
+//!
+//! Defaults follow the paper: 30 000 samples; repetitions default to 10
+//! (paper: 30) — pass `--reps 30` for the full protocol.
+
+use qcoral_bench::{table3, text};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let samples: u64 = text::flag_value(&args, "--samples")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000);
+    let reps: u64 = text::flag_value(&args, "--reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let seed: u64 = text::flag_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20140609);
+
+    eprintln!("Table 3: qCORAL{{STRAT,PARTCACHE}} with {samples} samples, {reps} repetitions");
+    let rows = table3::run(samples, reps, seed);
+
+    let mut out: Vec<Vec<String>> = Vec::new();
+    let mut last_subject = String::new();
+    for r in &rows {
+        if r.subject != last_subject {
+            out.push(vec![format!("-- {} --", r.subject)]);
+            last_subject = r.subject.clone();
+        }
+        out.push(vec![
+            r.assertion.clone(),
+            r.paths.to_string(),
+            r.ands.to_string(),
+            format!("{} ({})", r.ops, r.distinct_ops),
+            format!(
+                "{:.4}{}",
+                r.adaptive_value,
+                if r.adaptive_converged { "" } else { "!" }
+            ),
+            format!("{:.2}", r.adaptive_secs),
+            format!("[{:.4}, {:.4}]", r.volcomp_lo, r.volcomp_hi),
+            format!("{:.2}", r.volcomp_secs),
+            format!("{:.4}", r.qcoral_estimate),
+            format!("{:.2e}", r.qcoral_sigma),
+            format!("{:.2}", r.qcoral_secs),
+        ]);
+    }
+    println!(
+        "{}",
+        text::render(
+            &[
+                "assertion", "paths", "ands", "ar.ops",
+                "adaptive", "t(s)", "volcomp bounds", "t(s)",
+                "qCORAL est.", "sigma", "t(s)"
+            ],
+            &out
+        )
+    );
+    println!("(adaptive value suffixed with `!` = accuracy goal not met, the paper's PACK/NIntegrate situation)");
+    if let Some(path) = text::flag_value(&args, "--json") {
+        std::fs::write(path, serde_json::to_string_pretty(&rows).expect("serializable rows"))
+            .expect("write json");
+    }
+}

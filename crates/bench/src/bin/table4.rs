@@ -1,0 +1,53 @@
+//! Regenerates the paper's Table 4 (feature ablation on aerospace
+//! subjects).
+//!
+//! Usage: `cargo run --release -p qcoral-bench --bin table4
+//!         [--quick] [--stages K] [--seed S] [--json PATH]`
+//!
+//! The default reproduces the paper's budgets (1K/10K/100K samples);
+//! `--quick` uses 1K/10K and a smaller Apollo.
+
+use qcoral_bench::{table4, text};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = text::has_flag(&args, "--quick");
+    let stages: usize = text::flag_value(&args, "--stages")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 4 } else { 7 });
+    let seed: u64 = text::flag_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20140609);
+    let budgets: Vec<u64> = if quick {
+        vec![1_000, 10_000]
+    } else {
+        vec![1_000, 10_000, 100_000]
+    };
+
+    eprintln!("Table 4: budgets {budgets:?}, Apollo stages {stages}");
+    let rows = table4::run(&budgets, stages, seed);
+
+    let mut out: Vec<Vec<String>> = Vec::new();
+    let mut last_key = String::new();
+    for r in &rows {
+        let key = format!("{} @ {} samples ({} PCs)", r.subject, r.samples, r.pcs);
+        if key != last_key {
+            out.push(vec![format!("-- {key} --")]);
+            last_key = key;
+        }
+        out.push(vec![
+            r.config.clone(),
+            format!("{:.5}", r.estimate),
+            format!("{:.5}", r.sigma),
+            format!("{:.2}", r.secs),
+        ]);
+    }
+    println!(
+        "{}",
+        text::render(&["configuration", "estimate", "sigma", "time(s)"], &out)
+    );
+    if let Some(path) = text::flag_value(&args, "--json") {
+        std::fs::write(path, serde_json::to_string_pretty(&rows).expect("serializable rows"))
+            .expect("write json");
+    }
+}

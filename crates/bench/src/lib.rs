@@ -1,0 +1,24 @@
+//! Benchmark harness regenerating every table and figure of the qCORAL
+//! paper.
+//!
+//! Each table has a runner function returning structured rows (so the
+//! binaries, the Criterion benches and the integration tests share one
+//! implementation) and a binary that prints the table:
+//!
+//! | Paper artifact | Runner | Binary |
+//! |---|---|---|
+//! | Figure 2 + Table 1 | [`table1::run`] | `table1` |
+//! | Table 2 (micro-benchmarks) | [`table2::run`] | `table2` |
+//! | Table 3 (NIntegrate / VolComp / qCORAL) | [`table3::run`] | `table3` |
+//! | Table 4 (feature ablation) | [`table4::run`] | `table4` |
+//!
+//! Run a binary with `cargo run --release -p qcoral-bench --bin table2`.
+//! All runners fix RNG seeds per repetition, so output is reproducible.
+
+#![warn(missing_docs)]
+
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod text;

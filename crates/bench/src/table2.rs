@@ -1,0 +1,109 @@
+//! Table 2: micro-benchmark accuracy on geometric solids.
+//!
+//! For each solid and each sample budget, the full qCORAL configuration
+//! is run `reps` times with distinct seeds; the table reports the mean
+//! estimated volume and the standard deviation *of the estimates across
+//! repetitions* (the paper's protocol: "We run 30 times each
+//! configuration and reported the average value and standard deviation
+//! over the population of estimated volumes").
+
+use serde::Serialize;
+
+use qcoral::{Analyzer, Options};
+use qcoral_mc::UsageProfile;
+use qcoral_subjects::solids::{all_solids, Solid};
+
+/// One table row: a solid at one sample budget.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Subject name.
+    pub subject: String,
+    /// Table group label.
+    pub group: String,
+    /// Closed-form reference volume.
+    pub analytic: f64,
+    /// Sample budget per repetition.
+    pub samples: u64,
+    /// Mean estimated volume across repetitions.
+    pub estimate: f64,
+    /// Standard deviation of the volume estimates across repetitions.
+    pub error_sigma: f64,
+    /// Mean per-repetition wall time in seconds.
+    pub secs: f64,
+}
+
+/// Runs the Table 2 protocol.
+pub fn run(sample_budgets: &[u64], reps: u64, seed: u64) -> Vec<Row> {
+    let solids = all_solids();
+    let mut rows = Vec::new();
+    for solid in &solids {
+        for &samples in sample_budgets {
+            rows.push(run_one(solid, samples, reps, seed));
+        }
+    }
+    rows
+}
+
+/// Runs one solid at one sample budget.
+pub fn run_one(solid: &Solid, samples: u64, reps: u64, seed: u64) -> Row {
+    let profile = UsageProfile::uniform(solid.domain.len());
+    let dom_vol = solid.domain_volume();
+    let mut volumes = Vec::with_capacity(reps as usize);
+    let mut secs = 0.0;
+    for rep in 0..reps {
+        let opts = Options::strat_partcache()
+            .with_samples(samples)
+            .with_seed(seed ^ (rep + 1));
+        let report =
+            Analyzer::new(opts).analyze(&solid.constraint_set, &solid.domain, &profile);
+        volumes.push(report.estimate.mean * dom_vol);
+        secs += report.wall.as_secs_f64();
+    }
+    let mean = volumes.iter().sum::<f64>() / reps as f64;
+    let var = if reps > 1 {
+        volumes.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (reps - 1) as f64
+    } else {
+        0.0
+    };
+    Row {
+        subject: solid.name.to_owned(),
+        group: solid.group.label().to_owned(),
+        analytic: solid.analytic_volume,
+        samples,
+        estimate: mean,
+        error_sigma: var.sqrt(),
+        secs: secs / reps as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcoral_subjects::solids::all_solids;
+
+    #[test]
+    fn cube_is_exact_at_any_budget() {
+        let cube = all_solids().into_iter().find(|s| s.name == "Cube").unwrap();
+        let row = run_one(&cube, 1_000, 3, 1);
+        assert_eq!(row.estimate, 8.0);
+        assert_eq!(row.error_sigma, 0.0);
+    }
+
+    #[test]
+    fn sigma_shrinks_with_samples() {
+        let sphere = all_solids()
+            .into_iter()
+            .find(|s| s.name == "Sphere")
+            .unwrap();
+        let small = run_one(&sphere, 1_000, 8, 2);
+        let large = run_one(&sphere, 64_000, 8, 2);
+        assert!(
+            large.error_sigma < small.error_sigma,
+            "σ must shrink: {} vs {}",
+            large.error_sigma,
+            small.error_sigma
+        );
+        let exact = sphere.analytic_volume;
+        assert!((large.estimate - exact).abs() / exact < 0.02);
+    }
+}

@@ -1,0 +1,95 @@
+//! Plain-text table rendering for the harness binaries.
+
+/// Renders an aligned text table: one header row plus data rows. Columns
+/// are sized to the widest cell; numeric-looking cells are right-aligned.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let w = widths[i];
+            if looks_numeric(cell) {
+                line.push_str(&format!("{cell:>w$}"));
+            } else {
+                line.push_str(&format!("{cell:<w$}"));
+            }
+        }
+        line.trim_end().to_owned()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+fn looks_numeric(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_digit() || "+-.eE[], %".contains(c))
+        && s.chars().any(|c| c.is_ascii_digit())
+}
+
+/// Parses `--key value` style flags from `args`, returning the value for
+/// `key` if present.
+pub fn flag_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Returns `true` if the bare flag is present.
+pub fn has_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(
+            &["name", "value"],
+            &[
+                vec!["alpha".into(), "1.25".into()],
+                vec!["b".into(), "100".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].contains("alpha"));
+        // Numeric right-alignment.
+        assert!(lines[2].ends_with("1.25"));
+        assert!(lines[3].ends_with("100"));
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--reps", "5", "--quick"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--reps"), Some("5".into()));
+        assert_eq!(flag_value(&args, "--samples"), None);
+        assert!(has_flag(&args, "--quick"));
+        assert!(!has_flag(&args, "--json"));
+    }
+}

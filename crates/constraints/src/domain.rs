@@ -1,0 +1,244 @@
+//! Input domains: bounded, named floating-point variables.
+//!
+//! The paper's problem statement (Eq. 1) assumes the input domain `D` is the
+//! Cartesian product of closed intervals, one per input variable. A
+//! [`Domain`] records the variable names and their bounds; variables are
+//! referenced everywhere else by their dense [`VarId`] index.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dense index identifying an input variable within a [`Domain`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The variable's index as a `usize`, for slicing into environments.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A single variable declaration: name plus closed bounds `[lo, hi]`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VarDecl {
+    /// Source-level variable name.
+    pub name: String,
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+/// The bounded input domain: an ordered list of named variables with
+/// closed-interval bounds.
+///
+/// # Example
+///
+/// ```
+/// use qcoral_constraints::Domain;
+///
+/// let mut d = Domain::new();
+/// let x = d.declare("x", -1.0, 1.0).unwrap();
+/// assert_eq!(d.name(x), "x");
+/// assert_eq!(d.bounds(x), (-1.0, 1.0));
+/// assert_eq!(d.index_of("x"), Some(x));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Domain {
+    vars: Vec<VarDecl>,
+}
+
+/// Error produced when declaring an invalid or duplicate variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DomainError {
+    /// A variable with this name already exists.
+    Duplicate(String),
+    /// The bounds are not a valid closed interval (`lo > hi`, or NaN, or
+    /// infinite).
+    InvalidBounds(String),
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::Duplicate(n) => write!(f, "duplicate variable `{n}`"),
+            DomainError::InvalidBounds(n) => {
+                write!(f, "invalid bounds for variable `{n}` (need finite lo ≤ hi)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+impl Domain {
+    /// Creates an empty domain.
+    pub fn new() -> Domain {
+        Domain::default()
+    }
+
+    /// Declares a new variable with bounds `[lo, hi]` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError::Duplicate`] if the name is already declared
+    /// and [`DomainError::InvalidBounds`] if the bounds are not finite with
+    /// `lo ≤ hi`.
+    pub fn declare(&mut self, name: &str, lo: f64, hi: f64) -> Result<VarId, DomainError> {
+        if self.index_of(name).is_some() {
+            return Err(DomainError::Duplicate(name.to_owned()));
+        }
+        if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+            return Err(DomainError::InvalidBounds(name.to_owned()));
+        }
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarDecl {
+            name: name.to_owned(),
+            lo,
+            hi,
+        });
+        Ok(id)
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` if the domain has no variables.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Name of variable `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.vars[id.index()].name
+    }
+
+    /// Bounds `(lo, hi)` of variable `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn bounds(&self, id: VarId) -> (f64, f64) {
+        let v = &self.vars[id.index()];
+        (v.lo, v.hi)
+    }
+
+    /// Looks up a variable id by name.
+    pub fn index_of(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Iterates over `(VarId, &VarDecl)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &VarDecl)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId(i as u32), v))
+    }
+
+    /// Returns `true` if `point` (indexed by `VarId`) lies inside the
+    /// domain box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.len()`.
+    pub fn contains(&self, point: &[f64]) -> bool {
+        assert_eq!(point.len(), self.len(), "point/domain dimension mismatch");
+        self.vars
+            .iter()
+            .zip(point)
+            .all(|(v, &p)| p >= v.lo && p <= v.hi)
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in &self.vars {
+            writeln!(f, "var {} in [{}, {}];", v.name, v.lo, v.hi)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut d = Domain::new();
+        let x = d.declare("x", 0.0, 1.0).unwrap();
+        let y = d.declare("y", -5.0, 5.0).unwrap();
+        assert_eq!(x, VarId(0));
+        assert_eq!(y, VarId(1));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.name(y), "y");
+        assert_eq!(d.bounds(x), (0.0, 1.0));
+        assert_eq!(d.index_of("y"), Some(y));
+        assert_eq!(d.index_of("z"), None);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut d = Domain::new();
+        d.declare("x", 0.0, 1.0).unwrap();
+        assert_eq!(
+            d.declare("x", 0.0, 2.0),
+            Err(DomainError::Duplicate("x".into()))
+        );
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        let mut d = Domain::new();
+        assert!(matches!(
+            d.declare("x", 2.0, 1.0),
+            Err(DomainError::InvalidBounds(_))
+        ));
+        assert!(matches!(
+            d.declare("y", f64::NAN, 1.0),
+            Err(DomainError::InvalidBounds(_))
+        ));
+        assert!(matches!(
+            d.declare("z", 0.0, f64::INFINITY),
+            Err(DomainError::InvalidBounds(_))
+        ));
+    }
+
+    #[test]
+    fn containment() {
+        let mut d = Domain::new();
+        d.declare("x", 0.0, 1.0).unwrap();
+        d.declare("y", -1.0, 1.0).unwrap();
+        assert!(d.contains(&[0.5, 0.0]));
+        assert!(d.contains(&[0.0, -1.0]));
+        assert!(!d.contains(&[1.5, 0.0]));
+    }
+
+    #[test]
+    fn display_roundtrips_format() {
+        let mut d = Domain::new();
+        d.declare("alt", 0.0, 20000.0).unwrap();
+        assert_eq!(d.to_string(), "var alt in [0, 20000];\n");
+    }
+}

@@ -1,0 +1,619 @@
+//! Arithmetic expressions over input variables.
+//!
+//! Expressions are immutable trees shared through [`Arc`], so the symbolic
+//! executor can substitute sub-expressions without copying. The function
+//! inventory matches what the paper's subjects exercise: the four
+//! arithmetic operators plus `sin`, `cos`, `tan`, `asin`, `acos`, `atan`,
+//! `atan2`, `sqrt`, `exp`, `ln`, `pow`, `abs`, `min`, `max` (§6.3 lists
+//! `cos`, `pow`, `sin`, `sqrt`, `tan`, `atan2` for TSAFE; Apollo uses
+//! `sqrt`).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::VarId;
+
+/// Unary operators and functions.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Square root.
+    Sqrt,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Ln,
+    /// Sine (radians).
+    Sin,
+    /// Cosine (radians).
+    Cos,
+    /// Tangent (radians).
+    Tan,
+    /// Arcsine.
+    Asin,
+    /// Arccosine.
+    Acos,
+    /// Arctangent.
+    Atan,
+}
+
+impl UnOp {
+    /// The source-syntax function name (`-` for negation).
+    pub fn name(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Abs => "abs",
+            UnOp::Sqrt => "sqrt",
+            UnOp::Exp => "exp",
+            UnOp::Ln => "ln",
+            UnOp::Sin => "sin",
+            UnOp::Cos => "cos",
+            UnOp::Tan => "tan",
+            UnOp::Asin => "asin",
+            UnOp::Acos => "acos",
+            UnOp::Atan => "atan",
+        }
+    }
+
+    /// Applies the operator to a concrete value.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            UnOp::Neg => -x,
+            UnOp::Abs => x.abs(),
+            UnOp::Sqrt => x.sqrt(),
+            UnOp::Exp => x.exp(),
+            UnOp::Ln => x.ln(),
+            UnOp::Sin => x.sin(),
+            UnOp::Cos => x.cos(),
+            UnOp::Tan => x.tan(),
+            UnOp::Asin => x.asin(),
+            UnOp::Acos => x.acos(),
+            UnOp::Atan => x.atan(),
+        }
+    }
+}
+
+/// Binary operators and two-argument functions.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Power `x^y`.
+    Pow,
+    /// Two-argument minimum.
+    Min,
+    /// Two-argument maximum.
+    Max,
+    /// Two-argument arctangent `atan2(y, x)`.
+    Atan2,
+}
+
+impl BinOp {
+    /// The source-syntax operator symbol or function name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Pow => "^",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::Atan2 => "atan2",
+        }
+    }
+
+    /// Applies the operator to concrete values.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            BinOp::Pow => a.powf(b),
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+            BinOp::Atan2 => a.atan2(b),
+        }
+    }
+
+    /// Returns `true` for operators printed infix (`+ - * / ^`), `false`
+    /// for two-argument functions (`min`, `max`, `atan2`).
+    pub fn is_infix(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow
+        )
+    }
+}
+
+/// An arithmetic expression tree.
+///
+/// # Example
+///
+/// ```
+/// use qcoral_constraints::{Expr, VarId};
+///
+/// // sin(x * y) with x = v0, y = v1
+/// let e = Expr::var(VarId(0)).mul(Expr::var(VarId(1))).sin();
+/// assert!((e.eval(&[1.0, 2.0]) - 2.0f64.sin()).abs() < 1e-12);
+/// assert_eq!(e.to_string(), "sin(v0 * v1)");
+/// ```
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// A floating-point literal.
+    Const(f64),
+    /// An input variable.
+    Var(VarId),
+    /// A unary operator application.
+    Unary(UnOp, Arc<Expr>),
+    /// A binary operator application.
+    Binary(BinOp, Arc<Expr>, Arc<Expr>),
+}
+
+impl Expr {
+    /// Creates a constant expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN.
+    pub fn constant(v: f64) -> Expr {
+        assert!(!v.is_nan(), "NaN constant in expression");
+        Expr::Const(v)
+    }
+
+    /// Creates a variable reference.
+    pub fn var(id: VarId) -> Expr {
+        Expr::Var(id)
+    }
+
+    /// Applies a unary operator.
+    pub fn unary(op: UnOp, e: impl Into<Arc<Expr>>) -> Expr {
+        Expr::Unary(op, e.into())
+    }
+
+    /// Applies a binary operator.
+    pub fn binary(op: BinOp, a: impl Into<Arc<Expr>>, b: impl Into<Arc<Expr>>) -> Expr {
+        Expr::Binary(op, a.into(), b.into())
+    }
+
+    /// Evaluates the expression on a concrete environment indexed by
+    /// [`VarId`]. May return NaN or ±∞ (e.g. `sqrt` of a negative value);
+    /// relational atoms treat NaN as "does not satisfy".
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range for `env`.
+    pub fn eval(&self, env: &[f64]) -> f64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Var(id) => env[id.index()],
+            Expr::Unary(op, e) => op.apply(e.eval(env)),
+            Expr::Binary(op, a, b) => op.apply(a.eval(env), b.eval(env)),
+        }
+    }
+
+    /// Adds every variable occurring in the expression to `out`.
+    pub fn collect_vars(&self, out: &mut crate::VarSet) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(id) => {
+                out.insert(*id);
+            }
+            Expr::Unary(_, e) => e.collect_vars(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Largest variable index referenced, plus one (the minimum
+    /// environment length needed to evaluate). `0` if no variables occur.
+    pub fn var_bound(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Var(id) => id.index() + 1,
+            Expr::Unary(_, e) => e.var_bound(),
+            Expr::Binary(_, a, b) => a.var_bound().max(b.var_bound()),
+        }
+    }
+
+    /// Number of nodes in the expression tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Unary(_, e) => 1 + e.size(),
+            Expr::Binary(_, a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Number of operation (non-leaf) nodes in the expression tree.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Unary(_, e) => 1 + e.op_count(),
+            Expr::Binary(_, a, b) => 1 + a.op_count() + b.op_count(),
+        }
+    }
+
+    /// Replaces every variable occurrence with the expression given by
+    /// `subst` (indexed by `VarId`). Used by the symbolic executor to keep
+    /// program state as expressions over the *input* variables.
+    pub fn substitute(&self, subst: &[Arc<Expr>]) -> Arc<Expr> {
+        match self {
+            Expr::Const(_) => Arc::new(self.clone()),
+            Expr::Var(id) => Arc::clone(&subst[id.index()]),
+            Expr::Unary(op, e) => Arc::new(Expr::Unary(*op, e.substitute(subst))),
+            Expr::Binary(op, a, b) => {
+                Arc::new(Expr::Binary(*op, a.substitute(subst), b.substitute(subst)))
+            }
+        }
+    }
+
+    /// Rewrites every variable reference through `f`. Used to re-index a
+    /// projected constraint onto a dense local variable space.
+    pub fn remap_vars(&self, f: &impl Fn(VarId) -> VarId) -> Expr {
+        match self {
+            Expr::Const(_) => self.clone(),
+            Expr::Var(id) => Expr::Var(f(*id)),
+            Expr::Unary(op, e) => Expr::Unary(*op, Arc::new(e.remap_vars(f))),
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Arc::new(a.remap_vars(f)),
+                Arc::new(b.remap_vars(f)),
+            ),
+        }
+    }
+
+    /// Constant-folds the expression bottom-up. Folding uses ordinary
+    /// `f64` arithmetic; sub-expressions that fold to NaN are left intact
+    /// so the (NaN ⇒ unsatisfied) evaluation semantics are preserved.
+    pub fn fold(&self) -> Expr {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => self.clone(),
+            Expr::Unary(op, e) => {
+                let e = e.fold();
+                if let Expr::Const(v) = e {
+                    let r = op.apply(v);
+                    if !r.is_nan() {
+                        return Expr::Const(r);
+                    }
+                }
+                Expr::Unary(*op, Arc::new(e))
+            }
+            Expr::Binary(op, a, b) => {
+                let a = a.fold();
+                let b = b.fold();
+                if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
+                    let r = op.apply(*x, *y);
+                    if !r.is_nan() {
+                        return Expr::Const(r);
+                    }
+                }
+                Expr::Binary(*op, Arc::new(a), Arc::new(b))
+            }
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Builder methods (fluent DSL). These take `self` by value; `Expr`
+    // clones are cheap because children are `Arc`-shared.
+    // -------------------------------------------------------------
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Add, self, rhs)
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Sub, self, rhs)
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Mul, self, rhs)
+    }
+
+    /// `self / rhs`.
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Div, self, rhs)
+    }
+
+    /// `self ^ rhs`.
+    pub fn pow(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Pow, self, rhs)
+    }
+
+    /// `min(self, rhs)`.
+    pub fn min_e(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Min, self, rhs)
+    }
+
+    /// `max(self, rhs)`.
+    pub fn max_e(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Max, self, rhs)
+    }
+
+    /// `atan2(self, rhs)` — `self` is the y-coordinate.
+    pub fn atan2(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Atan2, self, rhs)
+    }
+
+    /// `-self`.
+    pub fn neg(self) -> Expr {
+        Expr::unary(UnOp::Neg, self)
+    }
+
+    /// `abs(self)`.
+    pub fn abs(self) -> Expr {
+        Expr::unary(UnOp::Abs, self)
+    }
+
+    /// `sqrt(self)`.
+    pub fn sqrt(self) -> Expr {
+        Expr::unary(UnOp::Sqrt, self)
+    }
+
+    /// `exp(self)`.
+    pub fn exp(self) -> Expr {
+        Expr::unary(UnOp::Exp, self)
+    }
+
+    /// `ln(self)`.
+    pub fn ln(self) -> Expr {
+        Expr::unary(UnOp::Ln, self)
+    }
+
+    /// `sin(self)`.
+    pub fn sin(self) -> Expr {
+        Expr::unary(UnOp::Sin, self)
+    }
+
+    /// `cos(self)`.
+    pub fn cos(self) -> Expr {
+        Expr::unary(UnOp::Cos, self)
+    }
+
+    /// `tan(self)`.
+    pub fn tan(self) -> Expr {
+        Expr::unary(UnOp::Tan, self)
+    }
+
+    /// `asin(self)`.
+    pub fn asin(self) -> Expr {
+        Expr::unary(UnOp::Asin, self)
+    }
+
+    /// `acos(self)`.
+    pub fn acos(self) -> Expr {
+        Expr::unary(UnOp::Acos, self)
+    }
+
+    /// `atan(self)`.
+    pub fn atan(self) -> Expr {
+        Expr::unary(UnOp::Atan, self)
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Const(v) if *v < 0.0 => 1,
+            Expr::Const(_) | Expr::Var(_) => 4,
+            Expr::Unary(UnOp::Neg, _) => 1,
+            Expr::Unary(..) => 4,
+            Expr::Binary(op, ..) if op.is_infix() => match op {
+                BinOp::Add | BinOp::Sub => 1,
+                BinOp::Mul | BinOp::Div => 2,
+                BinOp::Pow => 3,
+                _ => unreachable!(),
+            },
+            Expr::Binary(..) => 4,
+        }
+    }
+}
+
+impl From<f64> for Expr {
+    /// Wraps a finite literal as a constant expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is NaN.
+    fn from(v: f64) -> Expr {
+        Expr::constant(v)
+    }
+}
+
+impl From<VarId> for Expr {
+    fn from(id: VarId) -> Expr {
+        Expr::Var(id)
+    }
+}
+
+impl PartialEq for Expr {
+    /// Structural equality; constants compare by bit pattern so that the
+    /// relation is a proper equivalence (consistent with the [`Hash`]
+    /// impl) and usable as a cache key.
+    fn eq(&self, other: &Expr) -> bool {
+        match (self, other) {
+            (Expr::Const(a), Expr::Const(b)) => a.to_bits() == b.to_bits(),
+            (Expr::Var(a), Expr::Var(b)) => a == b,
+            (Expr::Unary(o1, e1), Expr::Unary(o2, e2)) => o1 == o2 && e1 == e2,
+            (Expr::Binary(o1, a1, b1), Expr::Binary(o2, a2, b2)) => {
+                o1 == o2 && a1 == a2 && b1 == b2
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Expr {}
+
+impl Hash for Expr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Expr::Const(v) => v.to_bits().hash(state),
+            Expr::Var(id) => id.hash(state),
+            Expr::Unary(op, e) => {
+                op.hash(state);
+                e.hash(state);
+            }
+            Expr::Binary(op, a, b) => {
+                op.hash(state);
+                a.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Prints in the surface syntax accepted by the parser, with minimal
+    /// parenthesisation. Variables print as `v{index}`; use
+    /// [`crate::atom::pretty_expr`] for named output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn write_child(
+            f: &mut fmt::Formatter<'_>,
+            child: &Expr,
+            parent_prec: u8,
+            tighten: bool,
+        ) -> fmt::Result {
+            let child_prec = child.precedence();
+            let needs_parens = child_prec < parent_prec || (tighten && child_prec == parent_prec);
+            if needs_parens {
+                write!(f, "({child})")
+            } else {
+                write!(f, "{child}")
+            }
+        }
+
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Var(id) => write!(f, "{id}"),
+            Expr::Unary(UnOp::Neg, e) => {
+                write!(f, "-")?;
+                write_child(f, e, 3, false)
+            }
+            Expr::Unary(op, e) => write!(f, "{}({e})", op.name()),
+            Expr::Binary(op, a, b) if op.is_infix() => {
+                let prec = self.precedence();
+                write_child(f, a, prec, false)?;
+                write!(f, " {} ", op.name())?;
+                // Right child needs parens at equal precedence for the
+                // left-associative operators (a - (b - c)).
+                write_child(f, b, prec, matches!(op, BinOp::Sub | BinOp::Div))
+            }
+            Expr::Binary(op, a, b) => write!(f, "{}({a}, {b})", op.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarSet;
+
+    fn x() -> Expr {
+        Expr::var(VarId(0))
+    }
+
+    fn y() -> Expr {
+        Expr::var(VarId(1))
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        let e = x().add(y().mul(Expr::constant(2.0)));
+        assert_eq!(e.eval(&[1.0, 3.0]), 7.0);
+    }
+
+    #[test]
+    fn eval_transcendental() {
+        let e = x().sin().pow(Expr::constant(2.0)).add(x().cos().pow(Expr::constant(2.0)));
+        assert!((e.eval(&[0.7]) - 1.0).abs() < 1e-12);
+        let a = y().atan2(x());
+        assert!((a.eval(&[1.0, 1.0]) - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_nan_propagates() {
+        let e = x().sqrt();
+        assert!(e.eval(&[-1.0]).is_nan());
+    }
+
+    #[test]
+    fn collect_vars_and_bound() {
+        let e = x().add(Expr::var(VarId(3)).sin());
+        let mut s = VarSet::new(4);
+        e.collect_vars(&mut s);
+        assert!(s.contains(VarId(0)));
+        assert!(s.contains(VarId(3)));
+        assert_eq!(s.count(), 2);
+        assert_eq!(e.var_bound(), 4);
+        assert_eq!(Expr::constant(1.0).var_bound(), 0);
+    }
+
+    #[test]
+    fn substitution() {
+        // state: a := x + 1; then expression a * a over state
+        let a_val: Arc<Expr> = x().add(Expr::constant(1.0)).into();
+        let e = x().mul(x()); // a * a with a at index 0
+        let sub = e.substitute(&[a_val]);
+        assert_eq!(sub.eval(&[2.0]), 9.0);
+    }
+
+    #[test]
+    fn folding() {
+        let e = Expr::constant(2.0).add(Expr::constant(3.0)).mul(x());
+        let f = e.fold();
+        assert_eq!(f, Expr::constant(5.0).mul(x()));
+        // NaN results are not folded away.
+        let g = Expr::constant(-1.0).sqrt().fold();
+        assert!(matches!(g, Expr::Unary(UnOp::Sqrt, _)));
+    }
+
+    #[test]
+    fn display_precedence() {
+        let e = x().add(y()).mul(Expr::constant(2.0));
+        assert_eq!(e.to_string(), "(v0 + v1) * 2");
+        let e2 = x().sub(y().sub(Expr::constant(1.0)));
+        assert_eq!(e2.to_string(), "v0 - (v1 - 1)");
+        let e3 = x().neg().mul(y());
+        assert_eq!(e3.to_string(), "(-v0) * v1");
+        let e4 = y().atan2(x());
+        assert_eq!(e4.to_string(), "atan2(v1, v0)");
+        let e5 = x().pow(Expr::constant(2.0)).neg();
+        assert_eq!(e5.to_string(), "-v0 ^ 2");
+    }
+
+    #[test]
+    fn structural_eq_and_hash() {
+        use std::collections::HashSet;
+        let a = x().sin().add(Expr::constant(1.0));
+        let b = x().sin().add(Expr::constant(1.0));
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+        assert_ne!(x().sin(), x().cos());
+        assert_ne!(Expr::constant(0.0), Expr::constant(-0.0));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(x().size(), 1);
+        assert_eq!(x().add(y()).size(), 3);
+        assert_eq!(x().add(y()).sin().size(), 4);
+    }
+}

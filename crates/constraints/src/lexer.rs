@@ -1,0 +1,486 @@
+//! Lexer for the constraint language (and reused by the `qcoral-symexec`
+//! mini-language front end — keywords are resolved at the parser level, so
+//! one token stream serves both grammars).
+
+use std::fmt;
+
+/// A source position (1-based line and column), for error messages.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Sym {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Not,
+    Assign,
+}
+
+impl Sym {
+    /// Source text of the symbol.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Sym::LParen => "(",
+            Sym::RParen => ")",
+            Sym::LBracket => "[",
+            Sym::RBracket => "]",
+            Sym::LBrace => "{",
+            Sym::RBrace => "}",
+            Sym::Comma => ",",
+            Sym::Semi => ";",
+            Sym::Plus => "+",
+            Sym::Minus => "-",
+            Sym::Star => "*",
+            Sym::Slash => "/",
+            Sym::Caret => "^",
+            Sym::Lt => "<",
+            Sym::Le => "<=",
+            Sym::Gt => ">",
+            Sym::Ge => ">=",
+            Sym::EqEq => "==",
+            Sym::Ne => "!=",
+            Sym::AndAnd => "&&",
+            Sym::OrOr => "||",
+            Sym::Not => "!",
+            Sym::Assign => "=",
+        }
+    }
+}
+
+/// A lexed token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// Punctuation/operator.
+    Sym(Sym),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Num(v) => write!(f, "number {v}"),
+            Token::Sym(s) => write!(f, "`{}`", s.as_str()),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexing or parsing error with position information.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Where the error occurred.
+    pub pos: Pos,
+}
+
+impl ParseError {
+    /// Creates an error at the given position.
+    pub fn new(msg: impl Into<String>, pos: Pos) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            pos,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenizes `src`, returning tokens paired with their positions. Line
+/// comments start with `#` or `//` and run to end of line.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed numbers or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<(Token, Pos)>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                out.push((Token::Ident(src[start..i].to_owned()), pos));
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    bump!();
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        while i < j {
+                            bump!();
+                        }
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            bump!();
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(format!("malformed number `{text}`"), pos))?;
+                out.push((Token::Num(v), pos));
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let sym2 = match two {
+                    "<=" => Some(Sym::Le),
+                    ">=" => Some(Sym::Ge),
+                    "==" => Some(Sym::EqEq),
+                    "!=" => Some(Sym::Ne),
+                    "&&" => Some(Sym::AndAnd),
+                    "||" => Some(Sym::OrOr),
+                    _ => None,
+                };
+                if let Some(s) = sym2 {
+                    bump!();
+                    bump!();
+                    out.push((Token::Sym(s), pos));
+                    continue;
+                }
+                let sym1 = match c {
+                    b'(' => Sym::LParen,
+                    b')' => Sym::RParen,
+                    b'[' => Sym::LBracket,
+                    b']' => Sym::RBracket,
+                    b'{' => Sym::LBrace,
+                    b'}' => Sym::RBrace,
+                    b',' => Sym::Comma,
+                    b';' => Sym::Semi,
+                    b'+' => Sym::Plus,
+                    b'-' => Sym::Minus,
+                    b'*' => Sym::Star,
+                    b'/' => Sym::Slash,
+                    b'^' => Sym::Caret,
+                    b'<' => Sym::Lt,
+                    b'>' => Sym::Gt,
+                    b'!' => Sym::Not,
+                    b'=' => Sym::Assign,
+                    _ => {
+                        return Err(ParseError::new(
+                            format!("unexpected character `{}`", c as char),
+                            pos,
+                        ))
+                    }
+                };
+                bump!();
+                out.push((Token::Sym(sym1), pos));
+            }
+        }
+    }
+    out.push((
+        Token::Eof,
+        Pos { line, col },
+    ));
+    Ok(out)
+}
+
+/// A cursor over a token stream with convenience accessors, shared by the
+/// constraint parser and the mini-language parser.
+#[derive(Debug)]
+pub struct TokenStream {
+    toks: Vec<(Token, Pos)>,
+    at: usize,
+}
+
+impl TokenStream {
+    /// Lexes `src` into a stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lexing errors.
+    pub fn new(src: &str) -> Result<TokenStream, ParseError> {
+        Ok(TokenStream {
+            toks: lex(src)?,
+            at: 0,
+        })
+    }
+
+    /// The current token.
+    pub fn peek(&self) -> &Token {
+        &self.toks[self.at].0
+    }
+
+    /// Position of the current token.
+    pub fn pos(&self) -> Pos {
+        self.toks[self.at].1
+    }
+
+    /// Advances and returns the previous current token.
+    pub fn next(&mut self) -> Token {
+        let t = self.toks[self.at].0.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    /// Consumes the given symbol or errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] naming the expected symbol.
+    pub fn expect_sym(&mut self, s: Sym) -> Result<(), ParseError> {
+        if self.peek() == &Token::Sym(s) {
+            self.next();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected `{}`, found {}", s.as_str(), self.peek()),
+                self.pos(),
+            ))
+        }
+    }
+
+    /// Consumes the current token if it equals the symbol.
+    pub fn eat_sym(&mut self, s: Sym) -> bool {
+        if self.peek() == &Token::Sym(s) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the current token if it is the given keyword/identifier.
+    pub fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Token::Ident(s) if s == kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes an identifier or errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if the current token is not an identifier.
+    pub fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            t => Err(ParseError::new(
+                format!("expected identifier, found {t}"),
+                self.pos(),
+            )),
+        }
+    }
+
+    /// Consumes a (possibly negated) numeric literal or errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if no number is present.
+    pub fn expect_num(&mut self) -> Result<f64, ParseError> {
+        let neg = self.eat_sym(Sym::Minus);
+        match self.next() {
+            Token::Num(v) => Ok(if neg { -v } else { v }),
+            t => Err(ParseError::new(
+                format!("expected number, found {t}"),
+                self.pos(),
+            )),
+        }
+    }
+
+    /// Returns `true` at end of input.
+    pub fn at_eof(&self) -> bool {
+        matches!(self.peek(), Token::Eof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lex_symbols() {
+        assert_eq!(
+            toks("<= >= == != && || < > ! ="),
+            vec![
+                Token::Sym(Sym::Le),
+                Token::Sym(Sym::Ge),
+                Token::Sym(Sym::EqEq),
+                Token::Sym(Sym::Ne),
+                Token::Sym(Sym::AndAnd),
+                Token::Sym(Sym::OrOr),
+                Token::Sym(Sym::Lt),
+                Token::Sym(Sym::Gt),
+                Token::Sym(Sym::Not),
+                Token::Sym(Sym::Assign),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            toks("1 2.5 0.25 1e3 2.5e-2 7E+1"),
+            vec![
+                Token::Num(1.0),
+                Token::Num(2.5),
+                Token::Num(0.25),
+                Token::Num(1000.0),
+                Token::Num(0.025),
+                Token::Num(70.0),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_identifiers_and_comments() {
+        assert_eq!(
+            toks("alpha _x9 # comment to eol\nbeta // also comment\ngamma"),
+            vec![
+                Token::Ident("alpha".into()),
+                Token::Ident("_x9".into()),
+                Token::Ident("beta".into()),
+                Token::Ident("gamma".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_positions() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].1, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].1, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn lex_rejects_garbage() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.msg.contains("unexpected character"));
+        assert_eq!(err.pos, Pos { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn stream_helpers() {
+        let mut s = TokenStream::new("var x = 1;").unwrap();
+        assert!(s.eat_kw("var"));
+        assert_eq!(s.expect_ident().unwrap(), "x");
+        assert!(s.eat_sym(Sym::Assign));
+        assert_eq!(s.expect_num().unwrap(), 1.0);
+        assert!(s.eat_sym(Sym::Semi));
+        assert!(s.at_eof());
+    }
+
+    #[test]
+    fn negative_number_via_expect_num() {
+        let mut s = TokenStream::new("-3.5").unwrap();
+        assert_eq!(s.expect_num().unwrap(), -3.5);
+    }
+
+    #[test]
+    fn division_not_mistaken_for_comment() {
+        assert_eq!(
+            toks("a / b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Sym(Sym::Slash),
+                Token::Ident("b".into()),
+                Token::Eof,
+            ]
+        );
+    }
+}

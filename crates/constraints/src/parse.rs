@@ -1,0 +1,414 @@
+//! Parser for the textual constraint language.
+//!
+//! The language stores a quantification problem as data: variable
+//! declarations with bounds, followed by one `pc` clause per path
+//! condition. Example (the paper's §4.4 safety monitor):
+//!
+//! ```text
+//! var altitude in [0, 20000];
+//! var headFlap in [-10, 10];
+//! var tailFlap in [-10, 10];
+//!
+//! pc altitude > 9000;
+//! pc altitude <= 9000 && sin(headFlap * tailFlap) > 0.25;
+//! ```
+//!
+//! Grammar (whitespace and `#`/`//` comments ignored):
+//!
+//! ```text
+//! system  := (vardecl | pcdecl)*
+//! vardecl := "var" IDENT "in" "[" num "," num "]" ";"
+//! pcdecl  := "pc" atom ("&&" atom)* ";"
+//! atom    := expr relop expr
+//! relop   := "<" | "<=" | ">" | ">=" | "==" | "!="
+//! expr    := term (("+" | "-") term)*
+//! term    := unary (("*" | "/") unary)*
+//! unary   := ("-" | "+") unary | power
+//! power   := primary ("^" unary)?          # right associative
+//! primary := NUM | IDENT | IDENT "(" expr ("," expr)* ")" | "(" expr ")"
+//! ```
+//!
+//! Known functions: `sin cos tan asin acos atan sqrt exp ln log abs`
+//! (1-argument) and `pow min max atan2` (2-argument). `pi` and `e` are
+//! predefined constants unless shadowed by a variable declaration.
+
+use crate::lexer::{ParseError, Sym, Token, TokenStream};
+use crate::{Atom, BinOp, ConstraintSet, Domain, Expr, PathCondition, RelOp, UnOp};
+
+/// A parsed constraint system: the input domain plus the disjunction of
+/// path conditions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct System {
+    /// Declared input variables with bounds.
+    pub domain: Domain,
+    /// The disjunction of path conditions (`PCT`).
+    pub constraint_set: ConstraintSet,
+}
+
+/// Parses a complete constraint system.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with position information on syntax errors,
+/// unknown identifiers or malformed declarations.
+///
+/// # Example
+///
+/// ```
+/// use qcoral_constraints::parse::parse_system;
+///
+/// let sys = parse_system("var x in [0, 1]; pc x < 0.5;").unwrap();
+/// assert_eq!(sys.domain.len(), 1);
+/// assert_eq!(sys.constraint_set.len(), 1);
+/// ```
+pub fn parse_system(src: &str) -> Result<System, ParseError> {
+    let mut ts = TokenStream::new(src)?;
+    let mut domain = Domain::new();
+    let mut cs = ConstraintSet::new();
+    while !ts.at_eof() {
+        if ts.eat_kw("var") {
+            let pos = ts.pos();
+            let name = ts.expect_ident()?;
+            if !ts.eat_kw("in") {
+                return Err(ParseError::new("expected `in` after variable name", ts.pos()));
+            }
+            ts.expect_sym(Sym::LBracket)?;
+            let lo = ts.expect_num()?;
+            ts.expect_sym(Sym::Comma)?;
+            let hi = ts.expect_num()?;
+            ts.expect_sym(Sym::RBracket)?;
+            ts.expect_sym(Sym::Semi)?;
+            domain
+                .declare(&name, lo, hi)
+                .map_err(|e| ParseError::new(e.to_string(), pos))?;
+        } else if ts.eat_kw("pc") {
+            let pc = parse_conjunction(&mut ts, &domain)?;
+            ts.expect_sym(Sym::Semi)?;
+            cs.push(pc);
+        } else {
+            return Err(ParseError::new(
+                format!("expected `var` or `pc`, found {}", ts.peek()),
+                ts.pos(),
+            ));
+        }
+    }
+    Ok(System {
+        domain,
+        constraint_set: cs,
+    })
+}
+
+/// Parses a conjunction of atoms (`a && b && ...`) against a known domain.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax errors or unknown variables.
+pub fn parse_conjunction(
+    ts: &mut TokenStream,
+    domain: &Domain,
+) -> Result<PathCondition, ParseError> {
+    let mut atoms = vec![parse_atom(ts, domain)?];
+    while ts.eat_sym(Sym::AndAnd) {
+        atoms.push(parse_atom(ts, domain)?);
+    }
+    Ok(PathCondition::from_atoms(atoms))
+}
+
+/// Parses a single relational atom.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax errors or unknown variables.
+pub fn parse_atom(ts: &mut TokenStream, domain: &Domain) -> Result<Atom, ParseError> {
+    let lhs = parse_expr(ts, domain)?;
+    let op = match ts.peek() {
+        Token::Sym(Sym::Lt) => RelOp::Lt,
+        Token::Sym(Sym::Le) => RelOp::Le,
+        Token::Sym(Sym::Gt) => RelOp::Gt,
+        Token::Sym(Sym::Ge) => RelOp::Ge,
+        Token::Sym(Sym::EqEq) => RelOp::Eq,
+        Token::Sym(Sym::Ne) => RelOp::Ne,
+        t => {
+            return Err(ParseError::new(
+                format!("expected relational operator, found {t}"),
+                ts.pos(),
+            ))
+        }
+    };
+    ts.next();
+    let rhs = parse_expr(ts, domain)?;
+    Ok(Atom::new(lhs, op, rhs))
+}
+
+/// Parses an arithmetic expression.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax errors or unknown variables.
+pub fn parse_expr(ts: &mut TokenStream, domain: &Domain) -> Result<Expr, ParseError> {
+    let mut e = parse_term(ts, domain)?;
+    loop {
+        if ts.eat_sym(Sym::Plus) {
+            e = e.add(parse_term(ts, domain)?);
+        } else if ts.eat_sym(Sym::Minus) {
+            e = e.sub(parse_term(ts, domain)?);
+        } else {
+            return Ok(e);
+        }
+    }
+}
+
+fn parse_term(ts: &mut TokenStream, domain: &Domain) -> Result<Expr, ParseError> {
+    let mut e = parse_unary(ts, domain)?;
+    loop {
+        if ts.eat_sym(Sym::Star) {
+            e = e.mul(parse_unary(ts, domain)?);
+        } else if ts.eat_sym(Sym::Slash) {
+            e = e.div(parse_unary(ts, domain)?);
+        } else {
+            return Ok(e);
+        }
+    }
+}
+
+fn parse_unary(ts: &mut TokenStream, domain: &Domain) -> Result<Expr, ParseError> {
+    if ts.eat_sym(Sym::Minus) {
+        return Ok(parse_unary(ts, domain)?.neg());
+    }
+    if ts.eat_sym(Sym::Plus) {
+        return parse_unary(ts, domain);
+    }
+    parse_power(ts, domain)
+}
+
+fn parse_power(ts: &mut TokenStream, domain: &Domain) -> Result<Expr, ParseError> {
+    let base = parse_primary(ts, domain)?;
+    if ts.eat_sym(Sym::Caret) {
+        // Right-associative: a ^ b ^ c = a ^ (b ^ c).
+        let exponent = parse_unary(ts, domain)?;
+        return Ok(base.pow(exponent));
+    }
+    Ok(base)
+}
+
+fn parse_primary(ts: &mut TokenStream, domain: &Domain) -> Result<Expr, ParseError> {
+    let pos = ts.pos();
+    match ts.next() {
+        Token::Num(v) => Ok(Expr::constant(v)),
+        Token::Sym(Sym::LParen) => {
+            let e = parse_expr(ts, domain)?;
+            ts.expect_sym(Sym::RParen)?;
+            Ok(e)
+        }
+        Token::Ident(name) => {
+            if ts.eat_sym(Sym::LParen) {
+                let mut args = vec![parse_expr(ts, domain)?];
+                while ts.eat_sym(Sym::Comma) {
+                    args.push(parse_expr(ts, domain)?);
+                }
+                ts.expect_sym(Sym::RParen)?;
+                apply_function(&name, args, pos)
+            } else if let Some(id) = domain.index_of(&name) {
+                Ok(Expr::var(id))
+            } else {
+                match name.as_str() {
+                    "pi" => Ok(Expr::constant(std::f64::consts::PI)),
+                    "e" => Ok(Expr::constant(std::f64::consts::E)),
+                    _ => Err(ParseError::new(
+                        format!("unknown variable `{name}` (declare it with `var {name} in [lo, hi];`)"),
+                        pos,
+                    )),
+                }
+            }
+        }
+        t => Err(ParseError::new(
+            format!("expected expression, found {t}"),
+            pos,
+        )),
+    }
+}
+
+/// Resolves a function-call syntax node (`sin(e)`, `pow(a, b)`, …) to an
+/// expression, validating arity. Shared with the MiniJ program parser in
+/// `qcoral-symexec`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for unknown function names or wrong arity.
+pub fn apply_function(
+    name: &str,
+    mut args: Vec<Expr>,
+    pos: crate::lexer::Pos,
+) -> Result<Expr, ParseError> {
+    let unary = |op: UnOp, mut args: Vec<Expr>| -> Result<Expr, ParseError> {
+        if args.len() != 1 {
+            return Err(ParseError::new(
+                format!("function `{name}` takes 1 argument, got {}", args.len()),
+                pos,
+            ));
+        }
+        Ok(Expr::unary(op, args.remove(0)))
+    };
+    match name {
+        "sin" => unary(UnOp::Sin, args),
+        "cos" => unary(UnOp::Cos, args),
+        "tan" => unary(UnOp::Tan, args),
+        "asin" => unary(UnOp::Asin, args),
+        "acos" => unary(UnOp::Acos, args),
+        "atan" => unary(UnOp::Atan, args),
+        "sqrt" => unary(UnOp::Sqrt, args),
+        "exp" => unary(UnOp::Exp, args),
+        "ln" | "log" => unary(UnOp::Ln, args),
+        "abs" => unary(UnOp::Abs, args),
+        "pow" | "min" | "max" | "atan2" => {
+            if args.len() != 2 {
+                return Err(ParseError::new(
+                    format!("function `{name}` takes 2 arguments, got {}", args.len()),
+                    pos,
+                ));
+            }
+            let b = args.pop().expect("two arguments");
+            let a = args.pop().expect("two arguments");
+            let op = match name {
+                "pow" => BinOp::Pow,
+                "min" => BinOp::Min,
+                "max" => BinOp::Max,
+                _ => BinOp::Atan2,
+            };
+            Ok(Expr::binary(op, a, b))
+        }
+        _ => Err(ParseError::new(
+            format!(
+                "unknown function `{name}` (known: sin cos tan asin acos atan sqrt exp ln log abs pow min max atan2)"
+            ),
+            pos,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(src: &str) -> System {
+        parse_system(src).unwrap()
+    }
+
+    #[test]
+    fn parses_paper_example() {
+        let s = sys("var altitude in [0, 20000];
+                     var headFlap in [-10, 10];
+                     var tailFlap in [-10, 10];
+                     pc altitude > 9000;
+                     pc altitude <= 9000 && sin(headFlap * tailFlap) > 0.25;");
+        assert_eq!(s.domain.len(), 3);
+        assert_eq!(s.constraint_set.len(), 2);
+        // PC2 is satisfied for alt=0, hf*tf = pi/2
+        let hf = 1.0;
+        let tf = std::f64::consts::FRAC_PI_2;
+        assert!(s.constraint_set.pcs()[1].holds(&[0.0, hf, tf]));
+        assert!(!s.constraint_set.pcs()[1].holds(&[0.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        let s = sys("var x in [0, 10]; pc x * 2 + 1 < x ^ 2 - 3;");
+        let atom = &s.constraint_set.pcs()[0].atoms()[0];
+        // lhs = (x*2)+1 at x=3 → 7 ; rhs = x^2-3 → 6
+        assert_eq!(atom.lhs().eval(&[3.0]), 7.0);
+        assert_eq!(atom.rhs().eval(&[3.0]), 6.0);
+        // ^ is right-associative: 2^3^2 = 2^9 = 512
+        let s2 = sys("var x in [0,1]; pc 2 ^ 3 ^ 2 > x;");
+        assert_eq!(s2.constraint_set.pcs()[0].atoms()[0].lhs().eval(&[0.0]), 512.0);
+    }
+
+    #[test]
+    fn unary_minus_binds_tighter_than_mul_chain() {
+        let s = sys("var x in [-1,1]; pc -x * 3 < 1;");
+        let atom = &s.constraint_set.pcs()[0].atoms()[0];
+        assert_eq!(atom.lhs().eval(&[2.0]), -6.0);
+    }
+
+    #[test]
+    fn functions_parse() {
+        let s = sys("var x in [0, 1]; var y in [0, 1];
+                     pc pow(x, 2) + min(x, y) <= atan2(y, x) && sqrt(abs(x)) != ln(exp(y));");
+        let pc = &s.constraint_set.pcs()[0];
+        assert_eq!(pc.len(), 2);
+    }
+
+    #[test]
+    fn constants_pi_and_e() {
+        let s = sys("var x in [0, 10]; pc x < 2 * pi;");
+        let atom = &s.constraint_set.pcs()[0].atoms()[0];
+        assert!((atom.rhs().eval(&[0.0]) - 2.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variable_shadows_constant() {
+        let s = sys("var pi in [3, 4]; pc pi > 3.5;");
+        assert!(s.constraint_set.holds(&[3.7]));
+    }
+
+    #[test]
+    fn negative_bounds() {
+        let s = sys("var x in [-10, -1]; pc x <= -5;");
+        assert_eq!(s.domain.bounds(crate::VarId(0)), (-10.0, -1.0));
+        assert!(s.constraint_set.holds(&[-7.0]));
+    }
+
+    #[test]
+    fn error_unknown_variable() {
+        let err = parse_system("pc x < 1;").unwrap_err();
+        assert!(err.msg.contains("unknown variable `x`"), "{err}");
+    }
+
+    #[test]
+    fn error_unknown_function() {
+        let err = parse_system("var x in [0,1]; pc sinh(x) < 1;").unwrap_err();
+        assert!(err.msg.contains("unknown function `sinh`"), "{err}");
+    }
+
+    #[test]
+    fn error_arity() {
+        let err = parse_system("var x in [0,1]; pc sin(x, x) < 1;").unwrap_err();
+        assert!(err.msg.contains("takes 1 argument"), "{err}");
+        let err2 = parse_system("var x in [0,1]; pc pow(x) < 1;").unwrap_err();
+        assert!(err2.msg.contains("takes 2 arguments"), "{err2}");
+    }
+
+    #[test]
+    fn error_duplicate_var() {
+        let err = parse_system("var x in [0,1]; var x in [0,2];").unwrap_err();
+        assert!(err.msg.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn error_missing_relop() {
+        let err = parse_system("var x in [0,1]; pc x + 1;").unwrap_err();
+        assert!(err.msg.contains("relational operator"), "{err}");
+    }
+
+    #[test]
+    fn error_position_reported() {
+        let err = parse_system("var x in [0,1];\npc y < 1;").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        // Expressions print variables as `v{i}`, so a system whose
+        // variables are literally named that way round-trips exactly.
+        let src = "var v0 in [0, 1];\nvar v1 in [-1, 1];\npc v0 < v1 && sin(v0 * v1) > 0.25;\npc v0 >= v1;";
+        let s1 = sys(src);
+        let printed = format!("{}{}", s1.domain, s1.constraint_set);
+        let s2 = sys(&printed);
+        assert_eq!(s2, s1);
+    }
+
+    #[test]
+    fn scientific_notation_in_bounds() {
+        let s = sys("var x in [1e-3, 2.5e2]; pc x > 1;");
+        assert_eq!(s.domain.bounds(crate::VarId(0)), (0.001, 250.0));
+    }
+}

@@ -1,0 +1,205 @@
+//! Compact sets of variables, used by the dependency analysis (paper §4.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::VarId;
+
+/// A fixed-capacity bitset over variable indices.
+///
+/// # Example
+///
+/// ```
+/// use qcoral_constraints::{VarId, VarSet};
+///
+/// let mut s = VarSet::new(8);
+/// s.insert(VarId(1));
+/// s.insert(VarId(5));
+/// assert!(s.contains(VarId(5)));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![VarId(1), VarId(5)]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VarSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl VarSet {
+    /// Creates an empty set with capacity for `len` variables.
+    pub fn new(len: usize) -> VarSet {
+        VarSet {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Capacity (number of variable slots).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts a variable. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable index exceeds the capacity.
+    pub fn insert(&mut self, v: VarId) -> bool {
+        let i = v.index();
+        assert!(i < self.len, "variable {v} out of range for VarSet({})", self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        let fresh = *w & bit == 0;
+        *w |= bit;
+        fresh
+    }
+
+    /// Tests membership. Out-of-range ids are never members.
+    pub fn contains(&self, v: VarId) -> bool {
+        let i = v.index();
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &VarSet) {
+        assert_eq!(self.len, other.len, "VarSet capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Returns `true` if the two sets share at least one member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersects(&self, other: &VarSet) -> bool {
+        assert_eq!(self.len, other.len, "VarSet capacity mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over members in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(VarId((wi * 64) as u32 + b))
+                }
+            })
+        })
+    }
+
+    /// Collects members into a vector of raw indices (convenient for
+    /// projections).
+    pub fn indices(&self) -> Vec<usize> {
+        self.iter().map(VarId::index).collect()
+    }
+}
+
+impl fmt::Display for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<VarId> for VarSet {
+    /// Builds a set sized to the maximum inserted index.
+    fn from_iter<T: IntoIterator<Item = VarId>>(iter: T) -> VarSet {
+        let ids: Vec<VarId> = iter.into_iter().collect();
+        let cap = ids.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+        let mut s = VarSet::new(cap);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut s = VarSet::new(100);
+        assert!(s.is_empty());
+        assert!(s.insert(VarId(0)));
+        assert!(s.insert(VarId(63)));
+        assert!(s.insert(VarId(64)));
+        assert!(s.insert(VarId(99)));
+        assert!(!s.insert(VarId(99)));
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(VarId(63)));
+        assert!(!s.contains(VarId(62)));
+        assert!(!s.contains(VarId(200)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let mut s = VarSet::new(4);
+        s.insert(VarId(4));
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let mut a = VarSet::new(70);
+        let mut b = VarSet::new(70);
+        a.insert(VarId(1));
+        b.insert(VarId(65));
+        assert!(!a.intersects(&b));
+        a.union_with(&b);
+        assert!(a.contains(VarId(65)));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut s = VarSet::new(130);
+        for i in [128, 3, 64, 5] {
+            s.insert(VarId(i));
+        }
+        let got: Vec<u32> = s.iter().map(|v| v.0).collect();
+        assert_eq!(got, vec![3, 5, 64, 128]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: VarSet = [VarId(2), VarId(7)].into_iter().collect();
+        assert_eq!(s.capacity(), 8);
+        assert!(s.contains(VarId(7)));
+    }
+
+    #[test]
+    fn display() {
+        let s: VarSet = [VarId(0), VarId(2)].into_iter().collect();
+        assert_eq!(s.to_string(), "{v0, v2}");
+    }
+}

@@ -1,0 +1,383 @@
+//! HC4 contractors over conjunctions of atoms.
+//!
+//! A [`Contractor`] is built once from a [`PathCondition`]; it pre-compiles
+//! every atom's normalized expression (`lhs - rhs ⋈ 0`) into a
+//! [`Tape`](crate::tape::Tape) and then offers two operations used by the
+//! paver and the analyses:
+//!
+//! * [`Contractor::contract`] — shrink a box without losing any solution
+//!   (HC4-revise per atom, iterated to a fixpoint),
+//! * [`Contractor::certainty`] — classify a box as certainly satisfying,
+//!   certainly violating, or undecided.
+
+use qcoral_constraints::{PathCondition, RelOp};
+use qcoral_interval::{Interval, IntervalBox};
+
+use crate::tape::Tape;
+
+/// Three-valued verdict for a box against a constraint.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Tri {
+    /// Every point of the box satisfies the constraint.
+    True,
+    /// No point of the box satisfies the constraint.
+    False,
+    /// The box may contain both solutions and non-solutions.
+    Unknown,
+}
+
+impl Tri {
+    /// Three-valued conjunction.
+    pub fn and(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::False, _) | (_, Tri::False) => Tri::False,
+            (Tri::True, Tri::True) => Tri::True,
+            _ => Tri::Unknown,
+        }
+    }
+}
+
+/// The interval the normalized expression must lie in for the atom to
+/// hold. Strict and non-strict inequalities share a closed target: the
+/// boundary has measure zero for the quantification, and closure keeps the
+/// projection sound.
+fn target(op: RelOp) -> Option<Interval> {
+    match op {
+        RelOp::Lt | RelOp::Le => Some(Interval::new(f64::NEG_INFINITY, 0.0)),
+        RelOp::Gt | RelOp::Ge => Some(Interval::new(0.0, f64::INFINITY)),
+        RelOp::Eq => Some(Interval::ZERO),
+        // ≠ carves out a measure-zero set; it cannot narrow a box.
+        RelOp::Ne => None,
+    }
+}
+
+/// A compiled conjunction of atoms with HC4 forward/backward machinery.
+#[derive(Clone, Debug)]
+pub struct Contractor {
+    atoms: Vec<(Tape, RelOp)>,
+    nvars: usize,
+    max_passes: usize,
+}
+
+impl Contractor {
+    /// Compiles the atoms of `pc` for a domain with `nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the condition references a variable index `≥ nvars`.
+    pub fn new(pc: &PathCondition, nvars: usize) -> Contractor {
+        assert!(
+            pc.var_bound() <= nvars,
+            "path condition references variable beyond domain ({} > {nvars})",
+            pc.var_bound()
+        );
+        let atoms = pc
+            .atoms()
+            .iter()
+            .map(|a| {
+                let (expr, op) = a.normalized();
+                (Tape::compile(&expr), op)
+            })
+            .collect();
+        Contractor {
+            atoms,
+            nvars,
+            max_passes: 8,
+        }
+    }
+
+    /// Sets the fixpoint pass limit (default 8).
+    pub fn with_max_passes(mut self, passes: usize) -> Contractor {
+        self.max_passes = passes.max(1);
+        self
+    }
+
+    /// Number of compiled atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Returns `true` if the conjunction has no atoms (always true).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Number of domain variables the contractor was compiled for.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Narrows `boxed` in place without losing any solution of the
+    /// conjunction. Returns `false` if the box was proven to contain no
+    /// solution (the box is left in an empty state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boxed.ndim() != self.nvars()`.
+    pub fn contract(&self, boxed: &mut IntervalBox) -> bool {
+        assert_eq!(boxed.ndim(), self.nvars, "contract: dimension mismatch");
+        let mut vals = Vec::new();
+        for _pass in 0..self.max_passes {
+            let before: Vec<Interval> = boxed.dims().to_vec();
+            for (tape, op) in &self.atoms {
+                let Some(t) = target(*op) else { continue };
+                let root_val = tape.forward(boxed, &mut vals);
+                if root_val.is_empty() {
+                    // Expression undefined on the whole box ⇒ atom false
+                    // everywhere ⇒ conjunction unsatisfiable here.
+                    *boxed.dim_mut(0) = Interval::EMPTY;
+                    return false;
+                }
+                let narrowed = root_val.intersect(&t);
+                let root = tape.root();
+                vals[root] = narrowed;
+                if narrowed.is_empty() || !tape.backward(&mut vals, boxed) {
+                    *boxed.dim_mut(0) = Interval::EMPTY;
+                    return false;
+                }
+            }
+            // Stop when a full pass no longer shrinks anything noticeably.
+            let mut changed = false;
+            for (b, a) in before.iter().zip(boxed.dims()) {
+                let shrink = b.width() - a.width();
+                if shrink > 1e-12 * b.width().max(1e-300) {
+                    changed = true;
+                    break;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        true
+    }
+
+    /// Classifies the box: [`Tri::True`] if every point satisfies the
+    /// whole conjunction, [`Tri::False`] if no point satisfies it,
+    /// [`Tri::Unknown`] otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boxed.ndim() != self.nvars()`.
+    pub fn certainty(&self, boxed: &IntervalBox) -> Tri {
+        assert_eq!(boxed.ndim(), self.nvars, "certainty: dimension mismatch");
+        let mut vals = Vec::new();
+        let mut acc = Tri::True;
+        for (tape, op) in &self.atoms {
+            let v = tape.forward(boxed, &mut vals);
+            let verdict = atom_certainty(v, *op);
+            acc = acc.and(verdict);
+            if acc == Tri::False {
+                return Tri::False;
+            }
+        }
+        acc
+    }
+}
+
+/// Certainty of `value ⋈ 0` given the interval image of the normalized
+/// expression. An empty image means the expression is undefined on the
+/// whole box, which can never satisfy an atom (NaN semantics).
+fn atom_certainty(value: Interval, op: RelOp) -> Tri {
+    if value.is_empty() {
+        return Tri::False;
+    }
+    match op {
+        RelOp::Lt => {
+            if value.hi() < 0.0 {
+                Tri::True
+            } else if value.lo() >= 0.0 {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        RelOp::Le => {
+            if value.hi() <= 0.0 {
+                Tri::True
+            } else if value.lo() > 0.0 {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        RelOp::Gt => {
+            if value.lo() > 0.0 {
+                Tri::True
+            } else if value.hi() <= 0.0 {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        RelOp::Ge => {
+            if value.lo() >= 0.0 {
+                Tri::True
+            } else if value.hi() < 0.0 {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        RelOp::Eq => {
+            if value.is_point() && value.lo() == 0.0 {
+                Tri::True
+            } else if !value.contains(0.0) {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        RelOp::Ne => {
+            if !value.contains(0.0) {
+                Tri::True
+            } else if value.is_point() && value.lo() == 0.0 {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcoral_constraints::parse::parse_system;
+    use qcoral_constraints::Domain;
+
+    fn pc_and_dom(src: &str) -> (PathCondition, Domain, IntervalBox) {
+        let sys = parse_system(src).unwrap();
+        let dom_box = crate::domain_box(&sys.domain);
+        (
+            sys.constraint_set.pcs()[0].clone(),
+            sys.domain,
+            dom_box,
+        )
+    }
+
+    #[test]
+    fn tri_and_truth_table() {
+        assert_eq!(Tri::True.and(Tri::True), Tri::True);
+        assert_eq!(Tri::True.and(Tri::Unknown), Tri::Unknown);
+        assert_eq!(Tri::Unknown.and(Tri::False), Tri::False);
+        assert_eq!(Tri::False.and(Tri::True), Tri::False);
+    }
+
+    #[test]
+    fn contract_simple_bounds() {
+        let (pc, dom, mut b) = pc_and_dom("var x in [0, 20000]; pc x > 9000;");
+        let c = Contractor::new(&pc, dom.len());
+        assert!(c.contract(&mut b));
+        // x narrows to roughly [9000, 20000].
+        assert!(b[0].lo() >= 8999.0, "{}", b[0]);
+        assert!(b[0].hi() <= 20000.0);
+    }
+
+    #[test]
+    fn contract_conjunction_to_small_region() {
+        let (pc, dom, mut b) =
+            pc_and_dom("var x in [0, 10]; var y in [0, 10]; pc x + y <= 2 && x >= 1 && y >= 0.5;");
+        let c = Contractor::new(&pc, dom.len());
+        assert!(c.contract(&mut b));
+        assert!(b[0].lo() >= 0.99 && b[0].hi() <= 1.51, "{}", b[0]);
+        assert!(b[1].lo() >= 0.49 && b[1].hi() <= 1.01, "{}", b[1]);
+    }
+
+    #[test]
+    fn contract_detects_unsat() {
+        let (pc, dom, mut b) = pc_and_dom("var x in [0, 1]; pc x > 2;");
+        let c = Contractor::new(&pc, dom.len());
+        assert!(!c.contract(&mut b));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn contract_nonlinear() {
+        let (pc, dom, mut b) =
+            pc_and_dom("var x in [-10, 10]; pc x * x <= 4 && x >= 0;");
+        let c = Contractor::new(&pc, dom.len());
+        assert!(c.contract(&mut b));
+        assert!(b[0].lo() >= -0.001 && b[0].hi() <= 2.3, "{}", b[0]);
+    }
+
+    #[test]
+    fn contract_undefined_everywhere_is_unsat() {
+        let (pc, dom, mut b) = pc_and_dom("var x in [-5, -1]; pc sqrt(x) >= 0;");
+        let c = Contractor::new(&pc, dom.len());
+        assert!(!c.contract(&mut b));
+    }
+
+    #[test]
+    fn certainty_true_false_unknown() {
+        let (pc, dom, b) = pc_and_dom("var x in [0, 1]; pc x >= 0;");
+        let c = Contractor::new(&pc, dom.len());
+        assert_eq!(c.certainty(&b), Tri::True);
+
+        let (pc2, dom2, b2) = pc_and_dom("var x in [0, 1]; pc x > 2;");
+        let c2 = Contractor::new(&pc2, dom2.len());
+        assert_eq!(c2.certainty(&b2), Tri::False);
+
+        let (pc3, dom3, b3) = pc_and_dom("var x in [0, 1]; pc x > 0.5;");
+        let c3 = Contractor::new(&pc3, dom3.len());
+        assert_eq!(c3.certainty(&b3), Tri::Unknown);
+    }
+
+    #[test]
+    fn certainty_strict_vs_nonstrict_boundary() {
+        // x ∈ [1, 2]: x >= 1 certainly true; x > 1 unknown (boundary).
+        let (pc, dom, b) = pc_and_dom("var x in [1, 2]; pc x >= 1;");
+        let c = Contractor::new(&pc, dom.len());
+        assert_eq!(c.certainty(&b), Tri::True);
+        let (pc2, dom2, b2) = pc_and_dom("var x in [1, 2]; pc x > 1;");
+        let c2 = Contractor::new(&pc2, dom2.len());
+        assert_eq!(c2.certainty(&b2), Tri::Unknown);
+    }
+
+    #[test]
+    fn certainty_ne() {
+        let (pc, dom, b) = pc_and_dom("var x in [1, 2]; pc x != 0;");
+        let c = Contractor::new(&pc, dom.len());
+        assert_eq!(c.certainty(&b), Tri::True);
+        let (pc2, dom2, b2) = pc_and_dom("var x in [-1, 1]; pc x != 0;");
+        let c2 = Contractor::new(&pc2, dom2.len());
+        assert_eq!(c2.certainty(&b2), Tri::Unknown);
+    }
+
+    #[test]
+    fn empty_conjunction_is_certainly_true() {
+        let c = Contractor::new(&PathCondition::new(), 1);
+        let b: IntervalBox = [Interval::new(0.0, 1.0)].into_iter().collect();
+        assert_eq!(c.certainty(&b), Tri::True);
+        let mut bb = b.clone();
+        assert!(c.contract(&mut bb));
+        assert_eq!(bb, b);
+    }
+
+    #[test]
+    fn contract_never_loses_solutions_spot_check() {
+        // Triangle constraint from the paper's Figure 2.
+        let (pc, dom, mut b) =
+            pc_and_dom("var x in [-1, 1]; var y in [-1, 1]; pc x <= -y && y <= x;");
+        let c = Contractor::new(&pc, dom.len());
+        assert!(c.contract(&mut b));
+        // Known solutions must survive contraction. The triangle is
+        // y ≤ 0 with |x| ≤ −y (x between y and −y).
+        for &(px, py) in &[(0.5, -0.7), (-0.3, -0.5), (0.1, -0.2), (0.0, 0.0)] {
+            assert!(pc.holds(&[px, py]));
+            assert!(b.contains_point(&[px, py]), "{b} lost ({px}, {py})");
+        }
+    }
+
+    #[test]
+    fn transcendental_contraction() {
+        let (pc, dom, mut b) =
+            pc_and_dom("var x in [0, 6.283185307179586]; pc sin(x) > 0.9;");
+        let c = Contractor::new(&pc, dom.len());
+        assert!(c.contract(&mut b));
+        // Solutions are around π/2 (≈ [1.12, 2.02]).
+        assert!(b[0].lo() > 0.9 && b[0].hi() < 2.3, "{}", b[0]);
+        let mid = std::f64::consts::FRAC_PI_2;
+        assert!(b.contains_point(&[mid]));
+    }
+}

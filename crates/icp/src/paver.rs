@@ -1,0 +1,382 @@
+//! Branch-and-prune paving: RealPaver's box-decomposition service.
+//!
+//! [`pave`] splits a domain box into *inner* boxes (all points satisfy the
+//! conjunction) and *boundary* boxes (undecided), whose union contains all
+//! solutions. Regions outside the paving are proven solution-free — the
+//! qCORAL stratified sampler never needs to sample them (paper §3.3).
+
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use qcoral_constraints::PathCondition;
+use qcoral_interval::IntervalBox;
+
+use crate::contract::{Contractor, Tri};
+
+/// Stop criteria for the paver, mirroring the RealPaver configuration the
+/// paper reports in §5: "time budget per query of 2 s, a bound on the
+/// number of boxes reported per query of 10, and a lower bound on the size
+/// of the computed boxes of 3 decimal digits".
+#[derive(Clone, Debug)]
+pub struct PaverConfig {
+    /// Maximum number of boxes reported (inner + boundary).
+    pub max_boxes: usize,
+    /// Boxes whose largest side is below `10^-precision_digits` are not
+    /// bisected further.
+    pub precision_digits: u32,
+    /// Wall-clock budget per query.
+    pub time_budget: Duration,
+    /// Fixpoint pass limit per contraction.
+    pub max_passes: usize,
+}
+
+impl Default for PaverConfig {
+    /// The paper's RealPaver configuration: 10 boxes, 3 decimal digits,
+    /// 2 s budget.
+    fn default() -> PaverConfig {
+        PaverConfig {
+            max_boxes: 10,
+            precision_digits: 3,
+            time_budget: Duration::from_secs(2),
+            max_passes: 8,
+        }
+    }
+}
+
+impl PaverConfig {
+    /// Side-length threshold below which boxes are not bisected.
+    pub fn min_width(&self) -> f64 {
+        10f64.powi(-(self.precision_digits as i32))
+    }
+}
+
+/// The result of paving: disjoint boxes covering all solutions.
+#[derive(Clone, Debug, Default)]
+pub struct Paving {
+    /// Boxes where the conjunction certainly holds everywhere.
+    pub inner: Vec<IntervalBox>,
+    /// Boxes that may contain both solutions and non-solutions.
+    pub boundary: Vec<IntervalBox>,
+}
+
+impl Paving {
+    /// Returns `true` if the constraint was proven unsatisfiable on the
+    /// queried box (no box survived).
+    pub fn is_unsat(&self) -> bool {
+        self.inner.is_empty() && self.boundary.is_empty()
+    }
+
+    /// All boxes, inner first.
+    pub fn all_boxes(&self) -> Vec<IntervalBox> {
+        let mut v = self.inner.clone();
+        v.extend(self.boundary.iter().cloned());
+        v
+    }
+
+    /// Number of boxes in the paving.
+    pub fn len(&self) -> usize {
+        self.inner.len() + self.boundary.len()
+    }
+
+    /// Returns `true` if the paving has no boxes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Work item ordered by box volume so the largest undecided region is
+/// refined first (best-first branch and prune).
+struct WorkItem {
+    boxed: IntervalBox,
+    volume: f64,
+}
+
+impl PartialEq for WorkItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.volume == other.volume
+    }
+}
+
+impl Eq for WorkItem {}
+
+impl PartialOrd for WorkItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorkItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.volume
+            .partial_cmp(&other.volume)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+/// A reusable paver holding a compiled [`Contractor`].
+#[derive(Debug)]
+pub struct Paver {
+    contractor: Contractor,
+    config: PaverConfig,
+}
+
+impl Paver {
+    /// Compiles `pc` for paving over boxes with `nvars` dimensions.
+    pub fn new(pc: &PathCondition, nvars: usize, config: PaverConfig) -> Paver {
+        let contractor = Contractor::new(pc, nvars).with_max_passes(config.max_passes);
+        Paver { contractor, config }
+    }
+
+    /// The paver's configuration.
+    pub fn config(&self) -> &PaverConfig {
+        &self.config
+    }
+
+    /// Pavés `domain`, returning disjoint boxes covering all solutions of
+    /// the compiled conjunction.
+    pub fn pave(&self, domain: &IntervalBox) -> Paving {
+        let start = Instant::now();
+        let mut paving = Paving::default();
+        let mut heap = BinaryHeap::new();
+        heap.push(WorkItem {
+            volume: domain.volume(),
+            boxed: domain.clone(),
+        });
+        let min_width = self.config.min_width();
+
+        while let Some(WorkItem { mut boxed, .. }) = heap.pop() {
+            // Contraction never increases the box count, so it is applied
+            // even once the box budget is exhausted.
+            if !self.contractor.contract(&mut boxed) {
+                continue;
+            }
+            match self.contractor.certainty(&boxed) {
+                Tri::True => {
+                    paving.inner.push(boxed);
+                    continue;
+                }
+                Tri::False => continue,
+                Tri::Unknown => {}
+            }
+            let total = paving.len() + heap.len() + 1;
+            let out_of_budget = total >= self.config.max_boxes
+                || boxed.max_width() <= min_width
+                || boxed.ndim() == 0
+                || start.elapsed() >= self.config.time_budget;
+            if out_of_budget {
+                paving.boundary.push(boxed);
+            } else {
+                let (l, r) = boxed.bisect();
+                let lv = l.volume();
+                let rv = r.volume();
+                heap.push(WorkItem {
+                    boxed: l,
+                    volume: lv,
+                });
+                heap.push(WorkItem {
+                    boxed: r,
+                    volume: rv,
+                });
+            }
+        }
+        paving
+    }
+}
+
+/// One-shot convenience wrapper around [`Paver`].
+pub fn pave(pc: &PathCondition, domain: &IntervalBox, config: &PaverConfig) -> Paving {
+    Paver::new(pc, domain.ndim(), config.clone()).pave(domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcoral_constraints::parse::parse_system;
+    use qcoral_interval::Interval;
+
+    fn setup(src: &str) -> (PathCondition, IntervalBox) {
+        let sys = parse_system(src).unwrap();
+        let b = crate::domain_box(&sys.domain);
+        (sys.constraint_set.pcs()[0].clone(), b)
+    }
+
+    fn paving_covers(paving: &Paving, point: &[f64]) -> bool {
+        paving
+            .all_boxes()
+            .iter()
+            .any(|b| b.contains_point(point))
+    }
+
+    #[test]
+    fn box_constraint_is_exact() {
+        // The paper's Cube case: ICP identifies the exact box, σ = 0.
+        let (pc, dom) = setup(
+            "var x in [-2, 2]; var y in [-2, 2]; var z in [-2, 2];
+             pc x >= -1 && x <= 1 && y >= -1 && y <= 1 && z >= -1 && z <= 1;",
+        );
+        let paving = pave(&pc, &dom, &PaverConfig::default());
+        assert!(paving.boundary.is_empty(), "cube should be exactly inner");
+        assert_eq!(paving.inner.len(), 1);
+        let vol: f64 = paving.inner.iter().map(IntervalBox::volume).sum();
+        assert!((vol - 8.0).abs() < 1e-6, "volume {vol}");
+    }
+
+    #[test]
+    fn unsat_gives_empty_paving() {
+        let (pc, dom) = setup("var x in [0, 1]; pc x > 1.5;");
+        let paving = pave(&pc, &dom, &PaverConfig::default());
+        assert!(paving.is_unsat());
+    }
+
+    #[test]
+    fn respects_box_budget() {
+        let (pc, dom) = setup(
+            "var x in [-1, 1]; var y in [-1, 1]; pc x * x + y * y <= 1;",
+        );
+        for budget in [4, 10, 32] {
+            let cfg = PaverConfig {
+                max_boxes: budget,
+                ..PaverConfig::default()
+            };
+            let paving = pave(&pc, &dom, &cfg);
+            assert!(paving.len() <= budget, "{} > {budget}", paving.len());
+            assert!(!paving.is_unsat());
+        }
+    }
+
+    #[test]
+    fn paving_covers_all_sampled_solutions() {
+        let (pc, dom) = setup(
+            "var x in [-1, 1]; var y in [-1, 1]; pc x <= -y && y <= x;",
+        );
+        let paving = pave(&pc, &dom, &PaverConfig::default());
+        // Deterministic grid scan: every satisfying point must be covered.
+        let n = 50;
+        for i in 0..=n {
+            for j in 0..=n {
+                let px = -1.0 + 2.0 * i as f64 / n as f64;
+                let py = -1.0 + 2.0 * j as f64 / n as f64;
+                if pc.holds(&[px, py]) {
+                    assert!(
+                        paving_covers(&paving, &[px, py]),
+                        "paving lost solution ({px}, {py})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inner_boxes_only_contain_solutions() {
+        let (pc, dom) = setup(
+            "var x in [-1, 1]; var y in [-1, 1]; pc x * x + y * y <= 1;",
+        );
+        let cfg = PaverConfig {
+            max_boxes: 64,
+            ..PaverConfig::default()
+        };
+        let paving = pave(&pc, &dom, &cfg);
+        assert!(!paving.inner.is_empty(), "circle should yield inner boxes");
+        for b in &paving.inner {
+            // Check the corners and center of each inner box.
+            let c = b.center();
+            assert!(pc.holds(&c));
+            let corners = [
+                vec![b[0].lo(), b[1].lo()],
+                vec![b[0].lo(), b[1].hi()],
+                vec![b[0].hi(), b[1].lo()],
+                vec![b[0].hi(), b[1].hi()],
+            ];
+            for corner in corners {
+                assert!(pc.holds(&corner), "inner box {b} has corner outside");
+            }
+        }
+    }
+
+    #[test]
+    fn more_boxes_tighter_cover() {
+        let (pc, dom) = setup(
+            "var x in [-1, 1]; var y in [-1, 1]; pc x * x + y * y <= 1;",
+        );
+        let small = pave(
+            &pc,
+            &dom,
+            &PaverConfig {
+                max_boxes: 4,
+                ..PaverConfig::default()
+            },
+        );
+        let large = pave(
+            &pc,
+            &dom,
+            &PaverConfig {
+                max_boxes: 128,
+                ..PaverConfig::default()
+            },
+        );
+        let cover = |p: &Paving| -> f64 { p.all_boxes().iter().map(IntervalBox::volume).sum() };
+        // The true area is π; covers over-approximate it and shrink with
+        // more boxes.
+        assert!(cover(&large) <= cover(&small) + 1e-9);
+        assert!(cover(&large) >= std::f64::consts::PI - 1e-6);
+    }
+
+    #[test]
+    fn transcendental_paving() {
+        let (pc, dom) = setup(
+            "var h in [-10, 10]; var t in [-10, 10]; pc sin(h * t) > 0.25;",
+        );
+        let paving = pave(&pc, &dom, &PaverConfig::default());
+        assert!(!paving.is_unsat());
+        // A known solution: h·t = π/2.
+        assert!(paving_covers(&paving, &[1.0, std::f64::consts::FRAC_PI_2]));
+    }
+
+    #[test]
+    fn zero_dim_degenerate() {
+        // A condition over a single variable whose domain is a point.
+        let dom: IntervalBox = [Interval::new(1.0, 1.0)].into_iter().collect();
+        let sys = parse_system("var x in [0, 2]; pc x >= 0.5;").unwrap();
+        let paving = pave(&sys.constraint_set.pcs()[0], &dom, &PaverConfig::default());
+        assert_eq!(paving.inner.len(), 1);
+    }
+
+    #[test]
+    fn ne_atom_is_never_narrowed_but_classified() {
+        // x != 0.5 carves a measure-zero set: the paver cannot narrow on
+        // it, but certainty classification still works per box.
+        let (pc, dom) = setup("var x in [0, 1]; pc x != 0.5 && x > 0.25;");
+        let paving = pave(&pc, &dom, &PaverConfig::default());
+        assert!(!paving.is_unsat());
+        // Solutions on both sides of the removed point survive.
+        assert!(paving_covers(&paving, &[0.3]));
+        assert!(paving_covers(&paving, &[0.9]));
+    }
+
+    #[test]
+    fn equality_atom_collapses_to_thin_boxes() {
+        let (pc, dom) = setup("var x in [0, 2]; var y in [0, 2]; pc x + y == 1;");
+        let paving = pave(&pc, &dom, &PaverConfig::default());
+        assert!(!paving.is_unsat());
+        // The line x + y = 1 must stay covered...
+        assert!(paving_covers(&paving, &[0.5, 0.5]));
+        assert!(paving_covers(&paving, &[0.25, 0.75]));
+        // ...while the cover collapses towards zero volume.
+        let cover: f64 = paving.all_boxes().iter().map(IntervalBox::volume).sum();
+        assert!(cover < 1.0, "cover {cover} should shrink towards the line");
+        // Equality constraints can never be certainly true on a fat box.
+        assert!(paving.inner.is_empty());
+    }
+
+    #[test]
+    fn paver_reuse() {
+        let sys = parse_system("var x in [0, 1]; pc x > 0.5;").unwrap();
+        let paver = Paver::new(&sys.constraint_set.pcs()[0], 1, PaverConfig::default());
+        let d1: IntervalBox = [Interval::new(0.0, 1.0)].into_iter().collect();
+        let d2: IntervalBox = [Interval::new(0.6, 0.9)].into_iter().collect();
+        assert!(!paver.pave(&d1).is_unsat());
+        let p2 = paver.pave(&d2);
+        assert_eq!(p2.inner.len(), 1);
+        assert!(p2.boundary.is_empty());
+    }
+}

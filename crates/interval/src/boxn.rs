@@ -1,0 +1,351 @@
+//! Axis-aligned n-dimensional boxes: vectors of [`Interval`]s.
+//!
+//! Boxes are the unit of domain stratification in qCORAL (§3.3): the ICP
+//! solver pavés the input domain into boxes, and stratified sampling draws
+//! samples independently within each box.
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Interval;
+
+/// An axis-aligned box: the Cartesian product of one interval per
+/// dimension.
+///
+/// # Example
+///
+/// ```
+/// use qcoral_interval::{Interval, IntervalBox};
+///
+/// let b = IntervalBox::new(vec![Interval::new(0.0, 2.0), Interval::new(-1.0, 1.0)]);
+/// assert_eq!(b.volume(), 4.0);
+/// assert!(b.contains_point(&[1.0, 0.0]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IntervalBox {
+    dims: Vec<Interval>,
+}
+
+impl IntervalBox {
+    /// Creates a box from its per-dimension intervals.
+    pub fn new(dims: Vec<Interval>) -> IntervalBox {
+        IntervalBox { dims }
+    }
+
+    /// Creates a zero-dimensional box (the unit of Cartesian product; its
+    /// volume is 1 and it contains the empty point).
+    pub fn unit() -> IntervalBox {
+        IntervalBox { dims: Vec::new() }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The per-dimension intervals.
+    #[inline]
+    pub fn dims(&self) -> &[Interval] {
+        &self.dims
+    }
+
+    /// Mutable access to a dimension.
+    #[inline]
+    pub fn dim_mut(&mut self, i: usize) -> &mut Interval {
+        &mut self.dims[i]
+    }
+
+    /// Returns `true` if any dimension is empty (the box contains no
+    /// points). A zero-dimensional box is *not* empty.
+    pub fn is_empty(&self) -> bool {
+        self.dims.iter().any(Interval::is_empty)
+    }
+
+    /// Geometric volume: the product of dimension widths. Unbounded
+    /// dimensions give `+∞`; an empty box gives `0`.
+    pub fn volume(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.dims.iter().map(Interval::width).product()
+    }
+
+    /// Volume of this box relative to `domain`, computed as the product of
+    /// per-dimension width ratios. More robust than `volume() /
+    /// domain.volume()` for high-dimensional or large domains where the
+    /// absolute volumes can overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn relative_volume(&self, domain: &IntervalBox) -> f64 {
+        assert_eq!(
+            self.ndim(),
+            domain.ndim(),
+            "relative_volume: dimension mismatch"
+        );
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.dims
+            .iter()
+            .zip(&domain.dims)
+            .map(|(b, d)| {
+                let dw = d.width();
+                if dw == 0.0 {
+                    1.0
+                } else {
+                    (b.width() / dw).min(1.0)
+                }
+            })
+            .product()
+    }
+
+    /// Returns `true` if the point lies in the box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.ndim()`.
+    pub fn contains_point(&self, point: &[f64]) -> bool {
+        assert_eq!(point.len(), self.ndim(), "contains_point: dimension mismatch");
+        self.dims.iter().zip(point).all(|(d, &p)| d.contains(p))
+    }
+
+    /// Returns `true` if `other` is a subset of `self`.
+    pub fn contains_box(&self, other: &IntervalBox) -> bool {
+        other.is_empty()
+            || (self.ndim() == other.ndim()
+                && self
+                    .dims
+                    .iter()
+                    .zip(&other.dims)
+                    .all(|(a, b)| a.contains_interval(b)))
+    }
+
+    /// Dimension-wise intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn intersect(&self, other: &IntervalBox) -> IntervalBox {
+        assert_eq!(self.ndim(), other.ndim(), "intersect: dimension mismatch");
+        IntervalBox {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.intersect(b))
+                .collect(),
+        }
+    }
+
+    /// Dimension-wise convex hull.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn hull(&self, other: &IntervalBox) -> IntervalBox {
+        assert_eq!(self.ndim(), other.ndim(), "hull: dimension mismatch");
+        IntervalBox {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.hull(b))
+                .collect(),
+        }
+    }
+
+    /// Index of the widest dimension. Returns `None` for zero-dimensional
+    /// or empty boxes.
+    pub fn widest_dim(&self) -> Option<usize> {
+        if self.dims.is_empty() || self.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        let mut best_w = f64::NEG_INFINITY;
+        for (i, d) in self.dims.iter().enumerate() {
+            let w = d.width();
+            if w > best_w {
+                best_w = w;
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Largest dimension width (the box diameter in the ∞-norm). `0` for
+    /// empty or zero-dimensional boxes.
+    pub fn max_width(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.dims.iter().map(Interval::width).fold(0.0, f64::max)
+    }
+
+    /// Splits the box in two along its widest dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box is empty or zero-dimensional.
+    pub fn bisect(&self) -> (IntervalBox, IntervalBox) {
+        let i = self
+            .widest_dim()
+            .expect("cannot bisect an empty or zero-dimensional box");
+        self.bisect_dim(i)
+    }
+
+    /// Splits the box in two along dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or that dimension is empty.
+    pub fn bisect_dim(&self, i: usize) -> (IntervalBox, IntervalBox) {
+        let (l, r) = self.dims[i].bisect();
+        let mut left = self.clone();
+        let mut right = self.clone();
+        left.dims[i] = l;
+        right.dims[i] = r;
+        (left, right)
+    }
+
+    /// The center point of the box (midpoint in every dimension).
+    pub fn center(&self) -> Vec<f64> {
+        self.dims.iter().map(Interval::midpoint).collect()
+    }
+
+    /// Restricts the box to the dimensions listed in `keep` (projection).
+    pub fn project(&self, keep: &[usize]) -> IntervalBox {
+        IntervalBox {
+            dims: keep.iter().map(|&i| self.dims[i]).collect(),
+        }
+    }
+}
+
+impl Index<usize> for IntervalBox {
+    type Output = Interval;
+
+    fn index(&self, i: usize) -> &Interval {
+        &self.dims[i]
+    }
+}
+
+impl FromIterator<Interval> for IntervalBox {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> IntervalBox {
+        IntervalBox {
+            dims: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for IntervalBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, " × ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> IntervalBox {
+        IntervalBox::new(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 1.0)])
+    }
+
+    #[test]
+    fn volume_and_relative_volume() {
+        let b = IntervalBox::new(vec![Interval::new(0.0, 2.0), Interval::new(0.0, 3.0)]);
+        assert_eq!(b.volume(), 6.0);
+        let half = IntervalBox::new(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 3.0)]);
+        assert_eq!(half.relative_volume(&b), 0.5);
+        assert_eq!(b.relative_volume(&b), 1.0);
+    }
+
+    #[test]
+    fn zero_dimensional_box() {
+        let u = IntervalBox::unit();
+        assert_eq!(u.ndim(), 0);
+        assert!(!u.is_empty());
+        assert_eq!(u.volume(), 1.0);
+        assert!(u.contains_point(&[]));
+    }
+
+    #[test]
+    fn empty_detection() {
+        let mut b = unit_square();
+        assert!(!b.is_empty());
+        *b.dim_mut(1) = Interval::EMPTY;
+        assert!(b.is_empty());
+        assert_eq!(b.volume(), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let b = unit_square();
+        assert!(b.contains_point(&[0.5, 0.5]));
+        assert!(b.contains_point(&[0.0, 1.0]));
+        assert!(!b.contains_point(&[1.5, 0.5]));
+        let inner = IntervalBox::new(vec![Interval::new(0.2, 0.8), Interval::new(0.0, 1.0)]);
+        assert!(b.contains_box(&inner));
+        assert!(!inner.contains_box(&b));
+    }
+
+    #[test]
+    fn intersect_and_hull() {
+        let a = unit_square();
+        let b = IntervalBox::new(vec![Interval::new(0.5, 2.0), Interval::new(-1.0, 0.5)]);
+        let i = a.intersect(&b);
+        assert_eq!(i[0], Interval::new(0.5, 1.0));
+        assert_eq!(i[1], Interval::new(0.0, 0.5));
+        let h = a.hull(&b);
+        assert_eq!(h[0], Interval::new(0.0, 2.0));
+        assert_eq!(h[1], Interval::new(-1.0, 1.0));
+    }
+
+    #[test]
+    fn bisect_along_widest() {
+        let b = IntervalBox::new(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 4.0)]);
+        assert_eq!(b.widest_dim(), Some(1));
+        let (l, r) = b.bisect();
+        assert_eq!(l[1], Interval::new(0.0, 2.0));
+        assert_eq!(r[1], Interval::new(2.0, 4.0));
+        assert_eq!(l[0], b[0]);
+        assert!((l.volume() + r.volume() - b.volume()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection() {
+        let b = IntervalBox::new(vec![
+            Interval::new(0.0, 1.0),
+            Interval::new(2.0, 3.0),
+            Interval::new(4.0, 5.0),
+        ]);
+        let p = b.project(&[2, 0]);
+        assert_eq!(p.ndim(), 2);
+        assert_eq!(p[0], Interval::new(4.0, 5.0));
+        assert_eq!(p[1], Interval::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn max_width_and_center() {
+        let b = IntervalBox::new(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 4.0)]);
+        assert_eq!(b.max_width(), 4.0);
+        assert_eq!(b.center(), vec![0.5, 2.0]);
+    }
+
+    #[test]
+    fn display() {
+        let b = unit_square();
+        assert_eq!(b.to_string(), "([0, 1] × [0, 1])");
+    }
+}

@@ -1,0 +1,43 @@
+//! Outward-rounded interval arithmetic and n-dimensional boxes.
+//!
+//! This crate is the numerical substrate underneath the qCORAL
+//! reproduction's interval constraint propagation (ICP) solver. It provides
+//!
+//! * [`Interval`] — a closed interval over `f64` with *outward rounding*:
+//!   every arithmetic operation widens its result so that the returned
+//!   interval is guaranteed to contain the exact real-arithmetic image of
+//!   the operands. This is the soundness property the paper's RealPaver
+//!   usage relies on ("the union of all boxes reported on output contains
+//!   all solutions", §2.2).
+//! * [`IntervalBox`] — an axis-aligned n-dimensional box (a vector of
+//!   intervals), the unit of domain stratification (§3.3).
+//!
+//! # Example
+//!
+//! ```
+//! use qcoral_interval::Interval;
+//!
+//! let x = Interval::new(0.0, 1.0);
+//! let y = Interval::new(2.0, 3.0);
+//! let z = x + y;
+//! assert!(z.contains(2.5));
+//! assert!(z.lo() <= 2.0 && z.hi() >= 4.0);
+//! ```
+//!
+//! # Rounding model
+//!
+//! Rust gives no portable access to directed-rounding mode, so operations
+//! are computed in round-to-nearest and then widened by one ulp on each
+//! side ([`round::down`] / [`round::up`]). For transcendental functions the
+//! result is widened by two ulps, which over-approximates the ≤1 ulp error
+//! bound of practical libm implementations. The resulting intervals are
+//! slightly wider than optimal but always sound.
+
+#![warn(missing_docs)]
+
+pub mod boxn;
+pub mod interval;
+pub mod round;
+
+pub use boxn::IntervalBox;
+pub use interval::Interval;

@@ -1,0 +1,441 @@
+//! Directed-rounding helpers.
+//!
+//! Stable Rust cannot switch the FPU rounding mode, so directed rounding
+//! is emulated: operations are computed in round-to-nearest and the exact
+//! rounding error is recovered with error-free transformations (TwoSum for
+//! addition, FMA residuals for multiplication, division and square root).
+//! The result is stepped one ulp outward *only when the operation was
+//! inexact* — crucial for the qCORAL reproduction, where ICP must identify
+//! exactly-representable boxes exactly (the paper's Cube subject has σ = 0
+//! precisely because RealPaver finds the exact box).
+//!
+//! Transcendental functions have no error-free transformation; those are
+//! widened unconditionally by two ulps ([`down2`]/[`up2`]), which
+//! over-approximates the ≤1 ulp error bound of practical libm
+//! implementations.
+
+/// Rounds `x` one ulp towards `-∞`. Infinities and NaN are passed through.
+#[inline]
+pub fn down(x: f64) -> f64 {
+    if x.is_finite() {
+        x.next_down()
+    } else {
+        x
+    }
+}
+
+/// Rounds `x` one ulp towards `+∞`. Infinities and NaN are passed through.
+#[inline]
+pub fn up(x: f64) -> f64 {
+    if x.is_finite() {
+        x.next_up()
+    } else {
+        x
+    }
+}
+
+/// Rounds `x` two ulps towards `-∞`; used after libm calls whose error
+/// bound is at most one ulp.
+#[inline]
+pub fn down2(x: f64) -> f64 {
+    down(down(x))
+}
+
+/// Rounds `x` two ulps towards `+∞`; used after libm calls whose error
+/// bound is at most one ulp.
+#[inline]
+pub fn up2(x: f64) -> f64 {
+    up(up(x))
+}
+
+/// Exact rounding error of `s = RN(a + b)` for finite values (Knuth's
+/// TwoSum, valid for any magnitude ordering).
+#[inline]
+fn two_sum_err(a: f64, b: f64, s: f64) -> f64 {
+    let bb = s - a;
+    (a - (s - bb)) + (b - bb)
+}
+
+/// `a + b` rounded towards `-∞`.
+#[inline]
+pub fn add_lo(a: f64, b: f64) -> f64 {
+    let s = a + b;
+    if !s.is_finite() {
+        // +∞ from overflow of finite operands: the true sum is a finite
+        // value above MAX, so MAX is a valid lower bound. -∞ passes
+        // through (unbounded below).
+        if s == f64::INFINITY && a.is_finite() && b.is_finite() {
+            return f64::MAX;
+        }
+        return s;
+    }
+    if two_sum_err(a, b, s) < 0.0 {
+        s.next_down()
+    } else {
+        s
+    }
+}
+
+/// `a + b` rounded towards `+∞`.
+#[inline]
+pub fn add_hi(a: f64, b: f64) -> f64 {
+    let s = a + b;
+    if !s.is_finite() {
+        if s == f64::NEG_INFINITY && a.is_finite() && b.is_finite() {
+            return f64::MIN;
+        }
+        return s;
+    }
+    if two_sum_err(a, b, s) > 0.0 {
+        s.next_up()
+    } else {
+        s
+    }
+}
+
+/// `a - b` rounded towards `-∞`.
+#[inline]
+pub fn sub_lo(a: f64, b: f64) -> f64 {
+    add_lo(a, -b)
+}
+
+/// `a - b` rounded towards `+∞`.
+#[inline]
+pub fn sub_hi(a: f64, b: f64) -> f64 {
+    add_hi(a, -b)
+}
+
+/// Smallest positive subnormal.
+const TINY: f64 = f64::MIN_POSITIVE * f64::EPSILON;
+
+/// `a * b` rounded towards `-∞`, with the `0 · ±∞ = 0` hull convention.
+#[inline]
+pub fn mul_lo(a: f64, b: f64) -> f64 {
+    if a == 0.0 || b == 0.0 {
+        return 0.0;
+    }
+    let p = a * b;
+    if !p.is_finite() {
+        if p == f64::INFINITY && a.is_finite() && b.is_finite() {
+            return f64::MAX;
+        }
+        return p;
+    }
+    if p == 0.0 {
+        // Underflow: the true product is a tiny non-zero value.
+        return if (a > 0.0) == (b > 0.0) { 0.0 } else { -TINY };
+    }
+    if p.abs() < f64::MIN_POSITIVE {
+        // Subnormal results: the FMA residual may itself be inexact; be
+        // conservative.
+        return p.next_down();
+    }
+    if a.mul_add(b, -p) < 0.0 {
+        p.next_down()
+    } else {
+        p
+    }
+}
+
+/// `a * b` rounded towards `+∞`, with the `0 · ±∞ = 0` hull convention.
+#[inline]
+pub fn mul_hi(a: f64, b: f64) -> f64 {
+    if a == 0.0 || b == 0.0 {
+        return 0.0;
+    }
+    let p = a * b;
+    if !p.is_finite() {
+        if p == f64::NEG_INFINITY && a.is_finite() && b.is_finite() {
+            return f64::MIN;
+        }
+        return p;
+    }
+    if p == 0.0 {
+        return if (a > 0.0) == (b > 0.0) { TINY } else { 0.0 };
+    }
+    if p.abs() < f64::MIN_POSITIVE {
+        return p.next_up();
+    }
+    if a.mul_add(b, -p) > 0.0 {
+        p.next_up()
+    } else {
+        p
+    }
+}
+
+/// `a / b` rounded towards `-∞` (finite non-zero divisor; infinite
+/// operands follow hull conventions).
+#[inline]
+pub fn div_lo(a: f64, b: f64) -> f64 {
+    if a == 0.0 {
+        return 0.0;
+    }
+    if b.is_infinite() {
+        if a.is_infinite() {
+            return if (a > 0.0) == (b > 0.0) {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            };
+        }
+        // finite / ∞ underflows towards zero from the correct side.
+        return if (a > 0.0) == (b > 0.0) { 0.0 } else { -TINY };
+    }
+    let q = a / b;
+    if !q.is_finite() {
+        if q == f64::INFINITY && a.is_finite() {
+            return f64::MAX;
+        }
+        return q;
+    }
+    if q == 0.0 {
+        return if (a > 0.0) == (b > 0.0) { 0.0 } else { -TINY };
+    }
+    if q.abs() < f64::MIN_POSITIVE {
+        return q.next_down();
+    }
+    // Residual r = a − q·b (exact via FMA). True quotient = q + r/b.
+    let r = q.mul_add(-b, a);
+    if r != 0.0 && (r > 0.0) != (b > 0.0) {
+        q.next_down()
+    } else {
+        q
+    }
+}
+
+/// `a / b` rounded towards `+∞`.
+#[inline]
+pub fn div_hi(a: f64, b: f64) -> f64 {
+    if a == 0.0 {
+        return 0.0;
+    }
+    if b.is_infinite() {
+        if a.is_infinite() {
+            return if (a > 0.0) == (b > 0.0) {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            };
+        }
+        return if (a > 0.0) == (b > 0.0) { TINY } else { 0.0 };
+    }
+    let q = a / b;
+    if !q.is_finite() {
+        if q == f64::NEG_INFINITY && a.is_finite() {
+            return f64::MIN;
+        }
+        return q;
+    }
+    if q == 0.0 {
+        return if (a > 0.0) == (b > 0.0) { TINY } else { 0.0 };
+    }
+    if q.abs() < f64::MIN_POSITIVE {
+        return q.next_up();
+    }
+    let r = q.mul_add(-b, a);
+    if r != 0.0 && (r > 0.0) == (b > 0.0) {
+        q.next_up()
+    } else {
+        q
+    }
+}
+
+/// `sqrt(a)` rounded towards `-∞` (for `a ≥ 0`).
+#[inline]
+pub fn sqrt_lo(a: f64) -> f64 {
+    if a == 0.0 {
+        return 0.0;
+    }
+    let r = a.sqrt();
+    if !r.is_finite() {
+        return r;
+    }
+    // r² − a, exact via FMA: positive means r > √a.
+    if r.mul_add(r, -a) > 0.0 {
+        r.next_down()
+    } else {
+        r
+    }
+}
+
+/// `sqrt(a)` rounded towards `+∞` (for `a ≥ 0`).
+#[inline]
+pub fn sqrt_hi(a: f64) -> f64 {
+    if a == 0.0 {
+        return 0.0;
+    }
+    let r = a.sqrt();
+    if !r.is_finite() {
+        return r;
+    }
+    if r.mul_add(r, -a) < 0.0 {
+        r.next_up()
+    } else {
+        r
+    }
+}
+
+/// `x^n` for `x ≥ 0`, `n ≥ 1`, rounded towards `-∞` (chained directed
+/// multiplication).
+pub fn powi_lo(x: f64, n: u32) -> f64 {
+    debug_assert!(x >= 0.0);
+    let mut acc = x;
+    for _ in 1..n {
+        acc = mul_lo(acc, x);
+    }
+    if n == 0 {
+        1.0
+    } else {
+        acc
+    }
+}
+
+/// `x^n` for `x ≥ 0`, `n ≥ 1`, rounded towards `+∞`.
+pub fn powi_hi(x: f64, n: u32) -> f64 {
+    debug_assert!(x >= 0.0);
+    let mut acc = x;
+    for _ in 1..n {
+        acc = mul_hi(acc, x);
+    }
+    if n == 0 {
+        1.0
+    } else {
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sums_are_not_widened() {
+        assert_eq!(add_lo(1.0, 2.0), 3.0);
+        assert_eq!(add_hi(1.0, 2.0), 3.0);
+        assert_eq!(add_lo(-1.0, 1.0), 0.0);
+        assert_eq!(sub_lo(5.0, 3.0), 2.0);
+        assert_eq!(sub_hi(5.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn inexact_sums_bracket_truth() {
+        // 0.1 + 0.2 is inexact in binary.
+        let lo = add_lo(0.1, 0.2);
+        let hi = add_hi(0.1, 0.2);
+        assert!(lo < hi);
+        let nearest = 0.1 + 0.2;
+        assert!(lo <= nearest && nearest <= hi);
+        assert!(hi - lo <= 2.0 * f64::EPSILON);
+    }
+
+    #[test]
+    fn exact_products_are_not_widened() {
+        assert_eq!(mul_lo(2.0, 3.0), 6.0);
+        assert_eq!(mul_hi(2.0, 3.0), 6.0);
+        assert_eq!(mul_lo(0.5, 8.0), 4.0);
+    }
+
+    #[test]
+    fn inexact_products_bracket_truth() {
+        let a = 0.1;
+        let b = 0.1;
+        let lo = mul_lo(a, b);
+        let hi = mul_hi(a, b);
+        assert!(lo < hi || lo == hi); // may be exact by luck
+        assert!(lo <= a * b && a * b <= hi);
+        // 1/3 * 3 != 1 exactly.
+        let third = 1.0 / 3.0;
+        assert!(mul_lo(third, 3.0) < mul_hi(third, 3.0));
+        assert!(mul_lo(third, 3.0) <= 1.0 - f64::EPSILON / 2.0 || mul_hi(third, 3.0) >= 1.0);
+    }
+
+    #[test]
+    fn mul_zero_infinity_convention() {
+        assert_eq!(mul_lo(0.0, f64::INFINITY), 0.0);
+        assert_eq!(mul_hi(0.0, f64::NEG_INFINITY), 0.0);
+    }
+
+    #[test]
+    fn mul_overflow_clamps() {
+        assert_eq!(mul_lo(1e308, 1e10), f64::MAX);
+        assert_eq!(mul_hi(1e308, 1e10), f64::INFINITY);
+        assert_eq!(mul_hi(-1e308, 1e10), f64::MIN);
+        assert_eq!(mul_lo(-1e308, 1e10), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mul_underflow_keeps_sign_side() {
+        let lo = mul_lo(1e-200, -1e-200);
+        let hi = mul_hi(1e-200, -1e-200);
+        assert!(lo < 0.0);
+        assert!(hi <= 0.0);
+        let lo2 = mul_lo(1e-200, 1e-200);
+        let hi2 = mul_hi(1e-200, 1e-200);
+        assert!(lo2 >= 0.0);
+        assert!(hi2 > 0.0);
+    }
+
+    #[test]
+    fn exact_quotients_are_not_widened() {
+        assert_eq!(div_lo(6.0, 3.0), 2.0);
+        assert_eq!(div_hi(6.0, 3.0), 2.0);
+        assert_eq!(div_lo(1.0, 4.0), 0.25);
+    }
+
+    #[test]
+    fn inexact_quotients_bracket_truth() {
+        let lo = div_lo(1.0, 3.0);
+        let hi = div_hi(1.0, 3.0);
+        assert!(lo < hi);
+        // lo ≤ 1/3 ≤ hi: check by multiplying back with directed rounding.
+        assert!(mul_lo(lo, 3.0) <= 1.0);
+        assert!(mul_hi(hi, 3.0) >= 1.0);
+    }
+
+    #[test]
+    fn sqrt_directed() {
+        assert_eq!(sqrt_lo(4.0), 2.0);
+        assert_eq!(sqrt_hi(4.0), 2.0);
+        let lo = sqrt_lo(2.0);
+        let hi = sqrt_hi(2.0);
+        assert!(lo <= std::f64::consts::SQRT_2);
+        assert!(hi >= std::f64::consts::SQRT_2);
+        assert!(mul_lo(lo, lo) <= 2.0);
+        assert!(mul_hi(hi, hi) >= 2.0);
+    }
+
+    #[test]
+    fn powi_directed() {
+        assert_eq!(powi_lo(2.0, 10), 1024.0);
+        assert_eq!(powi_hi(2.0, 10), 1024.0);
+        let lo = powi_lo(1.1, 5);
+        let hi = powi_hi(1.1, 5);
+        assert!(lo <= hi);
+        assert!(lo <= 1.1f64.powi(5) && 1.1f64.powi(5) <= hi);
+    }
+
+    #[test]
+    fn single_step_helpers() {
+        assert!(down(1.0) < 1.0);
+        assert!(up(1.0) > 1.0);
+        assert_eq!(down(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        assert_eq!(up(f64::INFINITY), f64::INFINITY);
+        assert!(down(f64::NAN).is_nan());
+        assert!(down2(1.0) < down(1.0));
+        assert!(up2(1.0) > up(1.0));
+    }
+
+    #[test]
+    fn overflow_clamping_add() {
+        assert_eq!(add_lo(f64::MAX, f64::MAX), f64::MAX);
+        assert_eq!(add_hi(f64::MAX, f64::MAX), f64::INFINITY);
+        assert_eq!(add_hi(f64::MIN, f64::MIN), f64::MIN);
+        assert_eq!(add_lo(f64::MIN, f64::MIN), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn infinite_endpoints_pass_through_add() {
+        assert_eq!(add_lo(f64::NEG_INFINITY, 1.0), f64::NEG_INFINITY);
+        assert_eq!(add_hi(f64::INFINITY, 1.0), f64::INFINITY);
+    }
+}

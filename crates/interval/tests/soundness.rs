@@ -1,0 +1,196 @@
+//! Property-based soundness tests: for random intervals and random points
+//! inside them, the image of the point under an operation must lie inside
+//! the interval image. This is the inclusion property everything in the
+//! qCORAL pipeline relies on.
+
+use proptest::prelude::*;
+use qcoral_interval::{Interval, IntervalBox};
+
+/// Strategy producing a non-empty bounded interval with moderate endpoints.
+fn interval() -> impl Strategy<Value = Interval> {
+    (-1e6f64..1e6, -1e6f64..1e6).prop_map(|(a, b)| {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        Interval::new(lo, hi)
+    })
+}
+
+/// Strategy producing an interval together with a point inside it.
+fn interval_with_point() -> impl Strategy<Value = (Interval, f64)> {
+    (interval(), 0.0f64..=1.0).prop_map(|(i, t)| {
+        let p = i.lo() + t * (i.hi() - i.lo());
+        (i, p.clamp(i.lo(), i.hi()))
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_inclusion(((a, x), (b, y)) in (interval_with_point(), interval_with_point())) {
+        prop_assert!((a + b).contains(x + y));
+    }
+
+    #[test]
+    fn sub_inclusion(((a, x), (b, y)) in (interval_with_point(), interval_with_point())) {
+        prop_assert!((a - b).contains(x - y));
+    }
+
+    #[test]
+    fn mul_inclusion(((a, x), (b, y)) in (interval_with_point(), interval_with_point())) {
+        prop_assert!((a * b).contains(x * y));
+    }
+
+    #[test]
+    fn div_inclusion(((a, x), (b, y)) in (interval_with_point(), interval_with_point())) {
+        let q = x / y;
+        if q.is_finite() {
+            prop_assert!((a / b).contains(q), "{a} / {b} should contain {x}/{y} = {q}");
+        }
+    }
+
+    #[test]
+    fn neg_inclusion((a, x) in interval_with_point()) {
+        prop_assert!((-a).contains(-x));
+    }
+
+    #[test]
+    fn abs_inclusion((a, x) in interval_with_point()) {
+        prop_assert!(a.abs().contains(x.abs()));
+    }
+
+    #[test]
+    fn sqr_inclusion((a, x) in interval_with_point()) {
+        prop_assert!(a.sqr().contains(x * x));
+    }
+
+    #[test]
+    fn sqrt_inclusion((a, x) in interval_with_point()) {
+        if x >= 0.0 {
+            prop_assert!(a.sqrt().contains(x.sqrt()));
+        }
+    }
+
+    #[test]
+    fn exp_inclusion((a, x) in interval_with_point()) {
+        let e = x.exp();
+        if e.is_finite() {
+            prop_assert!(a.exp().contains(e));
+        }
+    }
+
+    #[test]
+    fn ln_inclusion((a, x) in interval_with_point()) {
+        if x > 0.0 {
+            prop_assert!(a.ln().contains(x.ln()));
+        }
+    }
+
+    #[test]
+    fn sin_inclusion((a, x) in interval_with_point()) {
+        prop_assert!(a.sin().contains(x.sin()), "{}.sin() = {} should contain sin({x}) = {}", a, a.sin(), x.sin());
+    }
+
+    #[test]
+    fn cos_inclusion((a, x) in interval_with_point()) {
+        prop_assert!(a.cos().contains(x.cos()));
+    }
+
+    #[test]
+    fn tan_inclusion((a, x) in interval_with_point()) {
+        let t = x.tan();
+        if t.is_finite() {
+            prop_assert!(a.tan().contains(t));
+        }
+    }
+
+    #[test]
+    fn atan_inclusion((a, x) in interval_with_point()) {
+        prop_assert!(a.atan().contains(x.atan()));
+    }
+
+    #[test]
+    fn asin_inclusion((a, x) in interval_with_point()) {
+        if (-1.0..=1.0).contains(&x) {
+            prop_assert!(a.asin().contains(x.asin()));
+        }
+    }
+
+    #[test]
+    fn acos_inclusion((a, x) in interval_with_point()) {
+        if (-1.0..=1.0).contains(&x) {
+            prop_assert!(a.acos().contains(x.acos()));
+        }
+    }
+
+    #[test]
+    fn atan2_inclusion(((a, y), (b, x)) in (interval_with_point(), interval_with_point())) {
+        if x != 0.0 || y != 0.0 {
+            prop_assert!(a.atan2(&b).contains(y.atan2(x)),
+                "atan2({a}, {b}) = {} should contain atan2({y}, {x}) = {}", a.atan2(&b), y.atan2(x));
+        }
+    }
+
+    #[test]
+    fn powi_inclusion((a, x) in interval_with_point(), n in -3i32..=4) {
+        let p = x.powi(n);
+        if p.is_finite() {
+            prop_assert!(a.powi(n).contains(p), "{a}.powi({n}) = {} should contain {x}^{n} = {p}", a.powi(n));
+        }
+    }
+
+    #[test]
+    fn pow_inclusion((a, x) in interval_with_point(), (b, y) in interval_with_point()) {
+        let p = x.powf(y);
+        if p.is_finite() && !p.is_nan() {
+            prop_assert!(a.pow(&b).contains(p), "{a}.pow({b}) = {} should contain {x}^{y} = {p}", a.pow(&b));
+        }
+    }
+
+    #[test]
+    fn min_max_inclusion(((a, x), (b, y)) in (interval_with_point(), interval_with_point())) {
+        prop_assert!(a.min_i(&b).contains(x.min(y)));
+        prop_assert!(a.max_i(&b).contains(x.max(y)));
+    }
+
+    #[test]
+    fn intersect_sound(((a, x), b) in (interval_with_point(), interval())) {
+        if b.contains(x) {
+            prop_assert!(a.intersect(&b).contains(x));
+        }
+    }
+
+    #[test]
+    fn hull_contains_both((a, _) in interval_with_point(), (b, _) in interval_with_point()) {
+        let h = a.hull(&b);
+        prop_assert!(h.contains_interval(&a));
+        prop_assert!(h.contains_interval(&b));
+    }
+
+    #[test]
+    fn bisect_covers((a, x) in interval_with_point()) {
+        if a.width() > 0.0 {
+            let (l, r) = a.bisect();
+            prop_assert!(l.contains(x) || r.contains(x));
+        }
+    }
+
+    #[test]
+    fn box_bisect_covers(
+        xs in prop::collection::vec(interval_with_point(), 1..5)
+    ) {
+        let b: IntervalBox = xs.iter().map(|(i, _)| *i).collect();
+        let p: Vec<f64> = xs.iter().map(|(_, v)| *v).collect();
+        if b.max_width() > 0.0 {
+            let (l, r) = b.bisect();
+            prop_assert!(l.contains_point(&p) || r.contains_point(&p));
+        }
+    }
+
+    #[test]
+    fn box_relative_volume_in_unit_range(
+        xs in prop::collection::vec(interval(), 1..5)
+    ) {
+        let d: IntervalBox = xs.iter().copied().collect();
+        let halves: IntervalBox = xs.iter().map(|i| i.bisect().0).collect();
+        let rv = halves.relative_volume(&d);
+        prop_assert!((0.0..=1.0).contains(&rv));
+    }
+}

@@ -1,0 +1,279 @@
+//! Statistical estimates and the paper's composition algebra.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A statistical estimator summarized by its expected value and variance.
+///
+/// Produced by hit-or-miss sampling (Eq. 2) and composed with the rules of
+/// §4: [`Estimate::sum`] for disjoint path conditions (Eq. 5–6) and
+/// [`Estimate::product`] for independent conjuncts (Eq. 7–8).
+///
+/// # Example
+///
+/// ```
+/// use qcoral_mc::Estimate;
+///
+/// let a = Estimate::from_hits(550, 1000);
+/// let b = Estimate::from_hits(190, 1000);
+/// let both = a.sum(b); // disjoint events
+/// assert!((both.mean - 0.74).abs() < 1e-12);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Expected value of the estimator.
+    pub mean: f64,
+    /// Variance of the estimator (an upper bound after disjoint-sum
+    /// composition, per Theorem 1).
+    pub variance: f64,
+}
+
+impl Estimate {
+    /// The zero estimate (probability 0, no uncertainty).
+    pub const ZERO: Estimate = Estimate {
+        mean: 0.0,
+        variance: 0.0,
+    };
+
+    /// The unit estimate (probability 1, no uncertainty) — the value of an
+    /// ICP *inner* box, where sampling is unnecessary (§3.3).
+    pub const ONE: Estimate = Estimate {
+        mean: 1.0,
+        variance: 0.0,
+    };
+
+    /// Creates an estimate with the given mean and variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variance is negative or either value is NaN.
+    pub fn new(mean: f64, variance: f64) -> Estimate {
+        assert!(
+            !mean.is_nan() && !variance.is_nan() && variance >= 0.0,
+            "invalid estimate (mean {mean}, variance {variance})"
+        );
+        Estimate { mean, variance }
+    }
+
+    /// The hit-or-miss estimator of Eq. 2: mean `hits/n`, variance
+    /// `x̄(1−x̄)/n` (binomial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `hits > n`.
+    pub fn from_hits(hits: u64, n: u64) -> Estimate {
+        assert!(n > 0, "hit-or-miss needs at least one sample");
+        assert!(hits <= n, "more hits than samples");
+        let mean = hits as f64 / n as f64;
+        Estimate {
+            mean,
+            variance: mean * (1.0 - mean) / n as f64,
+        }
+    }
+
+    /// Standard deviation `sqrt(variance)` — the paper reports σ, which is
+    /// in the same unit scale as the estimate (§6.2).
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Composition for *disjoint* events (paper Eq. 4–6, Theorem 1): the
+    /// means add exactly; the summed variance is a sound *upper bound*
+    /// because the covariance of indicator estimators of disjoint events
+    /// is non-positive.
+    ///
+    /// The same formula is exact when the two estimators are independent,
+    /// which is how stratified sampling combines strata (Eq. 3, with the
+    /// weights already folded in by [`Estimate::scale`]).
+    pub fn sum(self, other: Estimate) -> Estimate {
+        Estimate {
+            mean: self.mean + other.mean,
+            variance: self.variance + other.variance,
+        }
+    }
+
+    /// Composition for *independent* events (paper Eq. 7–8): used for the
+    /// conjunction of constraints over disjoint variable sets.
+    ///
+    /// `E[XY] = E[X]E[Y]`,
+    /// `Var[XY] = E[X]²Var[Y] + E[Y]²Var[X] + Var[X]Var[Y]`.
+    pub fn product(self, other: Estimate) -> Estimate {
+        Estimate {
+            mean: self.mean * other.mean,
+            variance: self.mean * self.mean * other.variance
+                + other.mean * other.mean * self.variance
+                + self.variance * other.variance,
+        }
+    }
+
+    /// Scales the estimator by a constant weight: `E[wX] = w·E[X]`,
+    /// `Var[wX] = w²·Var[X]`. Used to weight strata by their relative size
+    /// (Eq. 3).
+    pub fn scale(self, w: f64) -> Estimate {
+        Estimate {
+            mean: w * self.mean,
+            variance: w * w * self.variance,
+        }
+    }
+
+    /// A Chebyshev confidence interval: the estimated quantity lies in
+    /// the returned `(lo, hi)` with probability at least `confidence`
+    /// (the paper suggests exactly this use of the variance: "such
+    /// uncertainty could be used to quantify the probability the real
+    /// value belongs to an interval, for example by using Chebyshev's
+    /// inequality", §6.2). Ends are clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < confidence < 1`.
+    pub fn chebyshev_interval(&self, confidence: f64) -> (f64, f64) {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1), got {confidence}"
+        );
+        // P(|X − μ| ≥ kσ) ≤ 1/k² ⇒ choose k = 1/√(1 − confidence).
+        let k = (1.0 / (1.0 - confidence)).sqrt();
+        let r = k * self.std_dev();
+        ((self.mean - r).max(0.0), (self.mean + r).min(1.0))
+    }
+
+    /// Clamps the mean into `[0, 1]`. Composition of many estimates can
+    /// push the mean slightly outside the unit interval (the paper's VOL
+    /// subject reports an estimate `> 1`, §6.2); reports may clamp for
+    /// presentation.
+    pub fn clamped(self) -> Estimate {
+        Estimate {
+            mean: self.mean.clamp(0.0, 1.0),
+            variance: self.variance,
+        }
+    }
+}
+
+impl Default for Estimate {
+    /// The default estimate is [`Estimate::ZERO`].
+    fn default() -> Estimate {
+        Estimate::ZERO
+    }
+}
+
+impl fmt::Display for Estimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} (σ {:.3e})", self.mean, self.std_dev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_hits_matches_eq2() {
+        let e = Estimate::from_hits(2577, 10_000);
+        assert!((e.mean - 0.2577).abs() < 1e-12);
+        let expected_var = 0.2577 * (1.0 - 0.2577) / 10_000.0;
+        assert!((e.variance - expected_var).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_hits_extremes_have_zero_variance() {
+        assert_eq!(Estimate::from_hits(0, 100).variance, 0.0);
+        assert_eq!(Estimate::from_hits(100, 100).variance, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn from_hits_zero_samples_panics() {
+        let _ = Estimate::from_hits(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more hits")]
+    fn from_hits_overflow_panics() {
+        let _ = Estimate::from_hits(5, 3);
+    }
+
+    #[test]
+    fn sum_adds_means_and_variances() {
+        let a = Estimate::new(0.55, 0.0);
+        let b = Estimate::new(0.188089, 1.64094e-6);
+        let s = a.sum(b);
+        assert!((s.mean - 0.738089).abs() < 1e-9);
+        assert!((s.variance - 1.64094e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_matches_eq7_eq8() {
+        // The paper's §4.4 worked example: X̂2,1 (mean .45, var 0) times
+        // X̂2,2 (mean .417975, var 8.103406e-6) = X̂2 with mean .188089,
+        // var 1.64094e-6.
+        let x21 = Estimate::new(0.45, 0.0);
+        let x22 = Estimate::new(0.417975, 8.103406e-6);
+        let x2 = x21.product(x22);
+        assert!((x2.mean - 0.18808875).abs() < 1e-8, "{}", x2.mean);
+        assert!((x2.variance - 0.45 * 0.45 * 8.103406e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_full_variance_term() {
+        let a = Estimate::new(0.5, 0.01);
+        let b = Estimate::new(0.25, 0.04);
+        let p = a.product(b);
+        let expected = 0.25 * 0.04 + 0.0625 * 0.01 + 0.01 * 0.04;
+        assert!((p.variance - expected).abs() < 1e-15);
+        assert!((p.mean - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scale_squares_variance() {
+        let e = Estimate::new(0.5, 0.25).scale(0.5);
+        assert_eq!(e.mean, 0.25);
+        assert_eq!(e.variance, 0.0625);
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        let e = Estimate::new(1.0005, 1e-6).clamped();
+        assert_eq!(e.mean, 1.0);
+        let f = Estimate::new(-0.001, 1e-6).clamped();
+        assert_eq!(f.mean, 0.0);
+    }
+
+    #[test]
+    fn identities() {
+        let e = Estimate::new(0.3, 0.01);
+        assert_eq!(e.sum(Estimate::ZERO), e);
+        assert_eq!(e.product(Estimate::ONE), e);
+        assert_eq!(e.product(Estimate::ZERO), Estimate::ZERO);
+    }
+
+    #[test]
+    fn chebyshev_interval_widens_with_confidence() {
+        let e = Estimate::new(0.5, 0.0001); // σ = 0.01
+        let (l90, h90) = e.chebyshev_interval(0.9);
+        let (l99, h99) = e.chebyshev_interval(0.99);
+        assert!(l99 < l90 && h99 > h90);
+        assert!(l90 < 0.5 && h90 > 0.5);
+        // k = √10 ≈ 3.162 at 90%: radius ≈ 0.0316.
+        assert!((h90 - 0.5 - 0.0316).abs() < 1e-3);
+        // Zero-variance estimates collapse to a point.
+        let exact = Estimate::new(0.25, 0.0);
+        assert_eq!(exact.chebyshev_interval(0.999), (0.25, 0.25));
+        // Clamping to the unit interval.
+        let near_one = Estimate::new(0.999, 0.01);
+        assert_eq!(near_one.chebyshev_interval(0.9).1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in (0, 1)")]
+    fn chebyshev_rejects_bad_confidence() {
+        let _ = Estimate::new(0.5, 0.1).chebyshev_interval(1.0);
+    }
+
+    #[test]
+    fn display_shows_mean_and_sigma() {
+        let s = Estimate::new(0.25, 0.0001).to_string();
+        assert!(s.contains("0.250000"));
+        assert!(s.contains("1.000e-2"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Monte Carlo engine for the qCORAL reproduction.
+//!
+//! Implements the statistical machinery of the paper:
+//!
+//! * [`Estimate`] — an estimator summarized by its mean and variance, with
+//!   the composition algebra of §4: disjoint-sum (Eq. 5–6, Theorem 1) and
+//!   independent-product (Eq. 7–8).
+//! * [`UsageProfile`] — the probabilistic characterization of the inputs
+//!   (§3). Uniform profiles match the paper's implementation; piecewise-
+//!   uniform (histogram) profiles implement the discretization extension
+//!   the paper attributes to Filieri et al. [11].
+//! * [`hit_or_miss`] — the Hit-or-Miss Monte Carlo estimator (§3.2,
+//!   Eq. 2).
+//! * [`stratified`] — stratified sampling over an ICP paving (§3.3,
+//!   Eq. 3).
+//!
+//! # Example
+//!
+//! ```
+//! use qcoral_interval::{Interval, IntervalBox};
+//! use qcoral_mc::{hit_or_miss, UsageProfile};
+//! use rand::SeedableRng;
+//!
+//! let boxed: IntervalBox = [Interval::new(0.0, 1.0)].into_iter().collect();
+//! let profile = UsageProfile::uniform(1);
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+//! // P[x < 0.25] over U[0, 1]
+//! let est = hit_or_miss(&mut |p| p[0] < 0.25, &boxed, &profile, 10_000, &mut rng);
+//! assert!((est.mean - 0.25).abs() < 0.02);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod profile;
+pub mod sampler;
+
+pub use estimate::Estimate;
+pub use profile::{Dist, UsageProfile};
+pub use sampler::{hit_or_miss, stratified, Allocation, Stratum};

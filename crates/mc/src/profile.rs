@@ -1,0 +1,373 @@
+//! Usage profiles: the probabilistic characterization of program inputs.
+//!
+//! The paper assumes inputs are distributed "according to the usage
+//! profile" (§3, Eq. 1) and its implementation "uses uniform profiles
+//! only" (§5). [`UsageProfile`] supports that plus the extension the
+//! conclusion calls for: non-uniform inputs via piecewise-uniform
+//! (histogram) distributions, the discretization approach of Filieri et
+//! al. [11].
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qcoral_interval::{Interval, IntervalBox};
+
+/// A per-variable marginal distribution over the variable's domain
+/// interval.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Uniform over the variable's domain.
+    Uniform,
+    /// Piecewise-uniform (histogram): `edges` are `k+1` increasing break
+    /// points spanning the variable's domain; `weights` are the `k`
+    /// segment probabilities (they are normalized on construction).
+    Piecewise {
+        /// Segment boundaries (increasing, length `k+1`).
+        edges: Vec<f64>,
+        /// Segment probabilities (length `k`, sums to 1).
+        weights: Vec<f64>,
+    },
+}
+
+impl Dist {
+    /// Builds a histogram distribution, normalizing the weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 edges, edges are not strictly increasing,
+    /// weights have the wrong length, are negative, or sum to zero.
+    pub fn piecewise(edges: Vec<f64>, mut weights: Vec<f64>) -> Dist {
+        assert!(edges.len() >= 2, "histogram needs at least one segment");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly increasing"
+        );
+        assert_eq!(
+            weights.len(),
+            edges.len() - 1,
+            "need one weight per segment"
+        );
+        assert!(
+            weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "weights must be non-negative and finite"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        for w in &mut weights {
+            *w /= total;
+        }
+        Dist::Piecewise { edges, weights }
+    }
+
+    /// Probability mass the distribution assigns to `iv`, relative to the
+    /// variable's whole domain `dom`.
+    pub fn mass(&self, iv: &Interval, dom: &Interval) -> f64 {
+        let clipped = iv.intersect(dom);
+        if clipped.is_empty() {
+            return 0.0;
+        }
+        match self {
+            Dist::Uniform => {
+                let dw = dom.width();
+                if dw == 0.0 {
+                    1.0
+                } else {
+                    (clipped.width() / dw).min(1.0)
+                }
+            }
+            Dist::Piecewise { edges, weights } => {
+                let mut mass = 0.0;
+                for (i, w) in weights.iter().enumerate() {
+                    let seg = Interval::new(edges[i], edges[i + 1]);
+                    let overlap = seg.intersect(&clipped);
+                    if !overlap.is_empty() && seg.width() > 0.0 {
+                        mass += w * overlap.width() / seg.width();
+                    }
+                }
+                mass.min(1.0)
+            }
+        }
+    }
+
+    /// Samples a value from the distribution *conditioned* on lying in
+    /// `iv` (which must intersect the domain). Returns `None` if the
+    /// conditional mass is zero.
+    pub fn sample_in(&self, iv: &Interval, dom: &Interval, rng: &mut impl Rng) -> Option<f64> {
+        let clipped = iv.intersect(dom);
+        if clipped.is_empty() {
+            return None;
+        }
+        match self {
+            Dist::Uniform => Some(uniform_in(&clipped, rng)),
+            Dist::Piecewise { edges, weights } => {
+                // Conditional masses of each overlapping segment.
+                let mut masses = Vec::with_capacity(weights.len());
+                let mut total = 0.0;
+                for (i, w) in weights.iter().enumerate() {
+                    let seg = Interval::new(edges[i], edges[i + 1]);
+                    let overlap = seg.intersect(&clipped);
+                    let m = if overlap.is_empty() || seg.width() == 0.0 {
+                        0.0
+                    } else {
+                        w * overlap.width() / seg.width()
+                    };
+                    masses.push((m, overlap));
+                    total += m;
+                }
+                if total <= 0.0 {
+                    return None;
+                }
+                let mut pick = rng.gen_range(0.0..total);
+                for (m, overlap) in &masses {
+                    if *m > 0.0 && pick < *m {
+                        return Some(uniform_in(overlap, rng));
+                    }
+                    pick -= m;
+                }
+                // Floating-point slack: fall back to the last non-empty
+                // overlap.
+                masses
+                    .iter()
+                    .rev()
+                    .find(|(m, _)| *m > 0.0)
+                    .map(|(_, o)| uniform_in(o, rng))
+            }
+        }
+    }
+}
+
+fn uniform_in(iv: &Interval, rng: &mut impl Rng) -> f64 {
+    if iv.width() == 0.0 {
+        iv.lo()
+    } else {
+        rng.gen_range(iv.lo()..iv.hi())
+    }
+}
+
+/// A joint input distribution: independent per-variable marginals over the
+/// bounded input domain.
+///
+/// # Example
+///
+/// ```
+/// use qcoral_mc::{Dist, UsageProfile};
+///
+/// // Two inputs: the first uniform, the second biased towards its lower half.
+/// let profile = UsageProfile::uniform(2)
+///     .with_dist(1, Dist::piecewise(vec![0.0, 0.5, 1.0], vec![3.0, 1.0]));
+/// assert_eq!(profile.len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UsageProfile {
+    dists: Vec<Dist>,
+}
+
+impl UsageProfile {
+    /// The paper's default: all inputs uniform over their domains.
+    pub fn uniform(nvars: usize) -> UsageProfile {
+        UsageProfile {
+            dists: vec![Dist::Uniform; nvars],
+        }
+    }
+
+    /// Replaces the marginal of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn with_dist(mut self, var: usize, dist: Dist) -> UsageProfile {
+        self.dists[var] = dist;
+        self
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.dists.len()
+    }
+
+    /// Returns `true` if the profile covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.dists.is_empty()
+    }
+
+    /// The marginal of variable `var`.
+    pub fn dist(&self, var: usize) -> &Dist {
+        &self.dists[var]
+    }
+
+    /// Restricts the profile to the given variables (in that order),
+    /// aligning it with a projected box.
+    pub fn project(&self, vars: &[usize]) -> UsageProfile {
+        UsageProfile {
+            dists: vars.iter().map(|&i| self.dists[i].clone()).collect(),
+        }
+    }
+
+    /// Probability that an input drawn from the profile lands in `boxed`,
+    /// where `domain` is the full input box. Both boxes must have the same
+    /// dimensionality as the profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn box_probability(&self, boxed: &IntervalBox, domain: &IntervalBox) -> f64 {
+        assert_eq!(boxed.ndim(), self.len(), "box/profile dimension mismatch");
+        assert_eq!(domain.ndim(), self.len(), "domain/profile dimension mismatch");
+        self.dists
+            .iter()
+            .enumerate()
+            .map(|(i, d)| d.mass(&boxed[i], &domain[i]))
+            .product()
+    }
+
+    /// Draws one sample from the profile conditioned on `boxed`, writing
+    /// coordinates into `out`. Returns `false` if the conditional mass of
+    /// the box is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn sample_in(
+        &self,
+        boxed: &IntervalBox,
+        domain: &IntervalBox,
+        rng: &mut impl Rng,
+        out: &mut [f64],
+    ) -> bool {
+        assert_eq!(boxed.ndim(), self.len(), "box/profile dimension mismatch");
+        assert_eq!(out.len(), self.len(), "output/profile dimension mismatch");
+        for (i, d) in self.dists.iter().enumerate() {
+            match d.sample_in(&boxed[i], &domain[i], rng) {
+                Some(v) => out[i] = v,
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn uniform_mass_is_width_ratio() {
+        let d = Dist::Uniform;
+        assert_eq!(d.mass(&iv(0.0, 0.5), &iv(0.0, 1.0)), 0.5);
+        assert_eq!(d.mass(&iv(0.0, 2.0), &iv(0.0, 1.0)), 1.0);
+        assert_eq!(d.mass(&iv(2.0, 3.0), &iv(0.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn piecewise_mass() {
+        // 75% mass on [0, 0.5], 25% on [0.5, 1].
+        let d = Dist::piecewise(vec![0.0, 0.5, 1.0], vec![3.0, 1.0]);
+        let dom = iv(0.0, 1.0);
+        assert!((d.mass(&iv(0.0, 0.5), &dom) - 0.75).abs() < 1e-12);
+        assert!((d.mass(&iv(0.5, 1.0), &dom) - 0.25).abs() < 1e-12);
+        assert!((d.mass(&iv(0.0, 1.0), &dom) - 1.0).abs() < 1e-12);
+        // Half of the first segment: 0.375.
+        assert!((d.mass(&iv(0.0, 0.25), &dom) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn piecewise_bad_edges_panics() {
+        let _ = Dist::piecewise(vec![0.0, 0.0, 1.0], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn piecewise_weights_normalized() {
+        let d = Dist::piecewise(vec![0.0, 1.0, 2.0], vec![2.0, 6.0]);
+        if let Dist::Piecewise { weights, .. } = &d {
+            assert!((weights[0] - 0.25).abs() < 1e-12);
+            assert!((weights[1] - 0.75).abs() < 1e-12);
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn uniform_sampling_stays_in_box() {
+        let d = Dist::Uniform;
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = d.sample_in(&iv(0.25, 0.5), &iv(0.0, 1.0), &mut rng).unwrap();
+            assert!((0.25..0.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn piecewise_sampling_honors_conditioning() {
+        let d = Dist::piecewise(vec![0.0, 0.5, 1.0], vec![3.0, 1.0]);
+        let dom = iv(0.0, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Condition on [0.25, 0.75]: mass 0.375 below 0.5 vs 0.125 above
+        // → 75% of samples should fall below 0.5.
+        let n = 20_000;
+        let mut below = 0;
+        for _ in 0..n {
+            let v = d.sample_in(&iv(0.25, 0.75), &dom, &mut rng).unwrap();
+            assert!((0.25..0.75).contains(&v));
+            if v < 0.5 {
+                below += 1;
+            }
+        }
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn sample_outside_support_returns_none() {
+        let d = Dist::piecewise(vec![0.0, 1.0], vec![1.0]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(d.sample_in(&iv(2.0, 3.0), &iv(0.0, 1.0), &mut rng).is_none());
+    }
+
+    #[test]
+    fn profile_box_probability_is_product() {
+        let p = UsageProfile::uniform(2);
+        let dom: IntervalBox = [iv(0.0, 1.0), iv(0.0, 2.0)].into_iter().collect();
+        let b: IntervalBox = [iv(0.0, 0.5), iv(0.0, 0.5)].into_iter().collect();
+        assert!((p.box_probability(&b, &dom) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_projection() {
+        let p = UsageProfile::uniform(3)
+            .with_dist(2, Dist::piecewise(vec![0.0, 1.0], vec![1.0]));
+        let q = p.project(&[2, 0]);
+        assert_eq!(q.len(), 2);
+        assert!(matches!(q.dist(0), Dist::Piecewise { .. }));
+        assert!(matches!(q.dist(1), Dist::Uniform));
+    }
+
+    #[test]
+    fn profile_sampling_fills_every_dim() {
+        let p = UsageProfile::uniform(3);
+        let dom: IntervalBox = [iv(0.0, 1.0), iv(-1.0, 1.0), iv(5.0, 6.0)]
+            .into_iter()
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut out = [0.0; 3];
+        assert!(p.sample_in(&dom, &dom, &mut rng, &mut out));
+        assert!(dom.contains_point(&out));
+    }
+
+    #[test]
+    fn degenerate_point_dimension() {
+        let p = UsageProfile::uniform(1);
+        let dom: IntervalBox = [iv(2.0, 2.0)].into_iter().collect();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut out = [0.0];
+        assert!(p.sample_in(&dom, &dom, &mut rng, &mut out));
+        assert_eq!(out[0], 2.0);
+        assert_eq!(p.box_probability(&dom, &dom), 1.0);
+    }
+}

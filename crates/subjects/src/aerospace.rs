@@ -1,0 +1,281 @@
+//! Re-creations of the Table 4 aerospace subjects.
+//!
+//! The paper's artifacts (the Simulink-to-Java Apollo translation and the
+//! TSAFE sources) are not publicly available; these programs reproduce
+//! the *analysis stress points* the paper identifies in §6.3:
+//!
+//! * **Apollo** — many path conditions (the paper analyzed 5 779; this
+//!   generated pipeline yields several hundred), `sqrt`-heavy guards, and
+//!   three independent control axes whose constraints partition cleanly
+//!   (which is what makes `PARTCACHE` pay off on Apollo in Table 4).
+//! * **Conflict** (TSAFE Conflict Probe) — two-aircraft closest-approach
+//!   geometry exercising exactly the paper's function inventory: `cos`,
+//!   `pow`, `sin`, `sqrt`, `tan`; few paths, heavy variable coupling.
+//! * **Turn Logic** — `atan2`-based heading change with bounded
+//!   normalization loops.
+//!
+//! Following the paper's protocol, the quantified property is "execution
+//! takes one of the first 70% of paths in bounded depth-first order"
+//! (the paper picks 70% "to avoid obtaining a probability close to 0 or
+//! 1").
+
+use qcoral_constraints::{ConstraintSet, Domain};
+use qcoral_symexec::{parse_program, symbolic_execute, SymConfig, SymResult};
+
+/// One Table 4 subject.
+#[derive(Clone, Debug)]
+pub struct AerospaceSubject {
+    /// Subject name as printed in the table.
+    pub name: &'static str,
+    /// MiniJ source.
+    pub source: String,
+    /// Fraction of PCs (in DFS order) forming the quantified property.
+    pub fraction: f64,
+}
+
+impl AerospaceSubject {
+    /// Runs symbolic execution and returns the full result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated source fails to parse (a bug in the
+    /// subject definitions).
+    pub fn execute(&self, cfg: &SymConfig) -> SymResult {
+        let prog = parse_program(&self.source)
+            .unwrap_or_else(|e| panic!("subject {}: {e}", self.name));
+        symbolic_execute(&prog, cfg)
+    }
+
+    /// The paper's Table 4 protocol: all complete-path PCs are generated
+    /// and the first `fraction` of them (bounded depth-first order) form
+    /// the quantified constraint set.
+    pub fn constraint_set(&self, cfg: &SymConfig) -> (Domain, ConstraintSet) {
+        let r = self.execute(cfg);
+        let keep = ((r.complete.len() as f64 * self.fraction).ceil() as usize)
+            .min(r.complete.len());
+        let cs = r
+            .complete
+            .iter()
+            .take(keep)
+            .map(|(pc, _)| pc.clone())
+            .collect();
+        (r.domain, cs)
+    }
+}
+
+/// Generates the Apollo-like autopilot pipeline: three independent
+/// control axes (pitch/roll/yaw), each a cascade of `stages` sqrt-guard
+/// stages over its own pair of inputs.
+pub fn apollo_source(stages: usize) -> String {
+    let axes = [
+        ("pitch", "pa", "pb", 0.35),
+        ("roll", "ra", "rb", 0.45),
+        ("yaw", "ya", "yb", 0.55),
+    ];
+    let mut src = String::from("program apollo(");
+    let mut first = true;
+    for (_, a, b, _) in &axes {
+        for v in [a, b] {
+            if !first {
+                src.push_str(", ");
+            }
+            first = false;
+            src.push_str(&format!("{v} in [-1, 1]"));
+        }
+    }
+    src.push_str(") {\n");
+    for (axis, a, b, gain) in &axes {
+        src.push_str(&format!("  double u_{axis} = 0;\n"));
+        for s in 0..stages {
+            let c = 0.3 + 0.15 * s as f64;
+            let k = gain + 0.05 * s as f64;
+            src.push_str(&format!(
+                "  double e_{axis}_{s} = sqrt({a} * {a} + {b} * {b}) - {c};\n\
+                 \x20 if (e_{axis}_{s} > 0) {{ u_{axis} = u_{axis} + {k} * e_{axis}_{s}; }}\n\
+                 \x20 else {{ u_{axis} = u_{axis} - {k2} * e_{axis}_{s}; }}\n",
+                k2 = k * 0.5,
+            ));
+        }
+    }
+    // Supervisor call when any axis command saturates.
+    src.push_str(
+        "  if (u_pitch > 0.25) { target(); return; }\n\
+         \x20 if (u_roll > 0.3) { target(); return; }\n\
+         \x20 if (u_yaw > 0.35) { target(); return; }\n\
+         \x20 return;\n}\n",
+    );
+    src
+}
+
+/// The TSAFE Conflict Probe: closest approach of two aircraft within a
+/// time horizon, with a turning-geometry special case.
+pub fn conflict_source() -> String {
+    r#"program conflict(x1 in [0, 10], y1 in [0, 10], h1 in [0, 6.2831853],
+                  v1 in [0.5, 2], x2 in [0, 10], y2 in [0, 10],
+                  h2 in [0, 6.2831853], v2 in [0.5, 2]) {
+  double dx = x2 - x1;
+  double dy = y2 - y1;
+  double rvx = v2 * cos(h2) - v1 * cos(h1);
+  double rvy = v2 * sin(h2) - v1 * sin(h1);
+  double dist2 = pow(dx, 2) + pow(dy, 2);
+  if (dist2 < 4) { target(); return; }
+  double rv2 = rvx * rvx + rvy * rvy;
+  if (rv2 < 0.01) { return; }
+  double closing = dx * rvx + dy * rvy;
+  if (closing >= 0) { return; }
+  double tca = (0 - closing) / rv2;
+  if (tca > 3) {
+    double dxh = dx + 3 * rvx;
+    double dyh = dy + 3 * rvy;
+    if (sqrt(dxh * dxh + dyh * dyh) < 2) { target(); }
+    return;
+  }
+  double headingDiff = h2 - h1;
+  if (headingDiff < 1.5 && headingDiff > -1.5) {
+    if (tan(headingDiff) * tan(headingDiff) < 0.1) {
+      double md2 = dist2 - closing * closing / rv2;
+      if (md2 < 4) { target(); }
+      return;
+    }
+  }
+  double md2turn = dist2 - 0.8 * closing * closing / rv2;
+  if (md2turn < 4) { target(); }
+}
+"#
+    .to_owned()
+}
+
+/// TSAFE Turn Logic: required heading change towards a fix, normalized to
+/// (−π, π] with bounded loops, then classified.
+pub fn turn_logic_source() -> String {
+    r#"program turn_logic(xo in [0, 10], yo in [0, 10], xf in [0, 10],
+                    yf in [0, 10], heading in [-9.4247779, 9.4247779]) {
+  double dx = xf - xo;
+  double dy = yf - yo;
+  double desired = atan2(dy, dx);
+  double change = desired - heading;
+  double guard = 0;
+  while (change > 3.14159265358979 && guard < 3) {
+    change = change - 6.28318530717959;
+    guard = guard + 1;
+  }
+  while (change < -3.14159265358979 && guard < 6) {
+    change = change + 6.28318530717959;
+    guard = guard + 1;
+  }
+  if (change > 0.52) {
+    if (change > 1.57) { target(); return; }
+    target(); return;
+  }
+  if (change < -0.52) {
+    if (change < -1.57) { target(); return; }
+    target(); return;
+  }
+  return;
+}
+"#
+    .to_owned()
+}
+
+/// The three Table 4 subjects in the paper's row order. `apollo_stages`
+/// controls the Apollo path count (3 axes × `stages` binary stages →
+/// up to `3·2^stages`-ish complete paths; the default bench uses 7).
+pub fn aerospace_subjects_with(apollo_stages: usize) -> Vec<AerospaceSubject> {
+    vec![
+        AerospaceSubject {
+            name: "Apollo",
+            source: apollo_source(apollo_stages),
+            fraction: 0.7,
+        },
+        AerospaceSubject {
+            name: "Conflict",
+            source: conflict_source(),
+            fraction: 0.7,
+        },
+        AerospaceSubject {
+            name: "Turn Logic",
+            source: turn_logic_source(),
+            fraction: 0.7,
+        },
+    ]
+}
+
+/// The default Table 4 subject set (Apollo with 7 stages per axis).
+pub fn aerospace_subjects() -> Vec<AerospaceSubject> {
+    aerospace_subjects_with(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apollo_generates_many_paths() {
+        let subj = &aerospace_subjects_with(5)[0];
+        let r = subj.execute(&SymConfig::default());
+        assert!(
+            r.paths > 50,
+            "Apollo should be a many-path subject, got {}",
+            r.paths
+        );
+        assert!(r.bound_hit.is_empty(), "no loops: no bound hits");
+        let (_, cs) = subj.constraint_set(&SymConfig::default());
+        assert!((cs.len() as f64) <= r.paths as f64 * 0.71);
+        assert!((cs.len() as f64) >= r.paths as f64 * 0.69);
+    }
+
+    #[test]
+    fn apollo_axes_partition_independently() {
+        use qcoral::dependency_partition;
+        let subj = &aerospace_subjects_with(3)[0];
+        let (domain, cs) = subj.constraint_set(&SymConfig::default());
+        let classes = dependency_partition(&cs, domain.len());
+        // pitch, roll and yaw inputs never mix: three classes of two.
+        assert_eq!(classes.len(), 3, "{classes:?}");
+        assert!(classes.iter().all(|c| c.count() == 2));
+    }
+
+    #[test]
+    fn conflict_has_target_and_nontarget_paths() {
+        let subj = &aerospace_subjects()[1];
+        let r = subj.execute(&SymConfig::default());
+        assert!(!r.target.is_empty(), "conflicts must be reachable");
+        assert!(!r.no_target.is_empty(), "safe paths must exist");
+        assert!(r.paths >= 8, "got {} paths", r.paths);
+        // Immediate-conflict input: co-located aircraft.
+        assert!(r.target.holds(&[5.0, 5.0, 0.0, 1.0, 5.1, 5.1, 0.0, 1.0]));
+    }
+
+    #[test]
+    fn turn_logic_covers_quadrants() {
+        let subj = &aerospace_subjects()[2];
+        let r = subj.execute(&SymConfig::default());
+        assert!(!r.target.is_empty());
+        assert!(r.paths >= 6, "got {} paths", r.paths);
+        // Target eastwards from the origin with a north heading: change
+        // ≈ -π/2 → |change| > 0.52 → target.
+        assert!(r.target.holds(&[0.0, 0.0, 10.0, 0.0, 1.5707963]));
+    }
+
+    #[test]
+    fn fraction_selection_is_prefix_of_dfs_order() {
+        let subj = &aerospace_subjects_with(3)[0];
+        let r = subj.execute(&SymConfig::default());
+        let (_, cs) = subj.constraint_set(&SymConfig::default());
+        for (i, pc) in cs.pcs().iter().enumerate() {
+            assert_eq!(pc, &r.complete[i].0, "PC {i} must match DFS order");
+        }
+    }
+
+    #[test]
+    fn function_inventory_matches_paper() {
+        // §6.3 lists cos, pow, sin, sqrt, tan for Conflict and atan2 for
+        // Turn Logic.
+        let conflict = conflict_source();
+        for f in ["cos(", "pow(", "sin(", "sqrt(", "tan("] {
+            assert!(conflict.contains(f), "Conflict must use {f}");
+        }
+        assert!(turn_logic_source().contains("atan2("));
+        assert!(apollo_source(3).contains("sqrt("));
+    }
+}

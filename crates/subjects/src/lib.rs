@@ -1,0 +1,27 @@
+//! Benchmark subjects for the qCORAL evaluation.
+//!
+//! Three families, one per paper table:
+//!
+//! * [`solids`] — the 13 geometric micro-benchmarks of Table 2 (convex
+//!   polyhedra, solids of revolution, intersections of solids) with
+//!   closed-form reference volumes.
+//! * [`volcomp_suite`] — re-creations of the eight VolComp-benchmark
+//!   subjects of Table 3 (ATRIAL, CART, CORONARY, EGFR EPI, EGFR EPI
+//!   SIMPLE, INVPEND, PACK, VOL) as MiniJ programs with the paper's
+//!   assertions. The original benchmark tarball is no longer distributed;
+//!   these synthetic equivalents preserve the *computational shape* the
+//!   paper describes (risk-score cascades, controller loops, packing
+//!   loops) — see DESIGN.md for the substitution rationale.
+//! * [`aerospace`] — re-creations of the Table 4 subjects: the Apollo
+//!   autopilot (a generated many-path sqrt-heavy pipeline), the TSAFE
+//!   Conflict Probe (cos/pow/sin/sqrt/tan) and TSAFE Turn Logic (atan2).
+
+#![warn(missing_docs)]
+
+pub mod aerospace;
+pub mod solids;
+pub mod volcomp_suite;
+
+pub use aerospace::{aerospace_subjects, aerospace_subjects_with, AerospaceSubject};
+pub use solids::{all_solids, Solid, SolidGroup};
+pub use volcomp_suite::{table3_subjects, Table3Subject};

@@ -1,0 +1,376 @@
+//! Re-creations of the VolComp benchmark subjects (paper Table 3).
+//!
+//! The original benchmark [2] is no longer distributed; each subject here
+//! is a MiniJ program with the *computational shape* the paper describes,
+//! paired with the paper's assertion labels:
+//!
+//! * **ATRIAL / CORONARY** — Framingham-style medical risk calculators:
+//!   cascades of input-bracket branches accumulating scores. Score
+//!   accumulations of constants fold to per-path constants (reproducing
+//!   the paper's "0 arithmetic ops" rows), while error terms carry
+//!   continuous arithmetic.
+//! * **CART** — an iterated steering controller whose state is a growing
+//!   polynomial in the inputs (the paper's "highly skewed polynomial"
+//!   that defeats branch-and-bound).
+//! * **EGFR EPI (+ SIMPLE)** — piecewise-linear kidney-function
+//!   estimators compared against each other.
+//! * **INVPEND** — a linearized inverted-pendulum step loop: a single
+//!   path with a long linear constraint.
+//! * **PACK** — a greedy weight-packing sequence: path explosion with
+//!   concrete per-path counters (count assertions fold; totalWeight
+//!   assertions link every input, defeating partitioning — the paper's
+//!   observed slow case).
+//! * **VOL** — a tank-filling loop: few paths, each with a deep chain of
+//!   accumulated-inflow constraints.
+
+use qcoral_constraints::{ConstraintSet, Domain};
+use qcoral_symexec::{parse_program, symbolic_execute, SymConfig};
+
+/// One Table 3 subject: a program body plus the paper's assertions.
+#[derive(Clone, Debug)]
+pub struct Table3Subject {
+    /// Subject name as printed in the table.
+    pub name: &'static str,
+    /// `program …(params…) {` header plus the body computing the outputs
+    /// (without the final assertion or closing brace).
+    prefix: String,
+    /// `(label, condition)` pairs; the condition goes into a final
+    /// `check(...)` statement.
+    pub assertions: Vec<(&'static str, &'static str)>,
+}
+
+impl Table3Subject {
+    /// Complete MiniJ source for assertion `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn source_for(&self, idx: usize) -> String {
+        let (_, cond) = self.assertions[idx];
+        format!("{}\n  check({cond});\n}}\n", self.prefix)
+    }
+
+    /// Symbolically executes the subject for assertion `idx`, returning
+    /// the input domain and the target-event constraint set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the subject fails to parse
+    /// (a bug in the subject definitions).
+    pub fn system_for(&self, idx: usize, cfg: &SymConfig) -> (Domain, ConstraintSet) {
+        let src = self.source_for(idx);
+        let prog = parse_program(&src)
+            .unwrap_or_else(|e| panic!("subject {}: {e}\n{src}", self.name));
+        let r = symbolic_execute(&prog, cfg);
+        (r.domain, r.target)
+    }
+}
+
+fn atrial() -> Table3Subject {
+    // Atrial-fibrillation risk: age/SBP/BMI/PR-interval bracket cascades.
+    // `points` accumulates integer scores (concrete per path); `err`
+    // carries a continuous measurement-error estimate.
+    let prefix = r#"program atrial(age in [45, 95], sbp in [90, 190], bmi in [15, 50], pr in [120, 220]) {
+  double points = 0;
+  double err = 0;
+  if (age < 50)      { points = points + 0; err = err + 0.02 * (age - 45); }
+  else if (age < 55) { points = points + 1; err = err + 0.03 * (age - 50); }
+  else if (age < 65) { points = points + 2; err = err + 0.04 * (age - 55); }
+  else if (age < 75) { points = points + 4; err = err + 0.05 * (age - 65); }
+  else               { points = points + 6; err = err + 0.06 * (age - 75); }
+  if (sbp < 120)      { points = points + 0; err = err + 0.01 * (sbp - 90); }
+  else if (sbp < 140) { points = points + 1; err = err + 0.02 * (sbp - 120); }
+  else if (sbp < 160) { points = points + 2; err = err + 0.03 * (sbp - 140); }
+  else                { points = points + 3; err = err + 0.04 * (sbp - 160); }
+  if (bmi < 25)      { points = points + 0; err = err + 0.05 * (bmi - 15); }
+  else if (bmi < 30) { points = points + 1; err = err + 0.06 * (bmi - 25); }
+  else               { points = points + 2; err = err + 0.07 * (bmi - 30); }
+  if (pr < 160)      { points = points + 0; err = err + 0.01 * (pr - 120); }
+  else if (pr < 200) { points = points + 1; err = err + 0.02 * (pr - 160); }
+  else               { points = points + 2; err = err + 0.03 * (pr - 200); }
+  double pointsErr = points - err;"#;
+    Table3Subject {
+        name: "ATRIAL",
+        prefix: prefix.to_owned(),
+        assertions: vec![
+            ("points >= 10", "points >= 10"),
+            ("points - pointsErr >= 5", "points - pointsErr >= 5"),
+            ("pointsErr - points <= 5", "pointsErr - points <= 5"),
+        ],
+    }
+}
+
+fn cart() -> Table3Subject {
+    // Steering controller under wind disturbance: three control steps;
+    // the position/velocity state is a polynomial of growing degree in
+    // (pos, vel, wind), skewed by the correction branches.
+    let prefix = r#"program cart(pos in [-1, 1], vel in [-1, 1], wind in [-0.5, 0.5]) {
+  double count = 0;
+  double p = pos;
+  double v = vel;
+  double i = 0;
+  while (i < 3) {
+    p = p + 0.5 * v + 0.1 * wind;
+    v = v + wind - 0.4 * p;
+    if (p > 0.05 || p < -0.05) {
+      count = count + 1;
+      v = v * (0.5 + 0.1 * wind);
+    }
+    i = i + 1;
+  }"#;
+    Table3Subject {
+        name: "CART",
+        prefix: prefix.to_owned(),
+        assertions: vec![("count >= 3", "count >= 3"), ("count >= 1", "count >= 1")],
+    }
+}
+
+fn coronary() -> Table3Subject {
+    // Framingham coronary risk: continuous weighted score with bracket
+    // adjustments; the assertions probe the distribution tails.
+    let prefix = r#"program coronary(age in [30, 74], chol in [150, 300], hdl in [20, 100]) {
+  double tmp = 0.05 * (age - 52) + 0.025 * (chol - 225) - 0.06 * (hdl - 60);
+  if (age < 40)      { tmp = tmp - 0.5; }
+  else if (age < 60) { tmp = tmp + 0.1; }
+  else               { tmp = tmp + 0.4; }
+  if (hdl < 35) { tmp = tmp + 0.6; }
+  if (chol > 280) { tmp = tmp + 0.5; }"#;
+    Table3Subject {
+        name: "CORONARY",
+        prefix: prefix.to_owned(),
+        assertions: vec![("tmp >= 5", "tmp >= 5"), ("tmp <= -5", "tmp <= -5")],
+    }
+}
+
+fn egfr_epi() -> Table3Subject {
+    // Two piecewise-linear eGFR estimators compared against each other.
+    let prefix = r#"program egfr(scr in [0.4, 4], age in [18, 90], sex in [0, 1]) {
+  double f = 0;
+  double f1 = 0;
+  if (scr < 0.9) { f = 141 - 80 * (scr - 0.9); } else { f = 141 - 30 * (scr - 0.9); }
+  if (age < 40)      { f = f - 0.6 * (age - 40); }
+  else if (age < 65) { f = f - 0.8 * (age - 40); }
+  else               { f = f - 20 - 1.0 * (age - 65); }
+  if (sex < 0.5) { f = f * 1.018; }
+  if (scr < 0.7) { f1 = 144 - 85 * (scr - 0.7); } else { f1 = 144 - 32 * (scr - 0.7); }
+  if (age < 40)      { f1 = f1 - 0.55 * (age - 40); }
+  else if (age < 65) { f1 = f1 - 0.75 * (age - 40); }
+  else               { f1 = f1 - 18.75 - 0.95 * (age - 65); }
+  if (sex < 0.5) { f1 = f1 * 1.012; }"#;
+    Table3Subject {
+        name: "EGFR EPI",
+        prefix: prefix.to_owned(),
+        assertions: vec![
+            ("f1 - f >= 0.1", "f1 - f >= 0.1"),
+            ("f - f1 >= 0.1", "f - f1 >= 0.1"),
+        ],
+    }
+}
+
+fn egfr_simple() -> Table3Subject {
+    let prefix = r#"program egfr_simple(scr in [0.4, 4], age in [18, 90]) {
+  double f = 0;
+  double f1 = 0;
+  if (scr < 1.2) { f = 5.2 - 0.8 * scr; } else { f = 4.84 - 0.5 * scr; }
+  if (scr < 1.0) { f1 = 5.1 - 0.7 * scr; } else { f1 = 4.9 - 0.5 * scr; }
+  f = f - 0.002 * (age - 50);
+  f1 = f1 - 0.003 * (age - 50);"#;
+    Table3Subject {
+        name: "EGFR EPI (SIMPLE)",
+        prefix: prefix.to_owned(),
+        assertions: vec![
+            ("f1 <= 4.4 && f >= 4.6", "f1 <= 4.4 && f >= 4.6"),
+            ("f1 >= 4.6 && f <= 4.4", "f1 >= 4.6 && f <= 4.4"),
+        ],
+    }
+}
+
+fn invpend() -> Table3Subject {
+    // Linearized inverted pendulum, 8 Euler steps: the loop counter is
+    // concrete, so symbolic execution yields a single path whose final
+    // state is one long linear expression in (ang, vel) — the paper's
+    // one-path, many-ops row.
+    let prefix = r#"program invpend(ang in [-0.3, 0.3], vel in [-0.5, 0.5]) {
+  double pAng = ang;
+  double pVel = vel;
+  double i = 0;
+  while (i < 8) {
+    pVel = pVel + 0.1 * (9.8 * pAng - 0.5 * pVel);
+    pAng = pAng + 0.1 * pVel;
+    i = i + 1;
+  }"#;
+    Table3Subject {
+        name: "INVPEND",
+        prefix: prefix.to_owned(),
+        assertions: vec![("pAng <= 1", "pAng <= 1")],
+    }
+}
+
+fn pack() -> Table3Subject {
+    // Greedy packing of eight items into a weight-limited carton. The
+    // per-path `count` is concrete (count assertions fold to constants —
+    // the paper's 0-ops rows); `total` ties every weight together
+    // (defeating partitioning — the paper's slow rows).
+    let mut prefix = String::from(
+        "program pack(w1 in [0, 1.5], w2 in [0, 1.5], w3 in [0, 1.5], w4 in [0, 1.5], \
+         w5 in [0, 1.5], w6 in [0, 1.5], w7 in [0, 1.5], w8 in [0, 1.5]) {\n\
+         \x20 double total = 0;\n\
+         \x20 double count = 0;\n",
+    );
+    for i in 1..=8 {
+        prefix.push_str(&format!(
+            "  if (total + w{i} <= 6) {{ total = total + w{i}; count = count + 1; }}\n"
+        ));
+    }
+    prefix.push_str("  double totalWeight = total;");
+    Table3Subject {
+        name: "PACK",
+        prefix,
+        assertions: vec![
+            ("count >= 5", "count >= 5"),
+            ("count >= 6", "count >= 6"),
+            ("count >= 7", "count >= 7"),
+            ("count >= 8", "count >= 8"),
+            ("totalWeight >= 6", "totalWeight >= 6"),
+            ("totalWeight >= 5", "totalWeight >= 5"),
+            ("totalWeight >= 4", "totalWeight >= 4"),
+        ],
+    }
+}
+
+fn vol() -> Table3Subject {
+    // Tank filling: the loop exits when the level reaches the threshold;
+    // the iteration count is concrete per path, but every iteration
+    // contributes an accumulated-inflow constraint, so late-exit paths
+    // carry deep constraint chains (the paper's stress case).
+    let prefix = r#"program vol(f1 in [0, 1], f2 in [0, 1]) {
+  double level = 0;
+  double count = 0;
+  while (level < 10 && count < 24) {
+    level = level + 0.3 + f1 + 0.5 * f2;
+    count = count + 1;
+  }"#;
+    Table3Subject {
+        name: "VOL",
+        prefix: prefix.to_owned(),
+        assertions: vec![("count >= 20", "count >= 20")],
+    }
+}
+
+/// The eight Table 3 subjects in the paper's row order.
+pub fn table3_subjects() -> Vec<Table3Subject> {
+    vec![
+        atrial(),
+        cart(),
+        coronary(),
+        egfr_epi(),
+        egfr_simple(),
+        invpend(),
+        pack(),
+        vol(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_subjects_parse_and_execute() {
+        for subj in table3_subjects() {
+            for idx in 0..subj.assertions.len() {
+                let (domain, cs) = subj.system_for(idx, &SymConfig::default());
+                assert!(domain.len() >= 1, "{}", subj.name);
+                // VOL/INVPEND-style assertions can be trivially false on
+                // some subjects; everything else must yield target PCs.
+                let (label, _) = subj.assertions[idx];
+                if !cs.is_empty() {
+                    assert!(cs.var_bound() <= domain.len());
+                }
+                eprintln!("{} [{}]: {} target PCs", subj.name, label, cs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn invpend_is_single_path() {
+        let subj = invpend();
+        let (_, cs) = subj.system_for(0, &SymConfig::default());
+        assert_eq!(cs.len(), 1, "INVPEND must have exactly one target path");
+        // The single PC is one linear atom over (ang, vel).
+        assert_eq!(cs.atom_count(), 1);
+        assert!(cs.op_count() > 20, "long linear expression expected");
+    }
+
+    #[test]
+    fn pack_count_assertions_have_no_arith_ops() {
+        // Mirrors the paper's Table 3: PACK `count ≥ k` rows show 0
+        // arithmetic operations because the counter is concrete per path.
+        let subj = pack();
+        let (_, cs) = subj.system_for(0, &SymConfig::default()); // count >= 5
+        assert!(!cs.is_empty());
+        for pc in cs.pcs() {
+            for atom in pc.atoms() {
+                // Atoms only mention raw weights and constants.
+                assert!(atom.lhs().op_count() <= 16);
+            }
+        }
+    }
+
+    #[test]
+    fn atrial_points_assertion_folds_to_bracket_constraints() {
+        let subj = atrial();
+        let (domain, cs) = subj.system_for(0, &SymConfig::default()); // points >= 10
+        assert!(!cs.is_empty());
+        // points ≥ 10 needs high brackets everywhere: e.g. age ≥ 75,
+        // sbp ≥ 160, bmi ≥ 30, pr ≥ 200 gives 6+3+2+2 = 13 ≥ 10.
+        assert!(cs.holds(&[80.0, 170.0, 35.0, 210.0]));
+        assert!(!cs.holds(&[46.0, 100.0, 20.0, 130.0]));
+        assert_eq!(domain.len(), 4);
+    }
+
+    #[test]
+    fn vol_paths_scale_with_exit_iteration() {
+        let subj = vol();
+        let (_, cs) = subj.system_for(0, &SymConfig::default()); // count >= 20
+        // Exits before 20 iterations do not satisfy count >= 20; deep
+        // paths do. Level gain per iteration ∈ [0.3, 1.8] ⇒ exit between
+        // ceil(10/1.8)=6 and 24 iterations; count≥20 holds for slow fills.
+        assert!(!cs.is_empty());
+        // Slow fill: f1 = f2 = 0.05 → gain 0.375 → 27 iterations > 24 cap
+        // → count = 24 ≥ 20.
+        assert!(cs.holds(&[0.05, 0.05]));
+        // Fast fill: f1 = f2 = 1 → gain 1.8 → exit at 6 < 20.
+        assert!(!cs.holds(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn cart_counts_are_monotone() {
+        let subj = cart();
+        let (_, cs3) = subj.system_for(0, &SymConfig::default());
+        let (_, cs1) = subj.system_for(1, &SymConfig::default());
+        // Every input satisfying count≥3 satisfies count≥1.
+        for i in 0..10 {
+            for j in 0..10 {
+                let p = [
+                    -1.0 + 0.2 * i as f64,
+                    -1.0 + 0.2 * j as f64,
+                    0.1,
+                ];
+                if cs3.holds(&p) {
+                    assert!(cs1.holds(&p), "count≥3 ⊆ count≥1 violated at {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coronary_tails_are_rare_but_reachable() {
+        let subj = coronary();
+        let (_, hi) = subj.system_for(0, &SymConfig::default()); // tmp >= 5
+        // Max tmp: age 74, chol 300, hdl 20 → 1.1+1.875+2.4+0.4+0.6... > 5.
+        assert!(!hi.is_empty(), "tmp >= 5 must be reachable");
+        assert!(hi.holds(&[74.0, 300.0, 20.0]));
+        assert!(!hi.holds(&[40.0, 200.0, 80.0]));
+    }
+}

@@ -1,0 +1,173 @@
+//! Abstract syntax of the MiniJ language.
+//!
+//! Program expressions reuse [`Expr`] from `qcoral-constraints`, but with
+//! variables interpreted as *frame slots* (parameters first, then locals)
+//! rather than input variables; the symbolic executor substitutes slot
+//! contents to obtain expressions over the inputs.
+
+use std::fmt;
+
+use qcoral_constraints::{Domain, Expr, RelOp};
+
+/// A boolean condition: comparisons combined with `&&`, `||`, `!`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cond {
+    /// A relational comparison of two arithmetic expressions (over frame
+    /// slots).
+    Cmp(Expr, RelOp, Expr),
+    /// Conjunction (short-circuit order preserved for branching).
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+}
+
+impl Cond {
+    /// Evaluates the condition on a concrete frame. NaN comparisons are
+    /// false (and their negations true), matching the constraint
+    /// semantics.
+    pub fn eval(&self, frame: &[f64]) -> bool {
+        match self {
+            Cond::Cmp(a, op, b) => op.apply(a.eval(frame), b.eval(frame)),
+            Cond::And(a, b) => a.eval(frame) && b.eval(frame),
+            Cond::Or(a, b) => a.eval(frame) || b.eval(frame),
+            Cond::Not(c) => !c.eval(frame),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Cmp(a, op, b) => write!(f, "{a} {op} {b}"),
+            Cond::And(a, b) => write!(f, "({a}) && ({b})"),
+            Cond::Or(a, b) => write!(f, "({a}) || ({b})"),
+            Cond::Not(c) => write!(f, "!({c})"),
+        }
+    }
+}
+
+/// A MiniJ statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Assignment to a frame slot (also covers `double x = e;`
+    /// declarations — the parser allocates the slot).
+    Assign {
+        /// Destination frame slot.
+        slot: usize,
+        /// Right-hand side over frame slots.
+        expr: Expr,
+    },
+    /// Conditional with optional else branch.
+    If {
+        /// Branch condition.
+        cond: Cond,
+        /// Statements executed when the condition holds.
+        then_branch: Vec<Stmt>,
+        /// Statements executed otherwise (possibly empty).
+        else_branch: Vec<Stmt>,
+    },
+    /// While loop (bounded during symbolic execution).
+    While {
+        /// Loop guard.
+        cond: Cond,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Marks the target event and terminates the path (the paper's
+    /// `callSupervisor()`).
+    Target,
+    /// Terminates the path without the event.
+    Return,
+}
+
+/// A parsed MiniJ program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Program name (diagnostic only).
+    pub name: String,
+    /// Input parameters with their bounded domains; parameter `i`
+    /// occupies frame slot `i` and input variable `i`.
+    pub params: Vec<(String, f64, f64)>,
+    /// Local variable names; local `j` occupies frame slot
+    /// `params.len() + j`. Locals start at 0.0.
+    pub locals: Vec<String>,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Total number of frame slots (parameters + locals).
+    pub fn frame_size(&self) -> usize {
+        self.params.len() + self.locals.len()
+    }
+
+    /// The bounded input domain induced by the parameter declarations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameter bounds are invalid (the parser already rejects
+    /// this for parsed programs).
+    pub fn domain(&self) -> Domain {
+        let mut d = Domain::new();
+        for (name, lo, hi) in &self.params {
+            d.declare(name, *lo, *hi)
+                .expect("parser guarantees valid, unique parameter bounds");
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcoral_constraints::VarId;
+
+    #[test]
+    fn cond_eval_with_connectives() {
+        let x = Expr::var(VarId(0));
+        let c = Cond::And(
+            Box::new(Cond::Cmp(x.clone(), RelOp::Gt, Expr::constant(0.0))),
+            Box::new(Cond::Not(Box::new(Cond::Cmp(
+                x.clone(),
+                RelOp::Ge,
+                Expr::constant(1.0),
+            )))),
+        );
+        assert!(c.eval(&[0.5]));
+        assert!(!c.eval(&[1.5]));
+        assert!(!c.eval(&[-0.5]));
+        let o = Cond::Or(
+            Box::new(Cond::Cmp(x.clone(), RelOp::Lt, Expr::constant(0.0))),
+            Box::new(Cond::Cmp(x, RelOp::Gt, Expr::constant(1.0))),
+        );
+        assert!(o.eval(&[-1.0]));
+        assert!(o.eval(&[2.0]));
+        assert!(!o.eval(&[0.5]));
+    }
+
+    #[test]
+    fn nan_condition_negation() {
+        let x = Expr::var(VarId(0));
+        let c = Cond::Cmp(x.clone().sqrt(), RelOp::Ge, Expr::constant(0.0));
+        assert!(!c.eval(&[-1.0]));
+        // !(NaN >= 0) is true under eval (branch semantics), mirroring
+        // Java where the comparison itself is false.
+        assert!(Cond::Not(Box::new(c)).eval(&[-1.0]));
+    }
+
+    #[test]
+    fn program_domain() {
+        let p = Program {
+            name: "t".into(),
+            params: vec![("a".into(), 0.0, 1.0), ("b".into(), -5.0, 5.0)],
+            locals: vec!["tmp".into()],
+            body: vec![],
+        };
+        assert_eq!(p.frame_size(), 3);
+        let d = p.domain();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.bounds(VarId(1)), (-5.0, 5.0));
+    }
+}

@@ -1,0 +1,185 @@
+//! Flattening of structured MiniJ programs into a jump-based instruction
+//! form, shared by the concrete interpreter and the symbolic executor.
+//! Loops become backward jumps, so bounded symbolic exploration only needs
+//! a branch-decision budget rather than structural recursion.
+
+use qcoral_constraints::Expr;
+
+use crate::ast::{Cond, Program, Stmt};
+
+/// One flat instruction. `ip` denotes instruction indices.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    /// Store the value of `expr` into `slot`.
+    Assign {
+        /// Destination frame slot.
+        slot: usize,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// Evaluate the condition: fall through when true, jump to `otherwise`
+    /// when false.
+    Branch {
+        /// Branch condition.
+        cond: Cond,
+        /// Jump target when the condition is false.
+        otherwise: usize,
+    },
+    /// Unconditional jump.
+    Jump(usize),
+    /// Target event: record and terminate the path.
+    Target,
+    /// Terminate the path without the event.
+    Return,
+}
+
+/// A program flattened to instructions.
+#[derive(Clone, Debug)]
+pub struct FlatProgram {
+    /// The instruction sequence; execution starts at 0 and falling off the
+    /// end is an implicit [`Instr::Return`].
+    pub instrs: Vec<Instr>,
+    /// Number of parameters (frame slots `0..nparams` are inputs).
+    pub nparams: usize,
+    /// Total frame size.
+    pub frame_size: usize,
+}
+
+/// Flattens a structured program.
+pub fn flatten(prog: &Program) -> FlatProgram {
+    let mut instrs = Vec::new();
+    emit_block(&prog.body, &mut instrs);
+    FlatProgram {
+        instrs,
+        nparams: prog.params.len(),
+        frame_size: prog.frame_size(),
+    }
+}
+
+fn emit_block(stmts: &[Stmt], out: &mut Vec<Instr>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { slot, expr } => out.push(Instr::Assign {
+                slot: *slot,
+                expr: expr.clone(),
+            }),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let branch_at = out.len();
+                out.push(Instr::Jump(usize::MAX)); // placeholder
+                emit_block(then_branch, out);
+                if else_branch.is_empty() {
+                    let end = out.len();
+                    out[branch_at] = Instr::Branch {
+                        cond: cond.clone(),
+                        otherwise: end,
+                    };
+                } else {
+                    let jump_at = out.len();
+                    out.push(Instr::Jump(usize::MAX)); // placeholder over else
+                    let else_start = out.len();
+                    emit_block(else_branch, out);
+                    let end = out.len();
+                    out[branch_at] = Instr::Branch {
+                        cond: cond.clone(),
+                        otherwise: else_start,
+                    };
+                    out[jump_at] = Instr::Jump(end);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let head = out.len();
+                out.push(Instr::Jump(usize::MAX)); // placeholder
+                emit_block(body, out);
+                out.push(Instr::Jump(head));
+                let end = out.len();
+                out[head] = Instr::Branch {
+                    cond: cond.clone(),
+                    otherwise: end,
+                };
+            }
+            Stmt::Target => out.push(Instr::Target),
+            Stmt::Return => out.push(Instr::Return),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcoral_constraints::{RelOp, VarId};
+
+    fn x() -> Expr {
+        Expr::var(VarId(0))
+    }
+
+    fn cmp(op: RelOp, rhs: f64) -> Cond {
+        Cond::Cmp(x(), op, Expr::constant(rhs))
+    }
+
+    #[test]
+    fn flatten_if_else() {
+        let p = Program {
+            name: "t".into(),
+            params: vec![("x".into(), 0.0, 1.0)],
+            locals: vec![],
+            body: vec![Stmt::If {
+                cond: cmp(RelOp::Gt, 0.5),
+                then_branch: vec![Stmt::Target],
+                else_branch: vec![Stmt::Return],
+            }],
+        };
+        let f = flatten(&p);
+        assert_eq!(f.instrs.len(), 4);
+        assert!(matches!(f.instrs[0], Instr::Branch { otherwise: 3, .. }));
+        assert!(matches!(f.instrs[1], Instr::Target));
+        assert!(matches!(f.instrs[2], Instr::Jump(4)));
+        assert!(matches!(f.instrs[3], Instr::Return));
+    }
+
+    #[test]
+    fn flatten_if_without_else() {
+        let p = Program {
+            name: "t".into(),
+            params: vec![("x".into(), 0.0, 1.0)],
+            locals: vec![],
+            body: vec![
+                Stmt::If {
+                    cond: cmp(RelOp::Gt, 0.5),
+                    then_branch: vec![Stmt::Target],
+                    else_branch: vec![],
+                },
+                Stmt::Return,
+            ],
+        };
+        let f = flatten(&p);
+        assert!(matches!(f.instrs[0], Instr::Branch { otherwise: 2, .. }));
+        assert!(matches!(f.instrs[1], Instr::Target));
+        assert!(matches!(f.instrs[2], Instr::Return));
+    }
+
+    #[test]
+    fn flatten_while_loops_back() {
+        let p = Program {
+            name: "t".into(),
+            params: vec![("x".into(), 0.0, 1.0)],
+            locals: vec!["i".into()],
+            body: vec![Stmt::While {
+                cond: Cond::Cmp(Expr::var(VarId(1)), RelOp::Lt, Expr::constant(3.0)),
+                body: vec![Stmt::Assign {
+                    slot: 1,
+                    expr: Expr::var(VarId(1)).add(Expr::constant(1.0)),
+                }],
+            }],
+        };
+        let f = flatten(&p);
+        // Branch(→3), Assign, Jump(0)
+        assert!(matches!(f.instrs[0], Instr::Branch { otherwise: 3, .. }));
+        assert!(matches!(f.instrs[1], Instr::Assign { .. }));
+        assert!(matches!(f.instrs[2], Instr::Jump(0)));
+        assert_eq!(f.frame_size, 2);
+    }
+}

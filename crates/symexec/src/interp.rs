@@ -1,0 +1,154 @@
+//! Concrete interpreter for MiniJ programs.
+//!
+//! Used for differential validation of the symbolic executor: for any
+//! concrete input, the interpreter hits the target if and only if the
+//! input satisfies one of the symbolically collected target PCs (provided
+//! the run stays within the exploration bound).
+
+use crate::flat::{flatten, FlatProgram, Instr};
+use crate::Program;
+
+/// The result of a concrete run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The run executed `target();`.
+    Target,
+    /// The run terminated without the event.
+    NoTarget,
+    /// The run exceeded the step budget (diverging loop).
+    StepLimit,
+}
+
+/// Executes `prog` on the given parameter values (locals start at 0).
+/// `max_steps` bounds the number of executed instructions.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the number of parameters.
+pub fn run(prog: &Program, inputs: &[f64], max_steps: u64) -> Outcome {
+    run_flat(&flatten(prog), inputs, max_steps)
+}
+
+/// Executes an already-flattened program (cheaper when running many
+/// inputs).
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the number of parameters.
+pub fn run_flat(flat: &FlatProgram, inputs: &[f64], max_steps: u64) -> Outcome {
+    assert_eq!(
+        inputs.len(),
+        flat.nparams,
+        "input arity mismatch: program has {} parameters",
+        flat.nparams
+    );
+    let mut frame = vec![0.0f64; flat.frame_size];
+    frame[..inputs.len()].copy_from_slice(inputs);
+    let mut ip = 0usize;
+    let mut steps = 0u64;
+    while ip < flat.instrs.len() {
+        steps += 1;
+        if steps > max_steps {
+            return Outcome::StepLimit;
+        }
+        match &flat.instrs[ip] {
+            Instr::Assign { slot, expr } => {
+                frame[*slot] = expr.eval(&frame);
+                ip += 1;
+            }
+            Instr::Branch { cond, otherwise } => {
+                if cond.eval(&frame) {
+                    ip += 1;
+                } else {
+                    ip = *otherwise;
+                }
+            }
+            Instr::Jump(t) => ip = *t,
+            Instr::Target => return Outcome::Target,
+            Instr::Return => return Outcome::NoTarget,
+        }
+    }
+    Outcome::NoTarget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn straight_line_target() {
+        let p = parse_program("program p(x in [0, 1]) { target(); }").unwrap();
+        assert_eq!(run(&p, &[0.5], 1000), Outcome::Target);
+    }
+
+    #[test]
+    fn branch_both_ways() {
+        let p = parse_program(
+            "program p(x in [0, 1]) { if (x > 0.5) { target(); } }",
+        )
+        .unwrap();
+        assert_eq!(run(&p, &[0.7], 1000), Outcome::Target);
+        assert_eq!(run(&p, &[0.3], 1000), Outcome::NoTarget);
+    }
+
+    #[test]
+    fn locals_and_loop() {
+        let p = parse_program(
+            "program p(x in [0, 10]) {
+               double acc = 0;
+               double i = 0;
+               while (i < 4) {
+                 acc = acc + x;
+                 i = i + 1;
+               }
+               if (acc > 20) { target(); }
+             }",
+        )
+        .unwrap();
+        // acc = 4x; target iff x > 5.
+        assert_eq!(run(&p, &[6.0], 1000), Outcome::Target);
+        assert_eq!(run(&p, &[4.0], 1000), Outcome::NoTarget);
+    }
+
+    #[test]
+    fn step_limit_detects_divergence() {
+        let p = parse_program(
+            "program p(x in [0, 1]) { while (x < 2) { x = x; } }",
+        )
+        .unwrap();
+        assert_eq!(run(&p, &[0.5], 100), Outcome::StepLimit);
+    }
+
+    #[test]
+    fn return_stops_early() {
+        let p = parse_program(
+            "program p(x in [0, 1]) { return; target(); }",
+        )
+        .unwrap();
+        assert_eq!(run(&p, &[0.5], 100), Outcome::NoTarget);
+    }
+
+    #[test]
+    fn paper_listing1_semantics() {
+        let p = parse_program(
+            "program monitor(altitude in [0, 20000],
+                             headFlap in [-10, 10],
+                             tailFlap in [-10, 10]) {
+               if (altitude <= 9000) {
+                 if (sin(headFlap * tailFlap) > 0.25) { target(); }
+               } else {
+                 target();
+               }
+             }",
+        )
+        .unwrap();
+        assert_eq!(run(&p, &[9500.0, 0.0, 0.0], 100), Outcome::Target);
+        assert_eq!(run(&p, &[100.0, 0.0, 0.0], 100), Outcome::NoTarget);
+        // sin(1 · π/2) = 1 > 0.25
+        assert_eq!(
+            run(&p, &[100.0, 1.0, std::f64::consts::FRAC_PI_2], 100),
+            Outcome::Target
+        );
+    }
+}

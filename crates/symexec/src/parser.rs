@@ -1,0 +1,573 @@
+//! Parser for the MiniJ language.
+//!
+//! Reuses the lexer of `qcoral-constraints` and a *typed* precedence
+//! climber: one grammar covers both arithmetic and boolean expressions,
+//! with kinds checked as operators are applied (`&&` needs booleans, `<`
+//! needs numbers, …), so conditions like `(x + 1) * y < 2 && !(y > 0)`
+//! parse without backtracking.
+//!
+//! ```text
+//! program  := "program" IDENT "(" param ("," param)* ")" block
+//! param    := IDENT "in" "[" num "," num "]"
+//! block    := "{" stmt* "}"
+//! stmt     := "double" IDENT "=" expr ";"
+//!           | IDENT "=" expr ";"
+//!           | "if" "(" expr ")" block ("else" (block | if-stmt))?
+//!           | "while" "(" expr ")" block
+//!           | "check" "(" expr ")" ";"        # sugar: if (c) { target(); }
+//!           | "target" "(" ")" ";"
+//!           | "return" ";"
+//! ```
+
+use std::collections::HashMap;
+
+use qcoral_constraints::lexer::{ParseError, Pos, Sym, Token, TokenStream};
+use qcoral_constraints::parse::apply_function;
+use qcoral_constraints::{Expr, RelOp, VarId};
+
+use crate::ast::{Cond, Program, Stmt};
+
+const KEYWORDS: &[&str] = &[
+    "program", "double", "if", "else", "while", "target", "return", "check", "in",
+];
+
+/// Parses a MiniJ program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with position information for syntax errors,
+/// kind mismatches (e.g. `&&` on numbers), unknown identifiers, duplicate
+/// declarations, or invalid parameter bounds.
+///
+/// # Example
+///
+/// ```
+/// use qcoral_symexec::parse_program;
+///
+/// let p = parse_program(
+///     "program demo(x in [0, 1]) {
+///        double y = x * 2;
+///        if (y > 1 && sin(x) < 0.9) { target(); }
+///      }",
+/// ).unwrap();
+/// assert_eq!(p.params.len(), 1);
+/// assert_eq!(p.locals.len(), 1);
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut p = ProgParser {
+        ts: TokenStream::new(src)?,
+        slots: HashMap::new(),
+        params: Vec::new(),
+        locals: Vec::new(),
+    };
+    p.program()
+}
+
+/// Expression values during typed parsing: a number or a boolean.
+enum PExpr {
+    Num(Expr),
+    Bool(Cond),
+}
+
+impl PExpr {
+    fn expect_num(self, pos: Pos) -> Result<Expr, ParseError> {
+        match self {
+            PExpr::Num(e) => Ok(e),
+            PExpr::Bool(_) => Err(ParseError::new(
+                "expected a numeric expression, found a boolean one",
+                pos,
+            )),
+        }
+    }
+
+    fn expect_bool(self, pos: Pos) -> Result<Cond, ParseError> {
+        match self {
+            PExpr::Bool(c) => Ok(c),
+            PExpr::Num(_) => Err(ParseError::new(
+                "expected a boolean condition, found a numeric expression",
+                pos,
+            )),
+        }
+    }
+}
+
+struct ProgParser {
+    ts: TokenStream,
+    slots: HashMap<String, usize>,
+    params: Vec<(String, f64, f64)>,
+    locals: Vec<String>,
+}
+
+impl ProgParser {
+    fn program(&mut self) -> Result<Program, ParseError> {
+        if !self.ts.eat_kw("program") {
+            return Err(ParseError::new("expected `program`", self.ts.pos()));
+        }
+        let name = self.ident()?;
+        self.ts.expect_sym(Sym::LParen)?;
+        if !self.ts.eat_sym(Sym::RParen) {
+            loop {
+                let pos = self.ts.pos();
+                let pname = self.ident()?;
+                if !self.ts.eat_kw("in") {
+                    return Err(ParseError::new("expected `in` after parameter name", self.ts.pos()));
+                }
+                self.ts.expect_sym(Sym::LBracket)?;
+                let lo = self.ts.expect_num()?;
+                self.ts.expect_sym(Sym::Comma)?;
+                let hi = self.ts.expect_num()?;
+                self.ts.expect_sym(Sym::RBracket)?;
+                if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+                    return Err(ParseError::new(
+                        format!("invalid bounds [{lo}, {hi}] for parameter `{pname}`"),
+                        pos,
+                    ));
+                }
+                self.declare(&pname, pos, true)?;
+                self.params.push((pname, lo, hi));
+                if !self.ts.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            self.ts.expect_sym(Sym::RParen)?;
+        }
+        let body = self.block()?;
+        if !self.ts.at_eof() {
+            return Err(ParseError::new(
+                format!("trailing input after program body: {}", self.ts.peek()),
+                self.ts.pos(),
+            ));
+        }
+        Ok(Program {
+            name,
+            params: std::mem::take(&mut self.params),
+            locals: std::mem::take(&mut self.locals),
+            body,
+        })
+    }
+
+    fn declare(&mut self, name: &str, pos: Pos, _is_param: bool) -> Result<usize, ParseError> {
+        if KEYWORDS.contains(&name) {
+            return Err(ParseError::new(
+                format!("`{name}` is a keyword and cannot name a variable"),
+                pos,
+            ));
+        }
+        if self.slots.contains_key(name) {
+            return Err(ParseError::new(
+                format!("duplicate declaration of `{name}`"),
+                pos,
+            ));
+        }
+        let slot = self.slots.len();
+        self.slots.insert(name.to_owned(), slot);
+        Ok(slot)
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.ts.expect_ident()
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.ts.expect_sym(Sym::LBrace)?;
+        let mut out = Vec::new();
+        while !self.ts.eat_sym(Sym::RBrace) {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.ts.pos();
+        if self.ts.eat_kw("double") {
+            let name = self.ident()?;
+            self.ts.expect_sym(Sym::Assign)?;
+            let expr = self.num_expr()?;
+            self.ts.expect_sym(Sym::Semi)?;
+            let slot = self.declare(&name, pos, false)?;
+            self.locals.push(name);
+            return Ok(Stmt::Assign { slot, expr });
+        }
+        if self.ts.eat_kw("if") {
+            return self.if_stmt();
+        }
+        if self.ts.eat_kw("while") {
+            self.ts.expect_sym(Sym::LParen)?;
+            let cond = self.bool_expr()?;
+            self.ts.expect_sym(Sym::RParen)?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.ts.eat_kw("target") {
+            self.ts.expect_sym(Sym::LParen)?;
+            self.ts.expect_sym(Sym::RParen)?;
+            self.ts.expect_sym(Sym::Semi)?;
+            return Ok(Stmt::Target);
+        }
+        if self.ts.eat_kw("check") {
+            self.ts.expect_sym(Sym::LParen)?;
+            let cond = self.bool_expr()?;
+            self.ts.expect_sym(Sym::RParen)?;
+            self.ts.expect_sym(Sym::Semi)?;
+            return Ok(Stmt::If {
+                cond,
+                then_branch: vec![Stmt::Target],
+                else_branch: vec![],
+            });
+        }
+        if self.ts.eat_kw("return") {
+            self.ts.expect_sym(Sym::Semi)?;
+            return Ok(Stmt::Return);
+        }
+        // Assignment to an existing variable.
+        match self.ts.peek().clone() {
+            Token::Ident(name) => {
+                self.ts.next();
+                let slot = *self.slots.get(&name).ok_or_else(|| {
+                    ParseError::new(
+                        format!("unknown variable `{name}` (declare with `double {name} = …;`)"),
+                        pos,
+                    )
+                })?;
+                self.ts.expect_sym(Sym::Assign)?;
+                let expr = self.num_expr()?;
+                self.ts.expect_sym(Sym::Semi)?;
+                Ok(Stmt::Assign { slot, expr })
+            }
+            t => Err(ParseError::new(format!("expected statement, found {t}"), pos)),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.ts.expect_sym(Sym::LParen)?;
+        let cond = self.bool_expr()?;
+        self.ts.expect_sym(Sym::RParen)?;
+        let then_branch = self.block()?;
+        let else_branch = if self.ts.eat_kw("else") {
+            if self.ts.eat_kw("if") {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
+    }
+
+    fn num_expr(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.ts.pos();
+        self.or_expr()?.expect_num(pos)
+    }
+
+    fn bool_expr(&mut self) -> Result<Cond, ParseError> {
+        let pos = self.ts.pos();
+        self.or_expr()?.expect_bool(pos)
+    }
+
+    // ---- typed precedence climbing ----
+
+    fn or_expr(&mut self) -> Result<PExpr, ParseError> {
+        let pos = self.ts.pos();
+        let mut acc = self.and_expr()?;
+        while self.ts.eat_sym(Sym::OrOr) {
+            let lhs = acc.expect_bool(pos)?;
+            let rpos = self.ts.pos();
+            let rhs = self.and_expr()?.expect_bool(rpos)?;
+            acc = PExpr::Bool(Cond::Or(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(acc)
+    }
+
+    fn and_expr(&mut self) -> Result<PExpr, ParseError> {
+        let pos = self.ts.pos();
+        let mut acc = self.cmp_expr()?;
+        while self.ts.eat_sym(Sym::AndAnd) {
+            let lhs = acc.expect_bool(pos)?;
+            let rpos = self.ts.pos();
+            let rhs = self.cmp_expr()?.expect_bool(rpos)?;
+            acc = PExpr::Bool(Cond::And(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(acc)
+    }
+
+    fn cmp_expr(&mut self) -> Result<PExpr, ParseError> {
+        let pos = self.ts.pos();
+        let lhs = self.add_expr()?;
+        let op = match self.ts.peek() {
+            Token::Sym(Sym::Lt) => Some(RelOp::Lt),
+            Token::Sym(Sym::Le) => Some(RelOp::Le),
+            Token::Sym(Sym::Gt) => Some(RelOp::Gt),
+            Token::Sym(Sym::Ge) => Some(RelOp::Ge),
+            Token::Sym(Sym::EqEq) => Some(RelOp::Eq),
+            Token::Sym(Sym::Ne) => Some(RelOp::Ne),
+            _ => None,
+        };
+        let Some(op) = op else { return Ok(lhs) };
+        self.ts.next();
+        let l = lhs.expect_num(pos)?;
+        let rpos = self.ts.pos();
+        let r = self.add_expr()?.expect_num(rpos)?;
+        Ok(PExpr::Bool(Cond::Cmp(l, op, r)))
+    }
+
+    fn add_expr(&mut self) -> Result<PExpr, ParseError> {
+        let pos = self.ts.pos();
+        let mut acc = self.mul_expr()?;
+        loop {
+            if self.ts.eat_sym(Sym::Plus) {
+                let l = acc.expect_num(pos)?;
+                let rpos = self.ts.pos();
+                let r = self.mul_expr()?.expect_num(rpos)?;
+                acc = PExpr::Num(l.add(r));
+            } else if self.ts.eat_sym(Sym::Minus) {
+                let l = acc.expect_num(pos)?;
+                let rpos = self.ts.pos();
+                let r = self.mul_expr()?.expect_num(rpos)?;
+                acc = PExpr::Num(l.sub(r));
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<PExpr, ParseError> {
+        let pos = self.ts.pos();
+        let mut acc = self.prefix_expr()?;
+        loop {
+            if self.ts.eat_sym(Sym::Star) {
+                let l = acc.expect_num(pos)?;
+                let rpos = self.ts.pos();
+                let r = self.prefix_expr()?.expect_num(rpos)?;
+                acc = PExpr::Num(l.mul(r));
+            } else if self.ts.eat_sym(Sym::Slash) {
+                let l = acc.expect_num(pos)?;
+                let rpos = self.ts.pos();
+                let r = self.prefix_expr()?.expect_num(rpos)?;
+                acc = PExpr::Num(l.div(r));
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn prefix_expr(&mut self) -> Result<PExpr, ParseError> {
+        if self.ts.eat_sym(Sym::Minus) {
+            let pos = self.ts.pos();
+            let e = self.prefix_expr()?.expect_num(pos)?;
+            return Ok(PExpr::Num(e.neg()));
+        }
+        if self.ts.eat_sym(Sym::Plus) {
+            return self.prefix_expr();
+        }
+        if self.ts.eat_sym(Sym::Not) {
+            let pos = self.ts.pos();
+            let c = self.prefix_expr()?.expect_bool(pos)?;
+            return Ok(PExpr::Bool(Cond::Not(Box::new(c))));
+        }
+        self.pow_expr()
+    }
+
+    fn pow_expr(&mut self) -> Result<PExpr, ParseError> {
+        let pos = self.ts.pos();
+        let base = self.primary()?;
+        if self.ts.eat_sym(Sym::Caret) {
+            let b = base.expect_num(pos)?;
+            let rpos = self.ts.pos();
+            let e = self.prefix_expr()?.expect_num(rpos)?;
+            return Ok(PExpr::Num(b.pow(e)));
+        }
+        Ok(base)
+    }
+
+    fn primary(&mut self) -> Result<PExpr, ParseError> {
+        let pos = self.ts.pos();
+        match self.ts.next() {
+            Token::Num(v) => Ok(PExpr::Num(Expr::constant(v))),
+            Token::Sym(Sym::LParen) => {
+                let inner = self.or_expr()?;
+                self.ts.expect_sym(Sym::RParen)?;
+                Ok(inner)
+            }
+            Token::Ident(name) => {
+                if self.ts.eat_sym(Sym::LParen) {
+                    let mut args = Vec::new();
+                    if !self.ts.eat_sym(Sym::RParen) {
+                        loop {
+                            let apos = self.ts.pos();
+                            args.push(self.or_expr()?.expect_num(apos)?);
+                            if !self.ts.eat_sym(Sym::Comma) {
+                                break;
+                            }
+                        }
+                        self.ts.expect_sym(Sym::RParen)?;
+                    }
+                    return Ok(PExpr::Num(apply_function(&name, args, pos)?));
+                }
+                if let Some(&slot) = self.slots.get(&name) {
+                    return Ok(PExpr::Num(Expr::var(VarId(slot as u32))));
+                }
+                match name.as_str() {
+                    "pi" => Ok(PExpr::Num(Expr::constant(std::f64::consts::PI))),
+                    "e" => Ok(PExpr::Num(Expr::constant(std::f64::consts::E))),
+                    _ => Err(ParseError::new(
+                        format!("unknown variable `{name}`"),
+                        pos,
+                    )),
+                }
+            }
+            t => Err(ParseError::new(
+                format!("expected expression, found {t}"),
+                pos,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing1() {
+        let p = parse_program(
+            "program monitor(altitude in [0, 20000],
+                             headFlap in [-10, 10],
+                             tailFlap in [-10, 10]) {
+               if (altitude <= 9000) {
+                 if (sin(headFlap * tailFlap) > 0.25) { target(); }
+               } else {
+                 target();
+               }
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.name, "monitor");
+        assert_eq!(p.params.len(), 3);
+        assert_eq!(p.params[0], ("altitude".into(), 0.0, 20000.0));
+        assert!(p.locals.is_empty());
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn typed_conditions() {
+        let p = parse_program(
+            "program t(x in [0, 1], y in [0, 1]) {
+               if ((x + 1) * y < 2 && !(y > 0) || x == y) { target(); }
+             }",
+        )
+        .unwrap();
+        match &p.body[0] {
+            Stmt::If { cond, .. } => {
+                assert!(matches!(cond, Cond::Or(..)));
+            }
+            s => panic!("expected if, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse_program(
+            "program t(x in [0, 3]) {
+               if (x < 1) { return; }
+               else if (x < 2) { target(); }
+               else { return; }
+             }",
+        )
+        .unwrap();
+        match &p.body[0] {
+            Stmt::If { else_branch, .. } => {
+                assert_eq!(else_branch.len(), 1);
+                assert!(matches!(else_branch[0], Stmt::If { .. }));
+            }
+            s => panic!("expected if, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn check_sugar() {
+        let p = parse_program("program t(x in [0, 1]) { check(x > 0.5); }").unwrap();
+        match &p.body[0] {
+            Stmt::If { then_branch, .. } => assert_eq!(then_branch[0], Stmt::Target),
+            s => panic!("expected desugared if, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn locals_get_slots_after_params() {
+        let p = parse_program(
+            "program t(a in [0, 1]) {
+               double b = a + 1;
+               b = b * 2;
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.locals, vec!["b".to_owned()]);
+        assert_eq!(
+            p.body[0],
+            Stmt::Assign {
+                slot: 1,
+                expr: Expr::var(VarId(0)).add(Expr::constant(1.0)),
+            }
+        );
+    }
+
+    #[test]
+    fn error_kind_mismatch() {
+        let err = parse_program("program t(x in [0,1]) { if (x + 1) { target(); } }")
+            .unwrap_err();
+        assert!(err.msg.contains("boolean"), "{err}");
+        let err2 =
+            parse_program("program t(x in [0,1]) { double y = x > 0; }").unwrap_err();
+        assert!(err2.msg.contains("numeric"), "{err2}");
+    }
+
+    #[test]
+    fn error_unknown_variable() {
+        let err = parse_program("program t(x in [0,1]) { y = 1; }").unwrap_err();
+        assert!(err.msg.contains("unknown variable `y`"), "{err}");
+    }
+
+    #[test]
+    fn error_duplicate_declaration() {
+        let err = parse_program(
+            "program t(x in [0,1]) { double x = 1; }",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn error_keyword_as_variable() {
+        let err = parse_program("program t(if in [0,1]) { }").unwrap_err();
+        assert!(err.msg.contains("keyword"), "{err}");
+    }
+
+    #[test]
+    fn error_bad_bounds() {
+        let err = parse_program("program t(x in [2, 1]) { }").unwrap_err();
+        assert!(err.msg.contains("invalid bounds"), "{err}");
+    }
+
+    #[test]
+    fn not_binds_to_parenthesized_condition() {
+        let p = parse_program(
+            "program t(x in [0,1]) { if (!(x < 0.5)) { target(); } }",
+        )
+        .unwrap();
+        match &p.body[0] {
+            Stmt::If { cond, .. } => assert!(matches!(cond, Cond::Not(_))),
+            s => panic!("expected if, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn no_params_program() {
+        let p = parse_program("program t() { target(); }").unwrap();
+        assert!(p.params.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Differential testing: for randomly generated programs and random
+//! inputs, the concrete interpreter hits the target if and only if the
+//! input satisfies exactly one symbolically collected target PC.
+//!
+//! Generated programs avoid partial operations (`sqrt`, `/`, `ln`) in
+//! guards so that the NaN caveat documented in `exec.rs` does not apply.
+
+use proptest::prelude::*;
+use qcoral_symexec::ast::{Cond, Program, Stmt};
+use qcoral_symexec::{run, symbolic_execute, Outcome, SymConfig};
+use qcoral_constraints::{Expr, RelOp, VarId};
+
+const NPARAMS: usize = 2;
+
+/// A random total (NaN-free on the domain) arithmetic expression over the
+/// two parameters and up to one local slot.
+fn arith(max_slot: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-2.0f64..2.0).prop_map(Expr::constant),
+        (0..=max_slot).prop_map(|i| Expr::var(VarId(i))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            inner.clone().prop_map(|a| a.sin()),
+            inner.clone().prop_map(|a| a.cos()),
+            inner.prop_map(|a| a.abs()),
+        ]
+    })
+}
+
+fn relop() -> impl Strategy<Value = RelOp> {
+    prop_oneof![
+        Just(RelOp::Lt),
+        Just(RelOp::Le),
+        Just(RelOp::Gt),
+        Just(RelOp::Ge)
+    ]
+}
+
+fn cond(max_slot: u32) -> impl Strategy<Value = Cond> {
+    let cmp = (arith(max_slot), relop(), arith(max_slot))
+        .prop_map(|(l, op, r)| Cond::Cmp(l, op, r));
+    cmp.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|c| Cond::Not(Box::new(c))),
+        ]
+    })
+}
+
+/// A random program: a local assignment, then nested branching with
+/// targets sprinkled in.
+fn program() -> impl Strategy<Value = Program> {
+    (
+        arith(NPARAMS as u32 - 1),
+        cond(NPARAMS as u32),
+        cond(NPARAMS as u32),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(local_init, c1, c2, t_then, t_nested)| {
+            let then_branch = if t_then {
+                vec![Stmt::Target]
+            } else {
+                vec![Stmt::If {
+                    cond: c2.clone(),
+                    then_branch: vec![Stmt::Target],
+                    else_branch: vec![Stmt::Return],
+                }]
+            };
+            let else_branch = if t_nested {
+                vec![Stmt::If {
+                    cond: c2,
+                    then_branch: vec![Stmt::Return],
+                    else_branch: vec![Stmt::Target],
+                }]
+            } else {
+                vec![]
+            };
+            Program {
+                name: "gen".into(),
+                params: vec![("p0".into(), -1.0, 1.0), ("p1".into(), -1.0, 1.0)],
+                locals: vec!["l0".into()],
+                body: vec![
+                    Stmt::Assign {
+                        slot: NPARAMS,
+                        expr: local_init,
+                    },
+                    Stmt::If {
+                        cond: c1,
+                        then_branch,
+                        else_branch,
+                    },
+                ],
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn symbolic_pcs_partition_and_match_interpreter(
+        prog in program(),
+        points in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 32)
+    ) {
+        let sym = symbolic_execute(&prog, &SymConfig::default());
+        prop_assert!(sym.bound_hit.is_empty(), "loop-free programs never hit the bound");
+        for (x, y) in points {
+            let input = [x, y];
+            let concrete = run(&prog, &input, 10_000) == Outcome::Target;
+            let holding: Vec<bool> = sym
+                .complete
+                .iter()
+                .filter(|(pc, _)| pc.holds(&input))
+                .map(|(_, t)| *t)
+                .collect();
+            prop_assert_eq!(
+                holding.len(),
+                1,
+                "input {:?} satisfied {} complete-path PCs",
+                input,
+                holding.len()
+            );
+            prop_assert_eq!(
+                holding[0], concrete,
+                "symbolic/concrete disagree on {:?}", input
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Bounded-exploration confidence (paper §3.1) on a tank-filling
+//! controller: as the symbolic-execution depth bound grows, the
+//! probability mass of cut paths shrinks and the bracket around the true
+//! target probability tightens.
+//!
+//! Run with: `cargo run --release --example tank_controller`
+
+use qcoral::Options;
+use qcoral_repro::pipeline::analyze_program;
+use qcoral_symexec::SymConfig;
+
+fn main() {
+    // The VOL-style subject of the paper's Table 3: inflow-dependent fill
+    // time; the target event is a slow fill (≥ 18 control cycles).
+    let source = "program tank(f1 in [0, 1], f2 in [0, 1]) {
+       double level = 0;
+       double count = 0;
+       while (level < 10 && count < 24) {
+         level = level + 0.3 + f1 + 0.5 * f2;
+         count = count + 1;
+       }
+       if (count >= 18) { target(); }
+     }";
+
+    println!("{:>6} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "depth", "paths", "cut", "P(target)", "cut mass", "confidence");
+    for depth in [6, 10, 14, 18, 30] {
+        let analysis = analyze_program(
+            source,
+            &SymConfig {
+                max_depth: depth,
+                ..SymConfig::default()
+            },
+            Options::default().with_samples(30_000).with_seed(1),
+        )
+        .expect("the demo program parses");
+        println!(
+            "{:>6} {:>8} {:>10} {:>12.5} {:>12.5} {:>12.5}",
+            depth,
+            analysis.paths,
+            analysis.cut_paths,
+            analysis.target.estimate.mean,
+            analysis.bound_mass.mean,
+            analysis.confidence()
+        );
+    }
+    println!("\nThe true probability always lies in [P(target), P(target) + cut mass];");
+    println!("deep enough exploration drives the cut mass to zero (confidence 1).");
+}

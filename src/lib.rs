@@ -1,0 +1,17 @@
+//! Umbrella crate for the qCORAL reproduction.
+//!
+//! Hosts the runnable examples (`examples/`), the cross-crate
+//! integration tests (`tests/`), and the one-call
+//! [`pipeline::analyze_program`] convenience API. Re-exports the
+//! workspace crates.
+
+pub mod pipeline;
+
+pub use qcoral;
+pub use qcoral_baselines as baselines;
+pub use qcoral_constraints as constraints;
+pub use qcoral_icp as icp;
+pub use qcoral_interval as interval;
+pub use qcoral_mc as mc;
+pub use qcoral_subjects as subjects;
+pub use qcoral_symexec as symexec;

@@ -1,0 +1,181 @@
+//! End-to-end pipeline tests: MiniJ program → symbolic execution →
+//! qCORAL quantification, validated against concrete simulation of the
+//! same program (differential testing across the whole stack).
+
+use qcoral::{Analyzer, Options};
+use qcoral_mc::UsageProfile;
+use qcoral_symexec::{parse_program, run, symbolic_execute, Outcome, SymConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Estimates the target probability by concretely executing the program
+/// on uniform samples — the ground truth for the symbolic pipeline.
+fn simulate(src: &str, n: u64, seed: u64) -> f64 {
+    let prog = parse_program(src).expect("program parses");
+    let bounds: Vec<(f64, f64)> = prog.params.iter().map(|(_, lo, hi)| (*lo, *hi)).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut inputs = vec![0.0; bounds.len()];
+    let mut hits = 0u64;
+    for _ in 0..n {
+        for (x, &(lo, hi)) in inputs.iter_mut().zip(&bounds) {
+            *x = if lo == hi { lo } else { rng.gen_range(lo..hi) };
+        }
+        if run(&prog, &inputs, 100_000) == Outcome::Target {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
+}
+
+/// Quantifies the same program through the symbolic pipeline.
+fn quantify(src: &str, opts: Options) -> f64 {
+    let prog = parse_program(src).expect("program parses");
+    let sym = symbolic_execute(&prog, &SymConfig::default());
+    assert!(
+        sym.bound_hit.is_empty(),
+        "test programs must be fully explorable"
+    );
+    let profile = UsageProfile::uniform(sym.domain.len());
+    Analyzer::new(opts)
+        .analyze(&sym.target, &sym.domain, &profile)
+        .estimate
+        .mean
+}
+
+fn check_agreement(src: &str, tolerance: f64) {
+    let truth = simulate(src, 200_000, 17);
+    for (label, opts) in [
+        ("plain", Options::plain().with_samples(40_000)),
+        ("strat", Options::strat().with_samples(40_000)),
+        ("strat+partcache", Options::strat_partcache().with_samples(40_000)),
+    ] {
+        let est = quantify(src, opts);
+        assert!(
+            (est - truth).abs() < tolerance,
+            "{label}: estimate {est} vs simulated {truth}"
+        );
+    }
+}
+
+#[test]
+fn safety_monitor_matches_simulation() {
+    check_agreement(
+        "program monitor(altitude in [0, 20000], headFlap in [-10, 10], tailFlap in [-10, 10]) {
+           if (altitude <= 9000) {
+             if (sin(headFlap * tailFlap) > 0.25) { target(); }
+           } else { target(); }
+         }",
+        0.01,
+    );
+}
+
+#[test]
+fn branching_dataflow_matches_simulation() {
+    check_agreement(
+        "program p(x in [0, 2], y in [-1, 1]) {
+           double a = x * x - y;
+           double b = 0;
+           if (a > 1) { b = a - 1; } else { b = 1 - a; }
+           if (b * b < 0.5 && x + y > 0.3) { target(); }
+         }",
+        0.015,
+    );
+}
+
+#[test]
+fn concrete_loop_matches_simulation() {
+    check_agreement(
+        "program p(x in [0, 1], y in [0, 1]) {
+           double acc = 0;
+           double i = 0;
+           while (i < 5) { acc = acc + x * y; i = i + 1; }
+           if (acc > 1) { target(); }
+         }",
+        0.01,
+    );
+}
+
+#[test]
+fn symbolic_loop_matches_simulation() {
+    // The loop's exit iteration depends on the input; all paths complete
+    // within the depth bound because the gain is bounded below.
+    check_agreement(
+        "program p(rate in [0.25, 1]) {
+           double level = 0;
+           double n = 0;
+           while (level < 2 && n < 10) { level = level + rate; n = n + 1; }
+           if (n >= 5) { target(); }
+         }",
+        0.01,
+    );
+}
+
+#[test]
+fn transcendental_heavy_matches_simulation() {
+    check_agreement(
+        "program p(a in [-3, 3], b in [-3, 3]) {
+           double r = sqrt(a * a + b * b);
+           if (r > 0.5) {
+             double ang = atan2(b, a);
+             if (cos(ang) > 0.3 && r < 2.5) { target(); }
+           }
+         }",
+        0.015,
+    );
+}
+
+#[test]
+fn disjoint_pcs_partition_the_hit_region() {
+    // For every sampled input, *exactly one* complete-path PC holds, and
+    // it is a target PC iff the concrete run hits the target.
+    let src = "program p(x in [0, 1], y in [0, 1]) {
+       if (x < 0.3 || y < 0.6) {
+         if (x + y > 0.5) { target(); }
+       } else {
+         if (x * y > 0.5) { target(); }
+       }
+     }";
+    let prog = parse_program(src).unwrap();
+    let sym = symbolic_execute(&prog, &SymConfig::default());
+    let mut rng = SmallRng::seed_from_u64(5);
+    for _ in 0..2_000 {
+        let p = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+        let holding: Vec<bool> = sym
+            .complete
+            .iter()
+            .filter(|(pc, _)| pc.holds(&p))
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(holding.len(), 1, "input {p:?} satisfied {} PCs", holding.len());
+        let concrete = run(&prog, &p, 10_000) == Outcome::Target;
+        assert_eq!(holding[0], concrete, "symbolic/concrete disagree at {p:?}");
+    }
+}
+
+#[test]
+fn bound_hit_mass_bounds_confidence() {
+    // §3.1: the probability of the bound-hit set measures confidence.
+    // With a tight depth bound, target + no_target + bound_hit masses
+    // must still sum to ~1.
+    let src = "program p(rate in [0.1, 1]) {
+       double level = 0;
+       double n = 0;
+       while (level < 3 && n < 40) { level = level + rate; n = n + 1; }
+       target();
+     }";
+    let prog = parse_program(src).unwrap();
+    let cfg = SymConfig {
+        max_depth: 12,
+        ..SymConfig::default()
+    };
+    let sym = symbolic_execute(&prog, &cfg);
+    assert!(!sym.bound_hit.is_empty(), "depth 12 must cut some paths");
+    let profile = UsageProfile::uniform(1);
+    let analyzer = Analyzer::new(Options::strat().with_samples(20_000));
+    let pt = analyzer.analyze(&sym.target, &sym.domain, &profile).estimate.mean;
+    let pf = analyzer.analyze(&sym.no_target, &sym.domain, &profile).estimate.mean;
+    let pb = analyzer.analyze(&sym.bound_hit, &sym.domain, &profile).estimate.mean;
+    let total = pt + pf + pb;
+    assert!((total - 1.0).abs() < 0.02, "masses sum to {total}");
+    assert!(pb > 0.0);
+}
