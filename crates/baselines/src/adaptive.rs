@@ -255,7 +255,11 @@ mod tests {
             },
         );
         let exact = std::f64::consts::PI / 4.0;
-        assert!((r.value - exact).abs() < 5e-3, "value {} vs {exact}", r.value);
+        assert!(
+            (r.value - exact).abs() < 5e-3,
+            "value {} vs {exact}",
+            r.value
+        );
     }
 
     #[test]
@@ -306,6 +310,10 @@ mod tests {
         assert!(!r.converged);
         assert!(r.regions <= 1002);
         // Still in the right ballpark (sphere/cube = π/6 ≈ 0.5236).
-        assert!((r.value - 0.5236).abs() < 0.1, "value {}", r.value);
+        assert!(
+            (r.value - std::f64::consts::FRAC_PI_6).abs() < 0.1,
+            "value {}",
+            r.value
+        );
     }
 }

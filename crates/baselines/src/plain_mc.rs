@@ -7,9 +7,9 @@
 
 use rand::Rng;
 
-use qcoral_constraints::ConstraintSet;
+use qcoral_constraints::{ConstraintSet, EvalTape};
 use qcoral_interval::IntervalBox;
-use qcoral_mc::{hit_or_miss, Estimate, UsageProfile};
+use qcoral_mc::{hit_or_miss, hit_or_miss_plan, Estimate, SamplePlan, UsageProfile};
 
 /// Estimates `Pr[x ∼ profile satisfies cs]` with a single hit-or-miss run
 /// over the whole domain.
@@ -24,7 +24,37 @@ pub fn plain_monte_carlo(
     n: u64,
     rng: &mut impl Rng,
 ) -> Estimate {
-    hit_or_miss(&mut |p| cs.holds(p), domain, profile, n, rng)
+    let tapes: Vec<EvalTape> = cs.pcs().iter().map(EvalTape::compile).collect();
+    hit_or_miss(
+        &mut |p| tapes.iter().any(|t| t.holds(p)),
+        domain,
+        profile,
+        n,
+        rng,
+    )
+}
+
+/// [`plain_monte_carlo`] on the deterministic chunked [`SamplePlan`]: the
+/// shared hot-path sampler API, bit-identical across thread schedules.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or on dimension mismatches.
+pub fn plain_monte_carlo_plan(
+    cs: &ConstraintSet,
+    domain: &IntervalBox,
+    profile: &UsageProfile,
+    n: u64,
+    plan: SamplePlan,
+) -> Estimate {
+    let tapes: Vec<EvalTape> = cs.pcs().iter().map(EvalTape::compile).collect();
+    hit_or_miss_plan(
+        &|p: &[f64]| tapes.iter().any(|t| t.holds(p)),
+        domain,
+        profile,
+        n,
+        plan,
+    )
 }
 
 #[cfg(test)]
@@ -37,10 +67,8 @@ mod tests {
 
     #[test]
     fn matches_known_probability() {
-        let sys = parse_system(
-            "var x in [-1, 1]; var y in [-1, 1]; pc x <= -y && y <= x;",
-        )
-        .unwrap();
+        let sys =
+            parse_system("var x in [-1, 1]; var y in [-1, 1]; pc x <= -y && y <= x;").unwrap();
         let dom = domain_box(&sys.domain);
         let profile = UsageProfile::uniform(2);
         let mut rng = SmallRng::seed_from_u64(99);

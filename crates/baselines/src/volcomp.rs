@@ -95,11 +95,7 @@ impl Ord for Item {
 /// Bounds `Pr[x uniform over domain satisfies cs]` within a guaranteed
 /// closed interval. Disjoint path conditions contribute additively; the
 /// final interval is clamped to `[0, 1]`.
-pub fn volcomp_bounds(
-    cs: &ConstraintSet,
-    domain: &IntervalBox,
-    cfg: &VolCompConfig,
-) -> ProbBounds {
+pub fn volcomp_bounds(cs: &ConstraintSet, domain: &IntervalBox, cfg: &VolCompConfig) -> ProbBounds {
     let mut lo = 0.0;
     let mut hi = 0.0;
     for pc in cs.pcs() {
@@ -243,9 +239,7 @@ mod tests {
     fn hard_transcendental_falls_back_to_wide_bounds() {
         // Highly oscillatory constraint with almost no budget: bounds stay
         // valid but wide (the VOL failure mode).
-        let (cs, dom) = setup(
-            "var x in [-10, 10]; var y in [-10, 10]; pc sin(x * y) > 0.25;",
-        );
+        let (cs, dom) = setup("var x in [-10, 10]; var y in [-10, 10]; pc sin(x * y) > 0.25;");
         let b = volcomp_bounds(
             &cs,
             &dom,

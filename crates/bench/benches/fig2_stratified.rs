@@ -8,9 +8,13 @@ fn bench_fig2(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2");
     g.sample_size(20);
     for samples in [1_000u64, 10_000] {
-        g.bench_with_input(BenchmarkId::new("all_methods", samples), &samples, |b, &n| {
-            b.iter(|| table1::run(n, 42));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("all_methods", samples),
+            &samples,
+            |b, &n| {
+                b.iter(|| table1::run(n, 42));
+            },
+        );
     }
     g.finish();
 }

@@ -16,7 +16,10 @@ fn main() {
     println!("Figure 2 / Table 1: x <= -y && y <= x over [-1,1]^2 (exact probability 0.25)");
     println!("Total samples: {samples}\n");
 
-    println!("Per-box breakdown (paper's Table 1; {} samples per sampled box):", samples / 4);
+    println!(
+        "Per-box breakdown (paper's Table 1; {} samples per sampled box):",
+        samples / 4
+    );
     let per_box = table1::per_box_table(samples / 4, seed);
     let rows: Vec<Vec<String>> = per_box
         .iter()
@@ -43,5 +46,8 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", text::render(&["method", "strata", "mean", "variance"], &rows));
+    println!(
+        "{}",
+        text::render(&["method", "strata", "mean", "variance"], &rows)
+    );
 }

@@ -23,7 +23,10 @@ fn main() {
         vec![1_000, 10_000, 100_000, 1_000_000]
     };
 
-    eprintln!("Table 2: {} repetitions per cell, budgets {budgets:?}", reps);
+    eprintln!(
+        "Table 2: {} repetitions per cell, budgets {budgets:?}",
+        reps
+    );
     let rows = table2::run(&budgets, reps, seed);
 
     let mut out: Vec<Vec<String>> = Vec::new();
@@ -45,12 +48,22 @@ fn main() {
     println!(
         "{}",
         text::render(
-            &["subject", "analytic", "samples", "estimate", "error (sigma)", "time(s)"],
+            &[
+                "subject",
+                "analytic",
+                "samples",
+                "estimate",
+                "error (sigma)",
+                "time(s)"
+            ],
             &out
         )
     );
     if let Some(path) = text::flag_value(&args, "--json") {
-        std::fs::write(path, serde_json::to_string_pretty(&rows).expect("serializable rows"))
-            .expect("write json");
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&rows).expect("serializable rows"),
+        )
+        .expect("write json");
     }
 }

@@ -52,16 +52,27 @@ fn main() {
         "{}",
         text::render(
             &[
-                "assertion", "paths", "ands", "ar.ops",
-                "adaptive", "t(s)", "volcomp bounds", "t(s)",
-                "qCORAL est.", "sigma", "t(s)"
+                "assertion",
+                "paths",
+                "ands",
+                "ar.ops",
+                "adaptive",
+                "t(s)",
+                "volcomp bounds",
+                "t(s)",
+                "qCORAL est.",
+                "sigma",
+                "t(s)"
             ],
             &out
         )
     );
     println!("(adaptive value suffixed with `!` = accuracy goal not met, the paper's PACK/NIntegrate situation)");
     if let Some(path) = text::flag_value(&args, "--json") {
-        std::fs::write(path, serde_json::to_string_pretty(&rows).expect("serializable rows"))
-            .expect("write json");
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&rows).expect("serializable rows"),
+        )
+        .expect("write json");
     }
 }

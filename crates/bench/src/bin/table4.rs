@@ -47,7 +47,10 @@ fn main() {
         text::render(&["configuration", "estimate", "sigma", "time(s)"], &out)
     );
     if let Some(path) = text::flag_value(&args, "--json") {
-        std::fs::write(path, serde_json::to_string_pretty(&rows).expect("serializable rows"))
-            .expect("write json");
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&rows).expect("serializable rows"),
+        )
+        .expect("write json");
     }
 }

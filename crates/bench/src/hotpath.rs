@@ -1,0 +1,209 @@
+//! Hot-path performance trajectory: serial vs parallel analyzer and
+//! tree-walk vs compiled-tape predicate evaluation on the Table 3
+//! multi-PC workload, emitted as `BENCH_hotpath.json` so successive
+//! changes can be compared run over run.
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use qcoral::{Analyzer, Options};
+use qcoral_constraints::{ConstraintSet, Domain, EvalTape};
+use qcoral_mc::UsageProfile;
+use qcoral_subjects::table3_subjects;
+use qcoral_symexec::SymConfig;
+
+/// One subject's hot-path measurements.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Subject name.
+    pub subject: String,
+    /// Number of path conditions.
+    pub paths: usize,
+    /// Sample budget per factor.
+    pub samples: u64,
+    /// Serial analyzer wall time (s), best of `reps`.
+    pub serial_secs: f64,
+    /// Parallel analyzer wall time (s), best of `reps`.
+    pub parallel_secs: f64,
+    /// `serial_secs / parallel_secs` — bounded by the thread count.
+    pub parallel_speedup: f64,
+    /// Whether serial and parallel estimates were bit-identical.
+    pub estimates_identical: bool,
+    /// Tree-walk predicate evaluation time for the probe batch (s).
+    pub pred_tree_secs: f64,
+    /// Compiled-tape predicate evaluation time for the same batch (s).
+    pub pred_tape_secs: f64,
+    /// `pred_tree_secs / pred_tape_secs` — the DAG-dedup win, independent
+    /// of the machine's core count.
+    pub pred_tape_speedup: f64,
+}
+
+/// The whole emitted document.
+#[derive(Clone, Debug, Serialize)]
+pub struct Summary {
+    /// Threads the parallel runs could use (1 ⇒ fan-out cannot win).
+    pub threads: usize,
+    /// Sample budget per factor.
+    pub samples: u64,
+    /// Per-subject rows.
+    pub rows: Vec<Row>,
+    /// Geometric mean of the parallel speedups.
+    pub parallel_speedup_geomean: f64,
+    /// Geometric mean of the predicate-tape speedups.
+    pub pred_tape_speedup_geomean: f64,
+}
+
+fn best_of<R>(reps: u32, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = f();
+        let dt = t0.elapsed();
+        if dt < best {
+            best = dt;
+        }
+        out = Some(r);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+fn measure_subject(
+    name: &str,
+    domain: &Domain,
+    cs: &ConstraintSet,
+    samples: u64,
+    reps: u32,
+) -> Row {
+    let profile = UsageProfile::uniform(domain.len());
+    let opts = Options::strat_partcache()
+        .with_samples(samples)
+        .with_seed(1);
+
+    // Fresh analyzers per rep so the paving cache never carries over and
+    // serial/parallel measure the same work.
+    let (serial, est_serial) = best_of(reps, || {
+        Analyzer::new(opts.clone())
+            .analyze(cs, domain, &profile)
+            .estimate
+    });
+    let (parallel, est_parallel) = best_of(reps, || {
+        Analyzer::new(opts.clone().with_parallel(true))
+            .analyze(cs, domain, &profile)
+            .estimate
+    });
+
+    // Predicate probe: evaluate every PC on a fixed grid of points, tree
+    // walk vs compiled tape. This is the per-sample inner loop of the
+    // quantifier, so its ratio is the machine-independent hot-path win.
+    let bounds: Vec<(f64, f64)> = domain.iter().map(|(_, v)| (v.lo, v.hi)).collect();
+    let points: Vec<Vec<f64>> = (0..256)
+        .map(|i| {
+            bounds
+                .iter()
+                .enumerate()
+                .map(|(d, &(lo, hi))| lo + (hi - lo) * ((i * 37 + d * 13) % 97) as f64 / 96.0)
+                .collect()
+        })
+        .collect();
+    let (pred_tree, hits_tree) = best_of(reps, || {
+        let mut hits = 0usize;
+        for pc in cs.pcs() {
+            for p in &points {
+                if pc.holds(p) {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    });
+    let tapes: Vec<EvalTape> = cs.pcs().iter().map(EvalTape::compile).collect();
+    let (pred_tape, hits_tape) = best_of(reps, || {
+        let mut hits = 0usize;
+        for t in &tapes {
+            for p in &points {
+                if t.holds(p) {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    });
+    assert_eq!(hits_tree, hits_tape, "tape must agree with the tree walk");
+
+    Row {
+        subject: name.to_owned(),
+        paths: cs.len(),
+        samples,
+        serial_secs: serial.as_secs_f64(),
+        parallel_secs: parallel.as_secs_f64(),
+        parallel_speedup: serial.as_secs_f64() / parallel.as_secs_f64().max(1e-12),
+        estimates_identical: est_serial == est_parallel,
+        pred_tree_secs: pred_tree.as_secs_f64(),
+        pred_tape_secs: pred_tape.as_secs_f64(),
+        pred_tape_speedup: pred_tree.as_secs_f64() / pred_tape.as_secs_f64().max(1e-12),
+    }
+}
+
+fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0, 0u32);
+    for x in xs {
+        if x > 0.0 {
+            log_sum += x.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Runs the hot-path protocol over every multi-PC Table 3 subject.
+pub fn run(samples: u64, reps: u32) -> Summary {
+    let mut rows = Vec::new();
+    for subj in table3_subjects() {
+        let (domain, cs) = subj.system_for(0, &SymConfig::default());
+        if cs.is_empty() {
+            continue;
+        }
+        rows.push(measure_subject(subj.name, &domain, &cs, samples, reps));
+    }
+    Summary {
+        // The shim's budget (honors RAYON_NUM_THREADS), not the raw core
+        // count — parallel_speedup is bounded by *this* number.
+        threads: rayon::current_num_threads(),
+        samples,
+        parallel_speedup_geomean: geomean(rows.iter().map(|r| r.parallel_speedup)),
+        pred_tape_speedup_geomean: geomean(rows.iter().map(|r| r.pred_tape_speedup)),
+        rows,
+    }
+}
+
+/// Serializes a summary to `path` as pretty JSON.
+pub fn write_json(summary: &Summary, path: &str) -> std::io::Result<()> {
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(summary).expect("serializable summary"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_consistent_rows() {
+        let s = run(500, 1);
+        assert!(!s.rows.is_empty());
+        for r in &s.rows {
+            assert!(r.estimates_identical, "{}: parallel diverged", r.subject);
+            assert!(r.serial_secs > 0.0 && r.pred_tape_secs > 0.0);
+        }
+        assert!(s.pred_tape_speedup_geomean > 0.0);
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        assert!(json.contains("\"pred_tape_speedup\""));
+    }
+}

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod hotpath;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -111,10 +111,26 @@ pub fn per_box_table(samples_per_box: u64, seed: u64) -> Vec<(String, f64, f64, 
     let profile = UsageProfile::uniform(2);
     let iv = Interval::new;
     let boxes: Vec<(&str, IntervalBox, bool)> = vec![
-        ("b1", [iv(-1.0, -0.5), iv(-1.0, -0.5)].into_iter().collect(), false),
-        ("b2", [iv(-0.5, 0.5), iv(-1.0, -0.5)].into_iter().collect(), true),
-        ("b3", [iv(0.5, 1.0), iv(-1.0, -0.5)].into_iter().collect(), false),
-        ("b4", [iv(-0.5, 0.5), iv(-0.5, 0.0)].into_iter().collect(), false),
+        (
+            "b1",
+            [iv(-1.0, -0.5), iv(-1.0, -0.5)].into_iter().collect(),
+            false,
+        ),
+        (
+            "b2",
+            [iv(-0.5, 0.5), iv(-1.0, -0.5)].into_iter().collect(),
+            true,
+        ),
+        (
+            "b3",
+            [iv(0.5, 1.0), iv(-1.0, -0.5)].into_iter().collect(),
+            false,
+        ),
+        (
+            "b4",
+            [iv(-0.5, 0.5), iv(-0.5, 0.0)].into_iter().collect(),
+            false,
+        ),
     ];
     let mut out = Vec::new();
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -123,7 +139,13 @@ pub fn per_box_table(samples_per_box: u64, seed: u64) -> Vec<(String, f64, f64, 
         let est = if certain {
             Estimate::ONE
         } else {
-            hit_or_miss(&mut |p| pc.holds(p), &boxed, &profile, samples_per_box, &mut rng)
+            hit_or_miss(
+                &mut |p| pc.holds(p),
+                &boxed,
+                &profile,
+                samples_per_box,
+                &mut rng,
+            )
         };
         out.push((name.to_owned(), w, est.mean, est.variance));
     }

@@ -54,8 +54,7 @@ pub fn run_one(solid: &Solid, samples: u64, reps: u64, seed: u64) -> Row {
         let opts = Options::strat_partcache()
             .with_samples(samples)
             .with_seed(seed ^ (rep + 1));
-        let report =
-            Analyzer::new(opts).analyze(&solid.constraint_set, &solid.domain, &profile);
+        let report = Analyzer::new(opts).analyze(&solid.constraint_set, &solid.domain, &profile);
         volumes.push(report.estimate.mean * dom_vol);
         secs += report.wall.as_secs_f64();
     }

@@ -231,13 +231,7 @@ impl PathCondition {
             atoms: self
                 .atoms
                 .iter()
-                .map(|a| {
-                    Atom::new(
-                        a.lhs().remap_vars(f),
-                        a.op(),
-                        a.rhs().remap_vars(f),
-                    )
-                })
+                .map(|a| Atom::new(a.lhs().remap_vars(f), a.op(), a.rhs().remap_vars(f)))
                 .collect(),
         }
     }
@@ -346,7 +340,11 @@ impl ConstraintSet {
 
     /// Largest variable index referenced plus one.
     pub fn var_bound(&self) -> usize {
-        self.pcs.iter().map(PathCondition::var_bound).max().unwrap_or(0)
+        self.pcs
+            .iter()
+            .map(PathCondition::var_bound)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Keeps only the first `n` path conditions (used by the Table 4
@@ -443,14 +441,28 @@ mod tests {
 
     #[test]
     fn relop_negation_is_involutive() {
-        for op in [RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge, RelOp::Eq, RelOp::Ne] {
+        for op in [
+            RelOp::Lt,
+            RelOp::Le,
+            RelOp::Gt,
+            RelOp::Ge,
+            RelOp::Eq,
+            RelOp::Ne,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }
 
     #[test]
     fn relop_nan_is_false() {
-        for op in [RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge, RelOp::Eq, RelOp::Ne] {
+        for op in [
+            RelOp::Lt,
+            RelOp::Le,
+            RelOp::Gt,
+            RelOp::Ge,
+            RelOp::Eq,
+            RelOp::Ne,
+        ] {
             assert!(!op.apply(f64::NAN, 0.0));
             assert!(!op.apply(0.0, f64::NAN));
         }
@@ -543,9 +555,6 @@ mod tests {
         d.declare("headFlap", -10.0, 10.0).unwrap();
         d.declare("tailFlap", -10.0, 10.0).unwrap();
         let e = x().mul(y()).sin();
-        assert_eq!(
-            pretty_expr(&e, &d).to_string(),
-            "sin(headFlap * tailFlap)"
-        );
+        assert_eq!(pretty_expr(&e, &d).to_string(), "sin(headFlap * tailFlap)");
     }
 }

@@ -268,11 +268,9 @@ impl Expr {
             Expr::Const(_) => self.clone(),
             Expr::Var(id) => Expr::Var(f(*id)),
             Expr::Unary(op, e) => Expr::Unary(*op, Arc::new(e.remap_vars(f))),
-            Expr::Binary(op, a, b) => Expr::Binary(
-                *op,
-                Arc::new(a.remap_vars(f)),
-                Arc::new(b.remap_vars(f)),
-            ),
+            Expr::Binary(op, a, b) => {
+                Expr::Binary(*op, Arc::new(a.remap_vars(f)), Arc::new(b.remap_vars(f)))
+            }
         }
     }
 
@@ -540,7 +538,10 @@ mod tests {
 
     #[test]
     fn eval_transcendental() {
-        let e = x().sin().pow(Expr::constant(2.0)).add(x().cos().pow(Expr::constant(2.0)));
+        let e = x()
+            .sin()
+            .pow(Expr::constant(2.0))
+            .add(x().cos().pow(Expr::constant(2.0)));
         assert!((e.eval(&[0.7]) - 1.0).abs() < 1e-12);
         let a = y().atan2(x());
         assert!((a.eval(&[1.0, 1.0]) - std::f64::consts::FRAC_PI_4).abs() < 1e-12);

@@ -172,9 +172,7 @@ pub fn lex(src: &str) -> Result<Vec<(Token, Pos)>, ParseError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 out.push((Token::Ident(src[start..i].to_owned()), pos));
@@ -261,10 +259,7 @@ pub fn lex(src: &str) -> Result<Vec<(Token, Pos)>, ParseError> {
             }
         }
     }
-    out.push((
-        Token::Eof,
-        Pos { line, col },
-    ));
+    out.push((Token::Eof, Pos { line, col }));
     Ok(out)
 }
 

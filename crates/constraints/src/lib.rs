@@ -35,8 +35,13 @@
 //! ```
 
 #![warn(missing_docs)]
+// The expression-builder methods (`add`, `mul`, `neg`, ...) deliberately
+// consume `self` and mirror the surface syntax; implementing the std ops
+// traits instead would force reference-heavy call sites everywhere.
+#![allow(clippy::should_implement_trait)]
 
 pub mod atom;
+pub mod ctape;
 pub mod domain;
 pub mod expr;
 pub mod lexer;
@@ -44,6 +49,7 @@ pub mod parse;
 pub mod varset;
 
 pub use atom::{Atom, ConstraintSet, PathCondition, RelOp};
+pub use ctape::{expr_fingerprint, EvalTape};
 pub use domain::{Domain, VarId};
 pub use expr::{BinOp, Expr, UnOp};
 pub use varset::VarSet;

@@ -70,7 +70,10 @@ pub fn parse_system(src: &str) -> Result<System, ParseError> {
             let pos = ts.pos();
             let name = ts.expect_ident()?;
             if !ts.eat_kw("in") {
-                return Err(ParseError::new("expected `in` after variable name", ts.pos()));
+                return Err(ParseError::new(
+                    "expected `in` after variable name",
+                    ts.pos(),
+                ));
             }
             ts.expect_sym(Sym::LBracket)?;
             let lo = ts.expect_num()?;
@@ -215,7 +218,9 @@ fn parse_primary(ts: &mut TokenStream, domain: &Domain) -> Result<Expr, ParseErr
                     "pi" => Ok(Expr::constant(std::f64::consts::PI)),
                     "e" => Ok(Expr::constant(std::f64::consts::E)),
                     _ => Err(ParseError::new(
-                        format!("unknown variable `{name}` (declare it with `var {name} in [lo, hi];`)"),
+                        format!(
+                            "unknown variable `{name}` (declare it with `var {name} in [lo, hi];`)"
+                        ),
                         pos,
                     )),
                 }
@@ -319,7 +324,10 @@ mod tests {
         assert_eq!(atom.rhs().eval(&[3.0]), 6.0);
         // ^ is right-associative: 2^3^2 = 2^9 = 512
         let s2 = sys("var x in [0,1]; pc 2 ^ 3 ^ 2 > x;");
-        assert_eq!(s2.constraint_set.pcs()[0].atoms()[0].lhs().eval(&[0.0]), 512.0);
+        assert_eq!(
+            s2.constraint_set.pcs()[0].atoms()[0].lhs().eval(&[0.0]),
+            512.0
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl VarSet {
     /// Panics if the variable index exceeds the capacity.
     pub fn insert(&mut self, v: VarId) -> bool {
         let i = v.index();
-        assert!(i < self.len, "variable {v} out of range for VarSet({})", self.len);
+        assert!(
+            i < self.len,
+            "variable {v} out of range for VarSet({})",
+            self.len
+        );
         let w = &mut self.words[i / 64];
         let bit = 1u64 << (i % 64);
         let fresh = *w & bit == 0;

@@ -7,22 +7,42 @@
 //! optional caching) and `stratSampling` (Algorithm 3: pave the factor's
 //! sub-domain with ICP, then run stratified hit-or-miss Monte Carlo per
 //! Eq. 3).
+//!
+//! # Parallelism and determinism
+//!
+//! The pipeline is embarrassingly parallel at three levels, and
+//! [`Options::parallel`] fans all three out:
+//!
+//! 1. **path conditions** (Theorem 1 — disjoint estimators add),
+//! 2. **independent factors** of each conjunction (Eq. 7–8 — independent
+//!    estimators multiply), and
+//! 3. **sample chunks / strata** inside each factor's stratified run.
+//!
+//! Every random stream is derived from *what* is being sampled — the
+//! canonical factor key or the `(pc, factor)` index pair, plus the chunk
+//! counter — never from execution order. Combined with fixed reduction
+//! orders, a parallel run returns the bit-identical [`Report`] estimate
+//! of the serial run (provided the ICP time budget does not bind, the
+//! same caveat the serial path already carries).
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::Serialize;
 
-use qcoral_constraints::{ConstraintSet, Domain, PathCondition, VarId, VarSet};
-use qcoral_icp::{domain_box, Paver, PaverConfig};
+use qcoral_constraints::{ConstraintSet, Domain, EvalTape, PathCondition, VarId, VarSet};
+use qcoral_icp::{domain_box, PaverConfig, PavingCache};
 use qcoral_interval::IntervalBox;
-use qcoral_mc::{hit_or_miss, stratified, Allocation, Estimate, Stratum, UsageProfile};
+use qcoral_mc::{
+    hit_or_miss_plan, mix_seed, stratified_plan, Allocation, Dist, Estimate, SamplePlan, Stratum,
+    UsageProfile,
+};
 
 use crate::depend::dependency_partition;
 
@@ -50,9 +70,14 @@ pub struct Options {
     pub allocation: Allocation,
     /// ICP paver budget (paper defaults: 10 boxes, 3 digits, 2 s).
     pub paver: PaverConfig,
-    /// Analyze path conditions on multiple threads (Theorem 1 explicitly
-    /// allows it). Results are deterministic regardless of scheduling.
+    /// Fan out path conditions, independent factors and sample chunks
+    /// across threads (Theorem 1 explicitly allows it). Results are
+    /// deterministic regardless of scheduling.
     pub parallel: bool,
+    /// Samples per RNG chunk: the parallel work granule of the sampler.
+    /// Affects which stream each sample draws from (so changing it changes
+    /// the estimate like reseeding does), never the statistics.
+    pub chunk: u64,
     /// RNG seed; same seed ⇒ same report.
     pub seed: u64,
 }
@@ -68,7 +93,8 @@ impl Options {
             allocation: Allocation::EqualPerStratum,
             paver: PaverConfig::default(),
             parallel: false,
-            seed: 0xC0_5A_1u64,
+            chunk: SamplePlan::DEFAULT_CHUNK,
+            seed: 0xC05A1u64,
         }
     }
 
@@ -134,8 +160,13 @@ pub struct Stats {
     pub inner_boxes: u64,
     /// ICP boundary boxes across all pavings.
     pub boundary_boxes: u64,
-    /// Number of paver invocations.
+    /// Number of paving requests (cache hits included).
     pub pavings: u64,
+    /// Paving-cache hits during this analysis (a hit skips HC4
+    /// compilation and the whole branch-and-prune loop).
+    pub paving_cache_hits: u64,
+    /// Paving-cache misses during this analysis.
+    pub paving_cache_misses: u64,
 }
 
 /// The result of a qCORAL analysis.
@@ -184,6 +215,33 @@ impl Report {
 #[derive(Clone, Debug)]
 pub struct Analyzer {
     opts: Options,
+    /// Shared paving cache: repeated factors compile their HC4 tapes and
+    /// pave once, across path conditions, threads and `analyze` calls.
+    /// Clones of the analyzer share the cache.
+    paving_cache: Arc<PavingCache>,
+}
+
+/// Canonical identity of one independent factor: the projected
+/// conjunction's structural fingerprint plus the sub-box's exact bits.
+type FactorKey = (u128, Vec<(u64, u64)>, Vec<u64>);
+
+/// Stable bit-level encoding of a projected usage profile for cache
+/// keying: structurally identical factors over *differently distributed*
+/// variables must not share an estimate.
+fn profile_bits(profile: &UsageProfile) -> Vec<u64> {
+    let mut out = Vec::new();
+    for i in 0..profile.len() {
+        match profile.dist(i) {
+            Dist::Uniform => out.push(0),
+            Dist::Piecewise { edges, weights } => {
+                // Length-prefixed so adjacent dimensions cannot alias.
+                out.push(1 + edges.len() as u64);
+                out.extend(edges.iter().map(|v| v.to_bits()));
+                out.extend(weights.iter().map(|v| v.to_bits()));
+            }
+        }
+    }
+    out
 }
 
 struct Shared<'a> {
@@ -191,7 +249,8 @@ struct Shared<'a> {
     domain_box: IntervalBox,
     profile: &'a UsageProfile,
     partition: Vec<VarSet>,
-    cache: Mutex<HashMap<String, Estimate>>,
+    pavings_cache: &'a PavingCache,
+    cache: Mutex<HashMap<FactorKey, Estimate>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     inner_boxes: AtomicU64,
@@ -202,12 +261,20 @@ struct Shared<'a> {
 impl Analyzer {
     /// Creates an analyzer with the given options.
     pub fn new(opts: Options) -> Analyzer {
-        Analyzer { opts }
+        Analyzer {
+            opts,
+            paving_cache: Arc::new(PavingCache::new()),
+        }
     }
 
     /// The analyzer's options.
     pub fn options(&self) -> &Options {
         &self.opts
+    }
+
+    /// The analyzer's paving cache (shared across `analyze` calls).
+    pub fn paving_cache(&self) -> &PavingCache {
+        &self.paving_cache
     }
 
     /// Quantifies `Pr[input ∼ profile satisfies any PC in cs]` over the
@@ -218,12 +285,7 @@ impl Analyzer {
     ///
     /// Panics if the constraint set references variables outside `domain`
     /// or if `profile.len() != domain.len()`.
-    pub fn analyze(
-        &self,
-        cs: &ConstraintSet,
-        domain: &Domain,
-        profile: &UsageProfile,
-    ) -> Report {
+    pub fn analyze(&self, cs: &ConstraintSet, domain: &Domain, profile: &UsageProfile) -> Report {
         assert_eq!(
             profile.len(),
             domain.len(),
@@ -255,11 +317,13 @@ impl Analyzer {
             })
             .collect();
 
+        let (pc_hits0, pc_misses0) = self.paving_cache.stats();
         let shared = Shared {
             opts: &self.opts,
             domain_box: domain_box(domain),
             profile,
             partition,
+            pavings_cache: &self.paving_cache,
             cache: Mutex::new(HashMap::new()),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -268,44 +332,28 @@ impl Analyzer {
             pavings: AtomicU64::new(0),
         };
 
-        let per_pc: Vec<Estimate> = if self.opts.parallel && cs.len() > 1 {
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(cs.len());
-            let mut results: Vec<Option<Estimate>> = vec![None; cs.len()];
-            let chunk = cs.len().div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
-                let mut pending: &mut [Option<Estimate>] = &mut results;
-                for (t, pcs) in cs.pcs().chunks(chunk).enumerate() {
-                    let (head, tail) = pending.split_at_mut(pcs.len().min(pending.len()));
-                    pending = tail;
-                    let shared = &shared;
-                    scope.spawn(move |_| {
-                        for (i, pc) in pcs.iter().enumerate() {
-                            head[i] = Some(analyze_conjunction(shared, pc, t * chunk + i));
-                        }
-                    });
-                }
-            })
-            .expect("worker thread panicked");
-            results
-                .into_iter()
-                .map(|r| r.expect("every PC analyzed"))
+        // Algorithm 1, fanned out per Theorem 1: each path condition's
+        // estimator is independent of the others, and all seeds are
+        // derived from (pc index, factor) — not from execution order — so
+        // the parallel collect is bit-identical to the serial map.
+        let pcs = cs.pcs();
+        let per_pc: Vec<Estimate> = if self.opts.parallel && pcs.len() > 1 {
+            (0..pcs.len())
+                .into_par_iter()
+                .map(|i| analyze_conjunction(&shared, &pcs[i], i))
                 .collect()
         } else {
-            cs.pcs()
-                .iter()
+            pcs.iter()
                 .enumerate()
                 .map(|(i, pc)| analyze_conjunction(&shared, pc, i))
                 .collect()
         };
 
         // Theorem 1: disjoint PCs sum; variance adds as an upper bound.
-        let estimate = per_pc
-            .iter()
-            .fold(Estimate::ZERO, |acc, e| acc.sum(*e));
+        // (Fixed input-order reduction — independent of thread schedule.)
+        let estimate = per_pc.iter().fold(Estimate::ZERO, |acc, e| acc.sum(*e));
 
+        let (pc_hits1, pc_misses1) = self.paving_cache.stats();
         Report {
             estimate,
             per_pc,
@@ -315,6 +363,8 @@ impl Analyzer {
                 inner_boxes: shared.inner_boxes.load(Ordering::Relaxed),
                 boundary_boxes: shared.boundary_boxes.load(Ordering::Relaxed),
                 pavings: shared.pavings.load(Ordering::Relaxed),
+                paving_cache_hits: pc_hits1 - pc_hits0,
+                paving_cache_misses: pc_misses1 - pc_misses0,
             },
             wall: start.elapsed(),
         }
@@ -322,68 +372,108 @@ impl Analyzer {
 }
 
 /// Algorithm 2: analyze one conjunction by independent factors.
+///
+/// Factors are independent by construction (disjoint variable classes),
+/// so under [`Options::parallel`] they are estimated concurrently; the
+/// product (Eq. 7–8) is reduced in partition order either way.
 fn analyze_conjunction(shared: &Shared<'_>, pc: &PathCondition, pc_idx: usize) -> Estimate {
-    let mut acc = Estimate::ONE;
-    for (factor_idx, class) in shared.partition.iter().enumerate() {
-        let part = pc.project(class);
-        if part.is_empty() {
-            // No constraints touch this class: the factor is exactly 1.
-            continue;
-        }
-        let indices = class.indices();
-        // Re-index onto a dense local variable space aligned with the
-        // projected box.
-        let mut local_of = HashMap::new();
-        for (local, &global) in indices.iter().enumerate() {
-            local_of.insert(global as u32, local as u32);
-        }
-        let local_pc = part.remap_vars(&|v: VarId| VarId(local_of[&v.0]));
-        let sub_box = shared.domain_box.project(&indices);
-        let key = format!("{local_pc}|{sub_box}");
-
-        let est = if shared.opts.cache {
-            let cached = shared.cache.lock().get(&key).copied();
-            match cached {
-                Some(e) => {
-                    shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    e
-                }
-                None => {
-                    shared.cache_misses.fetch_add(1, Ordering::Relaxed);
-                    // Key-derived seed: identical sub-problems produce
-                    // identical estimates no matter which PC (or thread)
-                    // computes them first, keeping parallel runs
-                    // deterministic.
-                    let e = strat_sampling(
-                        shared,
-                        &local_pc,
-                        &sub_box,
-                        &indices,
-                        mix_seed(shared.opts.seed, hash_str(&key)),
-                    );
-                    shared.cache.lock().insert(key, e);
-                    e
-                }
-            }
-        } else {
-            strat_sampling(
-                shared,
-                &local_pc,
-                &sub_box,
-                &indices,
-                mix_seed(
-                    shared.opts.seed,
-                    (pc_idx as u64) << 32 | factor_idx as u64,
-                ),
-            )
-        };
-        // Eq. 7–8: independent factors multiply.
-        acc = acc.product(est);
-    }
-    acc
+    // Project each class once; a class no constraint touches contributes
+    // exactly 1 and is dropped here.
+    let factors: Vec<(usize, &VarSet, PathCondition)> = shared
+        .partition
+        .iter()
+        .enumerate()
+        .filter_map(|(i, class)| {
+            let part = pc.project(class);
+            (!part.is_empty()).then_some((i, class, part))
+        })
+        .collect();
+    let estimate_factor = |(factor_idx, class, part): &(usize, &VarSet, PathCondition)| {
+        analyze_factor(shared, part, pc_idx, *factor_idx, class)
+    };
+    let per_factor: Vec<Estimate> = if shared.opts.parallel && factors.len() > 1 {
+        factors.par_iter().map(estimate_factor).collect()
+    } else {
+        factors.iter().map(estimate_factor).collect()
+    };
+    // Eq. 7–8: independent factors multiply.
+    per_factor
+        .into_iter()
+        .fold(Estimate::ONE, Estimate::product)
 }
 
-/// Algorithm 3: stratified sampling of one independent factor.
+/// One independent factor of Algorithm 2: canonicalize the projected
+/// conjunction, consult the estimate cache, and sample on a miss.
+fn analyze_factor(
+    shared: &Shared<'_>,
+    part: &PathCondition,
+    pc_idx: usize,
+    factor_idx: usize,
+    class: &VarSet,
+) -> Estimate {
+    let indices = class.indices();
+    // Re-index onto a dense local variable space aligned with the
+    // projected box.
+    let mut local_of = HashMap::new();
+    for (local, &global) in indices.iter().enumerate() {
+        local_of.insert(global as u32, local as u32);
+    }
+    let local_pc = part.remap_vars(&|v: VarId| VarId(local_of[&v.0]));
+    let sub_box = shared.domain_box.project(&indices);
+
+    if shared.opts.cache {
+        // Canonical key: structural fingerprint of the conjunction
+        // (linear in DAG size — never a rendered tree), the exact
+        // sub-box bits, and the projected marginals — the estimate
+        // depends on all three.
+        let key = (
+            local_pc.fingerprint(),
+            sub_box
+                .dims()
+                .iter()
+                .map(|d| (d.lo().to_bits(), d.hi().to_bits()))
+                .collect::<Vec<_>>(),
+            profile_bits(&shared.profile.project(&indices)),
+        );
+        let cached = shared.cache.lock().get(&key).copied();
+        match cached {
+            Some(e) => {
+                shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                e
+            }
+            None => {
+                shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+                // Key-derived seed: identical sub-problems produce
+                // identical estimates no matter which PC (or thread)
+                // computes them first, keeping parallel runs
+                // deterministic.
+                let e = strat_sampling(
+                    shared,
+                    &local_pc,
+                    &sub_box,
+                    &indices,
+                    mix_seed(shared.opts.seed, hash_key(&key)),
+                );
+                // If another thread landed the key first, adopt its value
+                // (identical modulo paver time-budget effects) so every
+                // consumer of the key agrees within this run.
+                *shared.cache.lock().entry(key).or_insert(e)
+            }
+        }
+    } else {
+        strat_sampling(
+            shared,
+            &local_pc,
+            &sub_box,
+            &indices,
+            mix_seed(shared.opts.seed, (pc_idx as u64) << 32 | factor_idx as u64),
+        )
+    }
+}
+
+/// Algorithm 3: stratified sampling of one independent factor. Pavings
+/// come from the shared [`PavingCache`]; sampling runs on the
+/// deterministic chunked plan (serial and parallel draws are identical).
 fn strat_sampling(
     shared: &Shared<'_>,
     local_pc: &PathCondition,
@@ -391,20 +481,24 @@ fn strat_sampling(
     global_indices: &[usize],
     seed: u64,
 ) -> Estimate {
-    let mut rng = SmallRng::seed_from_u64(seed);
     let local_profile = shared.profile.project(global_indices);
-    let mut pred = |p: &[f64]| local_pc.holds(p);
+    // Compile the predicate once per factor: the flat deduplicated tape
+    // evaluates each distinct sub-expression once per sample, while the
+    // tree walk re-evaluates `Arc`-shared sub-terms exponentially often on
+    // symexec-generated conditions.
+    let tape = EvalTape::compile(local_pc);
+    let pred = |p: &[f64]| tape.holds(p);
+    let plan = SamplePlan {
+        seed,
+        chunk: shared.opts.chunk.max(1),
+        parallel: shared.opts.parallel,
+    };
     if !shared.opts.stratified {
-        return hit_or_miss(
-            &mut pred,
-            sub_box,
-            &local_profile,
-            shared.opts.samples,
-            &mut rng,
-        );
+        return hit_or_miss_plan(&pred, sub_box, &local_profile, shared.opts.samples, plan);
     }
-    let paver = Paver::new(local_pc, sub_box.ndim(), shared.opts.paver.clone());
-    let paving = paver.pave(sub_box);
+    let paving = shared
+        .pavings_cache
+        .pave_cached(local_pc, sub_box, &shared.opts.paver);
     shared.pavings.fetch_add(1, Ordering::Relaxed);
     shared
         .inner_boxes
@@ -417,33 +511,28 @@ fn strat_sampling(
     }
     let strata: Vec<Stratum> = paving
         .inner
-        .into_iter()
+        .iter()
+        .cloned()
         .map(Stratum::inner)
-        .chain(paving.boundary.into_iter().map(Stratum::boundary))
+        .chain(paving.boundary.iter().cloned().map(Stratum::boundary))
         .collect();
-    stratified(
-        &mut pred,
+    stratified_plan(
+        &pred,
         &strata,
         sub_box,
         &local_profile,
         shared.opts.samples,
         shared.opts.allocation,
-        &mut rng,
+        plan,
     )
 }
 
-fn hash_str(s: &str) -> u64 {
+/// Deterministic 64-bit digest of a factor key (`DefaultHasher` uses
+/// fixed keys, so this is stable across runs and processes).
+fn hash_key(key: &FactorKey) -> u64 {
     let mut h = DefaultHasher::new();
-    s.hash(&mut h);
+    key.hash(&mut h);
     h.finish()
-}
-
-/// SplitMix64-style mixing of the user seed with a stream id.
-fn mix_seed(seed: u64, stream: u64) -> u64 {
-    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -506,14 +595,69 @@ mod tests {
         )
         .unwrap();
         let prof = UsageProfile::uniform(2);
-        let r = Analyzer::new(Options::strat_partcache().with_samples(2_000))
-            .analyze(&sys.constraint_set, &sys.domain, &prof);
+        let r = Analyzer::new(Options::strat_partcache().with_samples(2_000)).analyze(
+            &sys.constraint_set,
+            &sys.domain,
+            &prof,
+        );
         assert_eq!(r.stats.cache_hits, 1, "stats: {:?}", r.stats);
         assert_eq!(r.stats.cache_misses, 3);
         // P = P[x<.5]·P[sin y>.5] + P[x≥.5]·P[sin y>.5] = P[sin y > .5]
         // = 1 − asin(0.5) ≈ 0.4764 over [0,1]... compute exactly:
         // sin(y) > 0.5 for y ∈ (asin(.5), 1] = (0.5236, 1]: length 0.4764.
-        assert!((r.estimate.mean - 0.4764).abs() < 0.02, "{}", r.estimate.mean);
+        assert!(
+            (r.estimate.mean - 0.4764).abs() < 0.02,
+            "{}",
+            r.estimate.mean
+        );
+    }
+
+    #[test]
+    fn cache_distinguishes_profiles_of_identical_factors() {
+        // x and y project to the *structurally identical* local factor
+        // `v0 < 0.5` over [0, 1], but y is heavily skewed: the estimate
+        // cache must not alias them. P = P[x<.5]·P[y<.5] = 0.5 · 0.9.
+        let sys = parse_system("var x in [0, 1]; var y in [0, 1]; pc x < 0.5 && y < 0.5;").unwrap();
+        let prof = UsageProfile::uniform(2).with_dist(
+            1,
+            qcoral_mc::Dist::piecewise(vec![0.0, 0.5, 1.0], vec![9.0, 1.0]),
+        );
+        let r = Analyzer::new(Options::strat_partcache().with_samples(4_000)).analyze(
+            &sys.constraint_set,
+            &sys.domain,
+            &prof,
+        );
+        assert_eq!(r.stats.cache_misses, 2, "distinct keys per profile");
+        assert!(
+            (r.estimate.mean - 0.45).abs() < 0.02,
+            "got {} (0.25 would mean the cache aliased the factors)",
+            r.estimate.mean
+        );
+    }
+
+    #[test]
+    fn paving_cache_dedups_repeated_factors() {
+        // Partitioning without the estimate cache: the shared sin(y)
+        // factor is re-sampled per PC but paved only once, and a second
+        // analysis on the same analyzer hits for every factor.
+        let sys = parse_system(
+            "var x in [0, 1]; var y in [0, 1];
+             pc x < 0.5 && sin(y) > 0.5;
+             pc x >= 0.5 && sin(y) > 0.5;",
+        )
+        .unwrap();
+        let prof = UsageProfile::uniform(2);
+        let mut opts = Options::strat().with_samples(1_000);
+        opts.partition = true;
+        let analyzer = Analyzer::new(opts);
+        let r = analyzer.analyze(&sys.constraint_set, &sys.domain, &prof);
+        assert_eq!(r.stats.pavings, 4, "two factors per PC requested");
+        assert_eq!(r.stats.paving_cache_misses, 3, "x<.5, x>=.5, sin(y)");
+        assert_eq!(r.stats.paving_cache_hits, 1, "second sin(y) reuses");
+        let r2 = analyzer.analyze(&sys.constraint_set, &sys.domain, &prof);
+        assert_eq!(r2.stats.paving_cache_hits, 4);
+        assert_eq!(r2.stats.paving_cache_misses, 0);
+        assert_eq!(r.estimate, r2.estimate);
     }
 
     #[test]
@@ -547,8 +691,11 @@ mod tests {
         )
         .unwrap();
         let prof = UsageProfile::uniform(2);
-        let r = Analyzer::new(Options::strat().with_samples(100))
-            .analyze(&sys.constraint_set, &sys.domain, &prof);
+        let r = Analyzer::new(Options::strat().with_samples(100)).analyze(
+            &sys.constraint_set,
+            &sys.domain,
+            &prof,
+        );
         assert_eq!(r.estimate.variance, 0.0);
         assert!((r.estimate.mean - 0.25).abs() < 1e-12);
     }
@@ -566,8 +713,11 @@ mod tests {
     fn unsat_pc_contributes_zero() {
         let sys = parse_system("var x in [0, 1]; pc x > 2; pc x < 0.5;").unwrap();
         let prof = UsageProfile::uniform(1);
-        let r = Analyzer::new(Options::strat().with_samples(4_000))
-            .analyze(&sys.constraint_set, &sys.domain, &prof);
+        let r = Analyzer::new(Options::strat().with_samples(4_000)).analyze(
+            &sys.constraint_set,
+            &sys.domain,
+            &prof,
+        );
         assert_eq!(r.per_pc[0], Estimate::ZERO);
         assert!((r.estimate.mean - 0.5).abs() < 0.03);
     }

@@ -10,10 +10,31 @@
 //! * [`Contractor::certainty`] — classify a box as certainly satisfying,
 //!   certainly violating, or undecided.
 
+use std::sync::Arc;
+
 use qcoral_constraints::{PathCondition, RelOp};
 use qcoral_interval::{Interval, IntervalBox};
 
 use crate::tape::Tape;
+
+/// Reusable working memory for [`Contractor::contract_with`] and
+/// [`Contractor::certainty_with`]. The branch-and-prune loop contracts
+/// thousands of boxes per paving; reusing one scratch across calls keeps
+/// the hot path allocation-free after warm-up.
+#[derive(Clone, Debug, Default)]
+pub struct ContractScratch {
+    /// Per-node interval values for the HC4 forward/backward passes.
+    vals: Vec<Interval>,
+    /// Dimension widths at the start of a fixpoint pass.
+    widths: Vec<f64>,
+}
+
+impl ContractScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> ContractScratch {
+        ContractScratch::default()
+    }
+}
 
 /// Three-valued verdict for a box against a constraint.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -52,9 +73,12 @@ fn target(op: RelOp) -> Option<Interval> {
 }
 
 /// A compiled conjunction of atoms with HC4 forward/backward machinery.
+/// Tapes are shared through the process-wide cache
+/// ([`Tape::compile_cached`]), so contractors for recurring factors reuse
+/// one compiled tape per distinct expression.
 #[derive(Clone, Debug)]
 pub struct Contractor {
-    atoms: Vec<(Tape, RelOp)>,
+    atoms: Vec<(Arc<Tape>, RelOp)>,
     nvars: usize,
     max_passes: usize,
 }
@@ -76,7 +100,36 @@ impl Contractor {
             .iter()
             .map(|a| {
                 let (expr, op) = a.normalized();
-                (Tape::compile(&expr), op)
+                (Tape::compile_cached(&expr), op)
+            })
+            .collect();
+        Contractor {
+            atoms,
+            nvars,
+            max_passes: 8,
+        }
+    }
+
+    /// Like [`Contractor::new`] but bypassing the process-wide tape
+    /// cache. Use for throwaway conjunctions that will never recur (the
+    /// symbolic executor's per-path pruning queries), so they neither
+    /// fill the cache's cap nor pin memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the condition references a variable index `≥ nvars`.
+    pub fn new_uncached(pc: &PathCondition, nvars: usize) -> Contractor {
+        assert!(
+            pc.var_bound() <= nvars,
+            "path condition references variable beyond domain ({} > {nvars})",
+            pc.var_bound()
+        );
+        let atoms = pc
+            .atoms()
+            .iter()
+            .map(|a| {
+                let (expr, op) = a.normalized();
+                (Arc::new(Tape::compile(&expr)), op)
             })
             .collect();
         Contractor {
@@ -111,17 +164,28 @@ impl Contractor {
     /// conjunction. Returns `false` if the box was proven to contain no
     /// solution (the box is left in an empty state).
     ///
+    /// Allocates fresh working memory per call; hot loops should hold a
+    /// [`ContractScratch`] and use [`Contractor::contract_with`].
+    ///
     /// # Panics
     ///
     /// Panics if `boxed.ndim() != self.nvars()`.
     pub fn contract(&self, boxed: &mut IntervalBox) -> bool {
+        self.contract_with(boxed, &mut ContractScratch::new())
+    }
+
+    /// [`Contractor::contract`] with caller-provided working memory.
+    pub fn contract_with(&self, boxed: &mut IntervalBox, scratch: &mut ContractScratch) -> bool {
         assert_eq!(boxed.ndim(), self.nvars, "contract: dimension mismatch");
-        let mut vals = Vec::new();
+        let vals = &mut scratch.vals;
         for _pass in 0..self.max_passes {
-            let before: Vec<Interval> = boxed.dims().to_vec();
+            scratch.widths.clear();
+            scratch
+                .widths
+                .extend(boxed.dims().iter().map(Interval::width));
             for (tape, op) in &self.atoms {
                 let Some(t) = target(*op) else { continue };
-                let root_val = tape.forward(boxed, &mut vals);
+                let root_val = tape.forward(boxed, vals);
                 if root_val.is_empty() {
                     // Expression undefined on the whole box ⇒ atom false
                     // everywhere ⇒ conjunction unsatisfiable here.
@@ -131,16 +195,16 @@ impl Contractor {
                 let narrowed = root_val.intersect(&t);
                 let root = tape.root();
                 vals[root] = narrowed;
-                if narrowed.is_empty() || !tape.backward(&mut vals, boxed) {
+                if narrowed.is_empty() || !tape.backward(vals, boxed) {
                     *boxed.dim_mut(0) = Interval::EMPTY;
                     return false;
                 }
             }
             // Stop when a full pass no longer shrinks anything noticeably.
             let mut changed = false;
-            for (b, a) in before.iter().zip(boxed.dims()) {
-                let shrink = b.width() - a.width();
-                if shrink > 1e-12 * b.width().max(1e-300) {
+            for (&before, after) in scratch.widths.iter().zip(boxed.dims()) {
+                let shrink = before - after.width();
+                if shrink > 1e-12 * before.max(1e-300) {
                     changed = true;
                     break;
                 }
@@ -160,11 +224,15 @@ impl Contractor {
     ///
     /// Panics if `boxed.ndim() != self.nvars()`.
     pub fn certainty(&self, boxed: &IntervalBox) -> Tri {
+        self.certainty_with(boxed, &mut ContractScratch::new())
+    }
+
+    /// [`Contractor::certainty`] with caller-provided working memory.
+    pub fn certainty_with(&self, boxed: &IntervalBox, scratch: &mut ContractScratch) -> Tri {
         assert_eq!(boxed.ndim(), self.nvars, "certainty: dimension mismatch");
-        let mut vals = Vec::new();
         let mut acc = Tri::True;
         for (tape, op) in &self.atoms {
-            let v = tape.forward(boxed, &mut vals);
+            let v = tape.forward(boxed, &mut scratch.vals);
             let verdict = atom_certainty(v, *op);
             acc = acc.and(verdict);
             if acc == Tri::False {
@@ -249,11 +317,7 @@ mod tests {
     fn pc_and_dom(src: &str) -> (PathCondition, Domain, IntervalBox) {
         let sys = parse_system(src).unwrap();
         let dom_box = crate::domain_box(&sys.domain);
-        (
-            sys.constraint_set.pcs()[0].clone(),
-            sys.domain,
-            dom_box,
-        )
+        (sys.constraint_set.pcs()[0].clone(), sys.domain, dom_box)
     }
 
     #[test]
@@ -294,8 +358,7 @@ mod tests {
 
     #[test]
     fn contract_nonlinear() {
-        let (pc, dom, mut b) =
-            pc_and_dom("var x in [-10, 10]; pc x * x <= 4 && x >= 0;");
+        let (pc, dom, mut b) = pc_and_dom("var x in [-10, 10]; pc x * x <= 4 && x >= 0;");
         let c = Contractor::new(&pc, dom.len());
         assert!(c.contract(&mut b));
         assert!(b[0].lo() >= -0.001 && b[0].hi() <= 2.3, "{}", b[0]);
@@ -371,8 +434,7 @@ mod tests {
 
     #[test]
     fn transcendental_contraction() {
-        let (pc, dom, mut b) =
-            pc_and_dom("var x in [0, 6.283185307179586]; pc sin(x) > 0.9;");
+        let (pc, dom, mut b) = pc_and_dom("var x in [0, 6.283185307179586]; pc sin(x) > 0.9;");
         let c = Contractor::new(&pc, dom.len());
         assert!(c.contract(&mut b));
         // Solutions are around π/2 (≈ [1.12, 2.02]).

@@ -34,7 +34,7 @@
 //! let dom = domain_box(&sys.domain);
 //! let paving = pave(&sys.constraint_set.pcs()[0], &dom, &PaverConfig::default());
 //! // All solutions of the triangle are covered by the paving.
-//! assert!(!paving.all_boxes().is_empty());
+//! assert!(paving.all_boxes().count() > 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -43,8 +43,8 @@ pub mod contract;
 pub mod paver;
 pub mod tape;
 
-pub use contract::{Contractor, Tri};
-pub use paver::{pave, Paver, PaverConfig, Paving};
+pub use contract::{ContractScratch, Contractor, Tri};
+pub use paver::{pave, Paver, PaverConfig, Paving, PavingCache};
 
 use qcoral_constraints::Domain;
 use qcoral_interval::{Interval, IntervalBox};
@@ -60,11 +60,11 @@ pub fn domain_box(domain: &Domain) -> IntervalBox {
 /// Quick satisfiability filter used by the symbolic executor: returns
 /// `false` only if interval propagation *proves* the conjunction has no
 /// solution inside `boxed`. A `true` answer means "possibly satisfiable".
-pub fn maybe_satisfiable(
-    pc: &qcoral_constraints::PathCondition,
-    boxed: &IntervalBox,
-) -> bool {
-    let contractor = Contractor::new(pc, boxed.ndim());
+pub fn maybe_satisfiable(pc: &qcoral_constraints::PathCondition, boxed: &IntervalBox) -> bool {
+    // Uncached: symbolic execution queries path-specific conjunctions
+    // that never recur; caching them would only fill the tape cache's
+    // cap and crowd out the analyzer's recurring factors.
+    let contractor = Contractor::new_uncached(pc, boxed.ndim());
     let mut b = boxed.clone();
     contractor.contract(&mut b)
 }

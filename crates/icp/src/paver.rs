@@ -5,13 +5,17 @@
 //! solutions. Regions outside the paving are proven solution-free — the
 //! qCORAL stratified sampler never needs to sample them (paper §3.3).
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use qcoral_constraints::PathCondition;
 use qcoral_interval::IntervalBox;
 
-use crate::contract::{Contractor, Tri};
+use crate::contract::{ContractScratch, Contractor, Tri};
 
 /// Stop criteria for the paver, mirroring the RealPaver configuration the
 /// paper reports in §5: "time budget per query of 2 s, a bound on the
@@ -66,11 +70,11 @@ impl Paving {
         self.inner.is_empty() && self.boundary.is_empty()
     }
 
-    /// All boxes, inner first.
-    pub fn all_boxes(&self) -> Vec<IntervalBox> {
-        let mut v = self.inner.clone();
-        v.extend(self.boundary.iter().cloned());
-        v
+    /// All boxes, inner first. Borrowing iterator — the paving's boxes are
+    /// not cloned (the old `Vec`-returning version cloned every box and
+    /// dominated the sampler's setup cost).
+    pub fn all_boxes(&self) -> impl Iterator<Item = &IntervalBox> + '_ {
+        self.inner.iter().chain(self.boundary.iter())
     }
 
     /// Number of boxes in the paving.
@@ -133,9 +137,12 @@ impl Paver {
     }
 
     /// Pavés `domain`, returning disjoint boxes covering all solutions of
-    /// the compiled conjunction.
+    /// the compiled conjunction. One [`ContractScratch`] is reused across
+    /// the whole branch-and-prune loop, so the per-box work is free of
+    /// heap allocation except for the boxes themselves.
     pub fn pave(&self, domain: &IntervalBox) -> Paving {
         let start = Instant::now();
+        let mut scratch = ContractScratch::new();
         let mut paving = Paving::default();
         let mut heap = BinaryHeap::new();
         heap.push(WorkItem {
@@ -147,10 +154,10 @@ impl Paver {
         while let Some(WorkItem { mut boxed, .. }) = heap.pop() {
             // Contraction never increases the box count, so it is applied
             // even once the box budget is exhausted.
-            if !self.contractor.contract(&mut boxed) {
+            if !self.contractor.contract_with(&mut boxed, &mut scratch) {
                 continue;
             }
-            match self.contractor.certainty(&boxed) {
+            match self.contractor.certainty_with(&boxed, &mut scratch) {
                 Tri::True => {
                     paving.inner.push(boxed);
                     continue;
@@ -188,6 +195,111 @@ pub fn pave(pc: &PathCondition, domain: &IntervalBox, config: &PaverConfig) -> P
     Paver::new(pc, domain.ndim(), config.clone()).pave(domain)
 }
 
+/// Cache key: the conjunction's structural fingerprint (linear in DAG
+/// size, never a rendered tree), the box's exact bit pattern, and the
+/// budget-relevant paver knobs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct PavingKey {
+    pc: u128,
+    box_bits: Vec<(u64, u64)>,
+    max_boxes: usize,
+    precision_digits: u32,
+    time_budget_ns: u128,
+    max_passes: usize,
+}
+
+impl PavingKey {
+    fn new(pc: &PathCondition, domain: &IntervalBox, config: &PaverConfig) -> PavingKey {
+        PavingKey {
+            pc: pc.fingerprint(),
+            box_bits: domain
+                .dims()
+                .iter()
+                .map(|d| (d.lo().to_bits(), d.hi().to_bits()))
+                .collect(),
+            max_boxes: config.max_boxes,
+            precision_digits: config.precision_digits,
+            time_budget_ns: config.time_budget.as_nanos(),
+            max_passes: config.max_passes,
+        }
+    }
+}
+
+/// A concurrent cache of pavings keyed by the canonicalized conjunction,
+/// the queried box, and the budget-relevant paver knobs.
+///
+/// Independent factors recur across path conditions (the empirical core of
+/// the paper's PARTCACHE observation), so the analyzer asks for the same
+/// `(conjunction, sub-box)` paving over and over — sometimes from several
+/// threads at once. The cache compiles and pavés once and shares the
+/// result as an [`Arc<Paving>`]. On a race, whichever paving lands first
+/// wins, and *every* caller gets that one, keeping all consumers of a key
+/// consistent within a run. Bounded: past [`PavingCache::CAP`] distinct
+/// keys, pavings are still computed but no longer retained.
+#[derive(Debug, Default)]
+pub struct PavingCache {
+    map: Mutex<HashMap<PavingKey, Arc<Paving>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PavingCache {
+    /// Maximum retained pavings (each holds up to `max_boxes` boxes).
+    pub const CAP: usize = 1024;
+
+    /// Creates an empty cache.
+    pub fn new() -> PavingCache {
+        PavingCache::default()
+    }
+
+    /// Returns the paving of `pc` over `domain`, computing it at most once
+    /// per distinct key (while under [`PavingCache::CAP`]).
+    pub fn pave_cached(
+        &self,
+        pc: &PathCondition,
+        domain: &IntervalBox,
+        config: &PaverConfig,
+    ) -> Arc<Paving> {
+        let key = PavingKey::new(pc, domain, config);
+        if let Some(p) = self.map.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(p);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Pave outside the lock: pavings can take the full time budget and
+        // must not serialize unrelated lookups.
+        let fresh = Arc::new(pave(pc, domain, config));
+        let mut map = self.map.lock();
+        if map.len() >= Self::CAP && !map.contains_key(&key) {
+            return fresh;
+        }
+        Arc::clone(map.entry(key).or_insert(fresh))
+    }
+
+    /// Number of distinct pavings held.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Returns `true` if no paving is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drops all cached pavings (counters are retained).
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,10 +313,7 @@ mod tests {
     }
 
     fn paving_covers(paving: &Paving, point: &[f64]) -> bool {
-        paving
-            .all_boxes()
-            .iter()
-            .any(|b| b.contains_point(point))
+        paving.all_boxes().any(|b| b.contains_point(point))
     }
 
     #[test]
@@ -230,9 +339,7 @@ mod tests {
 
     #[test]
     fn respects_box_budget() {
-        let (pc, dom) = setup(
-            "var x in [-1, 1]; var y in [-1, 1]; pc x * x + y * y <= 1;",
-        );
+        let (pc, dom) = setup("var x in [-1, 1]; var y in [-1, 1]; pc x * x + y * y <= 1;");
         for budget in [4, 10, 32] {
             let cfg = PaverConfig {
                 max_boxes: budget,
@@ -246,9 +353,7 @@ mod tests {
 
     #[test]
     fn paving_covers_all_sampled_solutions() {
-        let (pc, dom) = setup(
-            "var x in [-1, 1]; var y in [-1, 1]; pc x <= -y && y <= x;",
-        );
+        let (pc, dom) = setup("var x in [-1, 1]; var y in [-1, 1]; pc x <= -y && y <= x;");
         let paving = pave(&pc, &dom, &PaverConfig::default());
         // Deterministic grid scan: every satisfying point must be covered.
         let n = 50;
@@ -268,9 +373,7 @@ mod tests {
 
     #[test]
     fn inner_boxes_only_contain_solutions() {
-        let (pc, dom) = setup(
-            "var x in [-1, 1]; var y in [-1, 1]; pc x * x + y * y <= 1;",
-        );
+        let (pc, dom) = setup("var x in [-1, 1]; var y in [-1, 1]; pc x * x + y * y <= 1;");
         let cfg = PaverConfig {
             max_boxes: 64,
             ..PaverConfig::default()
@@ -295,9 +398,7 @@ mod tests {
 
     #[test]
     fn more_boxes_tighter_cover() {
-        let (pc, dom) = setup(
-            "var x in [-1, 1]; var y in [-1, 1]; pc x * x + y * y <= 1;",
-        );
+        let (pc, dom) = setup("var x in [-1, 1]; var y in [-1, 1]; pc x * x + y * y <= 1;");
         let small = pave(
             &pc,
             &dom,
@@ -314,7 +415,7 @@ mod tests {
                 ..PaverConfig::default()
             },
         );
-        let cover = |p: &Paving| -> f64 { p.all_boxes().iter().map(IntervalBox::volume).sum() };
+        let cover = |p: &Paving| -> f64 { p.all_boxes().map(IntervalBox::volume).sum() };
         // The true area is π; covers over-approximate it and shrink with
         // more boxes.
         assert!(cover(&large) <= cover(&small) + 1e-9);
@@ -323,9 +424,7 @@ mod tests {
 
     #[test]
     fn transcendental_paving() {
-        let (pc, dom) = setup(
-            "var h in [-10, 10]; var t in [-10, 10]; pc sin(h * t) > 0.25;",
-        );
+        let (pc, dom) = setup("var h in [-10, 10]; var t in [-10, 10]; pc sin(h * t) > 0.25;");
         let paving = pave(&pc, &dom, &PaverConfig::default());
         assert!(!paving.is_unsat());
         // A known solution: h·t = π/2.
@@ -362,10 +461,97 @@ mod tests {
         assert!(paving_covers(&paving, &[0.5, 0.5]));
         assert!(paving_covers(&paving, &[0.25, 0.75]));
         // ...while the cover collapses towards zero volume.
-        let cover: f64 = paving.all_boxes().iter().map(IntervalBox::volume).sum();
+        let cover: f64 = paving.all_boxes().map(IntervalBox::volume).sum();
         assert!(cover < 1.0, "cover {cover} should shrink towards the line");
         // Equality constraints can never be certainly true on a fat box.
         assert!(paving.inner.is_empty());
+    }
+
+    #[test]
+    fn precision_floor_halts_bisection() {
+        // A 0-digit precision floor (min side 1.0) must stop refinement
+        // long before the generous box budget does; 3 digits refines
+        // further under the same budget.
+        let (pc, dom) = setup("var x in [-1, 1]; var y in [-1, 1]; pc x * x + y * y <= 1;");
+        let coarse = pave(
+            &pc,
+            &dom,
+            &PaverConfig {
+                max_boxes: 1024,
+                precision_digits: 0,
+                ..PaverConfig::default()
+            },
+        );
+        let fine = pave(
+            &pc,
+            &dom,
+            &PaverConfig {
+                max_boxes: 1024,
+                precision_digits: 3,
+                ..PaverConfig::default()
+            },
+        );
+        assert!(
+            coarse.len() < 64,
+            "0-digit paving should stay coarse, got {} boxes",
+            coarse.len()
+        );
+        assert!(coarse.len() < fine.len());
+        // No box was bisected below the floor: every split parent had
+        // max_width > 1, so children have max_width > 0.5.
+        for b in coarse.all_boxes() {
+            assert!(b.max_width() > 0.5 - 1e-12, "{b}");
+        }
+    }
+
+    #[test]
+    fn zero_time_budget_halts_immediately_but_stays_sound() {
+        let (pc, dom) = setup("var x in [-1, 1]; var y in [-1, 1]; pc x * x + y * y <= 1;");
+        let paving = pave(
+            &pc,
+            &dom,
+            &PaverConfig {
+                max_boxes: 4096,
+                time_budget: Duration::ZERO,
+                ..PaverConfig::default()
+            },
+        );
+        // The very first undecided box is emitted without bisection.
+        assert_eq!(paving.len(), 1, "no refinement under a zero budget");
+        // Soundness is unaffected: a known solution stays covered.
+        assert!(paving_covers(&paving, &[0.0, 0.0]));
+    }
+
+    #[test]
+    fn paving_cache_computes_each_key_once() {
+        let sys =
+            parse_system("var x in [-1, 1]; var y in [-1, 1]; pc x * x + y * y <= 1;").unwrap();
+        let pc = sys.constraint_set.pcs()[0].clone();
+        let dom = crate::domain_box(&sys.domain);
+        let cache = PavingCache::new();
+        let cfg = PaverConfig::default();
+        let a = cache.pave_cached(&pc, &dom, &cfg);
+        let b = cache.pave_cached(&pc, &dom, &cfg);
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "second request is a hit");
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+        // A different box is a different key.
+        let half: IntervalBox = [Interval::new(0.0, 1.0), Interval::new(0.0, 1.0)]
+            .into_iter()
+            .collect();
+        let c = cache.pave_cached(&pc, &half, &cfg);
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats(), (1, 2));
+        // So is a different budget.
+        let small = PaverConfig {
+            max_boxes: 4,
+            ..PaverConfig::default()
+        };
+        let d = cache.pave_cached(&pc, &dom, &small);
+        assert!(d.len() <= 4);
+        assert_eq!(cache.stats(), (1, 3));
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -9,9 +9,28 @@
 //! narrowed together.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
-use qcoral_constraints::{BinOp, Expr, UnOp, VarId};
+use parking_lot::Mutex;
+
+use qcoral_constraints::{expr_fingerprint, BinOp, Expr, UnOp, VarId};
 use qcoral_interval::{Interval, IntervalBox};
+
+/// Process-wide cache of compiled tapes, keyed by the source expression's
+/// structural fingerprint. Independent factors recur across path
+/// conditions (and across whole analyses), so contractors share one
+/// compiled [`Tape`] per distinct expression instead of recompiling it.
+/// The fingerprint is computed *outside* the lock and is linear in DAG
+/// size, so lookups do constant work under the mutex.
+static TAPE_CACHE: OnceLock<Mutex<HashMap<u128, Arc<Tape>>>> = OnceLock::new();
+
+/// Cap on cached tapes; beyond it, compilation still succeeds but results
+/// are no longer retained (bounds memory for adversarial workloads).
+const TAPE_CACHE_CAP: usize = 4096;
+
+fn tape_cache() -> &'static Mutex<HashMap<u128, Arc<Tape>>> {
+    TAPE_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
 
 /// One node of a compiled expression.
 #[derive(Clone, Debug, PartialEq)]
@@ -45,6 +64,34 @@ impl Tape {
         let mut memo: HashMap<Expr, usize> = HashMap::new();
         tape.emit(expr, &mut memo);
         tape
+    }
+
+    /// Compiles through the process-wide tape cache: structurally equal
+    /// expressions share one compiled tape. Safe across threads; the cache
+    /// is bounded, and on overflow compilation simply stops memoizing.
+    ///
+    /// Callers with throwaway, never-recurring expressions (e.g. the
+    /// symbolic executor's per-path pruning queries) should use
+    /// [`Tape::compile`] directly so they don't fill the cap.
+    pub fn compile_cached(expr: &Arc<Expr>) -> Arc<Tape> {
+        // Fingerprint and compile outside the lock: both can be heavy.
+        let key = expr_fingerprint(expr);
+        if let Some(t) = tape_cache().lock().get(&key) {
+            return Arc::clone(t);
+        }
+        let fresh = Arc::new(Tape::compile(expr));
+        let mut cache = tape_cache().lock();
+        if cache.len() >= TAPE_CACHE_CAP && !cache.contains_key(&key) {
+            return fresh;
+        }
+        // On a race, keep whichever tape landed first so every contractor
+        // shares the same allocation.
+        Arc::clone(cache.entry(key).or_insert(fresh))
+    }
+
+    /// Number of tapes currently memoized process-wide.
+    pub fn cached_tapes() -> usize {
+        tape_cache().lock().len()
     }
 
     fn emit(&mut self, expr: &Expr, memo: &mut HashMap<Expr, usize>) -> usize {
@@ -248,11 +295,9 @@ fn unary_backward(op: UnOp, z: Interval, x: Interval) -> Interval {
             let k_lo = ((x.lo() - base.hi()) / PI).floor() as i64;
             let k_hi = ((x.hi() - base.lo()) / PI).ceil() as i64;
             for k in k_lo..=k_hi {
-                let cand = Interval::new_or_empty(
-                    base.lo() + k as f64 * PI,
-                    base.hi() + k as f64 * PI,
-                )
-                .widen();
+                let cand =
+                    Interval::new_or_empty(base.lo() + k as f64 * PI, base.hi() + k as f64 * PI)
+                        .widen();
                 acc = acc.hull(&cand.intersect(&x));
             }
             acc
@@ -444,7 +489,9 @@ fn signed_root(z: Interval, n: i32) -> Interval {
         }
         v.signum() * v.abs().powf(1.0 / n as f64)
     };
-    Interval::new_or_empty(root1(z.lo()), root1(z.hi())).widen().widen()
+    Interval::new_or_empty(root1(z.lo()), root1(z.hi()))
+        .widen()
+        .widen()
 }
 
 #[cfg(test)]
@@ -473,6 +520,62 @@ mod tests {
         // nodes: x, 1, x+1, (x+1)*(x+1) = 4 (not 7)
         assert_eq!(t.len(), 4);
         assert_eq!(t.var_nodes().len(), 1);
+    }
+
+    #[test]
+    fn dedup_strengthens_forward_to_square() {
+        // Because (x+1) is one shared node, (x+1)*(x+1) evaluates as a
+        // square: on x ∈ [-3, 1] the image is [0, 4]. A tree-shaped
+        // product of two independent copies would give [-2,2]·[-2,2] =
+        // [-4, 4].
+        let shared = x().add(Expr::constant(1.0));
+        let e = shared.clone().mul(shared);
+        let t = Tape::compile(&e);
+        let mut vals = Vec::new();
+        let r = t.forward(&bx(&[(-3.0, 1.0)]), &mut vals);
+        assert!(r.lo() >= 0.0, "square image must be non-negative: {r}");
+        assert!(r.hi() <= 4.0 + 1e-12, "{r}");
+    }
+
+    #[test]
+    fn dedup_narrows_shared_subterms_together() {
+        // (x+1)² ∈ [0, 1] on x ∈ [-3, 1]: both occurrences of (x+1)
+        // narrow simultaneously, giving x ∈ [-2, 0]. With separate
+        // sub-terms the generic product projection narrows much less.
+        let shared = x().add(Expr::constant(1.0));
+        let e = shared.clone().mul(shared);
+        let t = Tape::compile(&e);
+        let mut b = bx(&[(-3.0, 1.0)]);
+        let mut vals = Vec::new();
+        t.forward(&b, &mut vals);
+        let root = t.root();
+        vals[root] = vals[root].intersect(&Interval::new(0.0, 1.0));
+        assert!(t.backward(&mut vals, &mut b));
+        assert!(
+            b[0].lo() >= -2.01 && b[0].hi() <= 0.01,
+            "shared narrowing should give [-2, 0], got {}",
+            b[0]
+        );
+        // Genuine solutions survive.
+        assert!(b[0].contains(-1.5) && b[0].contains(-0.5));
+    }
+
+    #[test]
+    fn compile_cached_shares_one_tape() {
+        // Two structurally equal but separately allocated expressions
+        // resolve to the same Arc through the process-wide cache.
+        let e1 = Arc::new(x().mul(y()).sin().add(x().sqrt()));
+        let e2 = Arc::new(x().mul(y()).sin().add(x().sqrt()));
+        let t1 = Tape::compile_cached(&e1);
+        let t2 = Tape::compile_cached(&e2);
+        assert!(std::sync::Arc::ptr_eq(&t1, &t2));
+        assert!(Tape::cached_tapes() >= 1);
+        // The cached tape evaluates like a fresh one.
+        let fresh = Tape::compile(&e1);
+        let b = bx(&[(4.0, 4.0), (0.5, 0.5)]);
+        let mut va = Vec::new();
+        let mut vb = Vec::new();
+        assert_eq!(t1.forward(&b, &mut va), fresh.forward(&b, &mut vb));
     }
 
     #[test]

@@ -110,7 +110,11 @@ impl IntervalBox {
     ///
     /// Panics if `point.len() != self.ndim()`.
     pub fn contains_point(&self, point: &[f64]) -> bool {
-        assert_eq!(point.len(), self.ndim(), "contains_point: dimension mismatch");
+        assert_eq!(
+            point.len(),
+            self.ndim(),
+            "contains_point: dimension mismatch"
+        );
         self.dims.iter().zip(point).all(|(d, &p)| d.contains(p))
     }
 

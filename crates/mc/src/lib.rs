@@ -37,4 +37,7 @@ pub mod sampler;
 
 pub use estimate::Estimate;
 pub use profile::{Dist, UsageProfile};
-pub use sampler::{hit_or_miss, stratified, Allocation, Stratum};
+pub use sampler::{
+    hit_or_miss, hit_or_miss_plan, mix_seed, stratified, stratified_plan, Allocation, SamplePlan,
+    Stratum,
+};

@@ -212,7 +212,11 @@ impl UsageProfile {
     /// Panics on dimension mismatch.
     pub fn box_probability(&self, boxed: &IntervalBox, domain: &IntervalBox) -> f64 {
         assert_eq!(boxed.ndim(), self.len(), "box/profile dimension mismatch");
-        assert_eq!(domain.ndim(), self.len(), "domain/profile dimension mismatch");
+        assert_eq!(
+            domain.ndim(),
+            self.len(),
+            "domain/profile dimension mismatch"
+        );
         self.dists
             .iter()
             .enumerate()
@@ -298,7 +302,9 @@ mod tests {
         let d = Dist::Uniform;
         let mut rng = SmallRng::seed_from_u64(1);
         for _ in 0..100 {
-            let v = d.sample_in(&iv(0.25, 0.5), &iv(0.0, 1.0), &mut rng).unwrap();
+            let v = d
+                .sample_in(&iv(0.25, 0.5), &iv(0.0, 1.0), &mut rng)
+                .unwrap();
             assert!((0.25..0.5).contains(&v));
         }
     }
@@ -327,7 +333,9 @@ mod tests {
     fn sample_outside_support_returns_none() {
         let d = Dist::piecewise(vec![0.0, 1.0], vec![1.0]);
         let mut rng = SmallRng::seed_from_u64(3);
-        assert!(d.sample_in(&iv(2.0, 3.0), &iv(0.0, 1.0), &mut rng).is_none());
+        assert!(d
+            .sample_in(&iv(2.0, 3.0), &iv(0.0, 1.0), &mut rng)
+            .is_none());
     }
 
     #[test]
@@ -340,8 +348,7 @@ mod tests {
 
     #[test]
     fn profile_projection() {
-        let p = UsageProfile::uniform(3)
-            .with_dist(2, Dist::piecewise(vec![0.0, 1.0], vec![1.0]));
+        let p = UsageProfile::uniform(3).with_dist(2, Dist::piecewise(vec![0.0, 1.0], vec![1.0]));
         let q = p.project(&[2, 0]);
         assert_eq!(q.len(), 2);
         assert!(matches!(q.dist(0), Dist::Piecewise { .. }));

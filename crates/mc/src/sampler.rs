@@ -1,10 +1,244 @@
 //! Hit-or-miss Monte Carlo and stratified sampling.
+//!
+//! Two API layers share the estimator math:
+//!
+//! * the classic rng-threaded entry points [`hit_or_miss`] /
+//!   [`stratified`], which consume a caller-provided RNG sequentially, and
+//! * the *plan* layer ([`SamplePlan`], [`hit_or_miss_plan`],
+//!   [`stratified_plan`]), the hot path: samples are drawn in fixed-size
+//!   chunks, each chunk seeded from a counter ([`mix_seed`]) instead of a
+//!   shared RNG stream. Chunk hit-counts are integers and strata are
+//!   reduced in index order, so the returned [`Estimate`] is bit-identical
+//!   whether the chunks run on one thread or many.
 
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use qcoral_interval::IntervalBox;
 
 use crate::{Estimate, UsageProfile};
+
+/// SplitMix64-style mixing of a base seed with a stream id, used to derive
+/// independent per-chunk and per-stratum RNG seeds from counters.
+pub fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How a sampling run draws its randomness and where it executes.
+///
+/// The plan fixes the seed derivation: chunk `c` of any run always uses
+/// `mix_seed(seed, c)`, so execution order cannot influence the result.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SamplePlan {
+    /// Base RNG seed for this run.
+    pub seed: u64,
+    /// Samples per chunk (the parallel work granule).
+    pub chunk: u64,
+    /// Fan chunks/strata out across threads. Purely an execution choice:
+    /// estimates are identical either way.
+    pub parallel: bool,
+}
+
+impl SamplePlan {
+    /// Default chunk size: big enough to amortize thread dispatch, small
+    /// enough to load-balance a 100k-sample run over many cores.
+    pub const DEFAULT_CHUNK: u64 = 4_096;
+
+    /// A serial plan.
+    pub fn serial(seed: u64) -> SamplePlan {
+        SamplePlan {
+            seed,
+            chunk: Self::DEFAULT_CHUNK,
+            parallel: false,
+        }
+    }
+
+    /// A parallel plan (same results as [`SamplePlan::serial`]).
+    pub fn parallel(seed: u64) -> SamplePlan {
+        SamplePlan {
+            parallel: true,
+            ..SamplePlan::serial(seed)
+        }
+    }
+
+    /// The same plan with a different base seed.
+    pub fn with_seed(self, seed: u64) -> SamplePlan {
+        SamplePlan { seed, ..self }
+    }
+
+    /// Derives the plan for an independent sub-stream (e.g. one stratum).
+    pub fn substream(self, stream: u64) -> SamplePlan {
+        SamplePlan {
+            seed: mix_seed(self.seed, stream),
+            ..self
+        }
+    }
+}
+
+/// Counts hits of `pred` among `n` samples of chunk `c` (the scratch
+/// buffer `point` is reused across samples). Returns `None` if the box has
+/// zero conditional mass under the profile.
+fn chunk_hits<F: Fn(&[f64]) -> bool>(
+    pred: &F,
+    boxed: &IntervalBox,
+    profile: &UsageProfile,
+    n: u64,
+    seed: u64,
+    c: u64,
+    point: &mut [f64],
+) -> Option<u64> {
+    let mut rng = SmallRng::seed_from_u64(mix_seed(seed, c));
+    let mut hits = 0u64;
+    for _ in 0..n {
+        if !profile.sample_in(boxed, boxed, &mut rng, point) {
+            return None;
+        }
+        if pred(point) {
+            hits += 1;
+        }
+    }
+    Some(hits)
+}
+
+/// Hit-or-miss Monte Carlo (Eq. 2) over counter-seeded chunks.
+///
+/// Identical statistics to [`hit_or_miss`] but deterministic under any
+/// thread schedule: chunk `c` always draws from `mix_seed(plan.seed, c)`
+/// and the integer hit counts commute. If the box has zero probability
+/// mass under the profile the exact `0 ± 0` is returned.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or on box/profile dimension mismatch.
+pub fn hit_or_miss_plan<F>(
+    pred: &F,
+    boxed: &IntervalBox,
+    profile: &UsageProfile,
+    n: u64,
+    plan: SamplePlan,
+) -> Estimate
+where
+    F: Fn(&[f64]) -> bool + Sync,
+{
+    assert!(n > 0, "hit-or-miss needs at least one sample");
+    let chunk = plan.chunk.max(1);
+    let nchunks = n.div_ceil(chunk);
+    let ndim = boxed.ndim();
+    let hits_of = |c: u64, point: &mut [f64]| {
+        let len = chunk.min(n - c * chunk);
+        chunk_hits(pred, boxed, profile, len, plan.seed, c, point)
+    };
+    let total: Option<u64> = if plan.parallel && nchunks > 1 {
+        (0..nchunks)
+            .into_par_iter()
+            .map(|c| {
+                let mut point = vec![0.0; ndim];
+                hits_of(c, &mut point)
+            })
+            .collect::<Vec<Option<u64>>>()
+            .into_iter()
+            .sum()
+    } else {
+        let mut point = vec![0.0; ndim];
+        let mut acc = Some(0u64);
+        for c in 0..nchunks {
+            match (acc, hits_of(c, &mut point)) {
+                (Some(a), Some(h)) => acc = Some(a + h),
+                _ => {
+                    acc = None;
+                    break;
+                }
+            }
+        }
+        acc
+    };
+    match total {
+        // Zero conditional mass: the box contributes nothing.
+        None => Estimate::ZERO,
+        Some(hits) => Estimate::from_hits(hits, n),
+    }
+}
+
+/// Stratified sampling (Eq. 3) over counter-seeded chunks.
+///
+/// Stratum `i` samples under the independent sub-stream
+/// `plan.substream(i)`; contributions are reduced in stratum order, so the
+/// result is bit-identical across thread schedules and to the serial
+/// plan. Semantics otherwise match [`stratified`].
+///
+/// # Panics
+///
+/// Panics on dimension mismatches between strata, `domain` and `profile`.
+pub fn stratified_plan<F>(
+    pred: &F,
+    strata: &[Stratum],
+    domain: &IntervalBox,
+    profile: &UsageProfile,
+    total_samples: u64,
+    allocation: Allocation,
+    plan: SamplePlan,
+) -> Estimate
+where
+    F: Fn(&[f64]) -> bool + Sync,
+{
+    let weights: Vec<f64> = strata
+        .iter()
+        .map(|s| profile.box_probability(&s.boxed, domain))
+        .collect();
+    let sampled: Vec<usize> = strata
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| !s.certain && weights[*i] > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+
+    // Certain strata contribute their exact mass, in stratum order.
+    let mut acc = Estimate::ZERO;
+    for (i, s) in strata.iter().enumerate() {
+        if s.certain {
+            acc = acc.sum(Estimate::ONE.scale(weights[i]));
+        }
+    }
+    if sampled.is_empty() {
+        return acc;
+    }
+
+    let sampled_weight: f64 = sampled.iter().map(|&i| weights[i]).sum();
+    let samples_for = |i: usize| -> u64 {
+        match allocation {
+            Allocation::EqualPerStratum => (total_samples / sampled.len() as u64).max(1),
+            Allocation::Proportional => {
+                if sampled_weight <= 0.0 {
+                    1
+                } else {
+                    ((total_samples as f64 * weights[i] / sampled_weight).round() as u64).max(1)
+                }
+            }
+        }
+    };
+    let estimate_stratum = |&i: &usize| -> Estimate {
+        hit_or_miss_plan(
+            pred,
+            &strata[i].boxed,
+            profile,
+            samples_for(i),
+            plan.substream(i as u64),
+        )
+        .scale(weights[i])
+    };
+    let per_stratum: Vec<Estimate> = if plan.parallel && sampled.len() > 1 {
+        sampled.par_iter().map(estimate_stratum).collect()
+    } else {
+        sampled.iter().map(estimate_stratum).collect()
+    };
+    // Fixed reduction order keeps the floating-point sum identical across
+    // schedules.
+    per_stratum.into_iter().fold(acc, Estimate::sum)
+}
 
 /// The Hit-or-Miss Monte Carlo estimator of §3.2 (Eq. 2): draws `n`
 /// samples from `profile` conditioned on `boxed` and counts how many
@@ -126,9 +360,7 @@ pub fn stratified(
     let sampled_weight: f64 = sampled.iter().map(|&i| weights[i]).sum();
     for &i in &sampled {
         let n = match allocation {
-            Allocation::EqualPerStratum => {
-                (total_samples / sampled.len() as u64).max(1)
-            }
+            Allocation::EqualPerStratum => (total_samples / sampled.len() as u64).max(1),
             Allocation::Proportional => {
                 if sampled_weight <= 0.0 {
                     1

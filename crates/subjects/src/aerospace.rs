@@ -41,8 +41,8 @@ impl AerospaceSubject {
     /// Panics if the generated source fails to parse (a bug in the
     /// subject definitions).
     pub fn execute(&self, cfg: &SymConfig) -> SymResult {
-        let prog = parse_program(&self.source)
-            .unwrap_or_else(|e| panic!("subject {}: {e}", self.name));
+        let prog =
+            parse_program(&self.source).unwrap_or_else(|e| panic!("subject {}: {e}", self.name));
         symbolic_execute(&prog, cfg)
     }
 
@@ -51,8 +51,8 @@ impl AerospaceSubject {
     /// the quantified constraint set.
     pub fn constraint_set(&self, cfg: &SymConfig) -> (Domain, ConstraintSet) {
         let r = self.execute(cfg);
-        let keep = ((r.complete.len() as f64 * self.fraction).ceil() as usize)
-            .min(r.complete.len());
+        let keep =
+            ((r.complete.len() as f64 * self.fraction).ceil() as usize).min(r.complete.len());
         let cs = r
             .complete
             .iter()
@@ -254,7 +254,9 @@ mod tests {
         assert!(r.paths >= 6, "got {} paths", r.paths);
         // Target eastwards from the origin with a north heading: change
         // ≈ -π/2 → |change| > 0.52 → target.
-        assert!(r.target.holds(&[0.0, 0.0, 10.0, 0.0, 1.5707963]));
+        assert!(r
+            .target
+            .holds(&[0.0, 0.0, 10.0, 0.0, std::f64::consts::FRAC_PI_2]));
     }
 
     #[test]

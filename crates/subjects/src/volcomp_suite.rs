@@ -59,8 +59,8 @@ impl Table3Subject {
     /// (a bug in the subject definitions).
     pub fn system_for(&self, idx: usize, cfg: &SymConfig) -> (Domain, ConstraintSet) {
         let src = self.source_for(idx);
-        let prog = parse_program(&src)
-            .unwrap_or_else(|e| panic!("subject {}: {e}\n{src}", self.name));
+        let prog =
+            parse_program(&src).unwrap_or_else(|e| panic!("subject {}: {e}\n{src}", self.name));
         let r = symbolic_execute(&prog, cfg);
         (r.domain, r.target)
     }
@@ -280,7 +280,7 @@ mod tests {
         for subj in table3_subjects() {
             for idx in 0..subj.assertions.len() {
                 let (domain, cs) = subj.system_for(idx, &SymConfig::default());
-                assert!(domain.len() >= 1, "{}", subj.name);
+                assert!(!domain.is_empty(), "{}", subj.name);
                 // VOL/INVPEND-style assertions can be trivially false on
                 // some subjects; everything else must yield target PCs.
                 let (label, _) = subj.assertions[idx];
@@ -333,9 +333,9 @@ mod tests {
     fn vol_paths_scale_with_exit_iteration() {
         let subj = vol();
         let (_, cs) = subj.system_for(0, &SymConfig::default()); // count >= 20
-        // Exits before 20 iterations do not satisfy count >= 20; deep
-        // paths do. Level gain per iteration ∈ [0.3, 1.8] ⇒ exit between
-        // ceil(10/1.8)=6 and 24 iterations; count≥20 holds for slow fills.
+                                                                 // Exits before 20 iterations do not satisfy count >= 20; deep
+                                                                 // paths do. Level gain per iteration ∈ [0.3, 1.8] ⇒ exit between
+                                                                 // ceil(10/1.8)=6 and 24 iterations; count≥20 holds for slow fills.
         assert!(!cs.is_empty());
         // Slow fill: f1 = f2 = 0.05 → gain 0.375 → 27 iterations > 24 cap
         // → count = 24 ≥ 20.
@@ -352,11 +352,7 @@ mod tests {
         // Every input satisfying count≥3 satisfies count≥1.
         for i in 0..10 {
             for j in 0..10 {
-                let p = [
-                    -1.0 + 0.2 * i as f64,
-                    -1.0 + 0.2 * j as f64,
-                    0.1,
-                ];
+                let p = [-1.0 + 0.2 * i as f64, -1.0 + 0.2 * j as f64, 0.1];
                 if cs3.holds(&p) {
                     assert!(cs1.holds(&p), "count≥3 ⊆ count≥1 violated at {p:?}");
                 }
@@ -368,7 +364,7 @@ mod tests {
     fn coronary_tails_are_rare_but_reachable() {
         let subj = coronary();
         let (_, hi) = subj.system_for(0, &SymConfig::default()); // tmp >= 5
-        // Max tmp: age 74, chol 300, hdl 20 → 1.1+1.875+2.4+0.4+0.6... > 5.
+                                                                 // Max tmp: age 74, chol 300, hdl 20 → 1.1+1.875+2.4+0.4+0.6... > 5.
         assert!(!hi.is_empty(), "tmp >= 5 must be reachable");
         assert!(hi.holds(&[74.0, 300.0, 20.0]));
         assert!(!hi.holds(&[40.0, 200.0, 80.0]));

@@ -84,10 +84,7 @@ mod tests {
 
     #[test]
     fn branch_both_ways() {
-        let p = parse_program(
-            "program p(x in [0, 1]) { if (x > 0.5) { target(); } }",
-        )
-        .unwrap();
+        let p = parse_program("program p(x in [0, 1]) { if (x > 0.5) { target(); } }").unwrap();
         assert_eq!(run(&p, &[0.7], 1000), Outcome::Target);
         assert_eq!(run(&p, &[0.3], 1000), Outcome::NoTarget);
     }
@@ -113,19 +110,13 @@ mod tests {
 
     #[test]
     fn step_limit_detects_divergence() {
-        let p = parse_program(
-            "program p(x in [0, 1]) { while (x < 2) { x = x; } }",
-        )
-        .unwrap();
+        let p = parse_program("program p(x in [0, 1]) { while (x < 2) { x = x; } }").unwrap();
         assert_eq!(run(&p, &[0.5], 100), Outcome::StepLimit);
     }
 
     #[test]
     fn return_stops_early() {
-        let p = parse_program(
-            "program p(x in [0, 1]) { return; target(); }",
-        )
-        .unwrap();
+        let p = parse_program("program p(x in [0, 1]) { return; target(); }").unwrap();
         assert_eq!(run(&p, &[0.5], 100), Outcome::NoTarget);
     }
 

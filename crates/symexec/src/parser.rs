@@ -110,7 +110,10 @@ impl ProgParser {
                 let pos = self.ts.pos();
                 let pname = self.ident()?;
                 if !self.ts.eat_kw("in") {
-                    return Err(ParseError::new("expected `in` after parameter name", self.ts.pos()));
+                    return Err(ParseError::new(
+                        "expected `in` after parameter name",
+                        self.ts.pos(),
+                    ));
                 }
                 self.ts.expect_sym(Sym::LBracket)?;
                 let lo = self.ts.expect_num()?;
@@ -234,7 +237,10 @@ impl ProgParser {
                 self.ts.expect_sym(Sym::Semi)?;
                 Ok(Stmt::Assign { slot, expr })
             }
-            t => Err(ParseError::new(format!("expected statement, found {t}"), pos)),
+            t => Err(ParseError::new(
+                format!("expected statement, found {t}"),
+                pos,
+            )),
         }
     }
 
@@ -414,10 +420,7 @@ impl ProgParser {
                 match name.as_str() {
                     "pi" => Ok(PExpr::Num(Expr::constant(std::f64::consts::PI))),
                     "e" => Ok(PExpr::Num(Expr::constant(std::f64::consts::E))),
-                    _ => Err(ParseError::new(
-                        format!("unknown variable `{name}`"),
-                        pos,
-                    )),
+                    _ => Err(ParseError::new(format!("unknown variable `{name}`"), pos)),
                 }
             }
             t => Err(ParseError::new(
@@ -518,11 +521,9 @@ mod tests {
 
     #[test]
     fn error_kind_mismatch() {
-        let err = parse_program("program t(x in [0,1]) { if (x + 1) { target(); } }")
-            .unwrap_err();
+        let err = parse_program("program t(x in [0,1]) { if (x + 1) { target(); } }").unwrap_err();
         assert!(err.msg.contains("boolean"), "{err}");
-        let err2 =
-            parse_program("program t(x in [0,1]) { double y = x > 0; }").unwrap_err();
+        let err2 = parse_program("program t(x in [0,1]) { double y = x > 0; }").unwrap_err();
         assert!(err2.msg.contains("numeric"), "{err2}");
     }
 
@@ -534,10 +535,7 @@ mod tests {
 
     #[test]
     fn error_duplicate_declaration() {
-        let err = parse_program(
-            "program t(x in [0,1]) { double x = 1; }",
-        )
-        .unwrap_err();
+        let err = parse_program("program t(x in [0,1]) { double x = 1; }").unwrap_err();
         assert!(err.msg.contains("duplicate"), "{err}");
     }
 
@@ -555,10 +553,7 @@ mod tests {
 
     #[test]
     fn not_binds_to_parenthesized_condition() {
-        let p = parse_program(
-            "program t(x in [0,1]) { if (!(x < 0.5)) { target(); } }",
-        )
-        .unwrap();
+        let p = parse_program("program t(x in [0,1]) { if (!(x < 0.5)) { target(); } }").unwrap();
         match &p.body[0] {
             Stmt::If { cond, .. } => assert!(matches!(cond, Cond::Not(_))),
             s => panic!("expected if, got {s:?}"),

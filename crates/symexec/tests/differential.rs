@@ -6,9 +6,9 @@
 //! guards so that the NaN caveat documented in `exec.rs` does not apply.
 
 use proptest::prelude::*;
+use qcoral_constraints::{Expr, RelOp, VarId};
 use qcoral_symexec::ast::{Cond, Program, Stmt};
 use qcoral_symexec::{run, symbolic_execute, Outcome, SymConfig};
-use qcoral_constraints::{Expr, RelOp, VarId};
 
 const NPARAMS: usize = 2;
 
@@ -41,14 +41,12 @@ fn relop() -> impl Strategy<Value = RelOp> {
 }
 
 fn cond(max_slot: u32) -> impl Strategy<Value = Cond> {
-    let cmp = (arith(max_slot), relop(), arith(max_slot))
-        .prop_map(|(l, op, r)| Cond::Cmp(l, op, r));
+    let cmp =
+        (arith(max_slot), relop(), arith(max_slot)).prop_map(|(l, op, r)| Cond::Cmp(l, op, r));
     cmp.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
             inner.prop_map(|c| Cond::Not(Box::new(c))),
         ]
     })

@@ -30,8 +30,11 @@ fn main() {
         ("qCORAL{STRAT}", Options::strat()),
         ("qCORAL{STRAT,PARTCACHE}", Options::strat_partcache()),
     ] {
-        let report = Analyzer::new(opts.with_samples(20_000).with_seed(7))
-            .analyze(&sym.target, &sym.domain, &profile);
+        let report = Analyzer::new(opts.with_samples(20_000).with_seed(7)).analyze(
+            &sym.target,
+            &sym.domain,
+            &profile,
+        );
         println!(
             "{:<26} P(conflict) = {:.5}  sigma = {:.2e}  ({:.0} ms)",
             label,

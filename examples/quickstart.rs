@@ -30,7 +30,10 @@ fn main() {
     let program = parse_program(source).expect("the demo program parses");
     let result = symbolic_execute(&program, &SymConfig::default());
 
-    println!("Symbolic execution found {} target path condition(s):", result.target.len());
+    println!(
+        "Symbolic execution found {} target path condition(s):",
+        result.target.len()
+    );
     for (i, pc) in result.target.pcs().iter().enumerate() {
         print!("  PCT{}: ", i + 1);
         for (j, atom) in pc.atoms().iter().enumerate() {
@@ -54,12 +57,28 @@ fn main() {
 
     println!("\nPer-path estimates:");
     for (i, est) in report.per_pc.iter().enumerate() {
-        println!("  E[X_{}] = {:.6}  Var = {:.3e}", i + 1, est.mean, est.variance);
+        println!(
+            "  E[X_{}] = {:.6}  Var = {:.3e}",
+            i + 1,
+            est.mean,
+            est.variance
+        );
     }
-    println!("\nP(supervisor called) = {:.6}  (sigma {:.3e})", report.estimate.mean, report.std_dev());
+    println!(
+        "\nP(supervisor called) = {:.6}  (sigma {:.3e})",
+        report.estimate.mean,
+        report.std_dev()
+    );
     println!("Paper's exact value   = 0.737848");
-    println!("Analysis time: {:.1} ms, pavings: {}, cache hits: {}",
-        report.wall.as_secs_f64() * 1e3, report.stats.pavings, report.stats.cache_hits);
+    println!(
+        "Analysis time: {:.1} ms, pavings: {}, cache hits: {}",
+        report.wall.as_secs_f64() * 1e3,
+        report.stats.pavings,
+        report.stats.cache_hits
+    );
 
-    assert!((report.estimate.mean - 0.737848).abs() < 0.01, "estimate should match the paper");
+    assert!(
+        (report.estimate.mean - 0.737848).abs() < 0.01,
+        "estimate should match the paper"
+    );
 }

@@ -22,7 +22,10 @@ fn main() {
     let (domain, cs) = coronary.system_for(0, &SymConfig::default());
     let dbox = domain_box(&domain);
 
-    println!("CORONARY, assertion `tmp >= 5` ({} target paths)\n", cs.len());
+    println!(
+        "CORONARY, assertion `tmp >= 5` ({} target paths)\n",
+        cs.len()
+    );
 
     let adaptive = adaptive_probability(&cs, &dbox, &AdaptiveConfig::default());
     println!(
@@ -49,9 +52,18 @@ fn main() {
     let chol = domain.index_of("chol").expect("chol param").index();
     let hdl = domain.index_of("hdl").expect("hdl param").index();
     let skewed = UsageProfile::uniform(domain.len())
-        .with_dist(age, Dist::piecewise(vec![30.0, 50.0, 65.0, 74.0], vec![1.0, 3.0, 4.0]))
-        .with_dist(chol, Dist::piecewise(vec![150.0, 200.0, 250.0, 300.0], vec![1.0, 3.0, 1.0]))
-        .with_dist(hdl, Dist::piecewise(vec![20.0, 40.0, 70.0, 100.0], vec![3.0, 2.0, 1.0]));
+        .with_dist(
+            age,
+            Dist::piecewise(vec![30.0, 50.0, 65.0, 74.0], vec![1.0, 3.0, 4.0]),
+        )
+        .with_dist(
+            chol,
+            Dist::piecewise(vec![150.0, 200.0, 250.0, 300.0], vec![1.0, 3.0, 1.0]),
+        )
+        .with_dist(
+            hdl,
+            Dist::piecewise(vec![20.0, 40.0, 70.0, 100.0], vec![3.0, 2.0, 1.0]),
+        );
     let report2 = Analyzer::new(Options::strat_partcache().with_samples(50_000).with_seed(3))
         .analyze(&cs, &domain, &skewed);
     println!(

@@ -9,15 +9,24 @@ use qcoral_subjects::all_solids;
 
 fn main() {
     let samples = 50_000;
-    println!("{:<28} {:>12} {:>12} {:>12} {:>10}", "solid", "analytic", "qCORAL", "plain MC", "exact?");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>10}",
+        "solid", "analytic", "qCORAL", "plain MC", "exact?"
+    );
     for solid in all_solids() {
         let profile = UsageProfile::uniform(solid.domain.len());
         let dom_vol = solid.domain_volume();
 
-        let strat = Analyzer::new(Options::strat().with_samples(samples).with_seed(1))
-            .analyze(&solid.constraint_set, &solid.domain, &profile);
-        let plain = Analyzer::new(Options::plain().with_samples(samples).with_seed(1))
-            .analyze(&solid.constraint_set, &solid.domain, &profile);
+        let strat = Analyzer::new(Options::strat().with_samples(samples).with_seed(1)).analyze(
+            &solid.constraint_set,
+            &solid.domain,
+            &profile,
+        );
+        let plain = Analyzer::new(Options::plain().with_samples(samples).with_seed(1)).analyze(
+            &solid.constraint_set,
+            &solid.domain,
+            &profile,
+        );
 
         // σ = 0 means ICP identified the solid exactly (the Cube case).
         let exact = strat.estimate.variance == 0.0;
@@ -30,5 +39,7 @@ fn main() {
             if exact { "yes" } else { "no" }
         );
     }
-    println!("\n(\"exact?\" = the ICP paver proved the region exactly; the estimator variance is 0)");
+    println!(
+        "\n(\"exact?\" = the ICP paver proved the region exactly; the estimator variance is 0)"
+    );
 }

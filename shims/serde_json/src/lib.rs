@@ -1,0 +1,44 @@
+//! Offline stand-in for `serde_json`: serialization only, over the shim
+//! `serde::Serialize` JSON emitter.
+
+use std::fmt;
+
+use serde::{JsonEmitter, Serialize};
+
+/// Serialization error. The shim emitter is infallible, so this is never
+/// produced; it exists to keep call sites source-compatible.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut e = JsonEmitter::new(false);
+    value.json_emit(&mut e);
+    Ok(e.finish())
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut e = JsonEmitter::new(true);
+    value.json_emit(&mut e);
+    Ok(e.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trip_shapes() {
+        let rows = vec![vec![1u64, 2], vec![3]];
+        assert_eq!(super::to_string(&rows).unwrap(), "[[1,2],[3]]");
+        let pretty = super::to_string_pretty(&rows).unwrap();
+        assert!(pretty.starts_with("[\n  [\n    1,"), "{pretty}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Determinism of the parallel hot path: for a fixed seed, the parallel
+//! analyzer must return the *bit-identical* estimate of the serial
+//! analyzer on every VolComp-suite subject — the contract that makes
+//! rayon fan-out safe to enable by default.
+//!
+//! Three properties are pinned down:
+//!
+//! 1. serial(seed) == serial(seed)   (repeatability)
+//! 2. serial(seed) == parallel(seed) (schedule independence)
+//! 3. the per-PC breakdown matches, not just the total (no compensating
+//!    errors across path conditions).
+
+use qcoral::{Analyzer, Options};
+use qcoral_mc::UsageProfile;
+use qcoral_subjects::table3_subjects;
+use qcoral_symexec::SymConfig;
+
+fn check_subject(name: &str, samples: u64, seed: u64) {
+    let subjects = table3_subjects();
+    let subj = subjects
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("subject {name} exists"));
+    for idx in 0..subj.assertions.len() {
+        let (domain, cs) = subj.system_for(idx, &SymConfig::default());
+        if cs.is_empty() {
+            continue;
+        }
+        let profile = UsageProfile::uniform(domain.len());
+        let opts = Options::strat_partcache()
+            .with_samples(samples)
+            .with_seed(seed);
+        let a = Analyzer::new(opts.clone()).analyze(&cs, &domain, &profile);
+        let b = Analyzer::new(opts.clone()).analyze(&cs, &domain, &profile);
+        assert_eq!(
+            a.estimate, b.estimate,
+            "{name}[{idx}]: serial runs disagree"
+        );
+        let c = Analyzer::new(opts.with_parallel(true)).analyze(&cs, &domain, &profile);
+        assert_eq!(
+            a.estimate, c.estimate,
+            "{name}[{idx}]: parallel vs serial estimate"
+        );
+        assert_eq!(
+            a.per_pc, c.per_pc,
+            "{name}[{idx}]: per-PC breakdown differs"
+        );
+    }
+}
+
+#[test]
+fn atrial_parallel_matches_serial() {
+    check_subject("ATRIAL", 4_000, 11);
+}
+
+#[test]
+fn cart_parallel_matches_serial() {
+    check_subject("CART", 4_000, 12);
+}
+
+#[test]
+fn coronary_parallel_matches_serial() {
+    check_subject("CORONARY", 4_000, 13);
+}
+
+#[test]
+fn egfr_parallel_matches_serial() {
+    check_subject("EGFR EPI", 2_000, 14);
+}
+
+#[test]
+fn invpend_parallel_matches_serial() {
+    check_subject("INVPEND", 4_000, 15);
+}
+
+#[test]
+fn pack_parallel_matches_serial() {
+    check_subject("PACK", 2_000, 16);
+}
+
+#[test]
+fn vol_parallel_matches_serial() {
+    check_subject("VOL", 2_000, 17);
+}
+
+/// The plain (unstratified, unpartitioned) configuration exercises the
+/// chunked hit-or-miss path directly.
+#[test]
+fn plain_config_parallel_matches_serial() {
+    let subjects = table3_subjects();
+    let subj = subjects.iter().find(|s| s.name == "ATRIAL").unwrap();
+    let (domain, cs) = subj.system_for(0, &SymConfig::default());
+    let profile = UsageProfile::uniform(domain.len());
+    let opts = Options::plain().with_samples(50_000).with_seed(5);
+    let a = Analyzer::new(opts.clone()).analyze(&cs, &domain, &profile);
+    let b = Analyzer::new(opts.with_parallel(true)).analyze(&cs, &domain, &profile);
+    assert_eq!(a.estimate, b.estimate);
+}
+
+/// Chunk size changes the stream (like a reseed) but never the
+/// serial/parallel agreement.
+#[test]
+fn chunk_size_preserves_schedule_independence() {
+    let subjects = table3_subjects();
+    let subj = subjects.iter().find(|s| s.name == "CORONARY").unwrap();
+    let (domain, cs) = subj.system_for(0, &SymConfig::default());
+    let profile = UsageProfile::uniform(domain.len());
+    for chunk in [64, 1_000, 100_000] {
+        let mut opts = Options::strat_partcache().with_samples(10_000).with_seed(3);
+        opts.chunk = chunk;
+        let serial = Analyzer::new(opts.clone()).analyze(&cs, &domain, &profile);
+        let parallel = Analyzer::new(opts.with_parallel(true)).analyze(&cs, &domain, &profile);
+        assert_eq!(
+            serial.estimate, parallel.estimate,
+            "chunk {chunk}: schedules disagree"
+        );
+    }
+}

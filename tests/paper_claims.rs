@@ -72,7 +72,10 @@ fn table2_shape() {
 #[test]
 fn table3_methods_consistent_on_linear_subject() {
     let subjects = table3_subjects();
-    let egfr = subjects.iter().find(|s| s.name == "EGFR EPI (SIMPLE)").unwrap();
+    let egfr = subjects
+        .iter()
+        .find(|s| s.name == "EGFR EPI (SIMPLE)")
+        .unwrap();
     let (domain, cs) = egfr.system_for(0, &SymConfig::default());
     let dbox = domain_box(&domain);
     let profile = UsageProfile::uniform(domain.len());
@@ -172,11 +175,17 @@ fn volcomp_degenerates_where_qcoral_does_not() {
             ..VolCompConfig::default()
         },
     );
-    assert!(bounds.width() > 0.5, "tiny budget keeps bounds wide: {bounds}");
+    assert!(
+        bounds.width() > 0.5,
+        "tiny budget keeps bounds wide: {bounds}"
+    );
 
     let profile = UsageProfile::uniform(2);
-    let report = Analyzer::new(Options::strat().with_samples(30_000).with_seed(2))
-        .analyze(&sys.constraint_set, &sys.domain, &profile);
+    let report = Analyzer::new(Options::strat().with_samples(30_000).with_seed(2)).analyze(
+        &sys.constraint_set,
+        &sys.domain,
+        &profile,
+    );
     assert!(report.std_dev() < 0.02, "qCORAL sigma {}", report.std_dev());
     assert!(bounds.contains(report.estimate.mean));
 }

@@ -47,7 +47,10 @@ fn check_agreement(src: &str, tolerance: f64) {
     for (label, opts) in [
         ("plain", Options::plain().with_samples(40_000)),
         ("strat", Options::strat().with_samples(40_000)),
-        ("strat+partcache", Options::strat_partcache().with_samples(40_000)),
+        (
+            "strat+partcache",
+            Options::strat_partcache().with_samples(40_000),
+        ),
     ] {
         let est = quantify(src, opts);
         assert!(
@@ -146,7 +149,12 @@ fn disjoint_pcs_partition_the_hit_region() {
             .filter(|(pc, _)| pc.holds(&p))
             .map(|(_, t)| *t)
             .collect();
-        assert_eq!(holding.len(), 1, "input {p:?} satisfied {} PCs", holding.len());
+        assert_eq!(
+            holding.len(),
+            1,
+            "input {p:?} satisfied {} PCs",
+            holding.len()
+        );
         let concrete = run(&prog, &p, 10_000) == Outcome::Target;
         assert_eq!(holding[0], concrete, "symbolic/concrete disagree at {p:?}");
     }
@@ -172,9 +180,18 @@ fn bound_hit_mass_bounds_confidence() {
     assert!(!sym.bound_hit.is_empty(), "depth 12 must cut some paths");
     let profile = UsageProfile::uniform(1);
     let analyzer = Analyzer::new(Options::strat().with_samples(20_000));
-    let pt = analyzer.analyze(&sym.target, &sym.domain, &profile).estimate.mean;
-    let pf = analyzer.analyze(&sym.no_target, &sym.domain, &profile).estimate.mean;
-    let pb = analyzer.analyze(&sym.bound_hit, &sym.domain, &profile).estimate.mean;
+    let pt = analyzer
+        .analyze(&sym.target, &sym.domain, &profile)
+        .estimate
+        .mean;
+    let pf = analyzer
+        .analyze(&sym.no_target, &sym.domain, &profile)
+        .estimate
+        .mean;
+    let pb = analyzer
+        .analyze(&sym.bound_hit, &sym.domain, &profile)
+        .estimate
+        .mean;
     let total = pt + pf + pb;
     assert!((total - 1.0).abs() < 0.02, "masses sum to {total}");
     assert!(pb > 0.0);

@@ -87,7 +87,7 @@ proptest! {
             let p = [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)];
             if pc.holds(&p) {
                 prop_assert!(
-                    paving.all_boxes().iter().any(|b| b.contains_point(&p)),
+                    paving.all_boxes().any(|b| b.contains_point(&p)),
                     "paving lost solution {p:?} of {pc}"
                 );
             }
