@@ -1,0 +1,81 @@
+//! Criterion bench for the quantification service: loopback round-trip
+//! latency cold vs warm, plus the `BENCH_service.json` emitter recording
+//! the full cold/warm/warm-after-restart trajectory per subject.
+//!
+//! Run with `cargo bench -p qcoral-bench --bench service`. The JSON
+//! lands at the workspace root (override with `BENCH_SERVICE_OUT`).
+//! Warm-cache queries are answered from the persistent factor store
+//! with zero new pavings and zero new samples (asserted by the runner),
+//! so the cold/warm gap is the paving+sampling work the store saves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcoral::Options;
+use qcoral_bench::service;
+use qcoral_service::{Client, Server, ServiceConfig};
+use qcoral_subjects::table3_subjects;
+
+const SAMPLES: u64 = 20_000;
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let subjects = table3_subjects();
+    let subj = subjects
+        .iter()
+        .find(|s| s.name == "EGFR EPI")
+        .expect("subject exists");
+    let source = subj.source_for(0);
+    let opts = Options::default().with_samples(SAMPLES).with_seed(1);
+
+    let server = Server::start(ServiceConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let mut g = c.benchmark_group("service_egfr_20k");
+    g.sample_size(10);
+    let mut first = true;
+    g.bench_function("query_cold_then_warm", |b| {
+        b.iter(|| {
+            // The first iteration is the only truly cold one; the rest
+            // measure the steady-state warm service.
+            let r = client
+                .analyze_program(&source, opts.clone(), None)
+                .expect("query");
+            if !first {
+                assert_eq!(r.report.stats.samples_drawn, 0, "warm query sampled");
+            }
+            first = false;
+            r.report.estimate
+        })
+    });
+    g.finish();
+    server.shutdown();
+}
+
+fn emit_json(_c: &mut Criterion) {
+    let summary = service::run(SAMPLES);
+    let path = std::env::var("BENCH_SERVICE_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_service.json", env!("CARGO_MANIFEST_DIR")));
+    service::write_json(&summary, &path).expect("write BENCH_service.json");
+    println!(
+        "service summary: workers={} warm_speedup(geomean)={:.1} cold={:.0}ms warm={:.0}ms restart={:.0}ms -> {path}",
+        summary.workers,
+        summary.warm_speedup_geomean,
+        summary.cold_total_ms,
+        summary.warm_total_ms,
+        summary.warm_restart_total_ms
+    );
+    for r in &summary.rows {
+        println!(
+            "  {:28} cold={:8.2}ms warm={:6.2}ms (x{:6.1}) restart={:6.2}ms store_hits={:3} cold_pavings={:3} identical={}",
+            r.subject,
+            r.cold_ms,
+            r.warm_ms,
+            r.warm_speedup,
+            r.warm_restart_ms,
+            r.warm_store_hits,
+            r.cold_pavings,
+            r.estimates_identical
+        );
+    }
+}
+
+criterion_group!(benches, bench_roundtrip, emit_json);
+criterion_main!(benches);

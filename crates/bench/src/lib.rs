@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod hotpath;
+pub mod service;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,216 @@
+//! Service throughput/latency trajectory: the VolComp subjects queried
+//! through a loopback `qcoral-service`, cold vs warm vs
+//! warm-after-restart, emitted as `BENCH_service.json`.
+//!
+//! The point being measured is the tentpole mechanism: a warm service
+//! answers recurring factors from the persistent cross-run store with
+//! **zero new pavings and zero new samples**, so warm latency is pure
+//! orchestration cost (symbolic execution + wire + cache lookups) and
+//! materially below cold latency, which pays for paving and sampling.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use qcoral::Options;
+use qcoral_service::{Client, ServiceConfig};
+use qcoral_subjects::table3_subjects;
+
+/// One subject's loopback measurements.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Subject name (assertion 0 of each Table 3 subject).
+    pub subject: String,
+    /// First-ever query: pays paving + sampling.
+    pub cold_ms: f64,
+    /// Same query, same server: answered from the in-memory store.
+    pub warm_ms: f64,
+    /// Same query after a server restart from the disk snapshot.
+    pub warm_restart_ms: f64,
+    /// `cold_ms / warm_ms`.
+    pub warm_speedup: f64,
+    /// Pavings requested by the cold run.
+    pub cold_pavings: u64,
+    /// Sampling budget charged by the cold run.
+    pub cold_samples: u64,
+    /// Pavings requested by the warm run (must be 0).
+    pub warm_pavings: u64,
+    /// Sampling budget charged by the warm run (must be 0).
+    pub warm_samples: u64,
+    /// Factor-store hits of the warm run.
+    pub warm_store_hits: u64,
+    /// Pavings requested by the restarted-warm run (must be 0).
+    pub warm_restart_pavings: u64,
+    /// Sampling budget charged by the restarted-warm run (must be 0).
+    pub warm_restart_samples: u64,
+    /// Cold/warm/restart estimates all bit-identical.
+    pub estimates_identical: bool,
+}
+
+/// The whole emitted document.
+#[derive(Clone, Debug, Serialize)]
+pub struct Summary {
+    /// Worker threads of the benchmarked server.
+    pub workers: usize,
+    /// Sample budget per factor.
+    pub samples: u64,
+    /// Per-subject rows.
+    pub rows: Vec<Row>,
+    /// Geometric mean of `warm_speedup`.
+    pub warm_speedup_geomean: f64,
+    /// Total cold latency (ms).
+    pub cold_total_ms: f64,
+    /// Total warm latency (ms).
+    pub warm_total_ms: f64,
+    /// Total warm-after-restart latency (ms).
+    pub warm_restart_total_ms: f64,
+}
+
+fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0, 0u32);
+    for x in xs {
+        if x > 0.0 {
+            log_sum += x.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+struct Measured {
+    ms: f64,
+    pavings: u64,
+    samples: u64,
+    store_hits: u64,
+    estimate: qcoral::Estimate,
+}
+
+fn query(client: &mut Client, source: &str, opts: &Options) -> Measured {
+    let t0 = Instant::now();
+    let r = client
+        .analyze_program(source, opts.clone(), None)
+        .expect("bench query");
+    Measured {
+        ms: t0.elapsed().as_secs_f64() * 1e3,
+        pavings: r.report.stats.pavings,
+        samples: r.report.stats.samples_drawn,
+        store_hits: r.report.stats.factor_store_hits,
+        estimate: r.report.estimate,
+    }
+}
+
+/// Runs the cold/warm/restart protocol over the Table 3 subjects.
+///
+/// # Panics
+///
+/// Panics if the service misbehaves: estimates not bit-identical across
+/// cold/warm/restart, or warm runs that pave or sample.
+pub fn run(samples: u64) -> Summary {
+    let snapshot =
+        std::env::temp_dir().join(format!("qcoral-bench-service-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&snapshot);
+    let cfg = ServiceConfig {
+        snapshot: Some(snapshot.clone()),
+        ..ServiceConfig::default()
+    };
+    let workers = cfg.workers;
+    let opts = Options::default().with_samples(samples).with_seed(1);
+
+    let subjects: Vec<(String, String)> = table3_subjects()
+        .iter()
+        .map(|s| (s.name.to_string(), s.source_for(0)))
+        .collect();
+
+    // Cold + warm against one server.
+    let server = qcoral_service::Server::start(cfg.clone()).expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let cold: Vec<Measured> = subjects
+        .iter()
+        .map(|(_, src)| query(&mut client, src, &opts))
+        .collect();
+    let warm: Vec<Measured> = subjects
+        .iter()
+        .map(|(_, src)| query(&mut client, src, &opts))
+        .collect();
+    server.shutdown(); // persists the snapshot
+
+    // Warm-after-restart against a fresh server sharing only the disk
+    // snapshot.
+    let server = qcoral_service::Server::start(cfg).expect("rebind loopback");
+    let mut client = Client::connect(server.addr()).expect("reconnect");
+    let restart: Vec<Measured> = subjects
+        .iter()
+        .map(|(_, src)| query(&mut client, src, &opts))
+        .collect();
+    server.shutdown();
+    let _ = std::fs::remove_file(&snapshot);
+
+    let rows: Vec<Row> = subjects
+        .iter()
+        .zip(cold.iter().zip(warm.iter().zip(restart.iter())))
+        .map(|((name, _), (c, (w, r)))| {
+            let identical = c.estimate == w.estimate && c.estimate == r.estimate;
+            assert!(identical, "{name}: estimates diverged across cache tiers");
+            assert_eq!(w.pavings, 0, "{name}: warm run paved");
+            assert_eq!(w.samples, 0, "{name}: warm run sampled");
+            assert_eq!(r.pavings, 0, "{name}: restarted run paved");
+            assert_eq!(r.samples, 0, "{name}: restarted run sampled");
+            Row {
+                subject: name.clone(),
+                cold_ms: c.ms,
+                warm_ms: w.ms,
+                warm_restart_ms: r.ms,
+                warm_speedup: c.ms / w.ms,
+                cold_pavings: c.pavings,
+                cold_samples: c.samples,
+                warm_pavings: w.pavings,
+                warm_samples: w.samples,
+                warm_store_hits: w.store_hits,
+                warm_restart_pavings: r.pavings,
+                warm_restart_samples: r.samples,
+                estimates_identical: identical,
+            }
+        })
+        .collect();
+
+    Summary {
+        workers,
+        samples,
+        warm_speedup_geomean: geomean(rows.iter().map(|r| r.warm_speedup)),
+        cold_total_ms: rows.iter().map(|r| r.cold_ms).sum(),
+        warm_total_ms: rows.iter().map(|r| r.warm_ms).sum(),
+        warm_restart_total_ms: rows.iter().map(|r| r.warm_restart_ms).sum(),
+        rows,
+    }
+}
+
+/// Serializes a summary to `path` as pretty JSON.
+pub fn write_json(summary: &Summary, path: &str) -> std::io::Result<()> {
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(summary).expect("serializable summary"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_warm_restart_protocol_holds() {
+        let s = run(400);
+        assert!(!s.rows.is_empty());
+        for r in &s.rows {
+            assert!(r.estimates_identical);
+            assert_eq!(r.warm_pavings, 0);
+            assert_eq!(r.warm_samples, 0);
+            assert_eq!(r.warm_restart_samples, 0);
+        }
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        assert!(json.contains("\"warm_speedup\""));
+    }
+}

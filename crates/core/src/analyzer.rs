@@ -25,19 +25,17 @@
 //! of the serial run (provided the ICP time budget does not bind, the
 //! same caveat the serial path already carries).
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use qcoral_constraints::{ConstraintSet, Domain, EvalTape, PathCondition, VarId, VarSet};
-use qcoral_icp::{domain_box, PaverConfig, PavingCache};
+use qcoral_icp::{domain_box, tape_cache_stats, PaverConfig, PavingCache};
 use qcoral_interval::IntervalBox;
 use qcoral_mc::{
     hit_or_miss_plan, mix_seed, stratified_plan, Allocation, Dist, Estimate, SamplePlan, Stratum,
@@ -45,6 +43,7 @@ use qcoral_mc::{
 };
 
 use crate::depend::dependency_partition;
+use crate::factor_store::{FactorKey, FactorStore};
 
 /// Feature configuration for the analyzer. The paper's named
 /// configurations map to presets:
@@ -55,7 +54,10 @@ use crate::depend::dependency_partition;
 ///   sampling of each path condition.
 /// * `qCORAL{STRAT,PARTCACHE}` — [`Options::strat_partcache`]: adds
 ///   independence partitioning and the partition cache.
-#[derive(Clone, Debug)]
+///
+/// Options serialize (and deserialize) as plain JSON, which is how the
+/// `qcoral-service` wire protocol carries per-request configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Options {
     /// Total sample budget per analyzed (sub-)problem.
     pub samples: u64,
@@ -140,6 +142,35 @@ impl Options {
         self.paver = paver;
         self
     }
+
+    /// Fingerprint of every option that shapes a factor's *estimate*:
+    /// sample budget, seed, chunking, stratification, allocation and the
+    /// paver limits. `parallel` is excluded — fan-out never changes
+    /// results — so serial and parallel runs share cross-run cache
+    /// entries. Keys the [`FactorStore`].
+    ///
+    /// The hash is an explicitly pinned FNV-1a fold (not
+    /// `DefaultHasher`, whose algorithm may change between Rust
+    /// releases): the value is persisted in factor-store snapshots, so
+    /// it must match across processes *and* toolchains or every restart
+    /// would silently start cold.
+    pub fn sampling_fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for word in [
+            self.samples,
+            self.seed,
+            self.chunk.max(1),
+            self.stratified as u64,
+            (self.allocation == Allocation::Proportional) as u64,
+            self.paver.max_boxes as u64,
+            self.paver.precision_digits as u64,
+            self.paver.time_budget.as_nanos() as u64,
+            self.paver.max_passes as u64,
+        ] {
+            h = fnv_fold(h, word);
+        }
+        h
+    }
 }
 
 impl Default for Options {
@@ -150,7 +181,7 @@ impl Default for Options {
 }
 
 /// Cumulative counters gathered during an analysis.
-#[derive(Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Stats {
     /// Partition-cache hits (Algorithm 2).
     pub cache_hits: u64,
@@ -167,10 +198,25 @@ pub struct Stats {
     pub paving_cache_hits: u64,
     /// Paving-cache misses during this analysis.
     pub paving_cache_misses: u64,
+    /// Compiled-tape cache hits during this analysis. The tape cache is
+    /// process-wide, so this is a delta of global counters: exact unless
+    /// other analyses run concurrently in the same process.
+    pub tape_cache_hits: u64,
+    /// Compiled-tape cache misses during this analysis (same caveat).
+    pub tape_cache_misses: u64,
+    /// Cross-run factor-store hits: factors answered from a
+    /// [`FactorStore`] without paving or sampling anything.
+    pub factor_store_hits: u64,
+    /// Cross-run factor-store misses (0 when no store is attached).
+    pub factor_store_misses: u64,
+    /// Monte Carlo sampling budget charged, across all sampled factors.
+    /// Zero means every factor came from a cache — no RNG was touched.
+    /// (Exact inner strata may draw fewer samples than budgeted.)
+    pub samples_drawn: u64,
 }
 
 /// The result of a qCORAL analysis.
-#[derive(Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Report {
     /// The combined estimator: mean of the target-event probability and a
     /// variance upper bound (Theorem 1).
@@ -212,18 +258,27 @@ impl Report {
 /// // The paper's §4.4 worked example: exact probability ≈ 0.7378.
 /// assert!((report.estimate.mean - 0.7378).abs() < 0.01);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Analyzer {
     opts: Options,
     /// Shared paving cache: repeated factors compile their HC4 tapes and
     /// pave once, across path conditions, threads and `analyze` calls.
     /// Clones of the analyzer share the cache.
     paving_cache: Arc<PavingCache>,
+    /// Optional cross-run factor-estimate store (see [`FactorStore`]):
+    /// consulted between the in-run partition cache and fresh sampling,
+    /// shared across analyzers, requests and — once persisted — restarts.
+    factor_store: Option<Arc<FactorStore>>,
 }
 
-/// Canonical identity of one independent factor: the projected
-/// conjunction's structural fingerprint plus the sub-box's exact bits.
-type FactorKey = (u128, Vec<(u64, u64)>, Vec<u64>);
+impl std::fmt::Debug for Analyzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Analyzer")
+            .field("opts", &self.opts)
+            .field("factor_store", &self.factor_store.is_some())
+            .finish_non_exhaustive()
+    }
+}
 
 /// Stable bit-level encoding of a projected usage profile for cache
 /// keying: structurally identical factors over *differently distributed*
@@ -250,12 +305,17 @@ struct Shared<'a> {
     profile: &'a UsageProfile,
     partition: Vec<VarSet>,
     pavings_cache: &'a PavingCache,
+    store: Option<&'a FactorStore>,
+    opts_fp: u64,
     cache: Mutex<HashMap<FactorKey, Estimate>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
     inner_boxes: AtomicU64,
     boundary_boxes: AtomicU64,
     pavings: AtomicU64,
+    samples_drawn: AtomicU64,
 }
 
 impl Analyzer {
@@ -264,6 +324,7 @@ impl Analyzer {
         Analyzer {
             opts,
             paving_cache: Arc::new(PavingCache::new()),
+            factor_store: None,
         }
     }
 
@@ -275,6 +336,29 @@ impl Analyzer {
     /// The analyzer's paving cache (shared across `analyze` calls).
     pub fn paving_cache(&self) -> &PavingCache {
         &self.paving_cache
+    }
+
+    /// Replaces the paving cache with a shared one, so independent
+    /// analyzers (e.g. service workers answering different requests) pave
+    /// each recurring factor once.
+    pub fn with_paving_cache(mut self, cache: Arc<PavingCache>) -> Analyzer {
+        self.paving_cache = cache;
+        self
+    }
+
+    /// Attaches a cross-run [`FactorStore`]. With [`Options::cache`]
+    /// enabled, factor estimates are looked up there after the in-run
+    /// cache and deposited there after sampling. Store hits return
+    /// bit-identical estimates (all sampling seeds derive from the
+    /// canonical factor key), so attaching a store never changes results.
+    pub fn with_factor_store(mut self, store: Arc<FactorStore>) -> Analyzer {
+        self.factor_store = Some(store);
+        self
+    }
+
+    /// The attached cross-run factor store, if any.
+    pub fn factor_store(&self) -> Option<&Arc<FactorStore>> {
+        self.factor_store.as_ref()
     }
 
     /// Quantifies `Pr[input ∼ profile satisfies any PC in cs]` over the
@@ -318,18 +402,24 @@ impl Analyzer {
             .collect();
 
         let (pc_hits0, pc_misses0) = self.paving_cache.stats();
+        let (tape_hits0, tape_misses0) = tape_cache_stats();
         let shared = Shared {
             opts: &self.opts,
             domain_box: domain_box(domain),
             profile,
             partition,
             pavings_cache: &self.paving_cache,
+            store: self.factor_store.as_deref(),
+            opts_fp: self.opts.sampling_fingerprint(),
             cache: Mutex::new(HashMap::new()),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
             inner_boxes: AtomicU64::new(0),
             boundary_boxes: AtomicU64::new(0),
             pavings: AtomicU64::new(0),
+            samples_drawn: AtomicU64::new(0),
         };
 
         // Algorithm 1, fanned out per Theorem 1: each path condition's
@@ -354,6 +444,7 @@ impl Analyzer {
         let estimate = per_pc.iter().fold(Estimate::ZERO, |acc, e| acc.sum(*e));
 
         let (pc_hits1, pc_misses1) = self.paving_cache.stats();
+        let (tape_hits1, tape_misses1) = tape_cache_stats();
         Report {
             estimate,
             per_pc,
@@ -365,6 +456,11 @@ impl Analyzer {
                 pavings: shared.pavings.load(Ordering::Relaxed),
                 paving_cache_hits: pc_hits1 - pc_hits0,
                 paving_cache_misses: pc_misses1 - pc_misses0,
+                tape_cache_hits: tape_hits1 - tape_hits0,
+                tape_cache_misses: tape_misses1 - tape_misses0,
+                factor_store_hits: shared.store_hits.load(Ordering::Relaxed),
+                factor_store_misses: shared.store_misses.load(Ordering::Relaxed),
+                samples_drawn: shared.samples_drawn.load(Ordering::Relaxed),
             },
             wall: start.elapsed(),
         }
@@ -443,6 +539,17 @@ fn analyze_factor(
             }
             None => {
                 shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+                // Cross-run store, between the in-run cache and fresh
+                // sampling: a hit skips paving and sampling entirely and
+                // is bit-identical to recomputing (the sampling seed
+                // below is a pure function of the key).
+                if let Some(store) = shared.store {
+                    if let Some(e) = store.get(shared.opts_fp, &key) {
+                        shared.store_hits.fetch_add(1, Ordering::Relaxed);
+                        return *shared.cache.lock().entry(key).or_insert(e);
+                    }
+                    shared.store_misses.fetch_add(1, Ordering::Relaxed);
+                }
                 // Key-derived seed: identical sub-problems produce
                 // identical estimates no matter which PC (or thread)
                 // computes them first, keeping parallel runs
@@ -456,8 +563,15 @@ fn analyze_factor(
                 );
                 // If another thread landed the key first, adopt its value
                 // (identical modulo paver time-budget effects) so every
-                // consumer of the key agrees within this run.
-                *shared.cache.lock().entry(key).or_insert(e)
+                // consumer of the key agrees within this run — and only
+                // the *adopted* value is published to the cross-run
+                // store, so persisted estimates can never diverge from
+                // what this run reported.
+                let adopted = *shared.cache.lock().entry(key.clone()).or_insert(e);
+                if let Some(store) = shared.store {
+                    store.insert(shared.opts_fp, key, adopted);
+                }
+                adopted
             }
         }
     } else {
@@ -494,6 +608,9 @@ fn strat_sampling(
         parallel: shared.opts.parallel,
     };
     if !shared.opts.stratified {
+        shared
+            .samples_drawn
+            .fetch_add(shared.opts.samples, Ordering::Relaxed);
         return hit_or_miss_plan(&pred, sub_box, &local_profile, shared.opts.samples, plan);
     }
     let paving = shared
@@ -509,6 +626,9 @@ fn strat_sampling(
     if paving.is_unsat() {
         return Estimate::ZERO;
     }
+    shared
+        .samples_drawn
+        .fetch_add(shared.opts.samples, Ordering::Relaxed);
     let strata: Vec<Stratum> = paving
         .inner
         .iter()
@@ -527,12 +647,35 @@ fn strat_sampling(
     )
 }
 
-/// Deterministic 64-bit digest of a factor key (`DefaultHasher` uses
-/// fixed keys, so this is stable across runs and processes).
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a step over a 64-bit word.
+fn fnv_fold(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// Deterministic 64-bit digest of a factor key. Explicitly pinned
+/// (FNV-1a with length prefixes) rather than `DefaultHasher`: the digest
+/// seeds every factor's RNG stream, and estimates derived from it are
+/// persisted in factor-store snapshots — so it must be reproducible
+/// across processes and toolchains, or a warm restart would return
+/// estimates a fresh run could no longer reproduce.
 fn hash_key(key: &FactorKey) -> u64 {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    h.finish()
+    let (fingerprint, box_bits, profile_bits) = key;
+    let mut h = FNV_OFFSET;
+    h = fnv_fold(h, *fingerprint as u64);
+    h = fnv_fold(h, (*fingerprint >> 64) as u64);
+    h = fnv_fold(h, box_bits.len() as u64);
+    for &(lo, hi) in box_bits {
+        h = fnv_fold(h, lo);
+        h = fnv_fold(h, hi);
+    }
+    h = fnv_fold(h, profile_bits.len() as u64);
+    for &word in profile_bits {
+        h = fnv_fold(h, word);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -743,6 +886,102 @@ mod tests {
         assert!(
             emp_var <= reported * 3.0 + 1e-9,
             "empirical {emp_var} vs reported bound {reported}"
+        );
+    }
+
+    #[test]
+    fn factor_store_warm_analysis_is_bit_identical_with_zero_work() {
+        let (cs, dom, prof) = paper_system();
+        let store = Arc::new(FactorStore::new(1024));
+        let opts = Options::strat_partcache().with_samples(3_000).with_seed(9);
+
+        // Baseline without any store.
+        let plain = Analyzer::new(opts.clone()).analyze(&cs, &dom, &prof);
+
+        // Cold analyzer with the store: same results, store populated.
+        let cold = Analyzer::new(opts.clone())
+            .with_factor_store(Arc::clone(&store))
+            .analyze(&cs, &dom, &prof);
+        assert_eq!(
+            cold.estimate, plain.estimate,
+            "store must not change results"
+        );
+        assert_eq!(cold.per_pc, plain.per_pc);
+        assert_eq!(cold.stats.factor_store_hits, 0);
+        assert!(cold.stats.factor_store_misses > 0);
+        assert!(!store.is_empty());
+
+        // Warm: a *fresh* analyzer sharing the store answers from it —
+        // no pavings, no samples, bit-identical estimates.
+        let warm = Analyzer::new(opts)
+            .with_factor_store(Arc::clone(&store))
+            .analyze(&cs, &dom, &prof);
+        assert_eq!(warm.estimate, plain.estimate);
+        assert_eq!(warm.per_pc, plain.per_pc);
+        assert!(warm.stats.factor_store_hits > 0);
+        assert_eq!(warm.stats.factor_store_misses, 0);
+        assert_eq!(warm.stats.pavings, 0, "warm run must not pave");
+        assert_eq!(warm.stats.samples_drawn, 0, "warm run must not sample");
+    }
+
+    #[test]
+    fn factor_store_distinguishes_option_fingerprints() {
+        let (cs, dom, prof) = paper_system();
+        let store = Arc::new(FactorStore::new(1024));
+        let a = Analyzer::new(Options::strat_partcache().with_samples(2_000).with_seed(1))
+            .with_factor_store(Arc::clone(&store))
+            .analyze(&cs, &dom, &prof);
+        // Different seed ⇒ different fingerprint ⇒ no cross-contamination.
+        let b = Analyzer::new(Options::strat_partcache().with_samples(2_000).with_seed(2))
+            .with_factor_store(Arc::clone(&store))
+            .analyze(&cs, &dom, &prof);
+        assert_eq!(b.stats.factor_store_hits, 0);
+        assert_ne!(a.estimate.mean, b.estimate.mean);
+    }
+
+    #[test]
+    fn samples_drawn_counts_budget_per_sampled_factor() {
+        let sys = parse_system("var x in [0, 1]; pc x < 0.25;").unwrap();
+        let prof = UsageProfile::uniform(1);
+        let r = Analyzer::new(Options::plain().with_samples(1_000)).analyze(
+            &sys.constraint_set,
+            &sys.domain,
+            &prof,
+        );
+        assert_eq!(r.stats.samples_drawn, 1_000);
+        // Unsat PCs are proven empty by the paver and charge nothing.
+        let sys = parse_system("var x in [0, 1]; pc x > 2;").unwrap();
+        let r = Analyzer::new(Options::strat().with_samples(1_000)).analyze(
+            &sys.constraint_set,
+            &sys.domain,
+            &prof,
+        );
+        assert_eq!(r.stats.samples_drawn, 0);
+    }
+
+    #[test]
+    fn tape_cache_counters_are_observable() {
+        // Unique constants make the factor's expressions fresh, so the
+        // first analysis must compile (miss) and a repeat on a fresh
+        // analyzer must reuse (hit). Counters are process-global deltas,
+        // so only lower bounds are asserted (other tests run in parallel).
+        let sys = parse_system(
+            "var x in [0, 1]; pc sin(x * 0.123456789) > 0.987654321 && x < 0.3141592;",
+        )
+        .unwrap();
+        let prof = UsageProfile::uniform(1);
+        let opts = Options::strat().with_samples(200);
+        let r1 = Analyzer::new(opts.clone()).analyze(&sys.constraint_set, &sys.domain, &prof);
+        assert!(
+            r1.stats.tape_cache_misses >= 1,
+            "first compile misses: {:?}",
+            r1.stats
+        );
+        let r2 = Analyzer::new(opts).analyze(&sys.constraint_set, &sys.domain, &prof);
+        assert!(
+            r2.stats.tape_cache_hits >= 1,
+            "recompile hits the cache: {:?}",
+            r2.stats
         );
     }
 

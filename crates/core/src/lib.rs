@@ -53,9 +53,11 @@
 
 pub mod analyzer;
 pub mod depend;
+pub mod factor_store;
 
 pub use analyzer::{Analyzer, Options, Report, Stats};
 pub use depend::{dependency_partition, UnionFind};
+pub use factor_store::{FactorStore, FactorStoreEntry, DEFAULT_STORE_CAP};
 
 // Re-export the pieces users need to drive the API without spelling out
 // every substrate crate.

@@ -45,6 +45,7 @@ pub mod tape;
 
 pub use contract::{ContractScratch, Contractor, Tri};
 pub use paver::{pave, Paver, PaverConfig, Paving, PavingCache};
+pub use tape::tape_cache_stats;
 
 use qcoral_constraints::Domain;
 use qcoral_interval::{Interval, IntervalBox};

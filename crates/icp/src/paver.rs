@@ -11,6 +11,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use qcoral_constraints::PathCondition;
 use qcoral_interval::IntervalBox;
@@ -21,7 +22,7 @@ use crate::contract::{ContractScratch, Contractor, Tri};
 /// paper reports in §5: "time budget per query of 2 s, a bound on the
 /// number of boxes reported per query of 10, and a lower bound on the size
 /// of the computed boxes of 3 decimal digits".
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PaverConfig {
     /// Maximum number of boxes reported (inner + boundary).
     pub max_boxes: usize,
@@ -235,12 +236,21 @@ impl PavingKey {
 /// result as an [`Arc<Paving>`]. On a race, whichever paving lands first
 /// wins, and *every* caller gets that one, keeping all consumers of a key
 /// consistent within a run. Bounded: past [`PavingCache::CAP`] distinct
-/// keys, pavings are still computed but no longer retained.
+/// keys, the least-recently-used pavings are evicted in batches — a
+/// process-lifetime cache (e.g. a long-lived service sharing one across
+/// all requests) keeps tracking the current working set instead of
+/// freezing on the first `CAP` keys it ever saw.
 #[derive(Debug, Default)]
 pub struct PavingCache {
-    map: Mutex<HashMap<PavingKey, Arc<Paving>>>,
+    map: Mutex<PavingMap>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct PavingMap {
+    map: HashMap<PavingKey, (Arc<Paving>, u64)>,
+    tick: u64,
 }
 
 impl PavingCache {
@@ -253,7 +263,7 @@ impl PavingCache {
     }
 
     /// Returns the paving of `pc` over `domain`, computing it at most once
-    /// per distinct key (while under [`PavingCache::CAP`]).
+    /// per distinct live key.
     pub fn pave_cached(
         &self,
         pc: &PathCondition,
@@ -261,24 +271,42 @@ impl PavingCache {
         config: &PaverConfig,
     ) -> Arc<Paving> {
         let key = PavingKey::new(pc, domain, config);
-        if let Some(p) = self.map.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(p);
+        {
+            let mut inner = self.map.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((p, last_used)) = inner.map.get_mut(&key) {
+                *last_used = tick;
+                let p = Arc::clone(p);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return p;
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Pave outside the lock: pavings can take the full time budget and
         // must not serialize unrelated lookups.
         let fresh = Arc::new(pave(pc, domain, config));
-        let mut map = self.map.lock();
-        if map.len() >= Self::CAP && !map.contains_key(&key) {
-            return fresh;
+        let mut inner = self.map.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let shared = Arc::clone(&inner.map.entry(key).or_insert((fresh, tick)).0);
+        if inner.map.len() > Self::CAP {
+            // Evict the least-recently-used ~12% (never the entry just
+            // touched): amortized batches, not per-insert scans.
+            let len = inner.map.len();
+            let drop_n = (len - Self::CAP + Self::CAP / 8).clamp(1, len - 1);
+            let mut ticks: Vec<u64> = inner.map.values().map(|&(_, t)| t).collect();
+            ticks.sort_unstable();
+            let cutoff = ticks[drop_n - 1];
+            inner.map.retain(|_, &mut (_, t)| t > cutoff);
         }
-        Arc::clone(map.entry(key).or_insert(fresh))
+        shared
     }
 
     /// Number of distinct pavings held.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.map.lock().map.len()
     }
 
     /// Returns `true` if no paving is cached.
@@ -296,7 +324,7 @@ impl PavingCache {
 
     /// Drops all cached pavings (counters are retained).
     pub fn clear(&self) {
-        self.map.lock().clear();
+        self.map.lock().map.clear();
     }
 }
 
@@ -552,6 +580,31 @@ mod tests {
         assert_eq!(cache.stats(), (1, 3));
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn paving_cache_evicts_lru_instead_of_freezing() {
+        // A process-lifetime cache must keep admitting new keys past CAP
+        // (evicting the least-recently-used), and a hot key must survive.
+        let sys = parse_system("var x in [0, 1]; pc x > 0.5;").unwrap();
+        let pc = sys.constraint_set.pcs()[0].clone();
+        let cache = PavingCache::new();
+        let cfg = PaverConfig {
+            max_boxes: 2,
+            ..PaverConfig::default()
+        };
+        let boxed = |lo: f64| -> IntervalBox { [Interval::new(lo, 1.0)].into_iter().collect() };
+        let hot = boxed(0.0);
+        cache.pave_cached(&pc, &hot, &cfg);
+        for i in 1..=(PavingCache::CAP + 8) {
+            cache.pave_cached(&pc, &boxed(i as f64 * 1e-6), &cfg);
+            // Keep the hot key recent so eviction targets the others.
+            cache.pave_cached(&pc, &hot, &cfg);
+        }
+        assert!(cache.len() <= PavingCache::CAP, "len {}", cache.len());
+        let (hits0, _) = cache.stats();
+        cache.pave_cached(&pc, &hot, &cfg);
+        assert_eq!(cache.stats().0, hits0 + 1, "hot key survived eviction");
     }
 
     #[test]

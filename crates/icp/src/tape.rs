@@ -9,6 +9,7 @@
 //! narrowed together.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
@@ -30,6 +31,21 @@ const TAPE_CACHE_CAP: usize = 4096;
 
 fn tape_cache() -> &'static Mutex<HashMap<u128, Arc<Tape>>> {
     TAPE_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Process-wide hit counter for [`Tape::compile_cached`].
+static TAPE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide miss counter for [`Tape::compile_cached`].
+static TAPE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative `(hits, misses)` of the process-wide tape cache. Counters
+/// are monotone; callers wanting per-analysis numbers snapshot before and
+/// after (exact when no other analysis runs concurrently in the process).
+pub fn tape_cache_stats() -> (u64, u64) {
+    (
+        TAPE_CACHE_HITS.load(Ordering::Relaxed),
+        TAPE_CACHE_MISSES.load(Ordering::Relaxed),
+    )
 }
 
 /// One node of a compiled expression.
@@ -77,8 +93,10 @@ impl Tape {
         // Fingerprint and compile outside the lock: both can be heavy.
         let key = expr_fingerprint(expr);
         if let Some(t) = tape_cache().lock().get(&key) {
+            TAPE_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(t);
         }
+        TAPE_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
         let fresh = Arc::new(Tape::compile(expr));
         let mut cache = tape_cache().lock();
         if cache.len() >= TAPE_CACHE_CAP && !cache.contains_key(&key) {

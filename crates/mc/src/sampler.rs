@@ -14,6 +14,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 use qcoral_interval::IntervalBox;
 
@@ -302,7 +303,7 @@ impl Stratum {
 }
 
 /// How the total sample budget is split across strata.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Allocation {
     /// The paper's choice (§3.3): "we take the same number of samples on
     /// each strata".

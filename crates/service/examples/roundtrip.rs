@@ -1,0 +1,54 @@
+//! In-process server/client round trip, showing the cross-run factor
+//! cache at work: the same query answered cold, then warm (zero new
+//! pavings, zero new samples, bit-identical estimate).
+//!
+//! Run with `cargo run -p qcoral-service --example roundtrip`.
+
+use qcoral::Options;
+use qcoral_service::{Client, Server, ServiceConfig};
+
+fn main() {
+    let server = Server::start(ServiceConfig::default()).expect("bind loopback");
+    println!("server on {}", server.addr());
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let source = "var altitude in [0, 20000];
+                  var headFlap in [-10, 10];
+                  var tailFlap in [-10, 10];
+                  pc altitude > 9000;
+                  pc altitude <= 9000 && sin(headFlap * tailFlap) > 0.25;";
+    let options = Options::default().with_samples(20_000);
+
+    let cold = client
+        .analyze_system(source, options.clone(), None)
+        .expect("cold query");
+    println!(
+        "cold: mean={:.6} pavings={} samples={} store_hits={}",
+        cold.report.estimate.mean,
+        cold.report.stats.pavings,
+        cold.report.stats.samples_drawn,
+        cold.report.stats.factor_store_hits,
+    );
+
+    let warm = client
+        .analyze_system(source, options, None)
+        .expect("warm query");
+    println!(
+        "warm: mean={:.6} pavings={} samples={} store_hits={}",
+        warm.report.estimate.mean,
+        warm.report.stats.pavings,
+        warm.report.stats.samples_drawn,
+        warm.report.stats.factor_store_hits,
+    );
+
+    assert_eq!(cold.report.estimate, warm.report.estimate);
+    assert_eq!(warm.report.stats.pavings, 0);
+    assert_eq!(warm.report.stats.samples_drawn, 0);
+
+    let status = client.status().expect("status");
+    println!(
+        "status: served={} store_entries={} hits={}",
+        status.requests_served, status.store_entries, status.store_hits
+    );
+    server.shutdown();
+}

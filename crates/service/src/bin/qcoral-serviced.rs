@@ -1,0 +1,62 @@
+//! The quantification server daemon.
+//!
+//! ```text
+//! qcoral-serviced [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!                 [--max-batch N] [--store-cap N] [--snapshot PATH]
+//! ```
+//!
+//! Prints `listening on <addr>` once ready (port 0 in `--addr` binds an
+//! ephemeral port and prints the resolved one), then serves until
+//! killed. With `--snapshot`, the cross-run factor cache is warm-loaded
+//! at startup and persisted after every micro-batch.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use qcoral_service::{Server, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qcoral-serviced [--addr HOST:PORT] [--workers N] [--queue-cap N] \
+         [--max-batch N] [--store-cap N] [--snapshot PATH]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut cfg = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => cfg.addr = value(),
+            "--workers" => cfg.workers = parse(&value()),
+            "--queue-cap" => cfg.queue_cap = parse(&value()),
+            "--max-batch" => cfg.max_batch = parse(&value()),
+            "--store-cap" => cfg.store_cap = parse(&value()),
+            "--snapshot" => cfg.snapshot = Some(PathBuf::from(value())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    match Server::start(cfg) {
+        Ok(server) => {
+            println!("listening on {}", server.addr());
+            server.wait();
+        }
+        Err(e) => {
+            eprintln!("qcoral-serviced: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn parse(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("expected a number, got `{s}`");
+        usage()
+    })
+}

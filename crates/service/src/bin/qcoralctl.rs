@@ -1,0 +1,152 @@
+//! Command-line client for a running `qcoral-serviced`.
+//!
+//! ```text
+//! qcoralctl --addr HOST:PORT status
+//! qcoralctl --addr HOST:PORT system  "var x in [0,1]; pc x < 0.5;" [options]
+//! qcoralctl --addr HOST:PORT program FILE.mj [options] [--max-depth N]
+//!
+//! options: [--samples N] [--seed N] [--plain|--strat] [--parallel]
+//! ```
+//!
+//! `system` takes the constraint source inline (or `-` to read stdin);
+//! `program` takes a MiniJ file path (or `-`). Prints the response as
+//! pretty JSON; exits 1 on a server-side error, 2 on usage errors.
+
+use std::io::Read;
+use std::process::exit;
+
+use qcoral::Options;
+use qcoral_service::{Client, ClientError};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qcoralctl --addr HOST:PORT <status|system SRC|program FILE> \
+         [--samples N] [--seed N] [--plain|--strat] [--parallel] [--max-depth N]"
+    );
+    exit(2)
+}
+
+struct Cli {
+    addr: String,
+    cmd: String,
+    input: Option<String>,
+    options: Options,
+    max_depth: Option<u64>,
+}
+
+fn parse_cli() -> Cli {
+    let mut addr = None;
+    let mut cmd = None;
+    let mut input = None;
+    let mut preset: fn() -> Options = Options::default;
+    let mut samples = None;
+    let mut seed = None;
+    let mut parallel = false;
+    let mut max_depth = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => addr = Some(value()),
+            "--samples" => samples = Some(parse(&value())),
+            "--seed" => seed = Some(parse(&value())),
+            "--max-depth" => max_depth = Some(parse(&value())),
+            "--plain" => preset = Options::plain,
+            "--strat" => preset = Options::strat,
+            "--parallel" => parallel = true,
+            "--help" | "-h" => usage(),
+            other if cmd.is_none() => cmd = Some(other.to_string()),
+            other if input.is_none() => input = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                usage()
+            }
+        }
+    }
+    let (Some(addr), Some(cmd)) = (addr, cmd) else {
+        usage()
+    };
+    // Scalar flags compose onto the preset regardless of flag order.
+    let mut options = preset();
+    if let Some(samples) = samples {
+        options.samples = samples;
+    }
+    if let Some(seed) = seed {
+        options.seed = seed;
+    }
+    options.parallel = parallel;
+    Cli {
+        addr,
+        cmd,
+        input,
+        options,
+        max_depth,
+    }
+}
+
+fn parse(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("expected a number, got `{s}`");
+        usage()
+    })
+}
+
+fn read_input(spec: &str, as_file: bool) -> String {
+    if spec == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .unwrap_or_else(|e| {
+                eprintln!("reading stdin: {e}");
+                exit(1)
+            });
+        buf
+    } else if as_file {
+        std::fs::read_to_string(spec).unwrap_or_else(|e| {
+            eprintln!("reading {spec}: {e}");
+            exit(1)
+        })
+    } else {
+        spec.to_string()
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let mut client = Client::connect(&cli.addr).unwrap_or_else(|e| {
+        eprintln!("connecting to {}: {e}", cli.addr);
+        exit(1)
+    });
+    let result = match cli.cmd.as_str() {
+        "status" => client
+            .status()
+            .map(|s| serde_json::to_string_pretty(&s).expect("status serializes")),
+        "system" => {
+            let src = read_input(cli.input.as_deref().unwrap_or_else(|| usage()), false);
+            client
+                .analyze_system(&src, cli.options, None)
+                .map(|r| serde_json::to_string_pretty(&r).expect("report serializes"))
+        }
+        "program" => {
+            let src = read_input(cli.input.as_deref().unwrap_or_else(|| usage()), true);
+            client
+                .analyze_program(&src, cli.options, cli.max_depth)
+                .map(|r| serde_json::to_string_pretty(&r).expect("report serializes"))
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage()
+        }
+    };
+    match result {
+        Ok(json) => println!("{json}"),
+        Err(ClientError::Remote(m)) => {
+            eprintln!("server error: {m}");
+            exit(1)
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1)
+        }
+    }
+}

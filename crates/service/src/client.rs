@@ -1,0 +1,138 @@
+//! A blocking JSON-lines client, used by `qcoralctl`, the benches and
+//! the integration tests.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use qcoral::Options;
+use qcoral_mc::UsageProfile;
+
+use crate::protocol::{AnalysisResponse, Op, Outcome, Request, Response, ServerStatus};
+use crate::wire::{decode_response, encode_request, WireError};
+
+/// Client-side error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server sent a frame this client cannot decode.
+    Wire(WireError),
+    /// The server answered with [`Outcome::Error`].
+    Remote(String),
+    /// The server answered with an outcome the call does not expect
+    /// (e.g. a status payload for an analysis request).
+    UnexpectedOutcome,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Remote(m) => write!(f, "server error: {m}"),
+            ClientError::UnexpectedOutcome => write!(f, "unexpected outcome kind"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client. One in-flight request at a time ([`Client::call`]
+/// blocks until the matching response arrives).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running `qcoral-service`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and blocks for its response (responses with
+    /// other ids — e.g. late answers to abandoned calls — are skipped).
+    pub fn call(&mut self, op: Op) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = encode_request(&Request { id, op });
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            let response = decode_response(&line).map_err(ClientError::Wire)?;
+            if response.id == id {
+                return Ok(response);
+            }
+        }
+    }
+
+    /// Quantifies a raw constraint system (`var …; pc …;`).
+    pub fn analyze_system(
+        &mut self,
+        source: &str,
+        options: Options,
+        profile: Option<UsageProfile>,
+    ) -> Result<AnalysisResponse, ClientError> {
+        let response = self.call(Op::System {
+            source: source.to_string(),
+            options,
+            profile,
+        })?;
+        expect_report(response.outcome)
+    }
+
+    /// Quantifies a MiniJ program end to end.
+    pub fn analyze_program(
+        &mut self,
+        source: &str,
+        options: Options,
+        max_depth: Option<u64>,
+    ) -> Result<AnalysisResponse, ClientError> {
+        let response = self.call(Op::Program {
+            source: source.to_string(),
+            options,
+            max_depth,
+        })?;
+        expect_report(response.outcome)
+    }
+
+    /// Fetches server status/metrics.
+    pub fn status(&mut self) -> Result<ServerStatus, ClientError> {
+        match self.call(Op::Status)?.outcome {
+            Outcome::Status(s) => Ok(s),
+            Outcome::Error { message } => Err(ClientError::Remote(message)),
+            Outcome::Report(_) => Err(ClientError::UnexpectedOutcome),
+        }
+    }
+}
+
+fn expect_report(outcome: Outcome) -> Result<AnalysisResponse, ClientError> {
+    match outcome {
+        Outcome::Report(r) => Ok(r),
+        Outcome::Error { message } => Err(ClientError::Remote(message)),
+        Outcome::Status(_) => Err(ClientError::UnexpectedOutcome),
+    }
+}

@@ -1,0 +1,131 @@
+//! Wire-level request/response types.
+//!
+//! One JSON object per line in each direction. Requests carry a
+//! client-chosen `id` that the matching response echoes, so a client may
+//! pipeline requests and correlate answers regardless of completion
+//! order. Enum encoding follows the workspace serde convention: unit
+//! variants are bare strings (`"Status"`), data variants are single-key
+//! objects (`{"System": {...}}`).
+//!
+//! # Versioning
+//!
+//! [`PROTOCOL_VERSION`] is bumped on any breaking change to these types.
+//! Clients discover the server's version via [`Op::Status`] —
+//! [`ServerStatus::protocol_version`] — and unknown request shapes are
+//! answered with [`Outcome::Error`], never a closed connection, so old
+//! clients fail soft.
+
+use serde::{Deserialize, Serialize};
+
+use qcoral::{Estimate, Options, Report};
+use qcoral_mc::UsageProfile;
+
+/// Version of the request/response schema (see module docs).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One quantification request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// What to do.
+    pub op: Op,
+}
+
+/// The requested operation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Quantify a MiniJ program end to end (symbolic execution →
+    /// quantification → confidence), via `qcoral_repro::pipeline`.
+    Program {
+        /// MiniJ program source.
+        source: String,
+        /// Analyzer configuration.
+        options: Options,
+        /// Symbolic-execution depth bound (`None` ⇒ the default, 50).
+        max_depth: Option<u64>,
+    },
+    /// Quantify a raw constraint system (`var …; pc …;` syntax, the
+    /// analyzer's native input) under an optional usage profile
+    /// (`None` ⇒ uniform).
+    System {
+        /// Constraint-system source for `parse_system`.
+        source: String,
+        /// Analyzer configuration.
+        options: Options,
+        /// Per-variable input distributions; uniform when absent.
+        profile: Option<UsageProfile>,
+    },
+    /// Health/statistics probe; answered without entering the queue.
+    Status,
+}
+
+/// One response line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The request's correlation id (0 for frames that could not be
+    /// parsed far enough to recover an id).
+    pub id: u64,
+    /// The result.
+    pub outcome: Outcome,
+}
+
+/// The result of a request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Successful quantification.
+    Report(AnalysisResponse),
+    /// The request failed (parse error, overload, invalid input, or an
+    /// internal panic). The connection stays open.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Answer to [`Op::Status`].
+    Status(ServerStatus),
+}
+
+/// A quantification answer: the full analyzer [`Report`] (estimate,
+/// per-PC breakdown, per-request [`qcoral::Stats`] including cache and
+/// factor-store counters, wall time), plus pipeline extras for
+/// [`Op::Program`] requests.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisResponse {
+    /// The analyzer report for the target event.
+    pub report: Report,
+    /// Probability mass cut by the exploration bound (`Program` only).
+    pub bound_mass: Option<Estimate>,
+    /// `1 − bound_mass` confidence measure (`Program` only).
+    pub confidence: Option<f64>,
+    /// Complete paths explored (`Program` only).
+    pub paths: Option<u64>,
+    /// Paths cut by the bound (`Program` only).
+    pub cut_paths: Option<u64>,
+}
+
+/// Server-side counters and configuration, for monitoring.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServerStatus {
+    /// Schema version of this protocol.
+    pub protocol_version: u32,
+    /// Worker threads executing requests.
+    pub workers: u64,
+    /// Admission-queue capacity; submissions beyond it are rejected.
+    pub queue_cap: u64,
+    /// Micro-batch size limit per dispatch.
+    pub max_batch: u64,
+    /// Entries currently in the cross-run factor store.
+    pub store_entries: u64,
+    /// Factor-store entry capacity (LRU beyond it).
+    pub store_capacity: u64,
+    /// Cumulative factor-store hits since startup.
+    pub store_hits: u64,
+    /// Cumulative factor-store misses since startup.
+    pub store_misses: u64,
+    /// Requests executed to completion.
+    pub requests_served: u64,
+    /// Requests rejected at admission (queue full).
+    pub requests_rejected: u64,
+    /// Micro-batches dispatched to the worker pool.
+    pub batches_dispatched: u64,
+}

@@ -1,0 +1,334 @@
+//! Request admission and micro-batched execution on a fixed worker pool.
+//!
+//! Three stages, all `std::thread` + `Mutex`/`Condvar` (no extra deps):
+//!
+//! 1. **Admission** — [`Scheduler::submit`] appends to a bounded queue;
+//!    a full queue rejects immediately (the caller answers "overloaded")
+//!    so a traffic spike degrades to fast failures instead of unbounded
+//!    memory growth and ballooning latency.
+//! 2. **Micro-batching** — a dispatcher thread drains up to `max_batch`
+//!    admitted jobs at a time, hands them to the workers, and waits for
+//!    the batch to finish before running the `after_batch` hook. The
+//!    service uses the hook to persist the factor-store snapshot: writes
+//!    are amortized per batch, not per request, and a snapshot always
+//!    captures whole batches.
+//! 3. **Workers** — a fixed pool executing jobs concurrently within the
+//!    batch.
+//!
+//! The batch barrier trades a bounded amount of head-of-line blocking
+//! (at most `max_batch` jobs wait for the slowest member of the current
+//! batch) for a consistent persistence point: snapshots only ever
+//! capture whole batches. The server additionally caps per-request cost
+//! (sample budget, paver time budget, symexec depth) at admission, which
+//! bounds how slow the slowest batch member can be.
+//!
+//! Jobs are opaque `FnOnce` closures; the scheduler knows nothing about
+//! the wire protocol.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// An admitted unit of work.
+pub type Job = Box<dyn FnOnce() + Send>;
+
+/// Returned by [`Scheduler::submit`] when the admission queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overloaded;
+
+struct Shared {
+    /// Admission queue (bounded by `queue_cap`).
+    admitted: Mutex<VecDeque<Job>>,
+    admitted_cv: Condvar,
+    /// Jobs of the in-flight batch, pulled by workers.
+    ready: Mutex<VecDeque<Job>>,
+    ready_cv: Condvar,
+    /// Jobs of the in-flight batch not yet finished.
+    inflight: Mutex<usize>,
+    inflight_cv: Condvar,
+    queue_cap: usize,
+    max_batch: usize,
+    stop: AtomicBool,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// The scheduler handle. Dropping it without [`Scheduler::shutdown`]
+/// leaks the threads; the server always shuts it down explicitly.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    /// Joinable thread handles; `None` after shutdown. Interior-mutable
+    /// so a shared (`Arc`-held) scheduler can be shut down in place.
+    threads: Mutex<Option<Threads>>,
+}
+
+struct Threads {
+    dispatcher: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Starts `workers` worker threads plus the dispatcher.
+    /// `after_batch` runs on the dispatcher thread after every completed
+    /// batch (and is given the batch size).
+    pub fn start(
+        workers: usize,
+        queue_cap: usize,
+        max_batch: usize,
+        after_batch: impl Fn(usize) + Send + 'static,
+    ) -> Scheduler {
+        let shared = Arc::new(Shared {
+            admitted: Mutex::new(VecDeque::new()),
+            admitted_cv: Condvar::new(),
+            ready: Mutex::new(VecDeque::new()),
+            ready_cv: Condvar::new(),
+            inflight: Mutex::new(0),
+            inflight_cv: Condvar::new(),
+            queue_cap: queue_cap.max(1),
+            max_batch: max_batch.max(1),
+            stop: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        });
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qcoral-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("qcoral-dispatch".to_string())
+                .spawn(move || dispatcher_loop(&shared, after_batch))
+                .expect("spawn dispatcher")
+        };
+
+        Scheduler {
+            shared,
+            threads: Mutex::new(Some(Threads {
+                dispatcher,
+                workers: worker_handles,
+            })),
+        }
+    }
+
+    /// Admits a job, or rejects it if the queue is at capacity.
+    pub fn submit(&self, job: Job) -> Result<(), Overloaded> {
+        let mut q = self.shared.admitted.lock().expect("scheduler lock");
+        if self.shared.stop.load(Ordering::Acquire) || q.len() >= self.shared.queue_cap {
+            drop(q);
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Overloaded);
+        }
+        q.push_back(job);
+        drop(q);
+        self.shared.admitted_cv.notify_one();
+        Ok(())
+    }
+
+    /// Cumulative `(served, rejected, batches_dispatched)`.
+    pub fn metrics(&self) -> (u64, u64, u64) {
+        (
+            self.shared.served.load(Ordering::Relaxed),
+            self.shared.rejected.load(Ordering::Relaxed),
+            self.shared.batches.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drains already-admitted jobs, then stops and joins all threads.
+    /// Idempotent; must not be called from a worker or dispatcher thread
+    /// (it joins them).
+    pub fn shutdown(&self) {
+        let Some(threads) = self.threads.lock().expect("scheduler lock").take() else {
+            return;
+        };
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.admitted_cv.notify_all();
+        self.shared.ready_cv.notify_all();
+        let _ = threads.dispatcher.join();
+        // The dispatcher exits only between batches, so nothing is
+        // in-flight anymore; wake and join the workers.
+        self.shared.ready_cv.notify_all();
+        for w in threads.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut ready = shared.ready.lock().expect("scheduler lock");
+            loop {
+                if let Some(job) = ready.pop_front() {
+                    break job;
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                ready = shared.ready_cv.wait(ready).expect("scheduler lock");
+            }
+        };
+        // A panicking job must neither kill the worker nor skip the
+        // inflight decrement — either would deadlock the dispatcher's
+        // batch barrier and stall the whole pool.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            eprintln!("qcoral-service: a job panicked; worker continues");
+        }
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        let mut inflight = shared.inflight.lock().expect("scheduler lock");
+        *inflight -= 1;
+        if *inflight == 0 {
+            shared.inflight_cv.notify_all();
+        }
+    }
+}
+
+fn dispatcher_loop(shared: &Shared, after_batch: impl Fn(usize)) {
+    loop {
+        // Collect the next micro-batch: whatever is admitted, capped.
+        let batch: Vec<Job> = {
+            let mut q = shared.admitted.lock().expect("scheduler lock");
+            loop {
+                if !q.is_empty() {
+                    let n = q.len().min(shared.max_batch);
+                    break q.drain(..n).collect();
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.admitted_cv.wait(q).expect("scheduler lock");
+            }
+        };
+
+        let n = batch.len();
+        *shared.inflight.lock().expect("scheduler lock") = n;
+        {
+            let mut ready = shared.ready.lock().expect("scheduler lock");
+            ready.extend(batch);
+        }
+        shared.ready_cv.notify_all();
+
+        // Batch barrier: wait for the workers to finish everything.
+        let mut inflight = shared.inflight.lock().expect("scheduler lock");
+        while *inflight > 0 {
+            inflight = shared.inflight_cv.wait(inflight).expect("scheduler lock");
+        }
+        drop(inflight);
+
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        after_batch(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_everything_and_batches() {
+        let batches = Arc::new(Mutex::new(Vec::new()));
+        let b2 = Arc::clone(&batches);
+        let sched = Scheduler::start(2, 64, 4, move |n| {
+            b2.lock().unwrap().push(n);
+        });
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let done = Arc::clone(&done);
+            sched
+                .submit(Box::new(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }))
+                .unwrap();
+        }
+        // Wait for completion, then stop.
+        for _ in 0..200 {
+            if done.load(Ordering::SeqCst) == 10 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sched.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 10);
+        let batches = batches.lock().unwrap();
+        assert_eq!(batches.iter().sum::<usize>(), 10);
+        assert!(
+            batches.iter().all(|&n| (1..=4).contains(&n)),
+            "batch sizes within [1, max_batch]: {batches:?}"
+        );
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_stall_the_pool() {
+        let sched = Scheduler::start(1, 16, 2, |_| {});
+        sched.submit(Box::new(|| panic!("job blew up"))).unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let done = Arc::clone(&done);
+            sched
+                .submit(Box::new(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }))
+                .unwrap();
+        }
+        for _ in 0..200 {
+            if done.load(Ordering::SeqCst) == 4 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 4, "pool stalled after a panic");
+        assert_eq!(sched.metrics().0, 5, "panicked job still counts as served");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn admission_rejects_when_full() {
+        // One worker blocked on a slow job, queue of 2: the 4th submit
+        // must be rejected.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let sched = Scheduler::start(1, 2, 1, |_| {});
+        let g = Arc::clone(&gate);
+        sched
+            .submit(Box::new(move || {
+                let (lock, cv) = &*g;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            }))
+            .unwrap();
+        // Give the dispatcher time to move the blocker to a worker.
+        std::thread::sleep(Duration::from_millis(20));
+        sched.submit(Box::new(|| {})).unwrap();
+        sched.submit(Box::new(|| {})).unwrap();
+        let r = sched.submit(Box::new(|| {}));
+        assert_eq!(r, Err(Overloaded));
+        assert_eq!(sched.metrics().1, 1, "one rejection counted");
+        // Open the gate and drain.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        for _ in 0..200 {
+            if sched.metrics().0 == 3 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(sched.metrics().0, 3);
+        sched.shutdown();
+    }
+}

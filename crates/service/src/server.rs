@@ -1,0 +1,563 @@
+//! The TCP server: accept loop, per-connection readers, request
+//! execution on the shared worker pool.
+//!
+//! Every connection gets a reader thread that decodes JSON-lines frames
+//! and submits jobs to the [`Scheduler`]. Workers execute requests
+//! against analyzers wired to the server's shared [`PavingCache`] and
+//! persistent [`FactorStore`] — so every recurring factor across all
+//! clients, connections and (via the snapshot) restarts is answered from
+//! the cross-run cache, bit-identically to a fresh computation.
+//!
+//! [`Op::Status`] is answered inline on the reader thread: health probes
+//! must work *especially* when the queue is full.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use qcoral::{Analyzer, FactorStore, DEFAULT_STORE_CAP};
+use qcoral_constraints::parse::parse_system;
+use qcoral_icp::PavingCache;
+use qcoral_mc::{Dist, UsageProfile};
+use qcoral_repro::pipeline::analyze_program_with;
+use qcoral_symexec::SymConfig;
+
+use crate::protocol::{AnalysisResponse, Op, Outcome, Response, ServerStatus, PROTOCOL_VERSION};
+use crate::scheduler::Scheduler;
+use crate::store::PersistentStore;
+use crate::wire::{decode_request, encode_response, read_frame, salvage_id};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads. Defaults to `min(4, available cores)`.
+    pub workers: usize,
+    /// Admission-queue capacity; beyond it requests are rejected with an
+    /// "overloaded" error.
+    pub queue_cap: usize,
+    /// Micro-batch size limit (snapshot writes amortize per batch).
+    pub max_batch: usize,
+    /// Factor-store entry capacity (LRU eviction beyond it).
+    pub store_cap: usize,
+    /// Snapshot path for the cross-run factor store; `None` disables
+    /// persistence.
+    pub snapshot: Option<PathBuf>,
+    /// Per-request sample-budget ceiling: requests asking for more are
+    /// rejected with an error instead of pinning a worker indefinitely.
+    pub max_samples: u64,
+    /// Per-request symbolic-execution depth ceiling (same rationale).
+    pub max_depth_cap: u64,
+    /// Per-request path-condition ceiling: bounds how many factors (and
+    /// thus pavings, each up to the paver time budget) one frame can
+    /// demand. Also caps symbolic-execution path exploration. Operators
+    /// facing untrusted clients should lower this together with the
+    /// paver budget — worst-case request cost scales with their product.
+    pub max_pcs: usize,
+    /// Concurrent-connection ceiling: beyond it new connections get an
+    /// error line and are closed (each connection owns a reader thread).
+    pub max_connections: usize,
+    /// Idle-connection timeout: a connection with no traffic for this
+    /// long is closed, so silent sockets cannot pin reader threads.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: cores.min(4),
+            queue_cap: 256,
+            max_batch: 8,
+            store_cap: DEFAULT_STORE_CAP,
+            snapshot: None,
+            max_samples: 10_000_000,
+            max_depth_cap: 1_000,
+            // Matches SymConfig::default().max_paths, so service answers
+            // for default-configured programs stay identical to direct
+            // pipeline calls.
+            max_pcs: 100_000,
+            max_connections: 1_024,
+            idle_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+struct ServerShared {
+    store: Arc<PersistentStore>,
+    paving_cache: Arc<PavingCache>,
+    scheduler: Scheduler,
+    cfg: ServiceConfig,
+    connections: std::sync::atomic::AtomicUsize,
+}
+
+/// Decrements the live-connection count when a reader thread exits,
+/// however it exits.
+struct ConnectionGuard<'a>(&'a ServerShared);
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// A running server. Obtain with [`Server::start`]; stop with
+/// [`Server::shutdown`] (tests) or block forever with [`Server::wait`]
+/// (the `qcoral-serviced` binary).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    persist_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, warm-loads the snapshot (if any), starts the worker pool
+    /// and the accept loop, and returns immediately.
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let store = Arc::new(PersistentStore::open(cfg.snapshot.clone(), cfg.store_cap));
+
+        // The after-batch hook persists the store once per micro-batch,
+        // debounced: a full snapshot is O(store size), so a busy server
+        // writes at most a couple per second and relies on the
+        // undebounced shutdown save for the final state.
+        let persist = Arc::clone(&store);
+        let scheduler = Scheduler::start(cfg.workers, cfg.queue_cap, cfg.max_batch, move |_n| {
+            if let Err(e) = persist.save_if_dirty_debounced(Duration::from_millis(500)) {
+                eprintln!("qcoral-service: snapshot save failed: {e}");
+            }
+        });
+
+        let shared = Arc::new(ServerShared {
+            store,
+            paving_cache: Arc::new(PavingCache::new()),
+            scheduler,
+            cfg,
+            connections: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Periodic persistence, independent of batches: the daemon is
+        // normally stopped by a signal (never reaching the graceful
+        // shutdown save), and an idle server would otherwise hold its
+        // last debounce window in memory only. With the timer, a killed
+        // process loses at most ~2 s of new factor estimates.
+        let persist_thread = shared.cfg.snapshot.is_some().then(|| {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("qcoral-persist".to_string())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(250));
+                        if let Err(e) = shared.store.save_if_dirty_debounced(Duration::from_secs(2))
+                        {
+                            eprintln!("qcoral-service: periodic snapshot save failed: {e}");
+                        }
+                    }
+                })
+                .expect("spawn persist timer")
+        });
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("qcoral-accept".to_string())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        match conn {
+                            Ok(mut stream) => {
+                                // Connection ceiling: each connection owns
+                                // a reader thread, so refuse (with an
+                                // error line) rather than spawn without
+                                // bound.
+                                let live = shared.connections.fetch_add(1, Ordering::AcqRel);
+                                if live >= shared.cfg.max_connections {
+                                    shared.connections.fetch_sub(1, Ordering::Release);
+                                    let refusal = encode_response(&Response {
+                                        id: 0,
+                                        outcome: Outcome::Error {
+                                            message: format!(
+                                                "server at its connection limit of {}",
+                                                shared.cfg.max_connections
+                                            ),
+                                        },
+                                    });
+                                    let _ = stream.write_all(refusal.as_bytes());
+                                    continue;
+                                }
+                                let conn_shared = Arc::clone(&shared);
+                                // Reader threads exit on client EOF or the
+                                // idle timeout; they are not joined on
+                                // shutdown (blocking reads have no
+                                // portable cancellation), which only
+                                // delays process exit if a client holds a
+                                // connection open.
+                                let spawned = std::thread::Builder::new()
+                                    .name("qcoral-conn".to_string())
+                                    .spawn(move || {
+                                        let _guard = ConnectionGuard(&conn_shared);
+                                        serve_connection(&conn_shared, stream)
+                                    });
+                                if spawned.is_err() {
+                                    // The guard never ran.
+                                    shared.connections.fetch_sub(1, Ordering::Release);
+                                }
+                            }
+                            Err(e) => {
+                                if !stop.load(Ordering::Acquire) {
+                                    eprintln!("qcoral-service: accept failed: {e}");
+                                }
+                            }
+                        }
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            stop,
+            accept_thread: Some(accept_thread),
+            persist_thread,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's persistent factor store.
+    pub fn factor_store(&self) -> &Arc<FactorStore> {
+        self.shared.store.factor_store()
+    }
+
+    /// Blocks this thread for the lifetime of the process (the server
+    /// binary's main thread has nothing else to do).
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops accepting, drains admitted requests, persists a final
+    /// snapshot, and joins the pool.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Take the scheduler down (drains admitted jobs), then write the
+        // final snapshot.
+        self.shared.scheduler.shutdown();
+        if let Some(t) = self.persist_thread.take() {
+            let _ = t.join();
+        }
+        if let Err(e) = self.shared.store.save_if_dirty() {
+            eprintln!("qcoral-service: final snapshot save failed: {e}");
+        }
+    }
+}
+
+fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
+    // Idle sockets must not pin reader threads forever; a timed-out read
+    // errors below and the connection closes.
+    let _ = stream.set_read_timeout(Some(shared.cfg.idle_timeout));
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(e) => {
+            eprintln!("qcoral-service: connection setup failed: {e}");
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Bounded read: reject a frame that exceeds the cap without
+        // buffering it whole.
+        match read_frame(&mut reader, &mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue; // blank keep-alive lines are ignored
+        }
+        let request = match decode_request(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                write_response(
+                    &writer,
+                    &Response {
+                        id: salvage_id(&line),
+                        outcome: Outcome::Error {
+                            message: e.to_string(),
+                        },
+                    },
+                );
+                continue;
+            }
+        };
+        // Status is answered inline: it must work under full load.
+        if request.op == Op::Status {
+            write_response(
+                &writer,
+                &Response {
+                    id: request.id,
+                    outcome: Outcome::Status(status(shared)),
+                },
+            );
+            continue;
+        }
+        let job_shared = Arc::clone(shared);
+        let job_writer = Arc::clone(&writer);
+        let id = request.id;
+        let submitted = shared.scheduler.submit(Box::new(move || {
+            let outcome = execute(&job_shared, request.op);
+            write_response(&job_writer, &Response { id, outcome });
+        }));
+        if submitted.is_err() {
+            write_response(
+                &writer,
+                &Response {
+                    id,
+                    outcome: Outcome::Error {
+                        message: format!(
+                            "server overloaded: admission queue of {} is full",
+                            shared.cfg.queue_cap
+                        ),
+                    },
+                },
+            );
+        }
+    }
+}
+
+fn write_response(writer: &Arc<Mutex<TcpStream>>, response: &Response) {
+    let frame = encode_response(response);
+    let mut w = writer.lock().expect("writer lock");
+    let _ = w.write_all(frame.as_bytes());
+    let _ = w.flush();
+}
+
+fn status(shared: &ServerShared) -> ServerStatus {
+    let store = shared.store.factor_store();
+    let (hits, misses) = store.stats();
+    let (served, rejected, batches) = shared.scheduler.metrics();
+    ServerStatus {
+        protocol_version: PROTOCOL_VERSION,
+        workers: shared.cfg.workers as u64,
+        queue_cap: shared.cfg.queue_cap as u64,
+        max_batch: shared.cfg.max_batch as u64,
+        store_entries: store.len() as u64,
+        store_capacity: store.capacity() as u64,
+        store_hits: hits,
+        store_misses: misses,
+        requests_served: served,
+        requests_rejected: rejected,
+        batches_dispatched: batches,
+    }
+}
+
+/// Executes one analysis request. Panics (e.g. analyzer input asserts
+/// not caught by validation) become error outcomes; the worker survives.
+fn execute(shared: &ServerShared, op: Op) -> Outcome {
+    let run = AssertUnwindSafe(|| execute_inner(shared, op));
+    match catch_unwind(run) {
+        Ok(outcome) => outcome,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("opaque panic");
+            Outcome::Error {
+                message: format!("internal error: {msg}"),
+            }
+        }
+    }
+}
+
+/// Validates network-supplied analyzer options against the server's
+/// resource ceilings. Four hostile frames must not be able to pin every
+/// worker forever.
+fn validate(
+    shared: &ServerShared,
+    options: &qcoral::Options,
+    max_depth: Option<u64>,
+) -> Option<Outcome> {
+    let reject = |message: String| Some(Outcome::Error { message });
+    if options.samples == 0 {
+        return reject("options.samples must be at least 1".to_string());
+    }
+    if options.samples > shared.cfg.max_samples {
+        return reject(format!(
+            "options.samples {} exceeds this server's limit of {}",
+            options.samples, shared.cfg.max_samples
+        ));
+    }
+    if options.paver.time_budget > Duration::from_secs(60) {
+        return reject("options.paver.time_budget exceeds the 60 s limit".to_string());
+    }
+    if let Some(d) = max_depth {
+        if d > shared.cfg.max_depth_cap {
+            return reject(format!(
+                "max_depth {d} exceeds this server's limit of {}",
+                shared.cfg.max_depth_cap
+            ));
+        }
+    }
+    None
+}
+
+fn execute_inner(shared: &ServerShared, op: Op) -> Outcome {
+    match op {
+        Op::Status => Outcome::Status(status(shared)),
+        Op::System {
+            source,
+            options,
+            profile,
+        } => {
+            if let Some(rejection) = validate(shared, &options, None) {
+                return rejection;
+            }
+            let sys = match parse_system(&source) {
+                Ok(sys) => sys,
+                Err(e) => {
+                    return Outcome::Error {
+                        message: format!("system parse error: {e}"),
+                    }
+                }
+            };
+            if sys.constraint_set.pcs().len() > shared.cfg.max_pcs {
+                return Outcome::Error {
+                    message: format!(
+                        "system declares {} path conditions, over this server's limit of {}",
+                        sys.constraint_set.pcs().len(),
+                        shared.cfg.max_pcs
+                    ),
+                };
+            }
+            let profile = profile.unwrap_or_else(|| UsageProfile::uniform(sys.domain.len()));
+            if profile.len() != sys.domain.len() {
+                return Outcome::Error {
+                    message: format!(
+                        "profile covers {} variables but the domain declares {}",
+                        profile.len(),
+                        sys.domain.len()
+                    ),
+                };
+            }
+            // Re-validate/normalize: a deserialized profile bypassed the
+            // Dist::piecewise constructor and its invariants.
+            let profile = match validated_profile(&profile) {
+                Ok(p) => p,
+                Err(message) => return Outcome::Error { message },
+            };
+            let report =
+                analyzer(shared, options).analyze(&sys.constraint_set, &sys.domain, &profile);
+            Outcome::Report(AnalysisResponse {
+                report,
+                bound_mass: None,
+                confidence: None,
+                paths: None,
+                cut_paths: None,
+            })
+        }
+        Op::Program {
+            source,
+            options,
+            max_depth,
+        } => {
+            if let Some(rejection) = validate(shared, &options, max_depth) {
+                return rejection;
+            }
+            let defaults = SymConfig::default();
+            let sym_cfg = SymConfig {
+                max_depth: max_depth.map(|d| d as usize).unwrap_or(defaults.max_depth),
+                // Bounds the explored path count (and thus pavings) per
+                // request; with the default config this equals the
+                // pipeline default, keeping answers identical to direct
+                // calls.
+                max_paths: defaults.max_paths.min(shared.cfg.max_pcs),
+                ..defaults
+            };
+            match analyze_program_with(&analyzer(shared, options), &source, &sym_cfg) {
+                Ok(analysis) => Outcome::Report(AnalysisResponse {
+                    confidence: Some(analysis.confidence()),
+                    bound_mass: Some(analysis.bound_mass),
+                    paths: Some(analysis.paths as u64),
+                    cut_paths: Some(analysis.cut_paths as u64),
+                    report: analysis.target,
+                }),
+                Err(e) => Outcome::Error {
+                    message: format!("program parse error: {e}"),
+                },
+            }
+        }
+    }
+}
+
+/// Re-validates a network-supplied usage profile and rebuilds it through
+/// the [`Dist::piecewise`] constructor so its invariants (strictly
+/// increasing finite edges, one non-negative weight per segment,
+/// normalization) hold again — deserialization constructs enum variants
+/// directly and bypasses them, which would otherwise mean silently
+/// unnormalized probabilities or an out-of-bounds panic in `Dist::mass`.
+fn validated_profile(profile: &UsageProfile) -> Result<UsageProfile, String> {
+    let mut out = UsageProfile::uniform(profile.len());
+    for i in 0..profile.len() {
+        match profile.dist(i) {
+            Dist::Uniform => {}
+            Dist::Piecewise { edges, weights } => {
+                if edges.len() < 2
+                    || !edges.iter().all(|e| e.is_finite())
+                    || !edges.windows(2).all(|w| w[0] < w[1])
+                {
+                    return Err(format!(
+                        "profile variable {i}: edges must be >= 2 finite, strictly increasing values"
+                    ));
+                }
+                if weights.len() != edges.len() - 1
+                    || !weights.iter().all(|w| w.is_finite() && *w >= 0.0)
+                    || weights.iter().sum::<f64>() <= 0.0
+                {
+                    return Err(format!(
+                        "profile variable {i}: need one finite non-negative weight per segment, with a positive sum"
+                    ));
+                }
+                out = out.with_dist(i, Dist::piecewise(edges.clone(), weights.clone()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Builds a per-request analyzer wired to the server's shared caches.
+fn analyzer(shared: &ServerShared, options: qcoral::Options) -> Analyzer {
+    Analyzer::new(options)
+        .with_paving_cache(Arc::clone(&shared.paving_cache))
+        .with_factor_store(Arc::clone(shared.store.factor_store()))
+}

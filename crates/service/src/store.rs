@@ -1,0 +1,142 @@
+//! Disk persistence for the cross-run [`FactorStore`].
+//!
+//! The snapshot is one versioned JSON document:
+//!
+//! ```json
+//! {"version": 1, "entries": [ {"opts_fp": …, "fingerprint": …,
+//!   "box_bits": […], "profile_bits": […],
+//!   "mean_bits": …, "variance_bits": …}, … ]}
+//! ```
+//!
+//! Estimates are stored as exact `f64` bits, so a snapshot round-trip is
+//! observationally invisible: a warm restart answers recurring factors
+//! with the bit-identical estimates the original process computed.
+//!
+//! Loading is fail-soft by construction: a missing file, unparseable
+//! JSON, a mismatched [`SNAPSHOT_VERSION`], or malformed entries all
+//! degrade to a (partially) cold cache — never an error, never a crash,
+//! and never an invalid estimate (entry validation lives in
+//! [`FactorStore::absorb`]). Saving writes a sibling `.tmp` file and
+//! renames it into place, so a crash mid-save leaves the previous
+//! snapshot intact.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use qcoral::{FactorStore, FactorStoreEntry};
+
+/// Version of the snapshot document. Bumped on any change to the entry
+/// schema; older snapshots are discarded (cold start) rather than
+/// misinterpreted.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct Snapshot {
+    version: u32,
+    entries: Vec<FactorStoreEntry>,
+}
+
+/// A [`FactorStore`] bound to an optional snapshot path.
+pub struct PersistentStore {
+    store: Arc<FactorStore>,
+    path: Option<PathBuf>,
+    saved_revision: AtomicU64,
+    last_save: Mutex<Option<Instant>>,
+}
+
+impl PersistentStore {
+    /// Opens the store, warm-loading `path` if it holds a valid snapshot
+    /// (see module docs for the corrupt/stale behavior). `path: None`
+    /// gives a purely in-memory store with the same interface.
+    pub fn open(path: Option<PathBuf>, cap: usize) -> PersistentStore {
+        let store = Arc::new(FactorStore::new(cap));
+        if let Some(p) = &path {
+            // A missing file is a quiet first run; anything else that
+            // fails to load is reported and degrades to a cold start.
+            if let Ok(text) = std::fs::read_to_string(p) {
+                match serde_json::from_str::<Snapshot>(&text) {
+                    Ok(snap) if snap.version == SNAPSHOT_VERSION => {
+                        store.absorb(snap.entries);
+                    }
+                    Ok(snap) => eprintln!(
+                        "qcoral-service: snapshot {} has version {} (want {SNAPSHOT_VERSION}); starting cold",
+                        p.display(),
+                        snap.version
+                    ),
+                    Err(e) => eprintln!(
+                        "qcoral-service: snapshot {} is unreadable ({e}); starting cold",
+                        p.display()
+                    ),
+                }
+            }
+        }
+        PersistentStore {
+            saved_revision: AtomicU64::new(store.revision()),
+            store,
+            path,
+            last_save: Mutex::new(None),
+        }
+    }
+
+    /// The in-memory store (attach to analyzers via
+    /// `Analyzer::with_factor_store`).
+    pub fn factor_store(&self) -> &Arc<FactorStore> {
+        &self.store
+    }
+
+    /// The snapshot path, if persistence is enabled.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Saves a snapshot if the store changed since the last save.
+    /// Returns whether a write happened. No-op without a path.
+    pub fn save_if_dirty(&self) -> io::Result<bool> {
+        let rev = self.store.revision();
+        if self.path.is_none() || rev == self.saved_revision.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        self.save()?;
+        *self.last_save.lock().expect("save clock") = Some(Instant::now());
+        self.saved_revision.store(rev, Ordering::Release);
+        Ok(true)
+    }
+
+    /// [`PersistentStore::save_if_dirty`], additionally skipping the
+    /// write when one happened within `min_interval`. A full snapshot is
+    /// O(store size); the per-batch hook uses this so a busy server near
+    /// capacity is not dominated by rewriting a multi-megabyte document
+    /// every batch. Dirtiness is not lost — a later batch (or the
+    /// shutdown save, which does not debounce) picks it up.
+    pub fn save_if_dirty_debounced(&self, min_interval: Duration) -> io::Result<bool> {
+        {
+            let last = self.last_save.lock().expect("save clock");
+            if let Some(at) = *last {
+                if at.elapsed() < min_interval {
+                    return Ok(false);
+                }
+            }
+        }
+        self.save_if_dirty()
+    }
+
+    /// Unconditionally writes the snapshot (tmp file + rename).
+    pub fn save(&self) -> io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let snap = Snapshot {
+            version: SNAPSHOT_VERSION,
+            entries: self.store.entries(),
+        };
+        let text = serde_json::to_string(&snap).expect("snapshot serializes");
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)
+    }
+}

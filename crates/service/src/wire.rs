@@ -1,0 +1,122 @@
+//! JSON-lines framing: one compact JSON object per `\n`-terminated line.
+//!
+//! Compact serialization never emits a raw newline (strings escape
+//! control characters), so a line is always exactly one frame. Decoding
+//! enforces a frame-size cap and rejects anything that does not parse
+//! into the expected type — a malformed frame is an error value, never a
+//! panic or a desynchronized stream.
+
+use std::fmt;
+
+use crate::protocol::{Request, Response};
+
+/// Upper bound on one frame's size. Larger lines are rejected before
+/// parsing so a hostile client cannot balloon server memory.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Framing/decoding error.
+#[derive(Clone, Debug)]
+pub struct WireError(String);
+
+impl WireError {
+    fn new(msg: impl Into<String>) -> WireError {
+        WireError(msg.into())
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a request as one frame (trailing newline included).
+pub fn encode_request(r: &Request) -> String {
+    let mut line = serde_json::to_string(r).expect("request serializes");
+    line.push('\n');
+    line
+}
+
+/// Encodes a response as one frame (trailing newline included).
+pub fn encode_response(r: &Response) -> String {
+    let mut line = serde_json::to_string(r).expect("response serializes");
+    line.push('\n');
+    line
+}
+
+fn check_frame(line: &str) -> Result<&str, WireError> {
+    if line.len() > MAX_FRAME_BYTES {
+        return Err(WireError::new(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte limit",
+            line.len()
+        )));
+    }
+    let trimmed = line.trim_end_matches(['\n', '\r']);
+    if trimmed.trim().is_empty() {
+        return Err(WireError::new("empty frame"));
+    }
+    Ok(trimmed)
+}
+
+/// Decodes one request frame.
+pub fn decode_request(line: &str) -> Result<Request, WireError> {
+    let frame = check_frame(line)?;
+    serde_json::from_str(frame).map_err(|e| WireError::new(format!("bad request frame: {e}")))
+}
+
+/// Decodes one response frame.
+pub fn decode_response(line: &str) -> Result<Response, WireError> {
+    let frame = check_frame(line)?;
+    serde_json::from_str(frame).map_err(|e| WireError::new(format!("bad response frame: {e}")))
+}
+
+/// Reads one `\n`-terminated frame into `line`, erroring out once it
+/// exceeds [`MAX_FRAME_BYTES`] (the stream can no longer be framed, so
+/// the caller should drop the connection). Returns the byte count read,
+/// 0 on EOF.
+///
+/// Bytes are accumulated raw and converted to text once the line is
+/// complete: a multi-byte UTF-8 character split across `fill_buf`
+/// chunks (TCP segmentation or the reader's internal buffer boundary)
+/// is reassembled, not mangled. Truly invalid UTF-8 becomes replacement
+/// characters, which the JSON decoder then rejects.
+pub fn read_frame(reader: &mut impl std::io::BufRead, line: &mut String) -> std::io::Result<usize> {
+    let mut bytes = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            break; // EOF (possibly mid-line; caller sees no \n)
+        }
+        let upto = buf.iter().position(|&b| b == b'\n');
+        let take = upto.map(|i| i + 1).unwrap_or(buf.len());
+        if bytes.len() + take > MAX_FRAME_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "frame too large",
+            ));
+        }
+        bytes.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if upto.is_some() {
+            break;
+        }
+    }
+    line.push_str(&String::from_utf8_lossy(&bytes));
+    Ok(bytes.len())
+}
+
+/// Best-effort extraction of the `id` of a frame that failed full
+/// decoding, so the error response can still be correlated. Returns 0
+/// when even that much cannot be parsed.
+pub fn salvage_id(line: &str) -> u64 {
+    serde_json::Value::parse(line.trim_end_matches(['\n', '\r']))
+        .ok()
+        .and_then(|v| v.get("id").cloned())
+        .and_then(|v| match v {
+            serde_json::Value::Number(n) => n.parse::<u64>().ok(),
+            _ => None,
+        })
+        .unwrap_or(0)
+}

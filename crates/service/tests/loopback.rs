@@ -1,0 +1,375 @@
+//! Loopback integration: a real server on an ephemeral port, a real TCP
+//! client, and the contract the ISSUE pins down —
+//!
+//! 1. service answers are **bit-identical** to direct `Analyzer` /
+//!    pipeline calls on the VolComp suite,
+//! 2. a warm cache answers with **zero new pavings and zero samples**,
+//! 3. the factor store survives a server **restart** via the snapshot,
+//! 4. corrupt or version-mismatched snapshots mean a **cold start,
+//!    never a crash**, and
+//! 5. protocol misuse (malformed frames, bad sources) degrades to error
+//!    responses on a still-usable connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+use qcoral::{Analyzer, Options};
+use qcoral_mc::{Dist, UsageProfile};
+use qcoral_repro::pipeline::analyze_program;
+use qcoral_service::{Client, Outcome, Server, ServiceConfig};
+use qcoral_subjects::table3_subjects;
+use qcoral_symexec::SymConfig;
+
+fn start(cfg: ServiceConfig) -> (Server, Client) {
+    let server = Server::start(cfg).expect("bind loopback");
+    let client = Client::connect(server.addr()).expect("connect");
+    (server, client)
+}
+
+/// A unique temp path for snapshot tests.
+fn temp_snapshot(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "qcoral-service-test-{}-{tag}.json",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn volcomp_suite_is_bit_identical_to_direct_pipeline() {
+    let opts = Options::strat_partcache().with_samples(800).with_seed(77);
+    let (server, mut client) = start(ServiceConfig::default());
+    for subj in table3_subjects() {
+        for idx in 0..subj.assertions.len() {
+            let source = subj.source_for(idx);
+            let direct = analyze_program(&source, &SymConfig::default(), opts.clone())
+                .expect("subjects parse");
+            let served = client
+                .analyze_program(&source, opts.clone(), None)
+                .expect("service answers");
+            assert_eq!(
+                served.report.estimate, direct.target.estimate,
+                "{}[{idx}]: estimate differs",
+                subj.name
+            );
+            assert_eq!(
+                served.report.per_pc, direct.target.per_pc,
+                "{}[{idx}]: per-PC breakdown differs",
+                subj.name
+            );
+            assert_eq!(served.bound_mass, Some(direct.bound_mass));
+            assert_eq!(served.confidence, Some(direct.confidence()));
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn system_requests_with_profiles_match_direct_analyzer() {
+    let source = "var x in [0, 1]; var y in [0, 1]; pc x < 0.5 && sin(y) > 0.5;";
+    let profile =
+        UsageProfile::uniform(2).with_dist(1, Dist::piecewise(vec![0.0, 0.5, 1.0], vec![3.0, 1.0]));
+    let opts = Options::default().with_samples(2_000).with_seed(5);
+    let sys = qcoral_constraints::parse::parse_system(source).unwrap();
+    let direct = Analyzer::new(opts.clone()).analyze(&sys.constraint_set, &sys.domain, &profile);
+
+    let (server, mut client) = start(ServiceConfig::default());
+    let served = client
+        .analyze_system(source, opts, Some(profile))
+        .expect("service answers");
+    assert_eq!(served.report.estimate, direct.estimate);
+    assert_eq!(served.report.per_pc, direct.per_pc);
+    server.shutdown();
+}
+
+#[test]
+fn warm_cache_answers_with_zero_pavings_and_samples() {
+    let opts = Options::default().with_samples(3_000).with_seed(3);
+    let (server, mut client) = start(ServiceConfig::default());
+    let source = "var a in [0, 2]; var b in [-1, 1];
+                  pc a * a < 2 && sin(b) > 0.1;
+                  pc a * a >= 2 && sin(b) > 0.1;";
+    let cold = client
+        .analyze_system(source, opts.clone(), None)
+        .expect("cold");
+    assert!(cold.report.stats.samples_drawn > 0);
+    assert!(cold.report.stats.pavings > 0);
+
+    // Same query from a *new connection*: the store is server-wide.
+    let mut client2 = Client::connect(server.addr()).expect("connect");
+    let warm = client2.analyze_system(source, opts, None).expect("warm");
+    assert_eq!(warm.report.estimate, cold.report.estimate, "bit-identical");
+    assert_eq!(warm.report.per_pc, cold.report.per_pc);
+    assert_eq!(warm.report.stats.pavings, 0, "no new pavings");
+    assert_eq!(warm.report.stats.samples_drawn, 0, "no new samples");
+    assert!(warm.report.stats.factor_store_hits > 0);
+
+    let status = client.status().expect("status");
+    assert!(status.store_entries > 0);
+    assert!(status.store_hits >= warm.report.stats.factor_store_hits);
+    server.shutdown();
+}
+
+#[test]
+fn factor_store_survives_restart_via_snapshot() {
+    let snapshot = temp_snapshot("restart");
+    let _ = std::fs::remove_file(&snapshot);
+    let cfg = ServiceConfig {
+        snapshot: Some(snapshot.clone()),
+        ..ServiceConfig::default()
+    };
+    let opts = Options::default().with_samples(2_500).with_seed(11);
+    let source = "var u in [0, 4]; var v in [0, 4];
+                  pc u + v < 3 && sin(u * v) > 0.2;";
+
+    let (server, mut client) = start(cfg.clone());
+    let first = client
+        .analyze_system(source, opts.clone(), None)
+        .expect("first run");
+    assert!(first.report.stats.samples_drawn > 0);
+    server.shutdown(); // persists the final snapshot
+    assert!(snapshot.exists(), "snapshot written on shutdown");
+
+    // A brand-new process-equivalent: fresh server, same snapshot path.
+    let (server, mut client) = start(cfg);
+    let warm = client.analyze_system(source, opts, None).expect("warm run");
+    assert_eq!(
+        warm.report.estimate, first.report.estimate,
+        "bit-identical across restart"
+    );
+    assert_eq!(warm.report.stats.pavings, 0, "restart run must not pave");
+    assert_eq!(
+        warm.report.stats.samples_drawn, 0,
+        "restart run must not sample"
+    );
+    assert!(warm.report.stats.factor_store_hits > 0);
+    server.shutdown();
+    let _ = std::fs::remove_file(&snapshot);
+}
+
+#[test]
+fn corrupt_or_stale_snapshots_cold_start_without_crashing() {
+    let opts = Options::default().with_samples(500).with_seed(2);
+    let source = "var x in [0, 1]; pc x < 0.5;";
+    for (tag, contents) in [
+        ("garbage", "not json at all {{{".to_string()),
+        (
+            "truncated",
+            "{\"version\":1,\"entries\":[{\"opts_fp\":1".to_string(),
+        ),
+        (
+            "stale-version",
+            "{\"version\":999,\"entries\":[]}".to_string(),
+        ),
+        (
+            "bad-entries",
+            "{\"version\":1,\"entries\":[{\"opts_fp\":1,\"fingerprint\":2,\
+             \"box_bits\":[1,2,3],\"profile_bits\":[],\"mean_bits\":0,\
+             \"variance_bits\":0}]}"
+                .to_string(),
+        ),
+    ] {
+        let snapshot = temp_snapshot(tag);
+        std::fs::write(&snapshot, contents).unwrap();
+        let cfg = ServiceConfig {
+            snapshot: Some(snapshot.clone()),
+            ..ServiceConfig::default()
+        };
+        let (server, mut client) = start(cfg);
+        // Cold start: the damaged snapshot contributed nothing.
+        assert_eq!(server.factor_store().len(), 0, "{tag}: not cold");
+        // And the server still works.
+        let r = client
+            .analyze_system(source, opts.clone(), None)
+            .unwrap_or_else(|e| panic!("{tag}: {e}"));
+        assert!((r.report.estimate.mean - 0.5).abs() < 0.1);
+        server.shutdown();
+        let _ = std::fs::remove_file(&snapshot);
+    }
+}
+
+#[test]
+fn snapshot_is_versioned_json() {
+    let snapshot = temp_snapshot("format");
+    let _ = std::fs::remove_file(&snapshot);
+    let cfg = ServiceConfig {
+        snapshot: Some(snapshot.clone()),
+        ..ServiceConfig::default()
+    };
+    let (server, mut client) = start(cfg);
+    client
+        .analyze_system(
+            "var x in [0, 1]; pc x < 0.25;",
+            Options::default().with_samples(400),
+            None,
+        )
+        .expect("query");
+    server.shutdown();
+    let text = std::fs::read_to_string(&snapshot).expect("snapshot exists");
+    let v = serde_json::Value::parse(&text).expect("snapshot is valid JSON");
+    assert_eq!(
+        v.get("version"),
+        Some(&serde_json::Value::Number("1".to_string())),
+        "snapshot carries its version"
+    );
+    assert!(matches!(
+        v.get("entries"),
+        Some(serde_json::Value::Array(entries)) if !entries.is_empty()
+    ));
+    let _ = std::fs::remove_file(&snapshot);
+}
+
+#[test]
+fn malformed_frames_get_error_responses_and_the_connection_survives() {
+    let (server, _client) = start(ServiceConfig::default());
+    let stream = TcpStream::connect(server.addr()).expect("connect raw");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    // Unparseable frame with a salvageable id.
+    writer
+        .write_all(b"{\"id\":9,\"op\":\"Nonsense\"}\n")
+        .unwrap();
+    reader.read_line(&mut line).unwrap();
+    let r = qcoral_service::wire::decode_response(&line).expect("error response decodes");
+    assert_eq!(r.id, 9, "id salvaged from the broken frame");
+    assert!(matches!(r.outcome, Outcome::Error { .. }));
+
+    // Complete garbage.
+    line.clear();
+    writer.write_all(b"complete garbage\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    let r = qcoral_service::wire::decode_response(&line).expect("error response decodes");
+    assert_eq!(r.id, 0);
+    assert!(matches!(r.outcome, Outcome::Error { .. }));
+
+    // The same connection still answers real requests.
+    line.clear();
+    writer
+        .write_all(b"{\"id\":10,\"op\":\"Status\"}\n")
+        .unwrap();
+    reader.read_line(&mut line).unwrap();
+    let r = qcoral_service::wire::decode_response(&line).expect("status decodes");
+    assert_eq!(r.id, 10);
+    assert!(matches!(r.outcome, Outcome::Status(_)));
+    server.shutdown();
+}
+
+#[test]
+fn invalid_inputs_are_errors_not_crashes() {
+    let (server, mut client) = start(ServiceConfig::default());
+    // Unparseable system source.
+    let e = client
+        .analyze_system("var x in", Options::default().with_samples(100), None)
+        .unwrap_err();
+    assert!(e.to_string().contains("parse"), "{e}");
+    // Profile arity mismatch.
+    let e = client
+        .analyze_system(
+            "var x in [0, 1]; pc x < 0.5;",
+            Options::default().with_samples(100),
+            Some(UsageProfile::uniform(3)),
+        )
+        .unwrap_err();
+    assert!(e.to_string().contains("covers"), "{e}");
+    // Unparseable program source.
+    let e = client
+        .analyze_program("program p(", Options::default().with_samples(100), None)
+        .unwrap_err();
+    assert!(e.to_string().contains("parse"), "{e}");
+    // The server survived all of it.
+    assert!(client.status().is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn hostile_profiles_are_validated_and_normalized() {
+    let (server, mut client) = start(ServiceConfig::default());
+    let source = "var x in [0, 1]; pc x < 0.5;";
+    let opts = Options::default().with_samples(2_000).with_seed(4);
+    // Deserialization bypasses Dist::piecewise, so craft invalid dists
+    // over the wire via the raw protocol types.
+    let bad_arity =
+        UsageProfile::uniform(1).with_dist(0, Dist::piecewise(vec![0.0, 0.5, 1.0], vec![1.0, 1.0]));
+    // Mutate via JSON to bypass the constructor: wrong weight count.
+    let mut line = qcoral_service::wire::encode_request(&qcoral_service::Request {
+        id: 1,
+        op: qcoral_service::Op::System {
+            source: source.to_string(),
+            options: opts.clone(),
+            profile: Some(bad_arity),
+        },
+    });
+    line = line.replace("\"weights\":[0.5,0.5]", "\"weights\":[0.5,0.5,0.5]");
+    let decoded = qcoral_service::wire::decode_request(&line).expect("still well-formed JSON");
+    let qcoral_service::Op::System { profile, .. } = &decoded.op else {
+        panic!("System op expected");
+    };
+    assert!(profile.is_some(), "mutation kept the profile");
+    let outcome = client.call(decoded.op).expect("transport ok").outcome;
+    assert!(
+        matches!(&outcome, Outcome::Error { message } if message.contains("weight")),
+        "wrong-arity weights must be rejected, got {outcome:?}"
+    );
+
+    // Unnormalized weights are accepted but renormalized: identical to
+    // the properly constructed profile.
+    let normalized =
+        UsageProfile::uniform(1).with_dist(0, Dist::piecewise(vec![0.0, 0.5, 1.0], vec![3.0, 1.0]));
+    let reference = client
+        .analyze_system(source, opts.clone(), Some(normalized))
+        .expect("reference");
+    let mut raw = qcoral_service::wire::encode_request(&qcoral_service::Request {
+        id: 2,
+        op: qcoral_service::Op::System {
+            source: source.to_string(),
+            options: opts,
+            profile: None,
+        },
+    });
+    raw = raw.replace(
+        "\"profile\":null",
+        "\"profile\":{\"dists\":[{\"Piecewise\":{\"edges\":[0.0,0.5,1.0],\"weights\":[30.0,10.0]}}]}",
+    );
+    let decoded = qcoral_service::wire::decode_request(&raw).expect("well-formed");
+    match client.call(decoded.op).expect("transport ok").outcome {
+        Outcome::Report(r) => assert_eq!(
+            r.report.estimate, reference.report.estimate,
+            "renormalized profile must match the constructor-built one"
+        ),
+        other => panic!("expected a report, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn resource_ceilings_reject_hostile_options() {
+    let (server, mut client) = start(ServiceConfig::default());
+    let source = "var x in [0, 1]; pc x < 0.5;";
+    // A u64::MAX sample budget must be rejected, not pin a worker.
+    let e = client
+        .analyze_system(source, Options::default().with_samples(u64::MAX), None)
+        .unwrap_err();
+    assert!(e.to_string().contains("limit"), "{e}");
+    // Zero samples would panic the sampler's n > 0 assert.
+    let e = client
+        .analyze_system(source, Options::default().with_samples(0), None)
+        .unwrap_err();
+    assert!(e.to_string().contains("at least 1"), "{e}");
+    // Absurd symbolic-execution depth.
+    let e = client
+        .analyze_program(
+            "program p(x in [0, 1]) { if (x > 0.5) { target(); } }",
+            Options::default().with_samples(100),
+            Some(1 << 40),
+        )
+        .unwrap_err();
+    assert!(e.to_string().contains("limit"), "{e}");
+    // Reasonable requests still work afterwards.
+    let r = client
+        .analyze_system(source, Options::default().with_samples(500), None)
+        .expect("sane request");
+    assert!((r.report.estimate.mean - 0.5).abs() < 0.1);
+    server.shutdown();
+}

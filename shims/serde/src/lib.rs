@@ -1,12 +1,19 @@
 //! Offline stand-in for `serde`.
 //!
-//! The workspace only ever serializes plain data to JSON (bench tables,
-//! reports), so this shim replaces serde's data model with one trait:
-//! [`Serialize::json_emit`], writing through a [`JsonEmitter`] that
-//! handles separators and pretty-printing. `#[derive(Serialize)]` /
-//! `#[derive(Deserialize)]` come from the sibling `serde_derive` shim
-//! (Deserialize expands to nothing — nothing in the workspace reads JSON
-//! back).
+//! The shim replaces serde's data model with two traits over a concrete
+//! JSON tree: [`Serialize::json_emit`], writing through a [`JsonEmitter`]
+//! that handles separators and pretty-printing, and
+//! [`Deserialize::from_json`], reading back from a parsed [`JsonValue`].
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` come from the
+//! sibling `serde_derive` shim and generate mirror-image encodings, so a
+//! derived type round-trips: unit enum variants are strings, data
+//! variants are single-key objects, newtype structs are transparent.
+//!
+//! Numbers are kept as their source literal in [`JsonValue::Number`], so
+//! 64/128-bit integers survive parsing exactly (a plain `f64` tree would
+//! corrupt `u64` hashes and `u128` fingerprints). Non-finite floats
+//! serialize as `null` (matching serde_json) and deserialize back as
+//! `NaN`.
 
 // Let the derive macro's `::serde::...` paths resolve inside this crate's
 // own tests too.
@@ -238,25 +245,502 @@ impl Serialize for std::time::Duration {
     }
 }
 
+/// A parsed JSON document.
+///
+/// Objects preserve key order as a vector of pairs (duplicate keys keep
+/// the first occurrence on lookup); numbers keep their literal text so
+/// integer precision is never lost to an intermediate `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its literal text (e.g. `"-1.5e3"`).
+    Number(String),
+    /// A string (escapes already resolved).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(src: &str) -> Result<JsonValue, DeError> {
+        let mut p = Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(DeError::new(format!(
+                "trailing characters at byte {}",
+                p.pos
+            )));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first occurrence); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value's JSON type name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Number(_) => "number",
+            JsonValue::String(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message with field context
+/// accumulated as it propagates out of nested structures.
+#[derive(Clone, Debug)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: String) -> DeError {
+        DeError { msg }
+    }
+
+    /// "expected X, found <kind>" constructor.
+    pub fn expected(what: &str, found: &JsonValue) -> DeError {
+        DeError::new(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Wraps the error with the path component it occurred under.
+    pub fn context(self, at: &str) -> DeError {
+        DeError::new(format!("{at}: {}", self.msg))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+use std::fmt;
+
+/// Nesting-depth cap for the recursive-descent parser: malformed frames
+/// must be rejected, not crash the server with a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.src.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), DeError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(DeError::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, DeError> {
+        if self.src[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(DeError::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, DeError> {
+        if depth > MAX_DEPTH {
+            return Err(DeError::new("nesting too deep".to_string()));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.eat(b']') {
+                    return Ok(JsonValue::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    if self.eat(b']') {
+                        return Ok(JsonValue::Array(items));
+                    }
+                    self.expect(b',')?;
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.eat(b'}') {
+                    return Ok(JsonValue::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.value(depth + 1)?;
+                    pairs.push((key, val));
+                    self.skip_ws();
+                    if self.eat(b'}') {
+                        return Ok(JsonValue::Object(pairs));
+                    }
+                    self.expect(b',')?;
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(DeError::new(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, DeError> {
+        let start = self.pos;
+        self.eat(b'-');
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(DeError::new(format!("invalid number at byte {start}")));
+        }
+        if self.eat(b'.') {
+            let mut frac = 0;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(DeError::new(format!("invalid number at byte {start}")));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(DeError::new(format!("invalid number at byte {start}")));
+            }
+        }
+        let lit = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("number literals are ASCII")
+            .to_string();
+        Ok(JsonValue::Number(lit))
+    }
+
+    fn string(&mut self) -> Result<String, DeError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Find the next byte of interest; everything else is copied
+            // verbatim (UTF-8 passes through untouched).
+            let start = self.pos;
+            while let Some(&b) = self.src.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| DeError::new("invalid UTF-8 in string".to_string()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(DeError::new(
+                                        "unpaired surrogate in \\u escape".to_string(),
+                                    ));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(DeError::new(
+                                        "invalid low surrogate in \\u escape".to_string(),
+                                    ));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(
+                                c.ok_or_else(|| DeError::new("invalid \\u escape".to_string()))?,
+                            );
+                            continue;
+                        }
+                        _ => {
+                            return Err(DeError::new(format!(
+                                "invalid escape at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    return Err(DeError::new(format!(
+                        "unterminated or invalid string at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, DeError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| DeError::new(format!("invalid \\u escape at byte {}", self.pos)))?;
+            v = v * 16 + b;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+}
+
+/// Types reconstructible from a parsed [`JsonValue`]. The derive macro
+/// generates implementations mirroring the `Serialize` encoding.
+pub trait Deserialize: Sized {
+    /// Reads `Self` from a JSON value.
+    fn from_json(v: &JsonValue) -> Result<Self, DeError>;
+
+    /// Whether a *missing* struct field of this type is acceptable
+    /// (deserializing from `null`). Only `Option` opts in — every other
+    /// type must error on a missing key, even ones like floats that
+    /// accept an explicit `null` *value* (non-finite round-trip).
+    fn accepts_missing() -> bool {
+        false
+    }
+}
+
+/// Extracts and deserializes a struct field; a missing key is an error
+/// unless the field type [`Deserialize::accepts_missing`] (`Option` ⇒
+/// `None`). Used by the derive macro.
+pub fn de_field<T: Deserialize>(v: &JsonValue, key: &str, ty: &str) -> Result<T, DeError> {
+    match v.get(key) {
+        Some(field) => T::from_json(field).map_err(|e| e.context(&format!("{ty}.{key}"))),
+        None if T::accepts_missing() => T::from_json(&JsonValue::Null),
+        None => Err(DeError::new(format!("{ty}: missing field `{key}`"))),
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! int_deserialize {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+                let JsonValue::Number(lit) = v else {
+                    return Err(DeError::expected(stringify!($t), v));
+                };
+                // Exact integer literal first; tolerate float-formatted
+                // integrals ("3.0", "1e3") from hand-written clients.
+                // The bound is `MAX + 1` (exact as f64: a power of two),
+                // not `MAX as f64` — the latter rounds *up* to MAX + 1
+                // for 64/128-bit types, which would let an out-of-range
+                // literal saturate silently instead of erroring.
+                lit.parse::<$t>().ok().or_else(|| {
+                    lit.parse::<f64>().ok().and_then(|f| {
+                        (f.fract() == 0.0
+                            && f >= <$t>::MIN as f64
+                            && f < (<$t>::MAX as f64 + 1.0))
+                            .then_some(f as $t)
+                    })
+                }).ok_or_else(|| {
+                    DeError::new(format!(
+                        "invalid {} literal `{lit}`", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+int_deserialize!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_deserialize {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+                match v {
+                    JsonValue::Number(lit) => lit.parse::<$t>().map_err(|_| {
+                        DeError::new(format!("invalid float literal `{lit}`"))
+                    }),
+                    // Serialization writes null for non-finite floats.
+                    JsonValue::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+float_deserialize!(f32, f64);
+
+impl Deserialize for String {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+
+    fn accepts_missing() -> bool {
+        true
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| T::from_json(item).map_err(|e| e.context(&format!("[{i}]"))))
+                .collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        let secs: u64 = de_field(v, "secs", "Duration")?;
+        let nanos: u32 = de_field(v, "nanos", "Duration")?;
+        // Duration::new panics when the nanos carry overflows secs;
+        // hostile input must become an error, not a panic.
+        if nanos >= 1_000_000_000 {
+            return Err(DeError::new(format!(
+                "Duration nanos {nanos} out of range (must be < 1e9)"
+            )));
+        }
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[derive(Serialize)]
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
     struct Point {
         x: f64,
         y: f64,
         label: String,
     }
 
-    #[derive(Serialize)]
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
     enum Kind {
         Plain,
         Weighted { w: f64 },
         Pair(u32, u32),
     }
 
-    #[derive(Serialize)]
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
     struct Id(u32);
 
     fn compact<T: Serialize>(v: &T) -> String {
@@ -301,6 +785,89 @@ mod tests {
     fn nonfinite_floats_are_null() {
         assert_eq!(compact(&f64::NAN), "null");
         assert_eq!(compact(&f64::INFINITY), "null");
+    }
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: &T) {
+        let json = compact(v);
+        let parsed = JsonValue::parse(&json).expect("parses");
+        let back = T::from_json(&parsed).expect("deserializes");
+        assert_eq!(&back, v, "through {json}");
+    }
+
+    #[test]
+    fn derived_round_trips() {
+        round_trip(&Point {
+            x: 1.5,
+            y: -2.0,
+            label: "a\"b\nc".into(),
+        });
+        round_trip(&Kind::Plain);
+        round_trip(&Kind::Weighted { w: 0.1 });
+        round_trip(&Kind::Pair(7, u32::MAX));
+        round_trip(&Id(9));
+        round_trip(&Some(Id(3)));
+        round_trip(&Option::<Id>::None);
+        round_trip(&std::time::Duration::new(3, 450));
+    }
+
+    #[test]
+    fn missing_required_field_errors_missing_option_defaults() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Mix {
+            a: u32,
+            b: Option<u32>,
+        }
+        let v = JsonValue::parse(r#"{"a":1}"#).unwrap();
+        assert_eq!(Mix::from_json(&v).unwrap(), Mix { a: 1, b: None });
+        let v = JsonValue::parse(r#"{"b":2}"#).unwrap();
+        let err = Mix::from_json(&v).unwrap_err().to_string();
+        assert!(err.contains("missing field `a`"), "{err}");
+    }
+
+    #[test]
+    fn missing_float_field_errors_rather_than_nan() {
+        // Floats accept an explicit null *value* (non-finite round-trip)
+        // but a missing key must still be an error, not a silent NaN.
+        let v = JsonValue::parse(r#"{"y":1.0,"label":"l"}"#).unwrap();
+        let err = Point::from_json(&v).unwrap_err().to_string();
+        assert!(err.contains("missing field `x`"), "{err}");
+        let v = JsonValue::parse(r#"{"x":null,"y":1.0,"label":"l"}"#).unwrap();
+        assert!(Point::from_json(&v).unwrap().x.is_nan());
+    }
+
+    #[test]
+    fn duration_rejects_overflowing_nanos() {
+        let v = JsonValue::parse(r#"{"secs":18446744073709551615,"nanos":1999999999}"#).unwrap();
+        let err = std::time::Duration::from_json(&v).unwrap_err().to_string();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_float_literals_error_instead_of_saturating() {
+        // 2^64 is exactly representable as f64; it must NOT deserialize
+        // as u64::MAX.
+        let v = JsonValue::parse("18446744073709551616.0").unwrap();
+        assert!(u64::from_json(&v).is_err());
+        let v = JsonValue::parse("-1").unwrap();
+        assert!(u64::from_json(&v).is_err());
+        let v = JsonValue::parse("9223372036854775808.0").unwrap(); // 2^63
+        assert!(i64::from_json(&v).is_err());
+        // In-range float-formatted integrals still parse.
+        let v = JsonValue::parse("1e3").unwrap();
+        assert_eq!(u64::from_json(&v).unwrap(), 1000);
+        let v = JsonValue::parse("255.0").unwrap();
+        assert_eq!(u8::from_json(&v).unwrap(), 255);
+    }
+
+    #[test]
+    fn wrong_shapes_error_with_context() {
+        let v = JsonValue::parse(r#"{"x":1,"y":"no","label":"l"}"#).unwrap();
+        let err = Point::from_json(&v).unwrap_err().to_string();
+        assert!(err.contains("Point.y"), "{err}");
+        let v = JsonValue::parse(r#""NotAVariant""#).unwrap();
+        assert!(Kind::from_json(&v).is_err());
+        let v = JsonValue::parse(r#"{"Pair":[1]}"#).unwrap();
+        assert!(Kind::from_json(&v).is_err(), "arity mismatch");
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! Implements `#[derive(Serialize)]` for the plain (non-generic) structs
-//! and enums this workspace serializes, generating an implementation of
-//! the shim `serde::Serialize` trait that writes JSON through
-//! `serde::JsonEmitter`. `#[derive(Deserialize)]` is accepted and expands
-//! to nothing — the workspace never deserializes.
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! plain (non-generic) structs and enums this workspace (de)serializes,
+//! generating implementations of the shim `serde::Serialize` /
+//! `serde::Deserialize` traits. The two derives are mirror images, so a
+//! derived type round-trips through JSON: named structs are objects,
+//! newtype structs are transparent, unit enum variants are strings, and
+//! data-carrying variants are single-key objects.
 //!
 //! The parser walks the raw `TokenStream` (no `syn`/`quote`; those are
 //! unavailable offline). Supported shapes: unit/tuple/named structs and
-//! enums with unit, single-field tuple, and named-field variants.
+//! enums with unit, tuple, and named-field variants.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -95,10 +97,142 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive shim generated invalid Rust")
 }
 
-/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+/// Derives the shim `serde::Deserialize` (reconstruction from a parsed
+/// `serde::JsonValue`), mirroring the `Serialize` encoding.
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        // Unit structs serialize as `{}`; accept any object (or null, for
+        // symmetry with missing optional fields).
+        Shape::UnitStruct => format!(
+            "match __v {{ \
+                 ::serde::JsonValue::Object(_) | ::serde::JsonValue::Null => Ok({name}), \
+                 __other => Err(::serde::DeError::expected(\"object for {name}\", __other)), \
+             }}"
+        ),
+        // Newtype structs are transparent.
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_json(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let mut s = format!(
+                "let __arr = match __v {{ \
+                     ::serde::JsonValue::Array(__a) if __a.len() == {n} => __a, \
+                     __other => return Err(::serde::DeError::expected(\
+                         \"array of {n} for {name}\", __other)), \
+                 }};"
+            );
+            let fields: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&__arr[{i}])?"))
+                .collect();
+            s.push_str(&format!("Ok({name}({}))", fields.join(", ")));
+            s
+        }
+        Shape::NamedStruct(fields) => {
+            let mut s = format!(
+                "if !matches!(__v, ::serde::JsonValue::Object(_)) {{ \
+                     return Err(::serde::DeError::expected(\"object for {name}\", __v)); \
+                 }}"
+            );
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__v, \"{f}\", \"{name}\")?"))
+                .collect();
+            s.push_str(&format!("Ok({name} {{ {} }})", inits.join(", ")));
+            s
+        }
+        Shape::Enum(variants) => {
+            // Unit variants: a bare string. Data variants: an object with
+            // exactly the variant name as key.
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),"));
+                    }
+                    VariantShape::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "if let Some(__inner) = __v.get(\"{vn}\") {{ \
+                                 return Ok({name}::{vn}(\
+                                     ::serde::Deserialize::from_json(__inner)\
+                                         .map_err(|e| e.context(\"{name}::{vn}\"))?)); \
+                             }}"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let fields: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json(&__arr[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "if let Some(__inner) = __v.get(\"{vn}\") {{ \
+                                 let __arr = match __inner {{ \
+                                     ::serde::JsonValue::Array(__a) if __a.len() == {n} => __a, \
+                                     __other => return Err(::serde::DeError::expected(\
+                                         \"array of {n} for {name}::{vn}\", __other)), \
+                                 }}; \
+                                 return Ok({name}::{vn}({fields})); \
+                             }}",
+                            fields = fields.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::de_field(__inner, \"{f}\", \"{name}::{vn}\")?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "if let Some(__inner) = __v.get(\"{vn}\") {{ \
+                                 return Ok({name}::{vn} {{ {} }}); \
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            // Keep the generated code lint-clean: a `match` over the
+            // variant name only when there are unit variants to match.
+            let string_arm = if unit_arms.is_empty() {
+                format!(
+                    "Err(::serde::DeError::new(format!(\
+                         \"unknown variant `{{__s}}` for {name}\")))"
+                )
+            } else {
+                format!(
+                    "match __s.as_str() {{ \
+                         {unit_arms} \
+                         __other => Err(::serde::DeError::new(format!(\
+                             \"unknown variant `{{__other}}` for {name}\"))), \
+                     }}"
+                )
+            };
+            format!(
+                "match __v {{ \
+                     ::serde::JsonValue::String(__s) => {{ {string_arm} }} \
+                     ::serde::JsonValue::Object(_) => {{ \
+                         {data_arms} \
+                         Err(::serde::DeError::new(\
+                             \"unknown variant object for {name}\".to_string())) \
+                     }} \
+                     __other => Err(::serde::DeError::expected(\"{name}\", __other)), \
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(__v: &::serde::JsonValue) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive shim generated invalid Rust")
 }
 
 struct Item {

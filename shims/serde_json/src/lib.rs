@@ -1,22 +1,31 @@
-//! Offline stand-in for `serde_json`: serialization only, over the shim
-//! `serde::Serialize` JSON emitter.
+//! Offline stand-in for `serde_json`: serialization over the shim
+//! `serde::Serialize` JSON emitter, and deserialization through the shim
+//! parser into [`Value`] / `serde::Deserialize`.
 
 use std::fmt;
 
-use serde::{JsonEmitter, Serialize};
+use serde::{Deserialize, JsonEmitter, Serialize};
 
-/// Serialization error. The shim emitter is infallible, so this is never
-/// produced; it exists to keep call sites source-compatible.
+/// A parsed JSON document (re-export of the shim's value tree).
+pub type Value = serde::JsonValue;
+
+/// Serialization or deserialization error.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serde_json shim error")
+        write!(f, "{}", self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.to_string())
+    }
+}
 
 /// Serializes `value` as compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -32,13 +41,87 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(e.finish())
 }
 
+/// Parses a JSON document into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = Value::parse(s)?;
+    T::from_json(&v).map_err(Error::from)
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn round_trip_shapes() {
         let rows = vec![vec![1u64, 2], vec![3]];
         assert_eq!(super::to_string(&rows).unwrap(), "[[1,2],[3]]");
         let pretty = super::to_string_pretty(&rows).unwrap();
         assert!(pretty.starts_with("[\n  [\n    1,"), "{pretty}");
+        let back: Vec<Vec<u64>> = super::from_str("[[1,2],[3]]").unwrap();
+        assert_eq!(back, rows);
+        let from_pretty: Vec<Vec<u64>> = super::from_str(&pretty).unwrap();
+        assert_eq!(from_pretty, rows);
+    }
+
+    #[test]
+    fn big_integers_survive() {
+        let xs = vec![u64::MAX, 0, 1 << 63];
+        let json = to_string(&xs).unwrap();
+        let back: Vec<u64> = from_str(&json).unwrap();
+        assert_eq!(back, xs);
+        let fp = vec![u128::MAX - 7];
+        let back: Vec<u128> = from_str(&to_string(&fp).unwrap()).unwrap();
+        assert_eq!(back, fp);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [
+            0.1_f64,
+            -0.0,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            6.02e23,
+        ] {
+            let back: f64 = from_str(&to_string(&x).unwrap()).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "[1] trailing",
+            "{\"a\" 1}",
+            "nul",
+            "-",
+            "1e",
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(Value::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\nquote\"back\\slash\ttab\u{1F600}é".to_string();
+        let back: String = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+        // \u escapes, including surrogate pairs.
+        let v: String = from_str("\"A\\u00e9\\uD83D\\uDE00\"").unwrap();
+        assert_eq!(v, "Aé\u{1F600}");
     }
 }

@@ -67,10 +67,28 @@ pub fn analyze_program(
     sym_cfg: &SymConfig,
     options: Options,
 ) -> Result<ProgramAnalysis, ParseError> {
+    analyze_program_with(&Analyzer::new(options), source, sym_cfg)
+}
+
+/// [`analyze_program`] with a caller-supplied [`Analyzer`]: the hook
+/// long-lived hosts (e.g. `qcoral-service`) use to run the end-to-end
+/// pipeline through an analyzer carrying shared caches — a paving cache
+/// and a cross-run factor store — so recurring factors are answered
+/// without re-paving or re-sampling. Results are identical to a fresh
+/// analyzer with the same options (all sampling seeds derive from
+/// canonical factor keys, never from cache state).
+///
+/// # Errors
+///
+/// Returns the parser's [`ParseError`] if the source is malformed.
+pub fn analyze_program_with(
+    analyzer: &Analyzer,
+    source: &str,
+    sym_cfg: &SymConfig,
+) -> Result<ProgramAnalysis, ParseError> {
     let program = parse_program(source)?;
     let sym = symbolic_execute(&program, sym_cfg);
     let profile = UsageProfile::uniform(sym.domain.len());
-    let analyzer = Analyzer::new(options);
     let target = analyzer.analyze(&sym.target, &sym.domain, &profile);
     let bound_mass = if sym.bound_hit.is_empty() {
         Estimate::ZERO
