@@ -194,9 +194,11 @@ pub struct Stats {
     /// Number of paving requests (cache hits included).
     pub pavings: u64,
     /// Paving-cache hits during this analysis (a hit skips HC4
-    /// compilation and the whole branch-and-prune loop).
+    /// compilation and the whole branch-and-prune loop). Counted per
+    /// analysis, so the numbers stay exact even when the cache is shared
+    /// with concurrent analyses (as in `qcoral-service`).
     pub paving_cache_hits: u64,
-    /// Paving-cache misses during this analysis.
+    /// Paving-cache misses during this analysis (same accounting).
     pub paving_cache_misses: u64,
     /// Compiled-tape cache hits during this analysis. The tape cache is
     /// process-wide, so this is a delta of global counters: exact unless
@@ -315,6 +317,8 @@ struct Shared<'a> {
     inner_boxes: AtomicU64,
     boundary_boxes: AtomicU64,
     pavings: AtomicU64,
+    paving_hits: AtomicU64,
+    paving_misses: AtomicU64,
     samples_drawn: AtomicU64,
 }
 
@@ -401,7 +405,6 @@ impl Analyzer {
             })
             .collect();
 
-        let (pc_hits0, pc_misses0) = self.paving_cache.stats();
         let (tape_hits0, tape_misses0) = tape_cache_stats();
         let shared = Shared {
             opts: &self.opts,
@@ -419,6 +422,8 @@ impl Analyzer {
             inner_boxes: AtomicU64::new(0),
             boundary_boxes: AtomicU64::new(0),
             pavings: AtomicU64::new(0),
+            paving_hits: AtomicU64::new(0),
+            paving_misses: AtomicU64::new(0),
             samples_drawn: AtomicU64::new(0),
         };
 
@@ -443,7 +448,6 @@ impl Analyzer {
         // (Fixed input-order reduction — independent of thread schedule.)
         let estimate = per_pc.iter().fold(Estimate::ZERO, |acc, e| acc.sum(*e));
 
-        let (pc_hits1, pc_misses1) = self.paving_cache.stats();
         let (tape_hits1, tape_misses1) = tape_cache_stats();
         Report {
             estimate,
@@ -454,8 +458,8 @@ impl Analyzer {
                 inner_boxes: shared.inner_boxes.load(Ordering::Relaxed),
                 boundary_boxes: shared.boundary_boxes.load(Ordering::Relaxed),
                 pavings: shared.pavings.load(Ordering::Relaxed),
-                paving_cache_hits: pc_hits1 - pc_hits0,
-                paving_cache_misses: pc_misses1 - pc_misses0,
+                paving_cache_hits: shared.paving_hits.load(Ordering::Relaxed),
+                paving_cache_misses: shared.paving_misses.load(Ordering::Relaxed),
                 tape_cache_hits: tape_hits1 - tape_hits0,
                 tape_cache_misses: tape_misses1 - tape_misses0,
                 factor_store_hits: shared.store_hits.load(Ordering::Relaxed),
@@ -613,9 +617,18 @@ fn strat_sampling(
             .fetch_add(shared.opts.samples, Ordering::Relaxed);
         return hit_or_miss_plan(&pred, sub_box, &local_profile, shared.opts.samples, plan);
     }
-    let paving = shared
-        .pavings_cache
-        .pave_cached(local_pc, sub_box, &shared.opts.paver);
+    // The counted variant attributes the hit/miss to *this* analysis:
+    // the cache may be shared service-wide, and deltas of its global
+    // counters would charge concurrent requests' pavings to each other.
+    let (paving, was_hit) =
+        shared
+            .pavings_cache
+            .pave_cached_counted(local_pc, sub_box, &shared.opts.paver);
+    if was_hit {
+        shared.paving_hits.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.paving_misses.fetch_add(1, Ordering::Relaxed);
+    }
     shared.pavings.fetch_add(1, Ordering::Relaxed);
     shared
         .inner_boxes

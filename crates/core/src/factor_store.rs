@@ -22,6 +22,7 @@
 //! as plain serializable [`FactorStoreEntry`] records for snapshotting;
 //! malformed or invalid records are skipped on absorb, never fatal.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -124,8 +125,9 @@ impl FactorStore {
         )
     }
 
-    /// Monotone counter bumped on every insert/absorb; lets a persister
-    /// skip snapshots when nothing changed.
+    /// Monotone counter bumped whenever an insert/absorb actually adds a
+    /// new entry; lets a persister skip snapshots when nothing changed
+    /// (lookups and re-inserts of existing keys do not dirty the store).
     pub fn revision(&self) -> u64 {
         self.revision.load(Ordering::Relaxed)
     }
@@ -162,15 +164,32 @@ impl FactorStore {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        inner.map.entry(key).or_insert(Slot {
-            estimate,
-            last_used: tick,
-        });
+        let inserted = match inner.map.entry(key) {
+            // Re-inserting an existing key keeps the stored estimate
+            // (estimates for one key are deterministic, so they agree)
+            // and only refreshes recency — the store did not change, so
+            // the revision must not move, or every warm hit-path
+            // re-insert would dirty the store and trigger a needless
+            // O(store-size) snapshot rewrite.
+            Entry::Occupied(mut o) => {
+                o.get_mut().last_used = tick;
+                false
+            }
+            Entry::Vacant(v) => {
+                v.insert(Slot {
+                    estimate,
+                    last_used: tick,
+                });
+                true
+            }
+        };
         if inner.map.len() > self.cap {
             evict_lru(&mut inner, self.cap);
         }
         drop(inner);
-        self.revision.fetch_add(1, Ordering::Relaxed);
+        if inserted {
+            self.revision.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Snapshots the contents as serializable entries, least recently
@@ -221,16 +240,10 @@ impl FactorStore {
 
 /// Drops the least-recently-used ~12% of entries (at least one, never
 /// all), so a saturated store evicts in amortized batches instead of
-/// per insert.
+/// per insert. The batch policy is shared with `PavingCache`.
 fn evict_lru(inner: &mut Inner, cap: usize) {
-    let len = inner.map.len();
-    let excess = len.saturating_sub(cap);
-    // Entries to drop: the overflow plus a batch margin, but always
-    // leaving the newest entries (in particular the one just inserted).
-    let drop_n = (excess + cap / 8).clamp(1, len - 1);
-    let mut ticks: Vec<u64> = inner.map.values().map(|s| s.last_used).collect();
-    ticks.sort_unstable();
-    let cutoff = ticks[drop_n - 1];
+    let ticks: Vec<u64> = inner.map.values().map(|s| s.last_used).collect();
+    let cutoff = qcoral_icp::batch_lru_cutoff(ticks, cap);
     inner.map.retain(|_, slot| slot.last_used > cutoff);
 }
 
@@ -347,5 +360,32 @@ mod tests {
         let r1 = s.revision();
         s.get(0, &key(1));
         assert_eq!(s.revision(), r1, "lookups do not dirty the store");
+        s.insert(0, key(1), est(2));
+        assert_eq!(
+            s.revision(),
+            r1,
+            "re-inserting an existing key does not dirty the store"
+        );
+        assert_eq!(s.get(0, &key(1)), Some(est(1)), "stored estimate kept");
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency() {
+        let cap = 32;
+        let s = FactorStore::new(cap);
+        for i in 0..cap as u64 {
+            s.insert(0, key(i), est(i));
+        }
+        // Re-insert (not look up) the oldest entries, then overflow: the
+        // re-inserted keys must now be recent enough to survive eviction.
+        for i in 0..4 {
+            s.insert(0, key(i), est(i));
+        }
+        for i in cap as u64..(cap as u64 + 8) {
+            s.insert(0, key(i), est(i));
+        }
+        for i in 0..4 {
+            assert!(s.get(0, &key(i)).is_some(), "re-inserted {i} evicted");
+        }
     }
 }

@@ -44,7 +44,7 @@ pub mod paver;
 pub mod tape;
 
 pub use contract::{ContractScratch, Contractor, Tri};
-pub use paver::{pave, Paver, PaverConfig, Paving, PavingCache};
+pub use paver::{batch_lru_cutoff, pave, Paver, PaverConfig, Paving, PavingCache};
 pub use tape::tape_cache_stats;
 
 use qcoral_constraints::Domain;

@@ -247,6 +247,24 @@ pub struct PavingCache {
     misses: AtomicU64,
 }
 
+/// Cutoff tick for one batch-LRU eviction round over a map whose entries
+/// carry `last_used` ticks: the caller drops every entry with
+/// `last_used <= cutoff`. Evicts the overflow past `cap` plus a ~12%
+/// batch margin — amortized batches instead of per-insert scans — always
+/// at least one entry and never all of them, so the most recently
+/// touched entry survives. Shared by [`PavingCache`] and the core
+/// crate's `FactorStore` so the two bounded caches cannot drift apart.
+///
+/// Callers must invoke this only when `ticks.len() > cap >= 1`.
+pub fn batch_lru_cutoff(mut ticks: Vec<u64>, cap: usize) -> u64 {
+    let len = ticks.len();
+    debug_assert!(len > cap && cap >= 1);
+    let excess = len.saturating_sub(cap);
+    let drop_n = (excess + cap / 8).clamp(1, len - 1);
+    ticks.sort_unstable();
+    ticks[drop_n - 1]
+}
+
 #[derive(Debug, Default)]
 struct PavingMap {
     map: HashMap<PavingKey, (Arc<Paving>, u64)>,
@@ -270,6 +288,19 @@ impl PavingCache {
         domain: &IntervalBox,
         config: &PaverConfig,
     ) -> Arc<Paving> {
+        self.pave_cached_counted(pc, domain, config).0
+    }
+
+    /// [`PavingCache::pave_cached`], additionally reporting whether the
+    /// paving was answered from the cache (`true` = hit). The flag gives
+    /// per-caller accounting: the cache-global [`PavingCache::stats`]
+    /// counters mix every concurrent user of a shared cache.
+    pub fn pave_cached_counted(
+        &self,
+        pc: &PathCondition,
+        domain: &IntervalBox,
+        config: &PaverConfig,
+    ) -> (Arc<Paving>, bool) {
         let key = PavingKey::new(pc, domain, config);
         {
             let mut inner = self.map.lock();
@@ -280,7 +311,7 @@ impl PavingCache {
                 let p = Arc::clone(p);
                 drop(inner);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return p;
+                return (p, true);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -292,16 +323,11 @@ impl PavingCache {
         let tick = inner.tick;
         let shared = Arc::clone(&inner.map.entry(key).or_insert((fresh, tick)).0);
         if inner.map.len() > Self::CAP {
-            // Evict the least-recently-used ~12% (never the entry just
-            // touched): amortized batches, not per-insert scans.
-            let len = inner.map.len();
-            let drop_n = (len - Self::CAP + Self::CAP / 8).clamp(1, len - 1);
-            let mut ticks: Vec<u64> = inner.map.values().map(|&(_, t)| t).collect();
-            ticks.sort_unstable();
-            let cutoff = ticks[drop_n - 1];
+            let ticks: Vec<u64> = inner.map.values().map(|&(_, t)| t).collect();
+            let cutoff = batch_lru_cutoff(ticks, Self::CAP);
             inner.map.retain(|_, &mut (_, t)| t > cutoff);
         }
-        shared
+        (shared, false)
     }
 
     /// Number of distinct pavings held.

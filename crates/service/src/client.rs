@@ -86,6 +86,16 @@ impl Client {
             if response.id == id {
                 return Ok(response);
             }
+            // Request ids start at 1, so id 0 is the server telling the
+            // *connection* something is wrong (connection-limit refusal,
+            // a frame it could not attribute). Surface it — skipping
+            // would lose the message and wait for an answer that may
+            // never come.
+            if response.id == 0 {
+                if let Outcome::Error { message } = response.outcome {
+                    return Err(ClientError::Remote(message));
+                }
+            }
         }
     }
 

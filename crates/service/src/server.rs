@@ -12,7 +12,7 @@
 //! must work *especially* when the queue is full.
 
 use std::io::{BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -30,7 +30,7 @@ use qcoral_symexec::SymConfig;
 use crate::protocol::{AnalysisResponse, Op, Outcome, Response, ServerStatus, PROTOCOL_VERSION};
 use crate::scheduler::Scheduler;
 use crate::store::PersistentStore;
-use crate::wire::{decode_request, encode_response, read_frame, salvage_id};
+use crate::wire::{decode_request, encode_response, read_frame, salvage_id, FrameRead};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -67,6 +67,13 @@ pub struct ServiceConfig {
     /// Idle-connection timeout: a connection with no traffic for this
     /// long is closed, so silent sockets cannot pin reader threads.
     pub idle_timeout: Duration,
+    /// Per-write timeout for responses. Workers write answers on the
+    /// request's connection; a client that stops draining its socket
+    /// would otherwise block a worker forever once the TCP send buffer
+    /// fills — and, through the scheduler's batch barrier, stall the
+    /// whole pool. A write that exceeds this timeout marks the
+    /// connection dead (it is shut down and the response dropped).
+    pub write_timeout: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -89,6 +96,7 @@ impl Default for ServiceConfig {
             max_pcs: 100_000,
             max_connections: 1_024,
             idle_timeout: Duration::from_secs(300),
+            write_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -282,8 +290,11 @@ impl Server {
 
 fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
     // Idle sockets must not pin reader threads forever; a timed-out read
-    // errors below and the connection closes.
+    // errors below and the connection closes. The write timeout bounds
+    // how long a worker can block on a client that stops reading (both
+    // timeouts are socket options, shared with the clone below).
     let _ = stream.set_read_timeout(Some(shared.cfg.idle_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
     let writer = match stream.try_clone() {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(e) => {
@@ -298,8 +309,24 @@ fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
         // Bounded read: reject a frame that exceeds the cap without
         // buffering it whole.
         match read_frame(&mut reader, &mut line) {
-            Ok(0) => return, // EOF
-            Ok(_) => {}
+            Ok(FrameRead::Eof) => return,
+            Ok(FrameRead::Frame(_)) => {}
+            // The line was consumed whole, so the stream is still
+            // framed: answer with an error and keep the connection.
+            Ok(FrameRead::NotUtf8) => {
+                write_response(
+                    &writer,
+                    &Response {
+                        id: 0,
+                        outcome: Outcome::Error {
+                            message: "frame is not valid UTF-8".to_string(),
+                        },
+                    },
+                );
+                continue;
+            }
+            // Oversized frame (stream no longer framed) or transport
+            // error: drop the connection.
             Err(_) => return,
         }
         if line.trim().is_empty() {
@@ -358,8 +385,17 @@ fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
 fn write_response(writer: &Arc<Mutex<TcpStream>>, response: &Response) {
     let frame = encode_response(response);
     let mut w = writer.lock().expect("writer lock");
-    let _ = w.write_all(frame.as_bytes());
-    let _ = w.flush();
+    if w.write_all(frame.as_bytes())
+        .and_then(|()| w.flush())
+        .is_err()
+    {
+        // A failed (or timed-out — see ServiceConfig::write_timeout)
+        // write means the client is gone or not reading; a partial write
+        // also desyncs the frame stream. Shut the socket down so the
+        // reader thread exits and later writes on this connection fail
+        // immediately instead of each blocking a worker for the timeout.
+        let _ = w.shutdown(Shutdown::Both);
+    }
 }
 
 fn status(shared: &ServerShared) -> ServerStatus {

@@ -22,7 +22,6 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -45,8 +44,17 @@ struct Snapshot {
 pub struct PersistentStore {
     store: Arc<FactorStore>,
     path: Option<PathBuf>,
-    saved_revision: AtomicU64,
-    last_save: Mutex<Option<Instant>>,
+    /// Serializes snapshot writes: the save methods are called
+    /// concurrently (per-batch hook, persist timer, shutdown), and both
+    /// the dirty/debounce checks and the shared `.tmp`-then-rename pair
+    /// must happen under one lock, or overlapping saves could interleave
+    /// and rename a torn file into place.
+    save_state: Mutex<SaveState>,
+}
+
+struct SaveState {
+    saved_revision: u64,
+    last_save: Option<Instant>,
 }
 
 impl PersistentStore {
@@ -76,10 +84,12 @@ impl PersistentStore {
             }
         }
         PersistentStore {
-            saved_revision: AtomicU64::new(store.revision()),
+            save_state: Mutex::new(SaveState {
+                saved_revision: store.revision(),
+                last_save: None,
+            }),
             store,
             path,
-            last_save: Mutex::new(None),
         }
     }
 
@@ -97,14 +107,11 @@ impl PersistentStore {
     /// Saves a snapshot if the store changed since the last save.
     /// Returns whether a write happened. No-op without a path.
     pub fn save_if_dirty(&self) -> io::Result<bool> {
-        let rev = self.store.revision();
-        if self.path.is_none() || rev == self.saved_revision.load(Ordering::Acquire) {
+        if self.path.is_none() {
             return Ok(false);
         }
-        self.save()?;
-        *self.last_save.lock().expect("save clock") = Some(Instant::now());
-        self.saved_revision.store(rev, Ordering::Release);
-        Ok(true)
+        let mut state = self.save_state.lock().expect("save state");
+        self.save_locked(&mut state)
     }
 
     /// [`PersistentStore::save_if_dirty`], additionally skipping the
@@ -114,19 +121,50 @@ impl PersistentStore {
     /// every batch. Dirtiness is not lost — a later batch (or the
     /// shutdown save, which does not debounce) picks it up.
     pub fn save_if_dirty_debounced(&self, min_interval: Duration) -> io::Result<bool> {
-        {
-            let last = self.last_save.lock().expect("save clock");
-            if let Some(at) = *last {
-                if at.elapsed() < min_interval {
-                    return Ok(false);
-                }
+        if self.path.is_none() {
+            return Ok(false);
+        }
+        let mut state = self.save_state.lock().expect("save state");
+        if let Some(at) = state.last_save {
+            if at.elapsed() < min_interval {
+                return Ok(false);
             }
         }
-        self.save_if_dirty()
+        self.save_locked(&mut state)
     }
 
-    /// Unconditionally writes the snapshot (tmp file + rename).
+    /// Unconditionally writes the snapshot. No-op without a path.
     pub fn save(&self) -> io::Result<()> {
+        if self.path.is_none() {
+            return Ok(());
+        }
+        let mut state = self.save_state.lock().expect("save state");
+        let rev = self.store.revision();
+        self.write_snapshot()?;
+        state.last_save = Some(Instant::now());
+        state.saved_revision = rev;
+        Ok(())
+    }
+
+    /// Dirty-checked save; the caller holds the save lock, so exactly one
+    /// snapshot write is in flight at a time.
+    fn save_locked(&self, state: &mut SaveState) -> io::Result<bool> {
+        // Revision is read before the entries are snapshotted: inserts
+        // racing the write may land in the file but not in
+        // `saved_revision`, which at worst re-saves them next round.
+        let rev = self.store.revision();
+        if rev == state.saved_revision {
+            return Ok(false);
+        }
+        self.write_snapshot()?;
+        state.last_save = Some(Instant::now());
+        state.saved_revision = rev;
+        Ok(true)
+    }
+
+    /// The actual tmp-file + rename write. Callers must hold the save
+    /// lock (see `save_state`).
+    fn write_snapshot(&self) -> io::Result<()> {
         let Some(path) = &self.path else {
             return Ok(());
         };

@@ -72,17 +72,34 @@ pub fn decode_response(line: &str) -> Result<Response, WireError> {
     serde_json::from_str(frame).map_err(|e| WireError::new(format!("bad response frame: {e}")))
 }
 
+/// What [`read_frame`] read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameRead {
+    /// EOF before any bytes.
+    Eof,
+    /// One frame of this many bytes was appended to `line`.
+    Frame(usize),
+    /// A full line was consumed but its bytes were not valid UTF-8, so
+    /// no text was produced. The stream is still framed (everything
+    /// through the newline was consumed), so the caller can answer with
+    /// a decode error and keep reading.
+    NotUtf8,
+}
+
 /// Reads one `\n`-terminated frame into `line`, erroring out once it
 /// exceeds [`MAX_FRAME_BYTES`] (the stream can no longer be framed, so
-/// the caller should drop the connection). Returns the byte count read,
-/// 0 on EOF.
+/// the caller should drop the connection).
 ///
 /// Bytes are accumulated raw and converted to text once the line is
 /// complete: a multi-byte UTF-8 character split across `fill_buf`
 /// chunks (TCP segmentation or the reader's internal buffer boundary)
-/// is reassembled, not mangled. Truly invalid UTF-8 becomes replacement
-/// characters, which the JSON decoder then rejects.
-pub fn read_frame(reader: &mut impl std::io::BufRead, line: &mut String) -> std::io::Result<usize> {
+/// is reassembled, not mangled. Truly invalid UTF-8 is reported as
+/// [`FrameRead::NotUtf8`] — never silently replaced, which would let a
+/// corrupted frame parse as JSON with mangled string content.
+pub fn read_frame(
+    reader: &mut impl std::io::BufRead,
+    line: &mut String,
+) -> std::io::Result<FrameRead> {
     let mut bytes = Vec::new();
     loop {
         let buf = reader.fill_buf()?;
@@ -103,8 +120,16 @@ pub fn read_frame(reader: &mut impl std::io::BufRead, line: &mut String) -> std:
             break;
         }
     }
-    line.push_str(&String::from_utf8_lossy(&bytes));
-    Ok(bytes.len())
+    if bytes.is_empty() {
+        return Ok(FrameRead::Eof);
+    }
+    match String::from_utf8(bytes) {
+        Ok(text) => {
+            line.push_str(&text);
+            Ok(FrameRead::Frame(text.len()))
+        }
+        Err(_) => Ok(FrameRead::NotUtf8),
+    }
 }
 
 /// Best-effort extraction of the `id` of a frame that failed full

@@ -220,6 +220,58 @@ fn snapshot_is_versioned_json() {
 }
 
 #[test]
+fn concurrent_saves_never_tear_the_snapshot() {
+    let snapshot = temp_snapshot("concurrent-saves");
+    let _ = std::fs::remove_file(&snapshot);
+    let store = std::sync::Arc::new(qcoral_service::PersistentStore::open(
+        Some(snapshot.clone()),
+        4096,
+    ));
+    // Hammer the two save entry points the server races (per-batch hook
+    // and persist timer) while entries stream in: unserialized saves
+    // could interleave the shared tmp-write/rename pair and rename a
+    // torn file into place.
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let store = std::sync::Arc::clone(&store);
+            std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    store.factor_store().absorb([qcoral::FactorStoreEntry {
+                        opts_fp: t,
+                        fingerprint: ((t as u128) << 64) | i as u128,
+                        box_bits: vec![i, i + 1],
+                        profile_bits: vec![],
+                        mean_bits: 0.5f64.to_bits(),
+                        variance_bits: 0.0f64.to_bits(),
+                    }]);
+                    if t % 2 == 0 {
+                        store.save_if_dirty().expect("save io");
+                    } else {
+                        store
+                            .save_if_dirty_debounced(std::time::Duration::from_millis(1))
+                            .expect("save io");
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    store.save_if_dirty().expect("final save");
+    let text = std::fs::read_to_string(&snapshot).expect("snapshot exists");
+    let v = serde_json::Value::parse(&text).expect("snapshot parses — not torn");
+    assert!(matches!(
+        v.get("entries"),
+        Some(serde_json::Value::Array(_))
+    ));
+    // A reopen warm-loads every entry the racing writers produced.
+    let reopened = qcoral_service::PersistentStore::open(Some(snapshot.clone()), 4096);
+    assert_eq!(reopened.factor_store().len(), 200);
+    let _ = std::fs::remove_file(&snapshot);
+}
+
+#[test]
 fn malformed_frames_get_error_responses_and_the_connection_survives() {
     let (server, _client) = start(ServiceConfig::default());
     let stream = TcpStream::connect(server.addr()).expect("connect raw");
@@ -244,6 +296,20 @@ fn malformed_frames_get_error_responses_and_the_connection_survives() {
     assert_eq!(r.id, 0);
     assert!(matches!(r.outcome, Outcome::Error { .. }));
 
+    // Invalid UTF-8 inside a JSON string: must be rejected outright,
+    // not lossily decoded into a parseable-but-corrupted request.
+    line.clear();
+    writer
+        .write_all(b"{\"id\":11,\"op\":{\"System\":{\"source\":\"\xFF\"}}}\n")
+        .unwrap();
+    reader.read_line(&mut line).unwrap();
+    let r = qcoral_service::wire::decode_response(&line).expect("error response decodes");
+    assert!(
+        matches!(&r.outcome, Outcome::Error { message } if message.contains("UTF-8")),
+        "invalid UTF-8 must be an explicit error, got {:?}",
+        r.outcome
+    );
+
     // The same connection still answers real requests.
     line.clear();
     writer
@@ -253,6 +319,25 @@ fn malformed_frames_get_error_responses_and_the_connection_survives() {
     let r = qcoral_service::wire::decode_response(&line).expect("status decodes");
     assert_eq!(r.id, 10);
     assert!(matches!(r.outcome, Outcome::Status(_)));
+    server.shutdown();
+}
+
+#[test]
+fn connection_limit_refusals_surface_as_remote_errors() {
+    // With a limit of 0 every connection is refused with an id-0 error
+    // line; the client must surface that message, not skip the frame
+    // and report a bare EOF.
+    let cfg = ServiceConfig {
+        max_connections: 0,
+        ..ServiceConfig::default()
+    };
+    let server = Server::start(cfg).expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("tcp connect");
+    let e = client.status().unwrap_err();
+    assert!(
+        e.to_string().contains("connection limit"),
+        "expected the refusal message, got: {e}"
+    );
     server.shutdown();
 }
 

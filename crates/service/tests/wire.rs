@@ -205,6 +205,7 @@ fn oversized_frames_are_rejected() {
 
 #[test]
 fn read_frame_reassembles_multibyte_utf8_split_across_chunks() {
+    use qcoral_service::wire::{read_frame, FrameRead};
     use std::io::BufReader;
     // A tiny BufReader capacity forces fill_buf boundaries inside the
     // multi-byte characters; the frame must come out intact.
@@ -212,17 +213,46 @@ fn read_frame_reassembles_multibyte_utf8_split_across_chunks() {
     for cap in [1, 2, 3, 5] {
         let mut reader = BufReader::with_capacity(cap, std::io::Cursor::new(frame.as_bytes()));
         let mut line = String::new();
-        let n = qcoral_service::wire::read_frame(&mut reader, &mut line).unwrap();
+        let read = read_frame(&mut reader, &mut line).unwrap();
         assert_eq!(
             line, "{\"id\":1,\"source\":\"héllo 😀 wörld\"}\n",
             "cap {cap}"
         );
-        assert_eq!(n, line.len());
+        assert_eq!(read, FrameRead::Frame(line.len()));
         // And the stream is positioned after the newline.
         let mut rest = String::new();
-        qcoral_service::wire::read_frame(&mut reader, &mut rest).unwrap();
+        assert_eq!(
+            read_frame(&mut reader, &mut rest).unwrap(),
+            FrameRead::Frame(4)
+        );
         assert_eq!(rest, "next");
+        assert_eq!(read_frame(&mut reader, &mut rest).unwrap(), FrameRead::Eof);
     }
+}
+
+#[test]
+fn read_frame_rejects_invalid_utf8_without_desyncing() {
+    use qcoral_service::wire::{read_frame, FrameRead};
+    use std::io::BufReader;
+    // 0xFF can never appear in UTF-8. The frame must be reported as
+    // invalid — not lossily replaced, which would let it parse as JSON
+    // with corrupted string content — and the next frame must still
+    // decode: the bad line was consumed through its newline.
+    let mut stream = b"{\"id\":1,\"source\":\"a\xFFb\"}\n".to_vec();
+    stream.extend_from_slice(b"{\"id\":2,\"op\":\"Status\"}\n");
+    let mut reader = BufReader::new(std::io::Cursor::new(stream));
+    let mut line = String::new();
+    assert_eq!(
+        read_frame(&mut reader, &mut line).unwrap(),
+        FrameRead::NotUtf8
+    );
+    assert!(line.is_empty(), "no text produced for an invalid frame");
+    assert_eq!(
+        read_frame(&mut reader, &mut line).unwrap(),
+        FrameRead::Frame(line.len())
+    );
+    let request = decode_request(&line).expect("next frame still decodes");
+    assert_eq!(request.id, 2);
 }
 
 #[test]
