@@ -4,12 +4,12 @@
 //! * [`adaptive`] — a deterministic *global adaptive integration* scheme,
 //!   standing in for Mathematica's `NIntegrate` (proprietary; the paper
 //!   describes its algorithm as recursive region analysis with
-//!   error-driven bisection [21]). Accurate on low-dimensional, smooth
+//!   error-driven bisection \[21\]). Accurate on low-dimensional, smooth
 //!   problems; degrades on many-path, high-dimensional subjects — the
 //!   same failure mode the paper reports (PACK: missed interval; VOL:
 //!   value > 1).
 //! * [`volcomp`] — an iterative interval-bounding method, standing in for
-//!   the VolComp tool of Sankaranarayanan et al. [30] (research artifact,
+//!   the VolComp tool of Sankaranarayanan et al. \[30\] (research artifact,
 //!   no longer distributed). Returns a closed interval guaranteed to
 //!   contain the exact probability; returns a vacuous `[0, 1]` when
 //!   branch-and-bound cannot prune (the paper's VOL row).

@@ -1,0 +1,71 @@
+//! Criterion bench for the iterative, variance-driven engine: wall time
+//! of `analyze_iterative` chasing a target on a mixed subject, plus the
+//! `BENCH_adaptive.json` emitter recording samples-to-target for the
+//! adaptive engine versus static `Proportional` allocation over the
+//! VolComp suite.
+//!
+//! Run with `cargo bench -p qcoral-bench --bench adaptive`. The JSON
+//! lands at the workspace root (override with `BENCH_ADAPTIVE_OUT`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcoral::{Analyzer, Options};
+use qcoral_bench::adaptive;
+use qcoral_mc::UsageProfile;
+use qcoral_subjects::table3_subjects;
+use qcoral_symexec::SymConfig;
+
+fn bench_iterative(c: &mut Criterion) {
+    let subjects = table3_subjects();
+    let subj = subjects
+        .iter()
+        .find(|s| s.name == "CORONARY")
+        .expect("subject exists");
+    let (domain, cs) = subj.system_for(0, &SymConfig::default());
+    let profile = UsageProfile::uniform(domain.len());
+    let opts = Options::strat_partcache()
+        .with_samples(2_000)
+        .with_seed(1)
+        .with_target_stderr(1e-3)
+        .with_round_budget(2_000)
+        .with_max_rounds(64);
+    // One analyzer across iterations: pavings warm after the first run,
+    // so steady-state iterations measure the sampling rounds themselves.
+    let analyzer = Analyzer::new(opts);
+    let mut g = c.benchmark_group("adaptive_coronary_1e-3");
+    g.sample_size(10);
+    g.bench_function("analyze_iterative", |b| {
+        b.iter(|| {
+            let r = analyzer.analyze_iterative(&cs, &domain, &profile);
+            assert!(r.stats.target_met, "target reachable");
+            r.estimate
+        })
+    });
+    g.finish();
+}
+
+fn emit_json(_c: &mut Criterion) {
+    let summary = adaptive::run(16_000, 2_000);
+    let path = std::env::var("BENCH_ADAPTIVE_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_adaptive.json", env!("CARGO_MANIFEST_DIR")));
+    adaptive::write_json(&summary, &path).expect("write BENCH_adaptive.json");
+    println!(
+        "adaptive summary: mixed samples saved (geomean) = {:.2}x, adaptive_wins_all_mixed = {} -> {path}",
+        summary.mixed_samples_saved_geomean, summary.adaptive_wins_all_mixed
+    );
+    for r in &summary.rows {
+        println!(
+            "  {:28} target σ={:9.3e} mixed={:5} static={:8} adaptive={:8} rounds={:4} saved={:5.2}x met={}",
+            r.subject,
+            r.target_stderr,
+            r.mixed,
+            r.static_samples,
+            r.adaptive_samples,
+            r.adaptive_rounds,
+            r.samples_saved,
+            r.adaptive_target_met
+        );
+    }
+}
+
+criterion_group!(benches, bench_iterative, emit_json);
+criterion_main!(benches);

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod hotpath;
 pub mod service;
 pub mod table1;

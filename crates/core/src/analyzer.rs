@@ -82,6 +82,21 @@ pub struct Options {
     pub chunk: u64,
     /// RNG seed; same seed ⇒ same report.
     pub seed: u64,
+    /// Target standard error for [`Analyzer::analyze_iterative`]: the
+    /// refinement loop stops as soon as the composed estimate's
+    /// `√variance` is at or below this. `None` makes the pipeline and
+    /// service use one-shot [`Analyzer::analyze`]; a direct
+    /// `analyze_iterative` call treats `None` as an unreachable target
+    /// (refine until `max_rounds` or until no refinable variance
+    /// remains). Ignored by `analyze`.
+    pub target_stderr: Option<f64>,
+    /// Sampling-round ceiling for `analyze_iterative`, counting the
+    /// initial round (clamped to at least 1). Ignored by `analyze`.
+    pub max_rounds: u64,
+    /// Extra-sample budget each refinement round (rounds after the
+    /// first) distributes across the highest-variance factors. Ignored
+    /// by `analyze`.
+    pub round_budget: u64,
 }
 
 impl Options {
@@ -97,6 +112,9 @@ impl Options {
             parallel: false,
             chunk: SamplePlan::DEFAULT_CHUNK,
             seed: 0xC05A1u64,
+            target_stderr: None,
+            max_rounds: 8,
+            round_budget: 10_000,
         }
     }
 
@@ -143,6 +161,26 @@ impl Options {
         self
     }
 
+    /// Sets the target standard error for
+    /// [`Analyzer::analyze_iterative`] (and routes the pipeline/service
+    /// through it).
+    pub fn with_target_stderr(mut self, target: f64) -> Options {
+        self.target_stderr = Some(target);
+        self
+    }
+
+    /// Sets the sampling-round ceiling for `analyze_iterative`.
+    pub fn with_max_rounds(mut self, rounds: u64) -> Options {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Sets the per-round refinement budget for `analyze_iterative`.
+    pub fn with_round_budget(mut self, budget: u64) -> Options {
+        self.round_budget = budget;
+        self
+    }
+
     /// Fingerprint of every option that shapes a factor's *estimate*:
     /// sample budget, seed, chunking, stratification, allocation and the
     /// paver limits. `parallel` is excluded — fan-out never changes
@@ -161,11 +199,40 @@ impl Options {
             self.seed,
             self.chunk.max(1),
             self.stratified as u64,
-            (self.allocation == Allocation::Proportional) as u64,
+            // EqualPerStratum keeps its historic encoding (its sample
+            // streams are unchanged, so old snapshots stay warm);
+            // Proportional moved from 1 to 2 when its rounding changed
+            // to the budget-clamped largest-remainder split, so stale
+            // snapshots go cold instead of resurrecting estimates a
+            // fresh run can no longer reproduce.
+            match self.allocation {
+                Allocation::EqualPerStratum => 0,
+                Allocation::Proportional => 2,
+                Allocation::VarianceAdaptive => 3,
+            },
             self.paver.max_boxes as u64,
             self.paver.precision_digits as u64,
             self.paver.time_budget.as_nanos() as u64,
             self.paver.max_passes as u64,
+        ] {
+            h = fnv_fold(h, word);
+        }
+        h
+    }
+
+    /// Fingerprint keying estimates produced by
+    /// [`Analyzer::analyze_iterative`]: the one-shot
+    /// [`Options::sampling_fingerprint`] plus every knob that shapes the
+    /// refinement trajectory (target, round ceiling, round budget). A
+    /// distinct tag word keeps iterative and one-shot estimates for
+    /// otherwise-identical options from ever sharing a
+    /// [`FactorStore`] entry — their sample streams differ.
+    pub fn iterative_fingerprint(&self) -> u64 {
+        let mut h = fnv_fold(self.sampling_fingerprint(), ITERATIVE_TAG);
+        for word in [
+            self.target_stderr.unwrap_or(0.0).to_bits(),
+            self.max_rounds.max(1),
+            self.round_budget,
         ] {
             h = fnv_fold(h, word);
         }
@@ -215,6 +282,19 @@ pub struct Stats {
     /// Zero means every factor came from a cache — no RNG was touched.
     /// (Exact inner strata may draw fewer samples than budgeted.)
     pub samples_drawn: u64,
+    /// Sampling rounds executed by [`Analyzer::analyze_iterative`]
+    /// (0 for one-shot `analyze`; 1 when every factor was answered from
+    /// the cross-run store or the target held after the initial round).
+    pub rounds: u64,
+    /// Samples drawn by refinement rounds after the first — the extra
+    /// budget variance-driven reallocation decided to spend (a subset of
+    /// `samples_drawn`; 0 for one-shot `analyze`).
+    pub refine_samples: u64,
+    /// Whether `analyze_iterative` stopped because the composed standard
+    /// error reached [`Options::target_stderr`]. `false` when the round
+    /// ceiling or refinement exhaustion stopped the loop first, when no
+    /// target was set, and always for one-shot `analyze`.
+    pub target_met: bool,
 }
 
 /// The result of a qCORAL analysis.
@@ -262,15 +342,15 @@ impl Report {
 /// ```
 #[derive(Clone)]
 pub struct Analyzer {
-    opts: Options,
+    pub(crate) opts: Options,
     /// Shared paving cache: repeated factors compile their HC4 tapes and
     /// pave once, across path conditions, threads and `analyze` calls.
     /// Clones of the analyzer share the cache.
-    paving_cache: Arc<PavingCache>,
+    pub(crate) paving_cache: Arc<PavingCache>,
     /// Optional cross-run factor-estimate store (see [`FactorStore`]):
     /// consulted between the in-run partition cache and fresh sampling,
     /// shared across analyzers, requests and — once persisted — restarts.
-    factor_store: Option<Arc<FactorStore>>,
+    pub(crate) factor_store: Option<Arc<FactorStore>>,
 }
 
 impl std::fmt::Debug for Analyzer {
@@ -285,7 +365,7 @@ impl std::fmt::Debug for Analyzer {
 /// Stable bit-level encoding of a projected usage profile for cache
 /// keying: structurally identical factors over *differently distributed*
 /// variables must not share an estimate.
-fn profile_bits(profile: &UsageProfile) -> Vec<u64> {
+pub(crate) fn profile_bits(profile: &UsageProfile) -> Vec<u64> {
     let mut out = Vec::new();
     for i in 0..profile.len() {
         match profile.dist(i) {
@@ -385,25 +465,7 @@ impl Analyzer {
         );
         let start = Instant::now();
         let nvars = domain.len();
-        let partition = if self.opts.partition {
-            dependency_partition(cs, nvars)
-        } else {
-            // A single class containing every variable: Algorithm 2
-            // degenerates to whole-PC analysis.
-            vec![(0..nvars as u32).map(VarId).collect::<VarSet>()]
-        };
-        // `FromIterator for VarSet` sizes to the max index; normalize
-        // capacity for the empty-domain edge case.
-        let partition: Vec<VarSet> = partition
-            .into_iter()
-            .map(|s| {
-                let mut full = VarSet::new(nvars);
-                for v in s.iter() {
-                    full.insert(v);
-                }
-                full
-            })
-            .collect();
+        let partition = normalized_partition(&self.opts, cs, nvars);
 
         let (tape_hits0, tape_misses0) = tape_cache_stats();
         let shared = Shared {
@@ -465,10 +527,42 @@ impl Analyzer {
                 factor_store_hits: shared.store_hits.load(Ordering::Relaxed),
                 factor_store_misses: shared.store_misses.load(Ordering::Relaxed),
                 samples_drawn: shared.samples_drawn.load(Ordering::Relaxed),
+                rounds: 0,
+                refine_samples: 0,
+                target_met: false,
             },
             wall: start.elapsed(),
         }
     }
+}
+
+/// The variable partition Algorithm 2 factors each conjunction along:
+/// the dependency partition when [`Options::partition`] is set, one
+/// whole-domain class otherwise. Classes are normalized to full-domain
+/// capacity (`FromIterator for VarSet` sizes to the max index, which the
+/// empty-domain edge case trips over).
+pub(crate) fn normalized_partition(
+    opts: &Options,
+    cs: &ConstraintSet,
+    nvars: usize,
+) -> Vec<VarSet> {
+    let partition = if opts.partition {
+        dependency_partition(cs, nvars)
+    } else {
+        // A single class containing every variable: Algorithm 2
+        // degenerates to whole-PC analysis.
+        vec![(0..nvars as u32).map(VarId).collect::<VarSet>()]
+    };
+    partition
+        .into_iter()
+        .map(|s| {
+            let mut full = VarSet::new(nvars);
+            for v in s.iter() {
+                full.insert(v);
+            }
+            full
+        })
+        .collect()
 }
 
 /// Algorithm 2: analyze one conjunction by independent factors.
@@ -522,19 +616,7 @@ fn analyze_factor(
     let sub_box = shared.domain_box.project(&indices);
 
     if shared.opts.cache {
-        // Canonical key: structural fingerprint of the conjunction
-        // (linear in DAG size — never a rendered tree), the exact
-        // sub-box bits, and the projected marginals — the estimate
-        // depends on all three.
-        let key = (
-            local_pc.fingerprint(),
-            sub_box
-                .dims()
-                .iter()
-                .map(|d| (d.lo().to_bits(), d.hi().to_bits()))
-                .collect::<Vec<_>>(),
-            profile_bits(&shared.profile.project(&indices)),
-        );
+        let key = factor_key(&local_pc, &sub_box, &shared.profile.project(&indices));
         let cached = shared.cache.lock().get(&key).copied();
         match cached {
             Some(e) => {
@@ -587,6 +669,26 @@ fn analyze_factor(
             mix_seed(shared.opts.seed, (pc_idx as u64) << 32 | factor_idx as u64),
         )
     }
+}
+
+/// Canonical cache identity of one independent factor: structural
+/// fingerprint of the conjunction (linear in DAG size — never a rendered
+/// tree), the exact sub-box bits, and the projected marginals — the
+/// estimate depends on all three.
+pub(crate) fn factor_key(
+    local_pc: &PathCondition,
+    sub_box: &IntervalBox,
+    projected: &UsageProfile,
+) -> FactorKey {
+    (
+        local_pc.fingerprint(),
+        sub_box
+            .dims()
+            .iter()
+            .map(|d| (d.lo().to_bits(), d.hi().to_bits()))
+            .collect::<Vec<_>>(),
+        profile_bits(projected),
+    )
 }
 
 /// Algorithm 3: stratified sampling of one independent factor. Pavings
@@ -663,6 +765,9 @@ fn strat_sampling(
 /// FNV-1a offset basis (64-bit).
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
+/// Domain-separation word folded into [`Options::iterative_fingerprint`].
+const ITERATIVE_TAG: u64 = 0x17E2_A71F_ADA9_71FE;
+
 /// One FNV-1a step over a 64-bit word.
 fn fnv_fold(h: u64, word: u64) -> u64 {
     (h ^ word).wrapping_mul(0x0000_0100_0000_01B3)
@@ -674,7 +779,7 @@ fn fnv_fold(h: u64, word: u64) -> u64 {
 /// persisted in factor-store snapshots — so it must be reproducible
 /// across processes and toolchains, or a warm restart would return
 /// estimates a fresh run could no longer reproduce.
-fn hash_key(key: &FactorKey) -> u64 {
+pub(crate) fn hash_key(key: &FactorKey) -> u64 {
     let (fingerprint, box_bits, profile_bits) = key;
     let mut h = FNV_OFFSET;
     h = fnv_fold(h, *fingerprint as u64);

@@ -54,6 +54,7 @@
 pub mod analyzer;
 pub mod depend;
 pub mod factor_store;
+pub mod iterative;
 
 pub use analyzer::{Analyzer, Options, Report, Stats};
 pub use depend::{dependency_partition, UnionFind};

@@ -2,7 +2,7 @@
 //!
 //! A [`Contractor`] is built once from a [`PathCondition`]; it pre-compiles
 //! every atom's normalized expression (`lhs - rhs ⋈ 0`) into a
-//! [`Tape`](crate::tape::Tape) and then offers two operations used by the
+//! [`Tape`] and then offers two operations used by the
 //! paver and the analyses:
 //!
 //! * [`Contractor::contract`] — shrink a box without losing any solution

@@ -157,6 +157,136 @@ impl Default for Estimate {
     }
 }
 
+/// Mergeable running moments: Welford's online algorithm in the
+/// parallel-merge form of Chan et al., tracking count, mean and the sum
+/// of squared deviations `M2`.
+///
+/// Partial aggregates built independently — per chunk, per round, per
+/// thread — combine with [`Moments::merge`] into the same moments a
+/// single sequential pass would produce (up to floating-point rounding;
+/// merge in a **fixed order** when bit-reproducibility matters, exactly
+/// like the samplers reduce strata in index order).
+///
+/// This is the general mergeable form for real-valued observations —
+/// used by the statistical-soundness harness to aggregate run
+/// dispersions, and the shape any future non-Bernoulli estimator slots
+/// into. The adaptive sampler itself refines hit-or-miss strata with
+/// the *integer* degenerate case of this algebra
+/// (`StratumAccum` in the sampler module: for 0/1 data the Welford
+/// merge collapses to summing hit counts, [`Moments::from_hits`] being
+/// the exact closed form), which is what keeps cross-round refinement
+/// bit-exact rather than merely rounding-stable.
+///
+/// # Example
+///
+/// ```
+/// use qcoral_mc::Moments;
+///
+/// let mut left = Moments::default();
+/// let mut right = Moments::default();
+/// for x in [1.0, 2.0] { left.push(x); }
+/// for x in [3.0, 4.0] { right.push(x); }
+/// let all = left.merge(right);
+/// assert_eq!(all.count(), 4);
+/// assert!((all.mean() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Moments {
+    /// The empty aggregate (merging it is the identity).
+    pub const EMPTY: Moments = Moments {
+        n: 0,
+        mean: 0.0,
+        m2: 0.0,
+    };
+
+    /// Folds one observation in (Welford's update).
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Combines two partial aggregates (Chan et al. parallel merge).
+    pub fn merge(self, other: Moments) -> Moments {
+        if self.n == 0 {
+            return other;
+        }
+        if other.n == 0 {
+            return self;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * (other.n as f64 / n as f64);
+        let m2 = self.m2 + other.m2 + d * d * (self.n as f64 * other.n as f64 / n as f64);
+        Moments { n, mean, m2 }
+    }
+
+    /// The exact moments of `hits` ones and `n − hits` zeros:
+    /// mean `p = hits/n`, `M2 = n·p(1−p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hits > n`.
+    pub fn from_hits(hits: u64, n: u64) -> Moments {
+        assert!(hits <= n, "more hits than samples");
+        if n == 0 {
+            return Moments::EMPTY;
+        }
+        let p = hits as f64 / n as f64;
+        Moments {
+            n,
+            mean: p,
+            m2: n as f64 * p * (1.0 - p),
+        }
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance `M2/(n−1)` (0 when `n < 2`).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).max(0.0)
+        }
+    }
+
+    /// Population variance `M2/n` (0 when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).max(0.0)
+        }
+    }
+
+    /// The estimator of the mean: `mean ± sample_variance/n` — the same
+    /// shape hit-or-miss sampling reports (Eq. 2 uses the population
+    /// variance; for Bernoulli data at realistic `n` the two agree to
+    /// within `1/n`).
+    pub fn estimator(&self) -> Estimate {
+        if self.n == 0 {
+            return Estimate::ZERO;
+        }
+        Estimate::new(self.mean, self.sample_variance() / self.n as f64)
+    }
+}
+
 impl fmt::Display for Estimate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.6} (σ {:.3e})", self.mean, self.std_dev())
@@ -275,5 +405,70 @@ mod tests {
         let s = Estimate::new(0.25, 0.0001).to_string();
         assert!(s.contains("0.250000"));
         assert!(s.contains("1.000e-2"));
+    }
+
+    #[test]
+    fn moments_merge_matches_sequential() {
+        let xs = [0.5, -1.25, 3.0, 0.0, 2.5, -0.75, 1.0];
+        let mut seq = Moments::default();
+        for &x in &xs {
+            seq.push(x);
+        }
+        let (a, b) = xs.split_at(3);
+        let mut left = Moments::default();
+        let mut right = Moments::default();
+        for &x in a {
+            left.push(x);
+        }
+        for &x in b {
+            right.push(x);
+        }
+        let merged = left.merge(right);
+        assert_eq!(merged.count(), seq.count());
+        assert!((merged.mean() - seq.mean()).abs() < 1e-12);
+        assert!((merged.sample_variance() - seq.sample_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_merge_identity_and_empty() {
+        let mut m = Moments::default();
+        m.push(2.0);
+        m.push(4.0);
+        assert_eq!(m.merge(Moments::EMPTY), m);
+        assert_eq!(Moments::EMPTY.merge(m), m);
+        assert_eq!(Moments::EMPTY.estimator(), Estimate::ZERO);
+    }
+
+    #[test]
+    fn moments_from_hits_is_exact() {
+        // 3 ones and 5 zeros, pushed one by one, equals the closed form.
+        let mut seq = Moments::default();
+        for _ in 0..3 {
+            seq.push(1.0);
+        }
+        for _ in 0..5 {
+            seq.push(0.0);
+        }
+        let closed = Moments::from_hits(3, 8);
+        assert_eq!(closed.count(), 8);
+        assert!((closed.mean() - seq.mean()).abs() < 1e-12);
+        assert!((closed.population_variance() - seq.population_variance()).abs() < 1e-12);
+        // And refinement merges exactly: (3/8) ⊕ (2/4) = 5/12.
+        let merged = closed.merge(Moments::from_hits(2, 4));
+        let direct = Moments::from_hits(5, 12);
+        assert_eq!(merged.count(), direct.count());
+        assert!((merged.mean() - direct.mean()).abs() < 1e-12);
+        assert!((merged.population_variance() - direct.population_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_estimator_tracks_hit_or_miss_shape() {
+        let m = Moments::from_hits(2500, 10_000);
+        let e = m.estimator();
+        assert!((e.mean - 0.25).abs() < 1e-12);
+        // Sample variance /n vs Eq. 2's population variance /n: equal to
+        // within the n/(n−1) correction.
+        let eq2 = Estimate::from_hits(2500, 10_000);
+        assert!((e.variance - eq2.variance).abs() < eq2.variance / 1000.0);
     }
 }

@@ -8,7 +8,7 @@
 //! * [`UsageProfile`] — the probabilistic characterization of the inputs
 //!   (§3). Uniform profiles match the paper's implementation; piecewise-
 //!   uniform (histogram) profiles implement the discretization extension
-//!   the paper attributes to Filieri et al. [11].
+//!   the paper attributes to Filieri et al. \[11\].
 //! * [`hit_or_miss`] — the Hit-or-Miss Monte Carlo estimator (§3.2,
 //!   Eq. 2).
 //! * [`stratified`] — stratified sampling over an ICP paving (§3.3,
@@ -35,9 +35,10 @@ pub mod estimate;
 pub mod profile;
 pub mod sampler;
 
-pub use estimate::Estimate;
+pub use estimate::{Estimate, Moments};
 pub use profile::{Dist, UsageProfile};
 pub use sampler::{
-    hit_or_miss, hit_or_miss_plan, mix_seed, stratified, stratified_plan, Allocation, SamplePlan,
-    Stratum,
+    hit_or_miss, hit_or_miss_plan, initial_allocation, mix_seed, neyman_allocation,
+    proportional_split, refine_plan, stratified, stratified_plan, Allocation, SamplePlan, Stratum,
+    StratumAccum,
 };

@@ -5,7 +5,7 @@
 //! only" (§5). [`UsageProfile`] supports that plus the extension the
 //! conclusion calls for: non-uniform inputs via piecewise-uniform
 //! (histogram) distributions, the discretization approach of Filieri et
-//! al. [11].
+//! al. \[11\].
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};

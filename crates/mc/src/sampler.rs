@@ -105,12 +105,142 @@ fn chunk_hits<F: Fn(&[f64]) -> bool>(
     Some(hits)
 }
 
+/// Incrementally refinable hit-or-miss state for one stratum.
+///
+/// The adaptive engines sample a stratum in *rounds*: each call to
+/// [`refine_plan`] draws more counter-seeded chunks, starting at
+/// [`StratumAccum::next_chunk`], and folds the integer hit counts in.
+/// The accumulated estimate therefore depends only on the stratum's
+/// sub-stream and the *sequence of per-round budgets* — never on thread
+/// schedule or on which round drew which chunk — which is what keeps
+/// variance-driven reallocation bit-reproducible.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StratumAccum {
+    /// Samples that satisfied the predicate.
+    pub hits: u64,
+    /// Samples drawn so far.
+    pub n: u64,
+    /// Next chunk index of this stratum's sub-stream (each round starts
+    /// a fresh chunk, so a short round never splits a chunk's RNG stream
+    /// with the next one).
+    pub next_chunk: u64,
+    /// The box turned out to carry zero conditional mass under the
+    /// profile: the stratum contributes the exact `0 ± 0`.
+    pub dead: bool,
+}
+
+impl StratumAccum {
+    /// The state before any sampling.
+    pub const EMPTY: StratumAccum = StratumAccum {
+        hits: 0,
+        n: 0,
+        next_chunk: 0,
+        dead: false,
+    };
+
+    /// The current hit-or-miss estimate (Eq. 2). Zero-mass strata and
+    /// unsampled accumulators report the exact `0 ± 0`.
+    pub fn estimate(&self) -> Estimate {
+        if self.dead || self.n == 0 {
+            Estimate::ZERO
+        } else {
+            Estimate::from_hits(self.hits, self.n)
+        }
+    }
+
+    /// Sample standard deviation `√(p̂(1−p̂))` of the underlying Bernoulli
+    /// population — the `s_i` of Neyman allocation (0 until sampled).
+    pub fn std_dev(&self) -> f64 {
+        if self.dead || self.n == 0 {
+            0.0
+        } else {
+            let p = self.hits as f64 / self.n as f64;
+            (p * (1.0 - p)).sqrt()
+        }
+    }
+}
+
+/// Draws `add` further samples for one stratum, continuing its chunk
+/// counter, and returns the merged accumulator.
+///
+/// Drawing `a` then `b` samples visits the same chunk sub-streams as any
+/// other split of `a + b` into rounds would visit fresh chunks for — and
+/// chunk hit counts are integers reduced by summation — so the result is
+/// identical across thread schedules and depends only on the budget
+/// sequence. `add == 0` (and refining a dead stratum) is a no-op.
+pub fn refine_plan<F>(
+    pred: &F,
+    boxed: &IntervalBox,
+    profile: &UsageProfile,
+    add: u64,
+    plan: SamplePlan,
+    acc: StratumAccum,
+) -> StratumAccum
+where
+    F: Fn(&[f64]) -> bool + Sync,
+{
+    if add == 0 || acc.dead {
+        return acc;
+    }
+    let chunk = plan.chunk.max(1);
+    let nchunks = add.div_ceil(chunk);
+    let ndim = boxed.ndim();
+    let hits_of = |j: u64, point: &mut [f64]| {
+        let len = chunk.min(add - j * chunk);
+        chunk_hits(
+            pred,
+            boxed,
+            profile,
+            len,
+            plan.seed,
+            acc.next_chunk + j,
+            point,
+        )
+    };
+    let total: Option<u64> = if plan.parallel && nchunks > 1 {
+        (0..nchunks)
+            .into_par_iter()
+            .map(|j| {
+                let mut point = vec![0.0; ndim];
+                hits_of(j, &mut point)
+            })
+            .collect::<Vec<Option<u64>>>()
+            .into_iter()
+            .sum()
+    } else {
+        let mut point = vec![0.0; ndim];
+        let mut sum = Some(0u64);
+        for j in 0..nchunks {
+            match (sum, hits_of(j, &mut point)) {
+                (Some(a), Some(h)) => sum = Some(a + h),
+                _ => {
+                    sum = None;
+                    break;
+                }
+            }
+        }
+        sum
+    };
+    match total {
+        // Zero conditional mass: the box contributes nothing, ever.
+        None => StratumAccum { dead: true, ..acc },
+        Some(hits) => StratumAccum {
+            hits: acc.hits + hits,
+            n: acc.n + add,
+            next_chunk: acc.next_chunk + nchunks,
+            dead: false,
+        },
+    }
+}
+
 /// Hit-or-miss Monte Carlo (Eq. 2) over counter-seeded chunks.
 ///
 /// Identical statistics to [`hit_or_miss`] but deterministic under any
 /// thread schedule: chunk `c` always draws from `mix_seed(plan.seed, c)`
 /// and the integer hit counts commute. If the box has zero probability
 /// mass under the profile the exact `0 ± 0` is returned.
+///
+/// Equivalent to one [`refine_plan`] round from [`StratumAccum::EMPTY`].
 ///
 /// # Panics
 ///
@@ -126,42 +256,7 @@ where
     F: Fn(&[f64]) -> bool + Sync,
 {
     assert!(n > 0, "hit-or-miss needs at least one sample");
-    let chunk = plan.chunk.max(1);
-    let nchunks = n.div_ceil(chunk);
-    let ndim = boxed.ndim();
-    let hits_of = |c: u64, point: &mut [f64]| {
-        let len = chunk.min(n - c * chunk);
-        chunk_hits(pred, boxed, profile, len, plan.seed, c, point)
-    };
-    let total: Option<u64> = if plan.parallel && nchunks > 1 {
-        (0..nchunks)
-            .into_par_iter()
-            .map(|c| {
-                let mut point = vec![0.0; ndim];
-                hits_of(c, &mut point)
-            })
-            .collect::<Vec<Option<u64>>>()
-            .into_iter()
-            .sum()
-    } else {
-        let mut point = vec![0.0; ndim];
-        let mut acc = Some(0u64);
-        for c in 0..nchunks {
-            match (acc, hits_of(c, &mut point)) {
-                (Some(a), Some(h)) => acc = Some(a + h),
-                _ => {
-                    acc = None;
-                    break;
-                }
-            }
-        }
-        acc
-    };
-    match total {
-        // Zero conditional mass: the box contributes nothing.
-        None => Estimate::ZERO,
-        Some(hits) => Estimate::from_hits(hits, n),
-    }
+    refine_plan(pred, boxed, profile, n, plan, StratumAccum::EMPTY).estimate()
 }
 
 /// Stratified sampling (Eq. 3) over counter-seeded chunks.
@@ -170,6 +265,11 @@ where
 /// `plan.substream(i)`; contributions are reduced in stratum order, so the
 /// result is bit-identical across thread schedules and to the serial
 /// plan. Semantics otherwise match [`stratified`].
+///
+/// Sample counts come from [`initial_allocation`] (plus a
+/// [`neyman_allocation`] follow-up pass under
+/// [`Allocation::VarianceAdaptive`]), so the budget is respected up to
+/// the one-sample-per-stratum floor.
 ///
 /// # Panics
 ///
@@ -208,37 +308,52 @@ where
         return acc;
     }
 
-    let sampled_weight: f64 = sampled.iter().map(|&i| weights[i]).sum();
-    let samples_for = |i: usize| -> u64 {
-        match allocation {
-            Allocation::EqualPerStratum => (total_samples / sampled.len() as u64).max(1),
-            Allocation::Proportional => {
-                if sampled_weight <= 0.0 {
-                    1
-                } else {
-                    ((total_samples as f64 * weights[i] / sampled_weight).round() as u64).max(1)
-                }
-            }
-        }
-    };
-    let estimate_stratum = |&i: &usize| -> Estimate {
-        hit_or_miss_plan(
+    let sampled_weights: Vec<f64> = sampled.iter().map(|&i| weights[i]).collect();
+    let counts = initial_allocation(allocation, total_samples, &sampled_weights);
+    let refine_stratum = |j: usize, add: u64, accum: StratumAccum| -> StratumAccum {
+        let i = sampled[j];
+        refine_plan(
             pred,
             &strata[i].boxed,
             profile,
-            samples_for(i),
+            add,
             plan.substream(i as u64),
+            accum,
         )
-        .scale(weights[i])
     };
-    let per_stratum: Vec<Estimate> = if plan.parallel && sampled.len() > 1 {
-        sampled.par_iter().map(estimate_stratum).collect()
-    } else {
-        sampled.iter().map(estimate_stratum).collect()
+    let fan_out = |counts: &[u64], accums: &[StratumAccum]| -> Vec<StratumAccum> {
+        if plan.parallel && sampled.len() > 1 {
+            (0..sampled.len())
+                .into_par_iter()
+                .map(|j| refine_stratum(j, counts[j], accums[j]))
+                .collect()
+        } else {
+            (0..sampled.len())
+                .map(|j| refine_stratum(j, counts[j], accums[j]))
+                .collect()
+        }
     };
+    let mut accums = fan_out(&counts, &vec![StratumAccum::EMPTY; sampled.len()]);
+    if allocation == Allocation::VarianceAdaptive {
+        // Follow-up pass: the pilot spent roughly half the budget; the
+        // rest goes where `weight × stddev` says the variance lives.
+        // Exact strata (stddev 0) are excluded.
+        let spent: u64 = counts.iter().sum();
+        let stddevs: Vec<f64> = accums.iter().map(StratumAccum::std_dev).collect();
+        let follow = neyman_allocation(
+            total_samples.saturating_sub(spent),
+            &sampled_weights,
+            &stddevs,
+        );
+        accums = fan_out(&follow, &accums);
+    }
     // Fixed reduction order keeps the floating-point sum identical across
     // schedules.
-    per_stratum.into_iter().fold(acc, Estimate::sum)
+    accums
+        .iter()
+        .zip(&sampled_weights)
+        .map(|(a, &w)| a.estimate().scale(w))
+        .fold(acc, Estimate::sum)
 }
 
 /// The Hit-or-Miss Monte Carlo estimator of §3.2 (Eq. 2): draws `n`
@@ -259,18 +374,33 @@ pub fn hit_or_miss(
     rng: &mut impl Rng,
 ) -> Estimate {
     assert!(n > 0, "hit-or-miss needs at least one sample");
+    match hits_with_rng(pred, boxed, profile, n, rng) {
+        // Zero conditional mass: the box contributes nothing.
+        None => Estimate::ZERO,
+        Some(hits) => Estimate::from_hits(hits, n),
+    }
+}
+
+/// Counts hits among `n` rng-threaded samples; `None` when the box has
+/// zero conditional mass under the profile.
+fn hits_with_rng(
+    pred: &mut dyn FnMut(&[f64]) -> bool,
+    boxed: &IntervalBox,
+    profile: &UsageProfile,
+    n: u64,
+    rng: &mut impl Rng,
+) -> Option<u64> {
     let mut point = vec![0.0; boxed.ndim()];
     let mut hits = 0u64;
     for _ in 0..n {
         if !profile.sample_in(boxed, boxed, rng, &mut point) {
-            // Zero conditional mass: the box contributes nothing.
-            return Estimate::ZERO;
+            return None;
         }
         if pred(&point) {
             hits += 1;
         }
     }
-    Estimate::from_hits(hits, n)
+    Some(hits)
 }
 
 /// One stratum of a stratified-sampling plan: a box plus whether it is an
@@ -311,6 +441,162 @@ pub enum Allocation {
     /// Proportional to stratum probability mass (a classical alternative;
     /// exercised by the ablation benchmarks).
     Proportional,
+    /// Variance-driven (Neyman) allocation: an equal-split pilot round
+    /// spends half the budget, then the rest goes to strata proportional
+    /// to `weight × stddev` of their pilot estimates — strata that
+    /// turned out exact (variance 0) receive no follow-up samples. The
+    /// iterative engine (`analyze_iterative`) applies the same rule
+    /// across rounds.
+    VarianceAdaptive,
+}
+
+/// Largest-remainder apportionment of `total` samples proportional to
+/// non-negative `scores`: floors the exact shares, then hands the
+/// remainder out by descending fractional part (ties to the lower
+/// index). Zero-score strata receive exactly 0. The counts sum to
+/// `total` (to 0 when every score is 0) — never more, which is the
+/// budget-clamp the old `round().max(1)` allocation lacked.
+pub fn proportional_split(total: u64, scores: &[f64]) -> Vec<u64> {
+    let mut counts = vec![0u64; scores.len()];
+    let positive = |s: f64| s.is_finite() && s > 0.0;
+    let sum: f64 = scores.iter().copied().filter(|&s| positive(s)).sum();
+    if sum <= 0.0 || sum.is_nan() || total == 0 {
+        return counts;
+    }
+    let mut fracs: Vec<(f64, usize)> = Vec::new();
+    let mut spent = 0u64;
+    for (i, &s) in scores.iter().enumerate() {
+        if !positive(s) {
+            continue;
+        }
+        let exact = total as f64 * (s / sum);
+        let base = (exact.floor() as u64).min(total);
+        counts[i] = base;
+        spent += base;
+        fracs.push((exact - base as f64, i));
+    }
+    // Floating-point drift guard: trim any overshoot from the richest
+    // strata (deterministically), then distribute what remains by
+    // largest fractional part, cycling on the off chance drift left more
+    // than one sample per positive-score stratum.
+    while spent > total {
+        let i = richest(&counts, 1);
+        counts[i] -= 1;
+        spent -= 1;
+    }
+    fracs.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    let mut rem = total - spent;
+    while rem > 0 && !fracs.is_empty() {
+        for &(_, i) in &fracs {
+            if rem == 0 {
+                break;
+            }
+            counts[i] += 1;
+            rem -= 1;
+        }
+    }
+    counts
+}
+
+/// Index of the largest count strictly above `floor` (ties to the lower
+/// index); callers guarantee one exists.
+fn richest(counts: &[u64], floor: u64) -> usize {
+    let mut best = usize::MAX;
+    let mut max = floor;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > max {
+            max = c;
+            best = i;
+        }
+    }
+    debug_assert!(best != usize::MAX, "no stratum above the floor");
+    best
+}
+
+/// Raises every count to at least one sample, paying for the bumps by
+/// decrementing the richest strata so the sum never exceeds
+/// `max(total, k)`: only a budget smaller than the stratum count can
+/// push spending past `total`, and then by at most one sample per
+/// stratum (the unavoidable cost of sampling every stratum at all).
+fn enforce_floor(counts: &mut [u64], total: u64) {
+    let k = counts.len() as u64;
+    let mut sum: u64 = counts.iter().sum();
+    for c in counts.iter_mut() {
+        if *c == 0 {
+            *c = 1;
+            sum += 1;
+        }
+    }
+    let cap = total.max(k);
+    while sum > cap {
+        let i = richest(counts, 1);
+        counts[i] -= 1;
+        sum -= 1;
+    }
+}
+
+/// Per-stratum sample counts for the *first* (or only) sampling pass.
+///
+/// * [`Allocation::EqualPerStratum`] — the paper's `⌊total/k⌋` each,
+///   floored at one sample (bit-compatible with every earlier release).
+/// * [`Allocation::Proportional`] — largest-remainder split by stratum
+///   weight with the ≥1 floor; unlike the former `round().max(1)` rule
+///   the counts never exceed the budget once `total ≥ k`.
+/// * [`Allocation::VarianceAdaptive`] — the equal-split *pilot* over
+///   half the budget; the other half is allocated afterwards by
+///   [`neyman_allocation`] from the pilot standard deviations.
+///
+/// Every variant gives each stratum at least one sample and exceeds
+/// `total` only when `total < k` forces the floor — by at most one
+/// sample per stratum.
+pub fn initial_allocation(allocation: Allocation, total: u64, weights: &[f64]) -> Vec<u64> {
+    let k = weights.len() as u64;
+    if k == 0 {
+        return Vec::new();
+    }
+    match allocation {
+        Allocation::EqualPerStratum => vec![(total / k).max(1); weights.len()],
+        Allocation::Proportional => {
+            let mut counts = proportional_split(total, weights);
+            if counts.iter().all(|&c| c == 0) {
+                // Degenerate weights: fall back to the equal split.
+                counts = vec![(total / k).max(1); weights.len()];
+            }
+            enforce_floor(&mut counts, total);
+            counts
+        }
+        Allocation::VarianceAdaptive => {
+            let pilot = (total / 2).max(1);
+            vec![(pilot / k).max(1); weights.len()]
+        }
+    }
+}
+
+/// Neyman follow-up allocation: splits `total` proportional to
+/// `weightᵢ × stddevᵢ` (largest remainder, no floor). Strata whose
+/// observed variance is zero — exact so far — receive **zero** follow-up
+/// samples; if every stratum is exact the whole budget is withheld and
+/// the returned counts are all zero.
+///
+/// # Panics
+///
+/// Panics if `weights` and `stddevs` differ in length.
+pub fn neyman_allocation(total: u64, weights: &[f64], stddevs: &[f64]) -> Vec<u64> {
+    assert_eq!(
+        weights.len(),
+        stddevs.len(),
+        "one standard deviation per stratum"
+    );
+    let scores: Vec<f64> = weights
+        .iter()
+        .zip(stddevs)
+        .map(|(&w, &s)| (w * s).max(0.0))
+        .collect();
+    proportional_split(total, &scores)
 }
 
 /// Stratified sampling over an ICP paving (§3.3, Eq. 3).
@@ -358,23 +644,56 @@ pub fn stratified(
         return acc;
     }
 
-    let sampled_weight: f64 = sampled.iter().map(|&i| weights[i]).sum();
-    for &i in &sampled {
-        let n = match allocation {
-            Allocation::EqualPerStratum => (total_samples / sampled.len() as u64).max(1),
-            Allocation::Proportional => {
-                if sampled_weight <= 0.0 {
-                    1
-                } else {
-                    ((total_samples as f64 * weights[i] / sampled_weight).round() as u64).max(1)
+    // Skip zero-weight strata up front so the allocation splits the
+    // budget over strata that can actually contribute.
+    let sampled: Vec<usize> = sampled.into_iter().filter(|&i| weights[i] > 0.0).collect();
+    if sampled.is_empty() {
+        return acc;
+    }
+    let sampled_weights: Vec<f64> = sampled.iter().map(|&i| weights[i]).collect();
+    let counts = initial_allocation(allocation, total_samples, &sampled_weights);
+    // First (or only) pass, rng threaded through strata in index order.
+    let mut tallies: Vec<Option<(u64, u64)>> = Vec::with_capacity(sampled.len());
+    for (j, &i) in sampled.iter().enumerate() {
+        let tally =
+            hits_with_rng(pred, &strata[i].boxed, profile, counts[j], rng).map(|h| (h, counts[j]));
+        tallies.push(tally);
+    }
+    if allocation == Allocation::VarianceAdaptive {
+        // Neyman follow-up from the pilot: exact strata get no more
+        // samples; the rng keeps threading in stratum order.
+        let spent: u64 = counts.iter().sum();
+        let stddevs: Vec<f64> = tallies
+            .iter()
+            .map(|t| match t {
+                Some((h, n)) if *n > 0 => {
+                    let p = *h as f64 / *n as f64;
+                    (p * (1.0 - p)).sqrt()
                 }
+                _ => 0.0,
+            })
+            .collect();
+        let follow = neyman_allocation(
+            total_samples.saturating_sub(spent),
+            &sampled_weights,
+            &stddevs,
+        );
+        for (j, &i) in sampled.iter().enumerate() {
+            if follow[j] == 0 {
+                continue;
             }
-        };
-        if weights[i] <= 0.0 {
-            continue;
+            if let Some((h, n)) = tallies[j] {
+                tallies[j] = hits_with_rng(pred, &strata[i].boxed, profile, follow[j], rng)
+                    .map(|h2| (h + h2, n + follow[j]));
+            }
         }
-        let est = hit_or_miss(pred, &strata[i].boxed, profile, n, rng);
-        acc = acc.sum(est.scale(weights[i]));
+    }
+    for (tally, &w) in tallies.iter().zip(&sampled_weights) {
+        let est = match tally {
+            Some((h, n)) if *n > 0 => Estimate::from_hits(*h, *n),
+            _ => Estimate::ZERO,
+        };
+        acc = acc.sum(est.scale(w));
     }
     acc
 }
@@ -555,6 +874,182 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(9);
         let est = hit_or_miss(&mut |x| x[0] > 0.0, &domain, &profile, 20_000, &mut rng);
         assert!((est.mean - 0.2).abs() < 0.02, "{}", est.mean);
+    }
+
+    /// Regression for the Proportional budget overshoot: the former
+    /// `round().max(1)` rule could spend more than the budget even when
+    /// the budget covered every stratum (e.g. two half-weight strata at
+    /// an odd total rounded up on both). The largest-remainder split
+    /// never exceeds the budget once `total ≥ k`.
+    #[test]
+    fn proportional_allocation_never_overshoots_budget() {
+        for (total, weights) in [
+            (11u64, vec![0.5, 0.5]),
+            (101, vec![0.3, 0.3, 0.4]),
+            (7, vec![0.9, 0.05, 0.05]),
+            (13, vec![1.0, 1e-9, 1e-9]),
+        ] {
+            let counts = initial_allocation(Allocation::Proportional, total, &weights);
+            let spent: u64 = counts.iter().sum();
+            assert!(
+                spent <= total,
+                "proportional spent {spent} of budget {total} over {weights:?}"
+            );
+            assert!(counts.iter().all(|&c| c >= 1), "floor violated: {counts:?}");
+        }
+    }
+
+    /// When the budget cannot cover one sample per stratum the floor
+    /// forces `k` samples — the only overshoot any variant may commit,
+    /// bounded by one sample per stratum.
+    #[test]
+    fn tiny_budget_floor_spends_at_most_one_per_stratum() {
+        for allocation in [
+            Allocation::EqualPerStratum,
+            Allocation::Proportional,
+            Allocation::VarianceAdaptive,
+        ] {
+            let weights = [0.2; 5];
+            let counts = initial_allocation(allocation, 3, &weights);
+            let spent: u64 = counts.iter().sum();
+            assert!(
+                spent <= weights.len() as u64,
+                "{allocation:?} spent {spent} on a budget of 3 over 5 strata"
+            );
+            assert!(counts.iter().all(|&c| c >= 1));
+        }
+    }
+
+    #[test]
+    fn neyman_allocation_excludes_exact_strata() {
+        let weights = [0.4, 0.4, 0.2];
+        let stddevs = [0.5, 0.0, 0.25];
+        let counts = neyman_allocation(1000, &weights, &stddevs);
+        assert_eq!(counts[1], 0, "variance-0 stratum must get no follow-up");
+        assert_eq!(counts.iter().sum::<u64>(), 1000, "budget fully spent");
+        assert!(counts[0] > counts[2], "allocation follows weight × stddev");
+        // All-exact strata: the budget is withheld entirely.
+        let none = neyman_allocation(1000, &weights, &[0.0; 3]);
+        assert_eq!(none, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn proportional_split_is_exact_and_deterministic() {
+        let counts = proportional_split(10, &[1.0, 1.0, 1.0]);
+        assert_eq!(counts.iter().sum::<u64>(), 10);
+        // Ties hand the remainder to the lower index first.
+        assert_eq!(counts, vec![4, 3, 3]);
+        assert_eq!(proportional_split(5, &[0.0, 0.0]), vec![0, 0]);
+    }
+
+    /// Refining in rounds visits fresh chunks, so the estimate depends
+    /// only on the budget sequence — and a single round reproduces
+    /// `hit_or_miss_plan` exactly.
+    #[test]
+    fn refine_plan_rounds_are_deterministic() {
+        let b = unit_square();
+        let p = UsageProfile::uniform(2);
+        let pred = |x: &[f64]| x[0] > 0.0;
+        let plan = SamplePlan::serial(99);
+        let one_shot = refine_plan(&pred, &b, &p, 5_000, plan, StratumAccum::EMPTY);
+        assert_eq!(
+            one_shot.estimate(),
+            hit_or_miss_plan(&pred, &b, &p, 5_000, plan)
+        );
+
+        // Same budget sequence twice ⇒ bit-identical accumulators,
+        // serial or parallel.
+        let serial = [1_000u64, 3_000, 777]
+            .iter()
+            .fold(StratumAccum::EMPTY, |acc, &add| {
+                refine_plan(&pred, &b, &p, add, plan, acc)
+            });
+        let parallel = [1_000u64, 3_000, 777]
+            .iter()
+            .fold(StratumAccum::EMPTY, |acc, &add| {
+                refine_plan(&pred, &b, &p, add, SamplePlan::parallel(99), acc)
+            });
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.n, 4_777);
+        assert!((serial.estimate().mean - 0.5).abs() < 0.05);
+        // Each round starts a fresh chunk.
+        let chunk = plan.chunk;
+        assert_eq!(
+            serial.next_chunk,
+            1_000u64.div_ceil(chunk) + 3_000u64.div_ceil(chunk) + 777u64.div_ceil(chunk)
+        );
+    }
+
+    /// The adaptive allocation matches the estimate and concentrates the
+    /// budget on the noisy strata of the paper's Figure 2 paving.
+    #[test]
+    fn variance_adaptive_matches_mean_and_beats_plain() {
+        let pc = |x: &[f64]| x[0] <= -x[1] && x[1] <= x[0];
+        let domain = unit_square();
+        let profile = UsageProfile::uniform(2);
+        let strata = vec![
+            Stratum::boundary(
+                [Interval::new(-1.0, -0.5), Interval::new(-1.0, -0.5)]
+                    .into_iter()
+                    .collect(),
+            ),
+            Stratum::inner(
+                [Interval::new(-0.5, 0.5), Interval::new(-1.0, -0.5)]
+                    .into_iter()
+                    .collect(),
+            ),
+            Stratum::boundary(
+                [Interval::new(0.5, 1.0), Interval::new(-1.0, -0.5)]
+                    .into_iter()
+                    .collect(),
+            ),
+            Stratum::boundary(
+                [Interval::new(-0.5, 0.5), Interval::new(-0.5, 0.0)]
+                    .into_iter()
+                    .collect(),
+            ),
+        ];
+        let plan = SamplePlan::serial(1234);
+        let adaptive = stratified_plan(
+            &|x: &[f64]| pc(x),
+            &strata,
+            &domain,
+            &profile,
+            10_000,
+            Allocation::VarianceAdaptive,
+            plan,
+        );
+        assert!((adaptive.mean - 0.25).abs() < 0.01, "{}", adaptive.mean);
+        let plain = hit_or_miss_plan(&|x: &[f64]| pc(x), &domain, &profile, 10_000, plan);
+        assert!(
+            adaptive.variance < plain.variance / 2.0,
+            "adaptive {} should beat plain {}",
+            adaptive.variance,
+            plain.variance
+        );
+        // Parallel execution is bit-identical.
+        let par = stratified_plan(
+            &|x: &[f64]| pc(x),
+            &strata,
+            &domain,
+            &profile,
+            10_000,
+            Allocation::VarianceAdaptive,
+            SamplePlan::parallel(1234),
+        );
+        assert_eq!(adaptive, par);
+        // The rng-threaded twin agrees statistically.
+        let mut rng = SmallRng::seed_from_u64(77);
+        let legacy = stratified(
+            &mut |x| pc(x),
+            &strata,
+            &domain,
+            &profile,
+            10_000,
+            Allocation::VarianceAdaptive,
+            &mut rng,
+        );
+        assert!((legacy.mean - 0.25).abs() < 0.01, "{}", legacy.mean);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Property-based invariants of the sample-allocation policies: for any
+//! budget, stratum count, weights and observed standard deviations,
+//!
+//! 1. no `Allocation` variant spends more than the budget plus at most
+//!    one sample per stratum (the unavoidable ≥1 floor when the budget
+//!    cannot cover every stratum),
+//! 2. the initial pass gives every non-exact stratum at least one
+//!    sample, and
+//! 3. Neyman follow-up (`VarianceAdaptive`'s second phase, and every
+//!    refinement round of `analyze_iterative`) assigns **zero** samples
+//!    to variance-0 strata and never exceeds its budget at all.
+
+use proptest::prelude::*;
+use qcoral_mc::{initial_allocation, neyman_allocation, proportional_split, Allocation};
+
+fn any_allocation() -> impl Strategy<Value = Allocation> {
+    prop_oneof![
+        Just(Allocation::EqualPerStratum),
+        Just(Allocation::Proportional),
+        Just(Allocation::VarianceAdaptive),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Invariant 1 + 2 for the initial pass of every variant (for
+    /// `VarianceAdaptive` the initial pass is the pilot; its follow-up
+    /// budget is covered by `adaptive_two_phase_respects_budget`).
+    #[test]
+    fn initial_allocation_bounds_spend_and_floors_at_one(
+        allocation in any_allocation(),
+        total in 1u64..5_000,
+        w in prop::collection::vec(0.0f64..1.0, 1..24),
+    ) {
+        let counts = initial_allocation(allocation, total, &w);
+        prop_assert_eq!(counts.len(), w.len());
+        let spent: u64 = counts.iter().sum();
+        let k = w.len() as u64;
+        prop_assert!(
+            spent <= total + k,
+            "{:?} spent {} on budget {} over {} strata",
+            allocation, spent, total, k
+        );
+        // Overshoot only when the floor forces it, and then by at most
+        // one sample per stratum.
+        if spent > total {
+            prop_assert!(counts.iter().all(|&c| c == 1) || allocation == Allocation::VarianceAdaptive,
+                "overshoot must come from the one-sample floor: {:?}", counts);
+            prop_assert!(spent <= total.max(k));
+        }
+        prop_assert!(counts.iter().all(|&c| c >= 1), "floor violated: {:?}", counts);
+    }
+
+    /// The VarianceAdaptive pilot plus a worst-case Neyman follow-up
+    /// stays within the budget (modulo the pilot's own floor).
+    #[test]
+    fn adaptive_two_phase_respects_budget(
+        total in 1u64..5_000,
+        w in prop::collection::vec(0.0f64..1.0, 1..24),
+        s in prop::collection::vec(0.0f64..0.5, 1..24),
+    ) {
+        let pilot = initial_allocation(Allocation::VarianceAdaptive, total, &w);
+        let spent: u64 = pilot.iter().sum();
+        let k = w.len() as u64;
+        prop_assert!(spent <= (total / 2).max(1) + k);
+        let stddevs: Vec<f64> = (0..w.len()).map(|i| s[i % s.len()]).collect();
+        let follow = neyman_allocation(total.saturating_sub(spent), &w, &stddevs);
+        let follow_spent: u64 = follow.iter().sum();
+        prop_assert!(
+            spent + follow_spent <= total.max(k),
+            "two-phase spent {} + {} on budget {} over {} strata",
+            spent, follow_spent, total, k
+        );
+    }
+
+    /// Invariant 3: variance-0 strata get no follow-up samples, and the
+    /// follow-up never exceeds its budget.
+    #[test]
+    fn neyman_excludes_exact_strata_and_respects_budget(
+        total in 0u64..5_000,
+        pairs in prop::collection::vec((0.0f64..1.0, prop_oneof![Just(0.0f64), 1e-6f64..0.5]), 1..24),
+    ) {
+        let (w, s): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let counts = neyman_allocation(total, &w, &s);
+        prop_assert_eq!(counts.len(), w.len());
+        prop_assert!(counts.iter().sum::<u64>() <= total);
+        for (i, &c) in counts.iter().enumerate() {
+            if w[i] * s[i] == 0.0 {
+                prop_assert_eq!(c, 0, "variance-0 stratum {} received samples", i);
+            }
+        }
+        // When anything is refinable the whole budget is placed.
+        if w.iter().zip(&s).any(|(&w, &s)| w * s > 0.0) {
+            prop_assert_eq!(counts.iter().sum::<u64>(), total);
+        }
+    }
+
+    /// The largest-remainder core is exact: it spends the budget to the
+    /// sample whenever any score is positive, and nothing otherwise.
+    #[test]
+    fn proportional_split_spends_exactly(
+        total in 0u64..10_000,
+        scores in prop::collection::vec(0.0f64..10.0, 1..32),
+    ) {
+        let counts = proportional_split(total, &scores);
+        let expected = if scores.iter().any(|&s| s > 0.0) { total } else { 0 };
+        prop_assert_eq!(counts.iter().sum::<u64>(), expected);
+        for (i, &c) in counts.iter().enumerate() {
+            if scores[i] <= 0.0 {
+                prop_assert_eq!(c, 0);
+            }
+        }
+    }
+}

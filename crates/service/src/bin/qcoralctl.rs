@@ -6,7 +6,13 @@
 //! qcoralctl --addr HOST:PORT program FILE.mj [options] [--max-depth N]
 //!
 //! options: [--samples N] [--seed N] [--plain|--strat] [--parallel]
+//!          [--target-stderr X] [--round-budget N] [--max-rounds N]
 //! ```
+//!
+//! `--target-stderr` switches the server to the iterative,
+//! variance-driven engine: sampling rounds of `--round-budget` samples
+//! continue until the composed standard error reaches `X` or
+//! `--max-rounds` is exhausted (check `stats.target_met` in the reply).
 //!
 //! `system` takes the constraint source inline (or `-` to read stdin);
 //! `program` takes a MiniJ file path (or `-`). Prints the response as
@@ -21,7 +27,8 @@ use qcoral_service::{Client, ClientError};
 fn usage() -> ! {
     eprintln!(
         "usage: qcoralctl --addr HOST:PORT <status|system SRC|program FILE> \
-         [--samples N] [--seed N] [--plain|--strat] [--parallel] [--max-depth N]"
+         [--samples N] [--seed N] [--plain|--strat] [--parallel] [--max-depth N] \
+         [--target-stderr X] [--round-budget N] [--max-rounds N]"
     );
     exit(2)
 }
@@ -43,6 +50,9 @@ fn parse_cli() -> Cli {
     let mut seed = None;
     let mut parallel = false;
     let mut max_depth = None;
+    let mut target_stderr = None;
+    let mut round_budget = None;
+    let mut max_rounds = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -51,6 +61,9 @@ fn parse_cli() -> Cli {
             "--samples" => samples = Some(parse(&value())),
             "--seed" => seed = Some(parse(&value())),
             "--max-depth" => max_depth = Some(parse(&value())),
+            "--target-stderr" => target_stderr = Some(parse_float(&value())),
+            "--round-budget" => round_budget = Some(parse(&value())),
+            "--max-rounds" => max_rounds = Some(parse(&value())),
             "--plain" => preset = Options::plain,
             "--strat" => preset = Options::strat,
             "--parallel" => parallel = true,
@@ -74,6 +87,15 @@ fn parse_cli() -> Cli {
     if let Some(seed) = seed {
         options.seed = seed;
     }
+    if let Some(target) = target_stderr {
+        options.target_stderr = Some(target);
+    }
+    if let Some(budget) = round_budget {
+        options.round_budget = budget;
+    }
+    if let Some(rounds) = max_rounds {
+        options.max_rounds = rounds;
+    }
     options.parallel = parallel;
     Cli {
         addr,
@@ -85,6 +107,13 @@ fn parse_cli() -> Cli {
 }
 
 fn parse(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("expected a number, got `{s}`");
+        usage()
+    })
+}
+
+fn parse_float(s: &str) -> f64 {
     s.parse().unwrap_or_else(|_| {
         eprintln!("expected a number, got `{s}`");
         usage()

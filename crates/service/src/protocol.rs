@@ -21,7 +21,12 @@ use qcoral::{Estimate, Options, Report};
 use qcoral_mc::UsageProfile;
 
 /// Version of the request/response schema (see module docs).
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: `Options` gained the required `target_stderr`/`max_rounds`/
+/// `round_budget` fields (iterative quantification) and `Stats` gained
+/// `rounds`/`refine_samples`/`target_met` — v1 clients serializing the
+/// old `Options` shape are rejected with a missing-field error.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// One quantification request.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]

@@ -454,6 +454,32 @@ fn validate(
             options.samples, shared.cfg.max_samples
         ));
     }
+    if let Some(target) = options.target_stderr {
+        // Iterative requests: the target itself must be sane, and the
+        // worst-case spend (initial budget plus every refinement round)
+        // must respect the same per-request sample ceiling, or a single
+        // frame with a huge round plan could pin a worker far past
+        // `max_samples`.
+        if !target.is_finite() || target < 0.0 {
+            return reject(format!(
+                "options.target_stderr must be a finite non-negative number, got {target}"
+            ));
+        }
+        let worst_case = options.samples.saturating_add(
+            options
+                .max_rounds
+                .max(1)
+                .saturating_sub(1)
+                .saturating_mul(options.round_budget),
+        );
+        if worst_case > shared.cfg.max_samples {
+            return reject(format!(
+                "iterative worst case of {} samples (samples + (max_rounds - 1) × round_budget) \
+                 exceeds this server's limit of {}",
+                worst_case, shared.cfg.max_samples
+            ));
+        }
+    }
     if options.paver.time_budget > Duration::from_secs(60) {
         return reject("options.paver.time_budget exceeds the 60 s limit".to_string());
     }
@@ -512,8 +538,15 @@ fn execute_inner(shared: &ServerShared, op: Op) -> Outcome {
                 Ok(p) => p,
                 Err(message) => return Outcome::Error { message },
             };
-            let report =
-                analyzer(shared, options).analyze(&sys.constraint_set, &sys.domain, &profile);
+            // A request carrying a target standard error runs the
+            // iterative, variance-driven engine; its refined factor
+            // estimates land in (and warm-load from) the same store.
+            let a = analyzer(shared, options);
+            let report = if a.options().target_stderr.is_some() {
+                a.analyze_iterative(&sys.constraint_set, &sys.domain, &profile)
+            } else {
+                a.analyze(&sys.constraint_set, &sys.domain, &profile)
+            };
             Outcome::Report(AnalysisResponse {
                 report,
                 bound_mass: None,

@@ -147,6 +147,73 @@ fn factor_store_survives_restart_via_snapshot() {
     let _ = std::fs::remove_file(&snapshot);
 }
 
+/// The iterative engine over the wire: a `target_stderr` request either
+/// meets the target or reports `max_rounds` exhaustion via
+/// `stats.target_met`, and a warm repeat of the same request recomposes
+/// from the factor store without drawing a single sample.
+#[test]
+fn target_stderr_requests_converge_and_warm_repeats_are_free() {
+    let (server, mut client) = start(ServiceConfig::default());
+    // Mixed system: exact box factor + noisy trig factor.
+    let source = "var x in [0, 1]; var y in [-2, 2]; var z in [-2, 2];
+                  pc x < 0.4 && sin(y * z) > 0.25;";
+    let opts = Options::default()
+        .with_samples(1_000)
+        .with_seed(8)
+        .with_target_stderr(2e-3)
+        .with_round_budget(1_000)
+        .with_max_rounds(50);
+    let cold = client
+        .analyze_system(source, opts.clone(), None)
+        .expect("iterative request");
+    assert!(cold.report.stats.rounds >= 1);
+    assert!(cold.report.stats.target_met, "{:?}", cold.report.stats);
+    assert!(cold.report.estimate.std_dev() <= 2e-3);
+    assert!(cold.report.stats.samples_drawn > 0);
+
+    // Warm repeat from a new connection: zero samples, zero pavings,
+    // bit-identical estimate.
+    let mut client2 = Client::connect(server.addr()).expect("connect");
+    let warm = client2
+        .analyze_system(source, opts, None)
+        .expect("warm repeat");
+    assert_eq!(warm.report.estimate, cold.report.estimate);
+    assert_eq!(warm.report.stats.samples_drawn, 0, "warm repeat sampled");
+    assert_eq!(warm.report.stats.pavings, 0, "warm repeat paved");
+    assert!(warm.report.stats.factor_store_hits > 0);
+    assert!(warm.report.stats.target_met);
+
+    // An unreachable target is flagged, not spun on: max_rounds bounds
+    // the work and target_met reports the shortfall.
+    let strict = Options::default()
+        .with_samples(500)
+        .with_seed(9)
+        .with_target_stderr(1e-12)
+        .with_round_budget(500)
+        .with_max_rounds(2);
+    let capped = client
+        .analyze_system(source, strict, None)
+        .expect("capped request");
+    assert!(!capped.report.stats.target_met, "{:?}", capped.report.stats);
+    assert_eq!(capped.report.stats.rounds, 2);
+
+    // Resource validation: a round plan whose worst case blows the
+    // server's sample ceiling is rejected up front.
+    let hostile = Options::default()
+        .with_samples(1_000)
+        .with_target_stderr(1e-12)
+        .with_round_budget(u64::MAX / 2)
+        .with_max_rounds(u64::MAX / 2);
+    let err = client.analyze_system(source, hostile, None);
+    match err {
+        Err(qcoral_service::ClientError::Remote(m)) => {
+            assert!(m.contains("worst case"), "unexpected message: {m}")
+        }
+        other => panic!("hostile round plan not rejected: {other:?}"),
+    }
+    server.shutdown();
+}
+
 #[test]
 fn corrupt_or_stale_snapshots_cold_start_without_crashing() {
     let opts = Options::default().with_samples(500).with_seed(2);

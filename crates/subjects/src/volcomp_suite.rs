@@ -1,6 +1,6 @@
 //! Re-creations of the VolComp benchmark subjects (paper Table 3).
 //!
-//! The original benchmark [2] is no longer distributed; each subject here
+//! The original benchmark \[2\] is no longer distributed; each subject here
 //! is a MiniJ program with the *computational shape* the paper describes,
 //! paired with the paper's assertion labels:
 //!

@@ -320,7 +320,7 @@ impl DeError {
         DeError { msg }
     }
 
-    /// "expected X, found <kind>" constructor.
+    /// "expected X, found `<kind>`" constructor.
     pub fn expected(what: &str, found: &JsonValue) -> DeError {
         DeError::new(format!("expected {what}, found {}", found.kind()))
     }

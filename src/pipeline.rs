@@ -78,6 +78,15 @@ pub fn analyze_program(
 /// analyzer with the same options (all sampling seeds derive from
 /// canonical factor keys, never from cache state).
 ///
+/// When the analyzer's options set
+/// [`Options::target_stderr`](qcoral::Options), the *target* event is
+/// quantified with the iterative, variance-driven engine
+/// ([`Analyzer::analyze_iterative`]) — sampling rounds continue until
+/// the composed standard error reaches the target or `max_rounds` runs
+/// out, recorded in the report's `Stats`. The bound-mass side estimate
+/// stays one-shot: it is a confidence annotation, not the quantity the
+/// caller asked to be refined.
+///
 /// # Errors
 ///
 /// Returns the parser's [`ParseError`] if the source is malformed.
@@ -89,7 +98,11 @@ pub fn analyze_program_with(
     let program = parse_program(source)?;
     let sym = symbolic_execute(&program, sym_cfg);
     let profile = UsageProfile::uniform(sym.domain.len());
-    let target = analyzer.analyze(&sym.target, &sym.domain, &profile);
+    let target = if analyzer.options().target_stderr.is_some() {
+        analyzer.analyze_iterative(&sym.target, &sym.domain, &profile)
+    } else {
+        analyzer.analyze(&sym.target, &sym.domain, &profile)
+    };
     let bound_mass = if sym.bound_hit.is_empty() {
         Estimate::ZERO
     } else {
@@ -163,5 +176,29 @@ mod tests {
     fn parse_errors_propagate() {
         let err = analyze_program("program x(", &SymConfig::default(), Options::default());
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn target_stderr_routes_through_the_iterative_engine() {
+        let src = "program p(x in [0, 2], y in [0, 2]) {
+           if (x * x + y > 2 && sin(y) < 0.7) { target(); }
+         }";
+        let opts = Options::default()
+            .with_samples(1_000)
+            .with_target_stderr(2e-3)
+            .with_round_budget(1_000)
+            .with_max_rounds(40);
+        let a = analyze_program(src, &SymConfig::default(), opts.clone()).unwrap();
+        assert!(a.target.stats.rounds >= 1, "iterative engine engaged");
+        assert!(a.target.stats.target_met, "stats: {:?}", a.target.stats);
+        assert!(a.target.estimate.std_dev() <= 2e-3);
+        // Without a target the one-shot engine runs (rounds stays 0).
+        let one_shot = analyze_program(
+            src,
+            &SymConfig::default(),
+            Options::default().with_samples(1_000),
+        )
+        .unwrap();
+        assert_eq!(one_shot.target.stats.rounds, 0);
     }
 }

@@ -10,7 +10,9 @@
 //! 3. the per-PC breakdown matches, not just the total (no compensating
 //!    errors across path conditions).
 
-use qcoral::{Analyzer, Options};
+use std::sync::Arc;
+
+use qcoral::{Analyzer, FactorStore, Options};
 use qcoral_mc::UsageProfile;
 use qcoral_subjects::table3_subjects;
 use qcoral_symexec::SymConfig;
@@ -95,6 +97,91 @@ fn plain_config_parallel_matches_serial() {
     let a = Analyzer::new(opts.clone()).analyze(&cs, &domain, &profile);
     let b = Analyzer::new(opts.with_parallel(true)).analyze(&cs, &domain, &profile);
     assert_eq!(a.estimate, b.estimate);
+}
+
+/// The iterative engine's contract over the VolComp suite: for a fixed
+/// seed and fixed iterative knobs,
+///
+/// 1. repeated runs are bit-identical (repeatability),
+/// 2. serial and parallel runs agree bit-for-bit — including the round
+///    count, since every reallocation decision is a pure function of
+///    deterministic estimates (schedule independence), and
+/// 3. a *warm restart* through a snapshotted `FactorStore` recomposes
+///    the bit-identical estimate with zero pavings and zero samples
+///    (same seeds ⇒ same rounds ⇒ same estimate).
+#[test]
+fn analyze_iterative_is_deterministic_and_restart_stable() {
+    for subj in table3_subjects() {
+        let (domain, cs) = subj.system_for(0, &SymConfig::default());
+        if cs.is_empty() {
+            continue;
+        }
+        let profile = UsageProfile::uniform(domain.len());
+        let opts = Options::strat_partcache()
+            .with_samples(800)
+            .with_seed(21)
+            .with_target_stderr(1e-3)
+            .with_round_budget(800)
+            .with_max_rounds(4);
+
+        let a = Analyzer::new(opts.clone()).analyze_iterative(&cs, &domain, &profile);
+        let b = Analyzer::new(opts.clone()).analyze_iterative(&cs, &domain, &profile);
+        assert_eq!(
+            a.estimate, b.estimate,
+            "{}: repeat runs disagree",
+            subj.name
+        );
+        assert_eq!(a.per_pc, b.per_pc, "{}: per-PC repeat differs", subj.name);
+
+        let c = Analyzer::new(opts.clone().with_parallel(true))
+            .analyze_iterative(&cs, &domain, &profile);
+        assert_eq!(a.estimate, c.estimate, "{}: parallel vs serial", subj.name);
+        assert_eq!(a.per_pc, c.per_pc, "{}: per-PC parallel differs", subj.name);
+        assert_eq!(
+            a.stats.rounds, c.stats.rounds,
+            "{}: parallel round trajectory differs",
+            subj.name
+        );
+        assert_eq!(
+            a.stats.samples_drawn, c.stats.samples_drawn,
+            "{}",
+            subj.name
+        );
+
+        // Warm restart: snapshot the store, absorb it into a fresh one
+        // (what the service does across process restarts), re-run.
+        let store = Arc::new(FactorStore::new(4096));
+        let cold = Analyzer::new(opts.clone())
+            .with_factor_store(Arc::clone(&store))
+            .analyze_iterative(&cs, &domain, &profile);
+        assert_eq!(
+            cold.estimate, a.estimate,
+            "{}: store changed result",
+            subj.name
+        );
+        let restarted = Arc::new(FactorStore::new(4096));
+        restarted.absorb(store.entries());
+        let warm = Analyzer::new(opts)
+            .with_factor_store(restarted)
+            .analyze_iterative(&cs, &domain, &profile);
+        assert_eq!(
+            warm.estimate, a.estimate,
+            "{}: warm restart diverged",
+            subj.name
+        );
+        assert_eq!(warm.per_pc, a.per_pc, "{}: warm per-PC differs", subj.name);
+        assert_eq!(
+            warm.stats.samples_drawn, 0,
+            "{}: warm run sampled",
+            subj.name
+        );
+        assert_eq!(warm.stats.pavings, 0, "{}: warm run paved", subj.name);
+        assert_eq!(
+            warm.stats.target_met, a.stats.target_met,
+            "{}: warm target flag differs",
+            subj.name
+        );
+    }
 }
 
 /// Chunk size changes the stream (like a reseed) but never the
