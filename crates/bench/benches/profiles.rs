@@ -1,0 +1,61 @@
+//! Criterion bench for non-uniform usage profiles: wall time of a
+//! profile-aligned analysis on a peaked subject, plus the
+//! `BENCH_profiles.json` emitter recording samples-to-target for
+//! profile-aligned stratification versus the uniform-strata reweighting
+//! baseline over the non-uniform VolComp suite.
+//!
+//! Run with `cargo bench -p qcoral-bench --bench profiles`. The JSON
+//! lands at the workspace root (override with `BENCH_PROFILES_OUT`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcoral::{Analyzer, Options};
+use qcoral_bench::profiles;
+use qcoral_subjects::nonuniform_subjects;
+use qcoral_symexec::SymConfig;
+
+fn bench_aligned_analysis(c: &mut Criterion) {
+    let subjects = nonuniform_subjects();
+    let subj = subjects
+        .iter()
+        .find(|s| s.name == "CORONARY·clinic")
+        .expect("subject exists");
+    let (domain, cs, profile) = subj.system(&SymConfig::default());
+    // One analyzer across iterations: pavings warm after the first run,
+    // so steady-state iterations measure discretization + aligned
+    // stratified sampling.
+    let analyzer = Analyzer::new(Options::strat().with_samples(10_000));
+    let mut g = c.benchmark_group("profiles_coronary_clinic");
+    g.sample_size(10);
+    g.bench_function("aligned_analyze_10k", |b| {
+        b.iter(|| analyzer.analyze(&cs, &domain, &profile).estimate)
+    });
+    g.finish();
+}
+
+fn emit_json(_c: &mut Criterion) {
+    let summary = profiles::run(16_000);
+    let path = std::env::var("BENCH_PROFILES_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_profiles.json", env!("CARGO_MANIFEST_DIR")));
+    profiles::write_json(&summary, &path).expect("write BENCH_profiles.json");
+    println!(
+        "profiles summary: samples saved (geomean) = {:.2}x, aligned wins {}/{} -> {path}",
+        summary.samples_saved_geomean, summary.aligned_wins, summary.contested
+    );
+    for r in &summary.rows {
+        println!(
+            "  {:18} target σ={:9.3e} aligned={:8} (σ {:9.3e}, {:3} strata) reweighted={:8} (σ {:9.3e}) saved={:5.2}x{}",
+            r.subject,
+            r.target_stderr,
+            r.aligned_samples,
+            r.aligned_stderr,
+            r.aligned_strata,
+            r.reweighted_samples,
+            r.reweighted_stderr,
+            r.samples_saved,
+            if r.trivial { " (exact)" } else { "" }
+        );
+    }
+}
+
+criterion_group!(benches, bench_aligned_analysis, emit_json);
+criterion_main!(benches);

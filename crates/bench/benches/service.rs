@@ -36,7 +36,7 @@ fn bench_roundtrip(c: &mut Criterion) {
             // The first iteration is the only truly cold one; the rest
             // measure the steady-state warm service.
             let r = client
-                .analyze_program(&source, opts.clone(), None)
+                .analyze_program(&source, opts.clone(), None, None)
                 .expect("query");
             if !first {
                 assert_eq!(r.report.stats.samples_drawn, 0, "warm query sampled");

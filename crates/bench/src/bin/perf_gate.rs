@@ -1,0 +1,167 @@
+//! CI perf-regression gate: compares freshly generated `BENCH_*.json`
+//! smoke runs against the committed baselines and fails on a geomean
+//! regression of more than the threshold (default 25%).
+//!
+//! ```text
+//! perf_gate --baseline ci-baselines --fresh . [--max-regression 1.25]
+//! ```
+//!
+//! Noise tolerance by design: the gate compares *ratios* of matched
+//! metrics (per file, per subject, per field), never absolute times —
+//! so a uniformly slower CI runner cancels out of nothing, but a single
+//! noisy metric is averaged away by the geometric mean over its file.
+//! Two metric families are gated:
+//!
+//! * wall-clock fields (`*_secs`, `*_ms`) from the hot-path and service
+//!   benches — machine-relative, hence the geomean-of-ratios;
+//! * samples-to-target fields (`adaptive_samples`, `aligned_samples`)
+//!   from the adaptive and profiles benches — deterministic efficiency
+//!   measures where a jump means an algorithmic regression.
+//!
+//! Files present only in the baseline fail the gate (the smoke run did
+//! not produce them); files present only fresh are noted and skipped
+//! (a newly added bench without a committed baseline yet).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::exit;
+
+/// The gated files and their gated numeric fields.
+const GATED: &[(&str, &[&str])] = &[
+    ("BENCH_hotpath.json", &["serial_secs", "pred_tape_secs"]),
+    (
+        "BENCH_service.json",
+        &["cold_ms", "warm_ms", "warm_restart_ms"],
+    ),
+    ("BENCH_adaptive.json", &["adaptive_samples"]),
+    ("BENCH_profiles.json", &["aligned_samples"]),
+];
+
+/// Extracts `(subject, field) -> value` pairs from one of the emitted
+/// pretty-printed JSON documents. A full JSON parser is unnecessary:
+/// every emitter in this workspace pretty-prints one `"key": value`
+/// pair per line, with each row's `"subject"` preceding its metrics.
+fn extract(text: &str, fields: &[&str]) -> BTreeMap<(String, String), f64> {
+    let mut out = BTreeMap::new();
+    let mut subject = String::from("<top>");
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once("\":") else {
+            continue;
+        };
+        let value = value.trim();
+        if key == "subject" {
+            subject = value.trim_matches('"').to_string();
+        } else if fields.contains(&key) {
+            if let Ok(v) = value.parse::<f64>() {
+                out.insert((subject.clone(), key.to_string()), v);
+            }
+        }
+    }
+    out
+}
+
+fn geomean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp()
+}
+
+fn usage() -> ! {
+    eprintln!("usage: perf_gate --baseline DIR --fresh DIR [--max-regression RATIO]");
+    exit(2)
+}
+
+fn main() {
+    let mut baseline_dir = None;
+    let mut fresh_dir = None;
+    let mut max_regression = 1.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--baseline" => baseline_dir = Some(value()),
+            "--fresh" => fresh_dir = Some(value()),
+            "--max-regression" => {
+                max_regression = value().parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(baseline_dir), Some(fresh_dir)) = (baseline_dir, fresh_dir) else {
+        usage()
+    };
+
+    let mut failed = false;
+    for (file, fields) in GATED {
+        let base_path = Path::new(&baseline_dir).join(file);
+        let fresh_path = Path::new(&fresh_dir).join(file);
+        let Ok(base_text) = std::fs::read_to_string(&base_path) else {
+            println!("perf_gate: {file}: no committed baseline yet, skipping");
+            continue;
+        };
+        let Ok(fresh_text) = std::fs::read_to_string(&fresh_path) else {
+            println!(
+                "perf_gate: FAIL {file}: baseline exists but the smoke run produced no fresh copy"
+            );
+            failed = true;
+            continue;
+        };
+        let base = extract(&base_text, fields);
+        let fresh = extract(&fresh_text, fields);
+        let mut ratios = Vec::new();
+        for (key, &b) in &base {
+            let Some(&f) = fresh.get(key) else {
+                // A renamed/removed subject is a baseline-refresh matter,
+                // not a perf regression.
+                println!(
+                    "perf_gate: {file}: metric {}/{} missing fresh, skipping",
+                    key.0, key.1
+                );
+                continue;
+            };
+            if b > 0.0 && f > 0.0 {
+                ratios.push(f / b);
+            }
+        }
+        let g = geomean(&ratios);
+        let verdict = if ratios.is_empty() {
+            "no comparable metrics"
+        } else if g > max_regression {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "perf_gate: {verdict} {file}: geomean ratio {g:.3} over {} metrics (threshold {max_regression:.2})",
+            ratios.len()
+        );
+        if g > max_regression {
+            let mut worst: Vec<(&(String, String), f64)> = base
+                .iter()
+                .filter_map(|(k, &b)| {
+                    let f = *fresh.get(k)?;
+                    (b > 0.0 && f > 0.0).then_some((k, f / b))
+                })
+                .collect();
+            worst.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            for (k, r) in worst.iter().take(5) {
+                println!("perf_gate:   {}/{}: {r:.3}x", k.0, k.1);
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "perf_gate: performance regression above {:.0}% — investigate, or refresh the \
+             committed BENCH_*.json baselines if the change is intentional",
+            (max_regression - 1.0) * 100.0
+        );
+        exit(1);
+    }
+    println!("perf_gate: all gated benchmarks within the regression budget");
+}

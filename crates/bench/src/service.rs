@@ -92,7 +92,7 @@ struct Measured {
 fn query(client: &mut Client, source: &str, opts: &Options) -> Measured {
     let t0 = Instant::now();
     let r = client
-        .analyze_program(source, opts.clone(), None)
+        .analyze_program(source, opts.clone(), None, None)
         .expect("bench query");
     Measured {
         ms: t0.elapsed().as_secs_f64() * 1e3,

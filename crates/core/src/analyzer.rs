@@ -38,8 +38,8 @@ use qcoral_constraints::{ConstraintSet, Domain, EvalTape, PathCondition, VarId, 
 use qcoral_icp::{domain_box, tape_cache_stats, PaverConfig, PavingCache};
 use qcoral_interval::IntervalBox;
 use qcoral_mc::{
-    hit_or_miss_plan, mix_seed, stratified_plan, Allocation, Dist, Estimate, SamplePlan, Stratum,
-    UsageProfile,
+    align_strata, hit_or_miss_plan, mix_seed, stratified_plan, Allocation, Dist, Estimate,
+    SamplePlan, Stratum, UsageProfile,
 };
 
 use crate::depend::dependency_partition;
@@ -97,6 +97,16 @@ pub struct Options {
     /// first) distributes across the highest-variance factors. Ignored
     /// by `analyze`.
     pub round_budget: u64,
+    /// Discretization error bound ε for non-uniform usage profiles:
+    /// continuous marginals are discretized into adaptive histograms
+    /// whose per-bin mass-linearization error is at most ε (see
+    /// [`mod@qcoral_mc::discretize`]), and boundary strata are split along
+    /// the resulting mass edges so allocation follows probability mass.
+    /// Changing ε changes the strata — and therefore the sample streams
+    /// — of factors over non-uniform marginals, so ε is folded into
+    /// those factors' cache keys; uniform-profile
+    /// factors are unaffected and keep their keys.
+    pub profile_epsilon: f64,
 }
 
 impl Options {
@@ -115,6 +125,7 @@ impl Options {
             target_stderr: None,
             max_rounds: 8,
             round_budget: 10_000,
+            profile_epsilon: 1e-3,
         }
     }
 
@@ -178,6 +189,13 @@ impl Options {
     /// Sets the per-round refinement budget for `analyze_iterative`.
     pub fn with_round_budget(mut self, budget: u64) -> Options {
         self.round_budget = budget;
+        self
+    }
+
+    /// Sets the profile-discretization error bound ε (see
+    /// [`Options::profile_epsilon`]).
+    pub fn with_profile_epsilon(mut self, epsilon: f64) -> Options {
+        self.profile_epsilon = epsilon;
         self
     }
 
@@ -362,19 +380,50 @@ impl std::fmt::Debug for Analyzer {
     }
 }
 
+/// High-bit variant-tag base for non-uniform [`profile_bits`] encodings.
+/// The previous encoding's first word for a non-uniform dimension was
+/// `1 + edges.len()` — a small integer — so tagged words can never
+/// collide with stale snapshot keys: every pre-profile-aware non-uniform
+/// entry goes cold (its sample streams changed when stratum alignment
+/// landed), while uniform dimensions keep their historic `0` word and
+/// stay warm (their streams are untouched).
+const PROFILE_TAG: u64 = 0xD157_7000_0000_0000;
+
 /// Stable bit-level encoding of a projected usage profile for cache
 /// keying: structurally identical factors over *differently distributed*
-/// variables must not share an estimate.
-pub(crate) fn profile_bits(profile: &UsageProfile) -> Vec<u64> {
+/// variables must not share an estimate. `epsilon` is the
+/// [`Options::profile_epsilon`] discretization bound; it shapes the
+/// aligned strata (and thus the sample streams) of continuous marginals,
+/// so it is folded into their encodings — but not into `Uniform` (no
+/// alignment) or `Piecewise` (aligned along its own ε-independent
+/// edges), whose estimates do not depend on it.
+pub(crate) fn profile_bits(profile: &UsageProfile, epsilon: f64) -> Vec<u64> {
     let mut out = Vec::new();
     for i in 0..profile.len() {
         match profile.dist(i) {
             Dist::Uniform => out.push(0),
             Dist::Piecewise { edges, weights } => {
                 // Length-prefixed so adjacent dimensions cannot alias.
-                out.push(1 + edges.len() as u64);
+                out.push(PROFILE_TAG | 1);
+                out.push(edges.len() as u64);
                 out.extend(edges.iter().map(|v| v.to_bits()));
                 out.extend(weights.iter().map(|v| v.to_bits()));
+            }
+            Dist::Normal { mu, sigma } => {
+                out.push(PROFILE_TAG | 2);
+                out.push(epsilon.to_bits());
+                out.push(mu.to_bits());
+                out.push(sigma.to_bits());
+            }
+            Dist::Exponential { lambda } => {
+                out.push(PROFILE_TAG | 3);
+                out.push(epsilon.to_bits());
+                out.push(lambda.to_bits());
+            }
+            Dist::TruncatedNormal { mu, sigma, lo, hi } => {
+                out.push(PROFILE_TAG | 4);
+                out.push(epsilon.to_bits());
+                out.extend([mu, sigma, lo, hi].iter().map(|v| v.to_bits()));
             }
         }
     }
@@ -616,7 +665,12 @@ fn analyze_factor(
     let sub_box = shared.domain_box.project(&indices);
 
     if shared.opts.cache {
-        let key = factor_key(&local_pc, &sub_box, &shared.profile.project(&indices));
+        let key = factor_key(
+            &local_pc,
+            &sub_box,
+            &shared.profile.project(&indices),
+            shared.opts.profile_epsilon,
+        );
         let cached = shared.cache.lock().get(&key).copied();
         match cached {
             Some(e) => {
@@ -673,12 +727,14 @@ fn analyze_factor(
 
 /// Canonical cache identity of one independent factor: structural
 /// fingerprint of the conjunction (linear in DAG size — never a rendered
-/// tree), the exact sub-box bits, and the projected marginals — the
-/// estimate depends on all three.
+/// tree), the exact sub-box bits, and the projected marginals (with the
+/// discretization ε, where it shapes the estimate) — the estimate
+/// depends on all three.
 pub(crate) fn factor_key(
     local_pc: &PathCondition,
     sub_box: &IntervalBox,
     projected: &UsageProfile,
+    epsilon: f64,
 ) -> FactorKey {
     (
         local_pc.fingerprint(),
@@ -687,9 +743,14 @@ pub(crate) fn factor_key(
             .iter()
             .map(|d| (d.lo().to_bits(), d.hi().to_bits()))
             .collect::<Vec<_>>(),
-        profile_bits(projected),
+        profile_bits(projected, epsilon),
     )
 }
+
+/// Ceiling on profile-aligned sub-strata per paving stratum (see
+/// [`qcoral_mc::align_strata`]): bounds stratification fan-out on peaked
+/// profiles while leaving plenty of room for mass-resolved allocation.
+pub(crate) const ALIGN_CAP: usize = 64;
 
 /// Algorithm 3: stratified sampling of one independent factor. Pavings
 /// come from the shared [`PavingCache`]; sampling runs on the
@@ -751,6 +812,17 @@ fn strat_sampling(
         .map(Stratum::inner)
         .chain(paving.boundary.iter().cloned().map(Stratum::boundary))
         .collect();
+    // Profile-aligned stratification: slice boundary strata along the
+    // discretized profile's mass edges so stratum weights (and therefore
+    // proportional/Neyman allocation) follow probability mass. A no-op
+    // under uniform profiles.
+    let strata = align_strata(
+        strata,
+        &local_profile,
+        sub_box,
+        shared.opts.profile_epsilon,
+        ALIGN_CAP,
+    );
     stratified_plan(
         &pred,
         &strata,
@@ -1101,6 +1173,141 @@ mod tests {
             "recompile hits the cache: {:?}",
             r2.stats
         );
+    }
+
+    #[test]
+    fn continuous_profiles_quantify_with_exact_masses() {
+        // P[x < 0.5] under N(0.5, 0.1) truncated to [0, 1] is exactly
+        // 0.5 by symmetry; the x-factor is a pure box, so ICP makes the
+        // whole estimate exact regardless of sampling.
+        let sys = parse_system("var x in [0, 1]; pc x < 0.5;").unwrap();
+        let prof = UsageProfile::uniform(1)
+            .with_dist(0, qcoral_mc::Dist::truncated_normal(0.5, 0.1, 0.0, 1.0));
+        let r = Analyzer::new(Options::strat().with_samples(2_000)).analyze(
+            &sys.constraint_set,
+            &sys.domain,
+            &prof,
+        );
+        assert!((r.estimate.mean - 0.5).abs() < 1e-9, "{}", r.estimate.mean);
+
+        // A noisy factor under a peaked profile: P[sin(x) > 0.5] with
+        // x ~ N(0.9, 0.05) on [0, 1] — nearly all mass above
+        // asin(0.5) ≈ 0.5236, so the probability is close to 1 (and far
+        // from the uniform 0.4764 answer).
+        let sys = parse_system("var x in [0, 1]; pc sin(x) > 0.5;").unwrap();
+        let prof = UsageProfile::uniform(1).with_dist(0, qcoral_mc::Dist::normal(0.9, 0.05));
+        let r = Analyzer::new(Options::strat().with_samples(20_000)).analyze(
+            &sys.constraint_set,
+            &sys.domain,
+            &prof,
+        );
+        let d = qcoral_mc::Dist::normal(0.9, 0.05);
+        let truth = d.mass(
+            &qcoral_interval::Interval::new(std::f64::consts::FRAC_PI_6, 1.0),
+            &qcoral_interval::Interval::new(0.0, 1.0),
+        );
+        assert!(
+            (r.estimate.mean - truth).abs() < 0.01,
+            "{} vs {truth}",
+            r.estimate.mean
+        );
+    }
+
+    #[test]
+    fn aligned_stratification_beats_unaligned_variance() {
+        // A peaked profile over a boundary-heavy constraint: aligning
+        // strata with the mass edges must not increase the reported
+        // variance at equal budget (it concentrates allocation where the
+        // mass is). ALIGN_CAP = 1-equivalent is simulated by a huge ε
+        // (discretization collapses to few bins).
+        let sys = parse_system("var x in [0, 1]; var y in [0, 1]; pc sin(3*x + y) > 0.6;").unwrap();
+        let prof = UsageProfile::uniform(2)
+            .with_dist(0, qcoral_mc::Dist::normal(0.7, 0.08))
+            .with_dist(1, qcoral_mc::Dist::exponential(5.0));
+        let aligned = Analyzer::new(
+            Options::strat()
+                .with_samples(8_000)
+                .with_profile_epsilon(1e-3),
+        )
+        .analyze(&sys.constraint_set, &sys.domain, &prof);
+        let coarse = Analyzer::new(
+            Options::strat()
+                .with_samples(8_000)
+                .with_profile_epsilon(0.5),
+        )
+        .analyze(&sys.constraint_set, &sys.domain, &prof);
+        assert!(
+            aligned.estimate.variance <= coarse.estimate.variance * 1.05,
+            "aligned {} vs coarse {}",
+            aligned.estimate.variance,
+            coarse.estimate.variance
+        );
+        assert!(
+            (aligned.estimate.mean - coarse.estimate.mean).abs()
+                <= 3.0 * (aligned.estimate.std_dev() + coarse.estimate.std_dev()) + 1e-9,
+            "estimates must agree statistically: {} vs {}",
+            aligned.estimate.mean,
+            coarse.estimate.mean
+        );
+    }
+
+    #[test]
+    fn profile_epsilon_keys_continuous_factors_but_not_uniform_ones() {
+        let (cs, dom, prof) = paper_system();
+        let store = Arc::new(FactorStore::new(1024));
+        // Uniform profile: ε is irrelevant, entries stay warm across ε.
+        let a = Analyzer::new(Options::strat_partcache().with_samples(1_000))
+            .with_factor_store(Arc::clone(&store))
+            .analyze(&cs, &dom, &prof);
+        let b = Analyzer::new(
+            Options::strat_partcache()
+                .with_samples(1_000)
+                .with_profile_epsilon(1e-6),
+        )
+        .with_factor_store(Arc::clone(&store))
+        .analyze(&cs, &dom, &prof);
+        assert_eq!(a.estimate, b.estimate);
+        assert!(b.stats.factor_store_hits > 0, "uniform keys ignore ε");
+        // Continuous profile: different ε ⇒ different keys, no cross-hit.
+        let np = UsageProfile::uniform(3).with_dist(1, qcoral_mc::Dist::normal(0.0, 3.0));
+        let c = Analyzer::new(Options::strat_partcache().with_samples(1_000))
+            .with_factor_store(Arc::clone(&store))
+            .analyze(&cs, &dom, &np);
+        let d = Analyzer::new(
+            Options::strat_partcache()
+                .with_samples(1_000)
+                .with_profile_epsilon(1e-4),
+        )
+        .with_factor_store(Arc::clone(&store))
+        .analyze(&cs, &dom, &np);
+        assert_eq!(
+            d.stats.factor_store_hits, 2,
+            "only the two uniform-variable factors stay ε-independent: {:?}",
+            d.stats
+        );
+        assert!(c.stats.factor_store_misses > 0);
+    }
+
+    #[test]
+    fn warm_store_is_bit_identical_under_continuous_profiles() {
+        let (cs, dom, _) = paper_system();
+        let prof = UsageProfile::uniform(3)
+            .with_dist(0, qcoral_mc::Dist::exponential(2.0))
+            .with_dist(1, qcoral_mc::Dist::normal(0.0, 4.0))
+            .with_dist(2, qcoral_mc::Dist::truncated_normal(0.0, 5.0, -8.0, 8.0));
+        let store = Arc::new(FactorStore::new(1024));
+        let opts = Options::strat_partcache().with_samples(2_000).with_seed(3);
+        let cold = Analyzer::new(opts.clone())
+            .with_factor_store(Arc::clone(&store))
+            .analyze(&cs, &dom, &prof);
+        assert!(cold.stats.samples_drawn > 0);
+        let warm = Analyzer::new(opts)
+            .with_factor_store(Arc::clone(&store))
+            .analyze(&cs, &dom, &prof);
+        assert_eq!(warm.estimate, cold.estimate, "bit-identical warm hit");
+        assert_eq!(warm.per_pc, cold.per_pc);
+        assert_eq!(warm.stats.samples_drawn, 0);
+        assert_eq!(warm.stats.pavings, 0);
     }
 
     #[test]

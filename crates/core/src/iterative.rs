@@ -71,11 +71,13 @@ use qcoral_constraints::{ConstraintSet, Domain, EvalTape, PathCondition, VarId};
 use qcoral_icp::{domain_box, tape_cache_stats};
 use qcoral_interval::IntervalBox;
 use qcoral_mc::{
-    initial_allocation, mix_seed, neyman_allocation, proportional_split, refine_plan, Allocation,
-    Estimate, SamplePlan, Stratum, StratumAccum, UsageProfile,
+    align_strata, initial_allocation, mix_seed, neyman_allocation, proportional_split, refine_plan,
+    Allocation, Estimate, SamplePlan, Stratum, StratumAccum, UsageProfile,
 };
 
-use crate::analyzer::{factor_key, hash_key, normalized_partition, Analyzer, Report, Stats};
+use crate::analyzer::{
+    factor_key, hash_key, normalized_partition, Analyzer, Report, Stats, ALIGN_CAP,
+};
 use crate::factor_store::FactorKey;
 
 /// One distinct factor of the analyzed system, deduplicated across path
@@ -279,7 +281,12 @@ impl Analyzer {
                 }
                 let local_pc = part.remap_vars(&|v: VarId| VarId(local_of[&v.0]));
                 let sub_box = dbox.project(&indices);
-                let key = factor_key(&local_pc, &sub_box, &profile.project(&indices));
+                let key = factor_key(
+                    &local_pc,
+                    &sub_box,
+                    &profile.project(&indices),
+                    opts.profile_epsilon,
+                );
                 factor_refs += 1;
                 let idx = *slot_of.entry(key.clone()).or_insert_with(|| {
                     slots.push(Slot {
@@ -311,7 +318,7 @@ impl Analyzer {
                 d.store_misses = 1;
             }
             let local_profile = profile.project(&slot.indices);
-            let strata: Vec<Stratum> = if opts.stratified {
+            let raw_strata: Vec<Stratum> = if opts.stratified {
                 let (paving, was_hit) = self.paving_cache.pave_cached_counted(
                     &slot.local_pc,
                     &slot.sub_box,
@@ -337,6 +344,21 @@ impl Analyzer {
                     .collect()
             } else {
                 vec![Stratum::boundary(slot.sub_box.clone())]
+            };
+            // Profile-aligned stratification (identical to the one-shot
+            // engine's, so shared pavings yield the same strata): only
+            // the ICP-stratified path aligns — the unstratified engine
+            // stays the paper's naive baseline.
+            let strata = if opts.stratified {
+                align_strata(
+                    raw_strata,
+                    &local_profile,
+                    &slot.sub_box,
+                    opts.profile_epsilon,
+                    ALIGN_CAP,
+                )
+            } else {
+                raw_strata
             };
             let weights: Vec<f64> = strata
                 .iter()

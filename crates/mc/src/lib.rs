@@ -31,12 +31,16 @@
 
 #![warn(missing_docs)]
 
+pub mod discretize;
 pub mod estimate;
 pub mod profile;
 pub mod sampler;
 
+pub use discretize::{align_strata, discretize, mass_edges, MAX_BINS};
 pub use estimate::{Estimate, Moments};
-pub use profile::{Dist, UsageProfile};
+pub use profile::{
+    parse_dist_spec, parse_profile_spec, std_normal_cdf, std_normal_quantile, Dist, UsageProfile,
+};
 pub use sampler::{
     hit_or_miss, hit_or_miss_plan, initial_allocation, mix_seed, neyman_allocation,
     proportional_split, refine_plan, stratified, stratified_plan, Allocation, SamplePlan, Stratum,

@@ -7,12 +7,26 @@
 //!
 //! options: [--samples N] [--seed N] [--plain|--strat] [--parallel]
 //!          [--target-stderr X] [--round-budget N] [--max-rounds N]
+//!          [--profile SPEC] [--profile-epsilon X]
 //! ```
 //!
 //! `--target-stderr` switches the server to the iterative,
 //! variance-driven engine: sampling rounds of `--round-budget` samples
 //! continue until the composed standard error reaches `X` or
 //! `--max-rounds` is exhausted (check `stats.target_met` in the reply).
+//!
+//! `--profile` attaches a non-uniform usage profile, one `name ~ dist`
+//! entry per input separated by `;`, e.g.
+//!
+//! ```text
+//! --profile 'x ~ N(0, 1); y ~ Exp(2); z ~ TN(0.5, 0.1, 0, 1); h ~ H(0, 0.5, 1 | 3, 1)'
+//! ```
+//!
+//! Unmentioned inputs stay uniform. For `system` requests the variable
+//! names are resolved locally against the `var …;` declarations; for
+//! `program` requests the named marginals travel on the wire and the
+//! server resolves them against the program's parameters.
+//! `--profile-epsilon` tunes the discretization error bound ε.
 //!
 //! `system` takes the constraint source inline (or `-` to read stdin);
 //! `program` takes a MiniJ file path (or `-`). Prints the response as
@@ -22,13 +36,17 @@ use std::io::Read;
 use std::process::exit;
 
 use qcoral::Options;
-use qcoral_service::{Client, ClientError};
+use qcoral_constraints::parse::parse_system;
+use qcoral_mc::{parse_profile_spec, Dist, UsageProfile};
+use qcoral_repro::pipeline::resolve_profile;
+use qcoral_service::{Client, ClientError, NamedDist};
 
 fn usage() -> ! {
     eprintln!(
         "usage: qcoralctl --addr HOST:PORT <status|system SRC|program FILE> \
          [--samples N] [--seed N] [--plain|--strat] [--parallel] [--max-depth N] \
-         [--target-stderr X] [--round-budget N] [--max-rounds N]"
+         [--target-stderr X] [--round-budget N] [--max-rounds N] \
+         [--profile 'x ~ N(0,1); y ~ Exp(2)'] [--profile-epsilon X]"
     );
     exit(2)
 }
@@ -39,6 +57,7 @@ struct Cli {
     input: Option<String>,
     options: Options,
     max_depth: Option<u64>,
+    profile: Option<Vec<(String, Dist)>>,
 }
 
 fn parse_cli() -> Cli {
@@ -53,6 +72,8 @@ fn parse_cli() -> Cli {
     let mut target_stderr = None;
     let mut round_budget = None;
     let mut max_rounds = None;
+    let mut profile = None;
+    let mut profile_epsilon = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -64,6 +85,13 @@ fn parse_cli() -> Cli {
             "--target-stderr" => target_stderr = Some(parse_float(&value())),
             "--round-budget" => round_budget = Some(parse(&value())),
             "--max-rounds" => max_rounds = Some(parse(&value())),
+            "--profile" => {
+                profile = Some(parse_profile_spec(&value()).unwrap_or_else(|e| {
+                    eprintln!("invalid --profile: {e}");
+                    usage()
+                }))
+            }
+            "--profile-epsilon" => profile_epsilon = Some(parse_float(&value())),
             "--plain" => preset = Options::plain,
             "--strat" => preset = Options::strat,
             "--parallel" => parallel = true,
@@ -96,6 +124,9 @@ fn parse_cli() -> Cli {
     if let Some(rounds) = max_rounds {
         options.max_rounds = rounds;
     }
+    if let Some(eps) = profile_epsilon {
+        options.profile_epsilon = eps;
+    }
     options.parallel = parallel;
     Cli {
         addr,
@@ -103,7 +134,24 @@ fn parse_cli() -> Cli {
         input,
         options,
         max_depth,
+        profile,
     }
+}
+
+/// Resolves the `--profile` names for a `system` request against the
+/// `var …;` declarations of the source (the server expects a positional
+/// profile there), so name typos and domain-incompatible distributions
+/// fail client-side. Shares `pipeline::resolve_profile` with the
+/// server's `program` path.
+fn system_profile(source: &str, named: &[(String, Dist)]) -> UsageProfile {
+    let sys = parse_system(source).unwrap_or_else(|e| {
+        eprintln!("cannot resolve --profile names, source does not parse: {e}");
+        exit(1)
+    });
+    resolve_profile(&sys.domain, named).unwrap_or_else(|e| {
+        eprintln!("invalid --profile: {e}");
+        exit(1)
+    })
 }
 
 fn parse(s: &str) -> u64 {
@@ -152,14 +200,21 @@ fn main() {
             .map(|s| serde_json::to_string_pretty(&s).expect("status serializes")),
         "system" => {
             let src = read_input(cli.input.as_deref().unwrap_or_else(|| usage()), false);
+            let profile = cli.profile.as_deref().map(|n| system_profile(&src, n));
             client
-                .analyze_system(&src, cli.options, None)
+                .analyze_system(&src, cli.options, profile)
                 .map(|r| serde_json::to_string_pretty(&r).expect("report serializes"))
         }
         "program" => {
             let src = read_input(cli.input.as_deref().unwrap_or_else(|| usage()), true);
+            let profile = cli.profile.map(|named| {
+                named
+                    .into_iter()
+                    .map(|(var, dist)| NamedDist { var, dist })
+                    .collect()
+            });
             client
-                .analyze_program(&src, cli.options, cli.max_depth)
+                .analyze_program(&src, cli.options, cli.max_depth, profile)
                 .map(|r| serde_json::to_string_pretty(&r).expect("report serializes"))
         }
         other => {

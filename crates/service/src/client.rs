@@ -8,7 +8,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use qcoral::Options;
 use qcoral_mc::UsageProfile;
 
-use crate::protocol::{AnalysisResponse, Op, Outcome, Request, Response, ServerStatus};
+use crate::protocol::{AnalysisResponse, NamedDist, Op, Outcome, Request, Response, ServerStatus};
 use crate::wire::{decode_response, encode_request, WireError};
 
 /// Client-side error.
@@ -114,17 +114,20 @@ impl Client {
         expect_report(response.outcome)
     }
 
-    /// Quantifies a MiniJ program end to end.
+    /// Quantifies a MiniJ program end to end, optionally under a
+    /// usage profile of named marginals (`None` ⇒ uniform).
     pub fn analyze_program(
         &mut self,
         source: &str,
         options: Options,
         max_depth: Option<u64>,
+        profile: Option<Vec<NamedDist>>,
     ) -> Result<AnalysisResponse, ClientError> {
         let response = self.call(Op::Program {
             source: source.to_string(),
             options,
             max_depth,
+            profile,
         })?;
         expect_report(response.outcome)
     }

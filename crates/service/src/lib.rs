@@ -53,7 +53,7 @@ pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    AnalysisResponse, Op, Outcome, Request, Response, ServerStatus, PROTOCOL_VERSION,
+    AnalysisResponse, NamedDist, Op, Outcome, Request, Response, ServerStatus, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServiceConfig};
 pub use store::{PersistentStore, SNAPSHOT_VERSION};

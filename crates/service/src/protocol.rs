@@ -18,7 +18,7 @@
 use serde::{Deserialize, Serialize};
 
 use qcoral::{Estimate, Options, Report};
-use qcoral_mc::UsageProfile;
+use qcoral_mc::{Dist, UsageProfile};
 
 /// Version of the request/response schema (see module docs).
 ///
@@ -26,7 +26,26 @@ use qcoral_mc::UsageProfile;
 /// `round_budget` fields (iterative quantification) and `Stats` gained
 /// `rounds`/`refine_samples`/`target_met` — v1 clients serializing the
 /// old `Options` shape are rejected with a missing-field error.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3: non-uniform usage profiles end to end. `Options` gained the
+/// required `profile_epsilon` field (discretization bound; older
+/// `Options` shapes are rejected with a missing-field error),
+/// [`Op::System`]'s `profile` accepts the continuous `Dist` variants
+/// (`Normal`/`Exponential`/`TruncatedNormal`), and [`Op::Program`]
+/// gained an optional `profile` of [`NamedDist`] entries resolved
+/// against the program's parameter names.
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// One named marginal of a program request's usage profile: programs
+/// declare their inputs by name, so profiles address them by name too
+/// (the server resolves names to positions after parsing).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NamedDist {
+    /// Program parameter name.
+    pub var: String,
+    /// The marginal distribution over that parameter's interval.
+    pub dist: Dist,
+}
 
 /// One quantification request.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -49,6 +68,9 @@ pub enum Op {
         options: Options,
         /// Symbolic-execution depth bound (`None` ⇒ the default, 50).
         max_depth: Option<u64>,
+        /// Usage profile as named marginals (`None`/empty ⇒ uniform);
+        /// parameters not mentioned stay uniform.
+        profile: Option<Vec<NamedDist>>,
     },
     /// Quantify a raw constraint system (`var …; pc …;` syntax, the
     /// analyzer's native input) under an optional usage profile

@@ -22,9 +22,9 @@ use std::time::Duration;
 
 use qcoral::{Analyzer, FactorStore, DEFAULT_STORE_CAP};
 use qcoral_constraints::parse::parse_system;
-use qcoral_icp::PavingCache;
-use qcoral_mc::{Dist, UsageProfile};
-use qcoral_repro::pipeline::analyze_program_with;
+use qcoral_icp::{domain_box, PavingCache};
+use qcoral_mc::UsageProfile;
+use qcoral_repro::pipeline::{analyze_program_with_profile, PipelineError};
 use qcoral_symexec::SymConfig;
 
 use crate::protocol::{AnalysisResponse, Op, Outcome, Response, ServerStatus, PROTOCOL_VERSION};
@@ -533,8 +533,10 @@ fn execute_inner(shared: &ServerShared, op: Op) -> Outcome {
                 };
             }
             // Re-validate/normalize: a deserialized profile bypassed the
-            // Dist::piecewise constructor and its invariants.
-            let profile = match validated_profile(&profile) {
+            // Dist::piecewise constructor and its invariants, and only
+            // here is the input domain known (a truncation disjoint from
+            // it must be an error, not an exact-looking probability 0).
+            let profile = match validated_profile(&profile, &sys.domain) {
                 Ok(p) => p,
                 Err(message) => return Outcome::Error { message },
             };
@@ -559,6 +561,7 @@ fn execute_inner(shared: &ServerShared, op: Op) -> Outcome {
             source,
             options,
             max_depth,
+            profile,
         } => {
             if let Some(rejection) = validate(shared, &options, max_depth) {
                 return rejection;
@@ -573,7 +576,20 @@ fn execute_inner(shared: &ServerShared, op: Op) -> Outcome {
                 max_paths: defaults.max_paths.min(shared.cfg.max_pcs),
                 ..defaults
             };
-            match analyze_program_with(&analyzer(shared, options), &source, &sym_cfg) {
+            // Named marginals; resolution against parameter names (and
+            // distribution re-validation) happens inside the pipeline,
+            // after parsing.
+            let named: Vec<(String, qcoral_mc::Dist)> = profile
+                .unwrap_or_default()
+                .into_iter()
+                .map(|nd| (nd.var, nd.dist))
+                .collect();
+            match analyze_program_with_profile(
+                &analyzer(shared, options),
+                &source,
+                &sym_cfg,
+                &named,
+            ) {
                 Ok(analysis) => Outcome::Report(AnalysisResponse {
                     confidence: Some(analysis.confidence()),
                     bound_mass: Some(analysis.bound_mass),
@@ -581,47 +597,32 @@ fn execute_inner(shared: &ServerShared, op: Op) -> Outcome {
                     cut_paths: Some(analysis.cut_paths as u64),
                     report: analysis.target,
                 }),
-                Err(e) => Outcome::Error {
+                Err(e @ PipelineError::Parse(_)) => Outcome::Error {
                     message: format!("program parse error: {e}"),
+                },
+                Err(e @ PipelineError::Profile(_)) => Outcome::Error {
+                    message: e.to_string(),
                 },
             }
         }
     }
 }
 
-/// Re-validates a network-supplied usage profile and rebuilds it through
-/// the [`Dist::piecewise`] constructor so its invariants (strictly
-/// increasing finite edges, one non-negative weight per segment,
-/// normalization) hold again — deserialization constructs enum variants
-/// directly and bypasses them, which would otherwise mean silently
-/// unnormalized probabilities or an out-of-bounds panic in `Dist::mass`.
-fn validated_profile(profile: &UsageProfile) -> Result<UsageProfile, String> {
-    let mut out = UsageProfile::uniform(profile.len());
-    for i in 0..profile.len() {
-        match profile.dist(i) {
-            Dist::Uniform => {}
-            Dist::Piecewise { edges, weights } => {
-                if edges.len() < 2
-                    || !edges.iter().all(|e| e.is_finite())
-                    || !edges.windows(2).all(|w| w[0] < w[1])
-                {
-                    return Err(format!(
-                        "profile variable {i}: edges must be >= 2 finite, strictly increasing values"
-                    ));
-                }
-                if weights.len() != edges.len() - 1
-                    || !weights.iter().all(|w| w.is_finite() && *w >= 0.0)
-                    || weights.iter().sum::<f64>() <= 0.0
-                {
-                    return Err(format!(
-                        "profile variable {i}: need one finite non-negative weight per segment, with a positive sum"
-                    ));
-                }
-                out = out.with_dist(i, Dist::piecewise(edges.clone(), weights.clone()));
-            }
-        }
-    }
-    Ok(out)
+/// Re-validates a network-supplied usage profile against the parsed
+/// domain and rebuilds it through the checked [`qcoral_mc::Dist`]
+/// constructors so its invariants (strictly increasing finite edges,
+/// normalized non-negative weights, positive scale parameters,
+/// domain-overlapping truncations) hold again — deserialization
+/// constructs enum variants directly and bypasses them, which would
+/// otherwise mean silently unnormalized probabilities or an
+/// out-of-bounds panic in `Dist::mass`.
+fn validated_profile(
+    profile: &UsageProfile,
+    domain: &qcoral_constraints::Domain,
+) -> Result<UsageProfile, String> {
+    profile
+        .validated_in(&domain_box(domain))
+        .map_err(|(i, e)| format!("profile variable {i}: {e}"))
 }
 
 /// Builds a per-request analyzer wired to the server's shared caches.

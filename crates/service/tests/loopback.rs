@@ -45,7 +45,7 @@ fn volcomp_suite_is_bit_identical_to_direct_pipeline() {
             let direct = analyze_program(&source, &SymConfig::default(), opts.clone())
                 .expect("subjects parse");
             let served = client
-                .analyze_program(&source, opts.clone(), None)
+                .analyze_program(&source, opts.clone(), None, None)
                 .expect("service answers");
             assert_eq!(
                 served.report.estimate, direct.target.estimate,
@@ -107,6 +107,179 @@ fn warm_cache_answers_with_zero_pavings_and_samples() {
     let status = client.status().expect("status");
     assert!(status.store_entries > 0);
     assert!(status.store_hits >= warm.report.stats.factor_store_hits);
+    server.shutdown();
+}
+
+/// The acceptance contract for non-uniform profiles: a warm
+/// `FactorStore` hit under continuous marginals is bit-identical across
+/// a process restart (snapshot round trip included), with zero pavings
+/// and zero samples.
+#[test]
+fn nonuniform_profile_warm_hits_are_bit_identical_across_restart() {
+    let snapshot = temp_snapshot("nonuniform-restart");
+    let _ = std::fs::remove_file(&snapshot);
+    let source = "var x in [0, 1]; var y in [0, 1];
+                  pc x < 0.5 && sin(3 * y) > 0.5;
+                  pc x >= 0.5 && sin(3 * y) > 0.5;";
+    let profile = UsageProfile::uniform(2)
+        .with_dist(0, Dist::normal(0.4, 0.2))
+        .with_dist(1, Dist::exponential(3.0));
+    let opts = Options::default().with_samples(2_500).with_seed(13);
+
+    let cfg = || ServiceConfig {
+        snapshot: Some(snapshot.clone()),
+        ..ServiceConfig::default()
+    };
+    let (server, mut client) = start(cfg());
+    let cold = client
+        .analyze_system(source, opts.clone(), Some(profile.clone()))
+        .expect("cold");
+    assert!(cold.report.stats.samples_drawn > 0);
+    server.shutdown(); // persists the snapshot
+
+    // A fresh process: the snapshot warm-loads, the same profiled query
+    // recomposes bit-identically with zero work.
+    let (server, mut client) = start(cfg());
+    let warm = client
+        .analyze_system(source, opts.clone(), Some(profile.clone()))
+        .expect("warm");
+    assert_eq!(warm.report.estimate, cold.report.estimate, "bit-identical");
+    assert_eq!(warm.report.per_pc, cold.report.per_pc);
+    assert_eq!(warm.report.stats.samples_drawn, 0, "no new samples");
+    assert_eq!(warm.report.stats.pavings, 0, "no new pavings");
+    assert!(warm.report.stats.factor_store_hits > 0);
+
+    // A different ε is a different stratification: it must NOT warm-hit
+    // the continuous-profile entries.
+    let eps_opts = opts.with_profile_epsilon(1e-4);
+    let other = client
+        .analyze_system(source, eps_opts, Some(profile))
+        .expect("other epsilon");
+    assert!(other.report.stats.samples_drawn > 0, "ε must cold-start");
+    server.shutdown();
+    let _ = std::fs::remove_file(&snapshot);
+}
+
+/// Program requests accept *named* marginals, resolved against the
+/// parameter names server-side; unknown names and invalid parameters are
+/// clean errors.
+#[test]
+fn program_requests_accept_named_profiles() {
+    use qcoral_service::NamedDist;
+    let (server, mut client) = start(ServiceConfig::default());
+    let source = "program p(x in [0, 1]) { if (x > 0.75) { target(); } }";
+    let opts = Options::default().with_samples(8_000).with_seed(2);
+    let served = client
+        .analyze_program(
+            source,
+            opts.clone(),
+            None,
+            Some(vec![NamedDist {
+                var: "x".to_string(),
+                dist: Dist::exponential(4.0),
+            }]),
+        )
+        .expect("profiled program");
+    // (e^{-3} − e^{-4})/(1 − e^{-4}): the Exp(4) mass of (0.75, 1].
+    let truth = ((-3.0f64).exp() - (-4.0f64).exp()) / (1.0 - (-4.0f64).exp());
+    assert!(
+        (served.report.estimate.mean - truth).abs() < 0.01,
+        "{} vs {truth}",
+        served.report.estimate.mean
+    );
+    // And it matches the direct pipeline bit for bit.
+    let direct = qcoral_repro::pipeline::analyze_program_with_profile(
+        &qcoral::Analyzer::new(opts.clone()),
+        source,
+        &SymConfig::default(),
+        &[("x".to_string(), Dist::exponential(4.0))],
+    )
+    .expect("direct");
+    assert_eq!(served.report.estimate, direct.target.estimate);
+
+    let err = client
+        .analyze_program(
+            source,
+            opts.clone(),
+            None,
+            Some(vec![NamedDist {
+                var: "nope".to_string(),
+                dist: Dist::Uniform,
+            }]),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown variable"), "{err}");
+    let err = client
+        .analyze_program(
+            source,
+            opts,
+            None,
+            Some(vec![NamedDist {
+                var: "x".to_string(),
+                dist: Dist::Normal {
+                    mu: 0.0,
+                    sigma: -1.0,
+                },
+            }]),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("sigma"), "{err}");
+    server.shutdown();
+}
+
+/// Continuous dists with hostile parameters are validated like
+/// piecewise ones: rejected with an error, never a panic.
+#[test]
+fn hostile_continuous_profiles_are_rejected() {
+    let (server, mut client) = start(ServiceConfig::default());
+    let source = "var x in [0, 1]; pc x < 0.5;";
+    let opts = Options::default().with_samples(500);
+    for (dist, needle) in [
+        (
+            Dist::Normal {
+                mu: 0.0,
+                sigma: 0.0,
+            },
+            "sigma",
+        ),
+        (
+            Dist::Normal {
+                mu: f64::NAN,
+                sigma: 1.0,
+            },
+            "mu",
+        ),
+        (Dist::Exponential { lambda: 0.0 }, "rate"),
+        (
+            Dist::TruncatedNormal {
+                mu: 0.5,
+                sigma: 0.1,
+                lo: 0.9,
+                hi: 0.1,
+            },
+            "lo < hi",
+        ),
+        // Well-formed truncation that cannot place mass in [0, 1]: must
+        // be an error, not an exact-looking probability 0.
+        (
+            Dist::TruncatedNormal {
+                mu: 5.5,
+                sigma: 0.5,
+                lo: 5.0,
+                hi: 6.0,
+            },
+            "overlap",
+        ),
+    ] {
+        let profile = UsageProfile::uniform(1).with_dist(0, dist.clone());
+        let err = client
+            .analyze_system(source, opts.clone(), Some(profile))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "{dist:?}: expected `{needle}` in `{err}`"
+        );
+    }
     server.shutdown();
 }
 
@@ -427,7 +600,12 @@ fn invalid_inputs_are_errors_not_crashes() {
     assert!(e.to_string().contains("covers"), "{e}");
     // Unparseable program source.
     let e = client
-        .analyze_program("program p(", Options::default().with_samples(100), None)
+        .analyze_program(
+            "program p(",
+            Options::default().with_samples(100),
+            None,
+            None,
+        )
         .unwrap_err();
     assert!(e.to_string().contains("parse"), "{e}");
     // The server survived all of it.
@@ -515,6 +693,7 @@ fn resource_ceilings_reject_hostile_options() {
             "program p(x in [0, 1]) { if (x > 0.5) { target(); } }",
             Options::default().with_samples(100),
             Some(1 << 40),
+            None,
         )
         .unwrap_err();
     assert!(e.to_string().contains("limit"), "{e}");

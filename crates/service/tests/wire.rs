@@ -59,13 +59,31 @@ fn arb_options() -> impl Strategy<Value = Options> {
 }
 
 fn arb_profile() -> impl Strategy<Value = Option<UsageProfile>> {
-    (0usize..3, -1.0f64..1.0).prop_map(|(n, skew)| match n {
+    (0usize..6, -1.0f64..1.0).prop_map(|(n, skew)| match n {
         0 => None,
         1 => Some(UsageProfile::uniform(2)),
+        2 => Some(UsageProfile::uniform(2).with_dist(1, Dist::normal(skew, 0.5 + skew.abs()))),
+        3 => Some(UsageProfile::uniform(2).with_dist(0, Dist::exponential(1.0 + skew.abs()))),
+        4 => Some(
+            UsageProfile::uniform(2).with_dist(1, Dist::truncated_normal(skew, 0.25, -2.0, 2.0)),
+        ),
         _ => Some(UsageProfile::uniform(2).with_dist(
             1,
             Dist::piecewise(vec![0.0, 0.5, 1.0], vec![1.0 + skew.abs(), 1.0]),
         )),
+    })
+}
+
+fn arb_named_profile() -> impl Strategy<Value = Option<Vec<qcoral_service::NamedDist>>> {
+    (arb_profile(), arb_string()).prop_map(|(p, name)| {
+        p.map(|p| {
+            (0..p.len())
+                .map(|i| qcoral_service::NamedDist {
+                    var: format!("{name}_{i}"),
+                    dist: p.dist(i).clone(),
+                })
+                .collect()
+        })
     })
 }
 
@@ -74,22 +92,25 @@ fn arb_op() -> impl Strategy<Value = Op> {
         0u8..3,
         arb_string(),
         arb_options(),
-        arb_profile(),
+        (arb_profile(), arb_named_profile()),
         0u64..200,
     )
-        .prop_map(|(kind, source, options, profile, depth)| match kind {
-            0 => Op::Status,
-            1 => Op::Program {
-                source,
-                options,
-                max_depth: (depth % 2 == 0).then_some(depth),
+        .prop_map(
+            |(kind, source, options, (profile, named), depth)| match kind {
+                0 => Op::Status,
+                1 => Op::Program {
+                    source,
+                    options,
+                    max_depth: (depth % 2 == 0).then_some(depth),
+                    profile: named,
+                },
+                _ => Op::System {
+                    source,
+                    options,
+                    profile,
+                },
             },
-            _ => Op::System {
-                source,
-                options,
-                profile,
-            },
-        })
+        )
 }
 
 fn arb_estimate() -> impl Strategy<Value = Estimate> {

@@ -1,0 +1,73 @@
+//! Non-uniform usage profiles end to end: the same program quantified
+//! under the uniform baseline and under an operational profile, plus a
+//! look at the error-bounded discretization that drives profile-aligned
+//! stratification.
+//!
+//! Run with: `cargo run --release --example profiles`
+
+use qcoral::{Analyzer, Options};
+use qcoral_interval::Interval;
+use qcoral_mc::{discretize, parse_profile_spec, Dist, UsageProfile};
+use qcoral_repro::pipeline::analyze_program_with_profile;
+use qcoral_symexec::SymConfig;
+
+fn main() {
+    // A tank overflow monitor: inflows are *usually* small — an operator
+    // knows this; the uniform baseline does not.
+    let src = "program tank(f1 in [0, 1], f2 in [0, 1]) {
+       double level = 0;
+       double n = 0;
+       while (level < 10 && n < 24) { level = level + 0.3 + f1 + 0.5 * f2; n = n + 1; }
+       if (n >= 20) { target(); }
+     }";
+
+    // The profile syntax qcoralctl --profile accepts, parsed to named
+    // marginals and resolved against the program's parameters.
+    let spec = "f1 ~ Exp(4); f2 ~ Exp(4)";
+    let named = parse_profile_spec(spec).expect("spec parses");
+
+    let opts = Options::default().with_samples(20_000);
+    let uniform = analyze_program_with_profile(
+        &Analyzer::new(opts.clone()),
+        src,
+        &SymConfig::default(),
+        &[],
+    )
+    .expect("program parses");
+    let profiled =
+        analyze_program_with_profile(&Analyzer::new(opts), src, &SymConfig::default(), &named)
+            .expect("program parses");
+
+    println!("P[slow fill ≥ 20 steps]");
+    println!("  uniform inflows:         {}", uniform.target.estimate);
+    println!("  {spec}:  {}", profiled.target.estimate);
+    println!(
+        "  → the operational profile makes the deep paths {}x more likely\n",
+        (profiled.target.estimate.mean / uniform.target.estimate.mean).round()
+    );
+
+    // The discretizer behind profile-aligned stratification: finer ε ⇒
+    // more bins, concentrated where the density curves.
+    let dom = Interval::new(0.0, 1.0);
+    let dist = Dist::exponential(4.0);
+    println!("discretization of Exp(4) over [0, 1]:");
+    for eps in [1e-2, 1e-3, 1e-4] {
+        if let Dist::Piecewise { edges, .. } = discretize(&dist, &dom, eps) {
+            let first = edges[1] - edges[0];
+            let last = edges[edges.len() - 1] - edges[edges.len() - 2];
+            println!(
+                "  ε = {eps:7.0e}: {:3} bins (first bin {first:.4} wide near the mass, last {last:.4})",
+                edges.len() - 1
+            );
+        }
+    }
+
+    // Exact masses, no sampling: the profile API itself.
+    let profile = UsageProfile::uniform(1).with_dist(0, Dist::exponential(4.0));
+    let dbox: qcoral_interval::IntervalBox = [dom].into_iter().collect();
+    let low: qcoral_interval::IntervalBox = [Interval::new(0.0, 0.25)].into_iter().collect();
+    println!(
+        "\nexact profile mass of f1 ∈ [0, 0.25]: {:.4} (uniform would say 0.25)",
+        profile.box_probability(&low, &dbox)
+    );
+}

@@ -10,10 +10,70 @@
 //! obtained within the bound (the lower the probability the higher the
 //! confidence)."
 
+use std::fmt;
+
 use qcoral::{Analyzer, Estimate, Options, Report};
 use qcoral_constraints::lexer::ParseError;
-use qcoral_mc::UsageProfile;
+use qcoral_constraints::Domain;
+use qcoral_mc::{Dist, UsageProfile};
 use qcoral_symexec::{parse_program, symbolic_execute, SymConfig};
+
+/// Why an end-to-end program analysis could not run.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The MiniJ source failed to parse.
+    Parse(ParseError),
+    /// The usage profile does not fit the program's inputs (unknown
+    /// variable name, invalid distribution parameters).
+    Profile(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "{e}"),
+            PipelineError::Profile(m) => write!(f, "invalid usage profile: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ParseError> for PipelineError {
+    fn from(e: ParseError) -> PipelineError {
+        PipelineError::Parse(e)
+    }
+}
+
+/// Resolves named per-variable distributions against a domain's variable
+/// names, producing the positional [`UsageProfile`] the analyzer
+/// consumes. Unmentioned variables stay uniform; every distribution is
+/// re-validated through its checked constructor, including the
+/// domain-dependent checks (a truncation disjoint from the variable's
+/// interval is an error, not a silent probability 0).
+///
+/// # Errors
+///
+/// Returns a description of the first unknown variable or invalid
+/// distribution.
+pub fn resolve_profile(domain: &Domain, named: &[(String, Dist)]) -> Result<UsageProfile, String> {
+    let mut profile = UsageProfile::uniform(domain.len());
+    for (name, dist) in named {
+        let Some(id) = domain.index_of(name) else {
+            let known: Vec<&str> = domain.iter().map(|(_, v)| v.name.as_str()).collect();
+            return Err(format!(
+                "unknown variable `{name}` (inputs: {})",
+                known.join(", ")
+            ));
+        };
+        let (lo, hi) = domain.bounds(id);
+        let dist = dist
+            .validated_in(&qcoral_interval::Interval::new(lo, hi))
+            .map_err(|e| format!("variable `{name}`: {e}"))?;
+        profile = profile.with_dist(id.index(), dist);
+    }
+    Ok(profile)
+}
 
 /// The result of analyzing a program end to end.
 #[derive(Debug)]
@@ -95,9 +155,35 @@ pub fn analyze_program_with(
     source: &str,
     sym_cfg: &SymConfig,
 ) -> Result<ProgramAnalysis, ParseError> {
+    match analyze_program_with_profile(analyzer, source, sym_cfg, &[]) {
+        Ok(a) => Ok(a),
+        Err(PipelineError::Parse(e)) => Err(e),
+        Err(PipelineError::Profile(_)) => unreachable!("empty profiles always resolve"),
+    }
+}
+
+/// [`analyze_program_with`] under a non-uniform usage profile, given as
+/// *named* per-variable distributions (resolved against the program's
+/// input names after parsing — see [`resolve_profile`]). Variables not
+/// mentioned stay uniform; an empty slice is exactly the uniform
+/// pipeline. The same profile weights both the target quantification and
+/// the bound-mass confidence estimate, so the confidence measure is
+/// profile-aware too.
+///
+/// # Errors
+///
+/// [`PipelineError::Parse`] if the source is malformed,
+/// [`PipelineError::Profile`] if a named variable does not exist or a
+/// distribution is invalid.
+pub fn analyze_program_with_profile(
+    analyzer: &Analyzer,
+    source: &str,
+    sym_cfg: &SymConfig,
+    profile: &[(String, Dist)],
+) -> Result<ProgramAnalysis, PipelineError> {
     let program = parse_program(source)?;
     let sym = symbolic_execute(&program, sym_cfg);
-    let profile = UsageProfile::uniform(sym.domain.len());
+    let profile = resolve_profile(&sym.domain, profile).map_err(PipelineError::Profile)?;
     let target = if analyzer.options().target_stderr.is_some() {
         analyzer.analyze_iterative(&sym.target, &sym.domain, &profile)
     } else {
@@ -170,6 +256,49 @@ mod tests {
             "full {} outside bracket [{lo}, {hi}]",
             full.target.estimate.mean
         );
+    }
+
+    #[test]
+    fn named_profiles_shift_probabilities_and_confidence() {
+        let src = "program p(x in [0, 1]) { if (x > 0.75) { target(); } }";
+        // Uniform: 0.25. Under Exp(4) anchored at 0, the upper-quartile
+        // tail has mass (e^{-3} − e^{-4})/(1 − e^{-4}) ≈ 0.0321.
+        let named = vec![("x".to_string(), Dist::exponential(4.0))];
+        let a = analyze_program_with_profile(
+            &Analyzer::new(Options::default().with_samples(10_000)),
+            src,
+            &SymConfig::default(),
+            &named,
+        )
+        .unwrap();
+        let truth = ((-3.0f64).exp() - (-4.0f64).exp()) / (1.0 - (-4.0f64).exp());
+        assert!(
+            (a.target.estimate.mean - truth).abs() < 0.01,
+            "{} vs {truth}",
+            a.target.estimate.mean
+        );
+        assert_eq!(a.confidence(), 1.0);
+        // Unknown variables and invalid parameters are clean errors.
+        let err = analyze_program_with_profile(
+            &Analyzer::new(Options::default()),
+            src,
+            &SymConfig::default(),
+            &[("nope".to_string(), Dist::Uniform)],
+        );
+        assert!(matches!(err, Err(PipelineError::Profile(_))));
+        let err = analyze_program_with_profile(
+            &Analyzer::new(Options::default()),
+            src,
+            &SymConfig::default(),
+            &[(
+                "x".to_string(),
+                Dist::Normal {
+                    mu: 0.0,
+                    sigma: -1.0,
+                },
+            )],
+        );
+        assert!(matches!(err, Err(PipelineError::Profile(_))));
     }
 
     #[test]

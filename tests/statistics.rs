@@ -113,9 +113,23 @@ fn engines(cs: ConstraintSet, domain: Domain, profile: UsageProfile) -> Vec<Engi
     ]
 }
 
-/// Runs every engine `RUNS` times and asserts the coverage bound.
+/// Runs every engine `RUNS` times under a uniform profile and asserts
+/// the coverage bound.
 fn assert_coverage(subject: &str, cs: ConstraintSet, domain: Domain, truth: f64, truth_sigma: f64) {
     let profile = UsageProfile::uniform(domain.len());
+    assert_coverage_with(subject, cs, domain, profile, truth, truth_sigma);
+}
+
+/// Runs every engine `RUNS` times under the given usage profile and
+/// asserts the coverage bound.
+fn assert_coverage_with(
+    subject: &str,
+    cs: ConstraintSet,
+    domain: Domain,
+    profile: UsageProfile,
+    truth: f64,
+    truth_sigma: f64,
+) {
     for engine in engines(cs, domain, profile) {
         let mut covered = 0u64;
         let mut dispersion = Moments::default();
@@ -199,6 +213,54 @@ fn coverage_volcomp_vol() {
     let (domain, cs) = volcomp_system("VOL", 0); // count >= 20
     let (truth, sigma) = ground_truth(&cs, &domain, 200_000);
     assert_coverage("VOL", cs, domain, truth, sigma);
+}
+
+/// Non-uniform ground truth, closed form: `P[x < 0.5]` under
+/// `N(0.5, 0.1)` truncated to `[0, 1]` is exactly 1/2 by symmetry, and
+/// the `y` factor's probability under its uniform marginal is an
+/// interval length — so the product truth needs no Monte Carlo at all.
+#[test]
+fn coverage_nonuniform_truncated_normal() {
+    use qcoral_mc::Dist;
+    let sys = parse_system(
+        "var x in [0, 1]; var y in [0, 1];
+         pc x < 0.5 && sin(3 * y) > 0.5;",
+    )
+    .unwrap();
+    let profile = UsageProfile::uniform(2).with_dist(0, Dist::truncated_normal(0.5, 0.1, 0.0, 1.0));
+    // sin(3y) > 0.5 ⇔ 3y ∈ (π/6, 5π/6) ⇔ y ∈ (π/18, 5π/18): length 2π/9.
+    let truth = 0.5 * (2.0 * std::f64::consts::PI / 9.0);
+    assert_coverage_with(
+        "TN-safety",
+        sys.constraint_set,
+        sys.domain,
+        profile,
+        truth,
+        0.0,
+    );
+}
+
+/// Same harness under an exponential marginal:
+/// `P[x < 0.5 | x ∈ [0, 1]] = (1 − e⁻¹)/(1 − e⁻²)` for `x ~ Exp(2)`.
+#[test]
+fn coverage_nonuniform_exponential() {
+    use qcoral_mc::Dist;
+    let sys = parse_system(
+        "var x in [0, 1]; var y in [0, 1];
+         pc x < 0.5 && sin(3 * y) > 0.5;",
+    )
+    .unwrap();
+    let profile = UsageProfile::uniform(2).with_dist(0, Dist::exponential(2.0));
+    let px = (1.0 - (-1.0f64).exp()) / (1.0 - (-2.0f64).exp());
+    let truth = px * (2.0 * std::f64::consts::PI / 9.0);
+    assert_coverage_with(
+        "Exp-safety",
+        sys.constraint_set,
+        sys.domain,
+        profile,
+        truth,
+        0.0,
+    );
 }
 
 /// Exact subjects must be *exactly* right with zero reported variance,
