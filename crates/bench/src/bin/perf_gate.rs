@@ -28,7 +28,15 @@ use std::process::exit;
 
 /// The gated files and their gated numeric fields.
 const GATED: &[(&str, &[&str])] = &[
-    ("BENCH_hotpath.json", &["serial_secs", "pred_tape_secs"]),
+    (
+        "BENCH_hotpath.json",
+        &[
+            "serial_secs",
+            "pred_tape_secs",
+            "bulk_eval_secs",
+            "mc_bulk_secs",
+        ],
+    ),
     (
         "BENCH_service.json",
         &["cold_ms", "warm_ms", "warm_restart_ms"],
@@ -114,6 +122,7 @@ fn main() {
         let base = extract(&base_text, fields);
         let fresh = extract(&fresh_text, fields);
         let mut ratios = Vec::new();
+        let mut rated: Vec<(&(String, String), f64)> = Vec::new();
         for (key, &b) in &base {
             let Some(&f) = fresh.get(key) else {
                 // A renamed/removed subject is a baseline-refresh matter,
@@ -126,6 +135,7 @@ fn main() {
             };
             if b > 0.0 && f > 0.0 {
                 ratios.push(f / b);
+                rated.push((key, f / b));
             }
         }
         let g = geomean(&ratios);
@@ -141,16 +151,14 @@ fn main() {
             "perf_gate: {verdict} {file}: geomean ratio {g:.3} over {} metrics (threshold {max_regression:.2})",
             ratios.len()
         );
+        // Per-file worst-regressing row, so a tripped (or near-tripped)
+        // gate names the subject and field, not just the geomean.
+        rated.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        if let Some((k, r)) = rated.first() {
+            println!("perf_gate:   worst: {}/{}: {r:.3}x", k.0, k.1);
+        }
         if g > max_regression {
-            let mut worst: Vec<(&(String, String), f64)> = base
-                .iter()
-                .filter_map(|(k, &b)| {
-                    let f = *fresh.get(k)?;
-                    (b > 0.0 && f > 0.0).then_some((k, f / b))
-                })
-                .collect();
-            worst.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            for (k, r) in worst.iter().take(5) {
+            for (k, r) in rated.iter().take(5).skip(1) {
                 println!("perf_gate:   {}/{}: {r:.3}x", k.0, k.1);
             }
         }

@@ -1,15 +1,19 @@
-//! Hot-path performance trajectory: serial vs parallel analyzer and
-//! tree-walk vs compiled-tape predicate evaluation on the Table 3
-//! multi-PC workload, emitted as `BENCH_hotpath.json` so successive
-//! changes can be compared run over run.
+//! Hot-path performance trajectory: serial vs parallel analyzer,
+//! tree-walk vs compiled-tape vs columnar-bulk predicate evaluation, and
+//! scalar vs bulk Monte Carlo sampling on the Table 3 multi-PC workload,
+//! emitted as `BENCH_hotpath.json` so successive changes can be compared
+//! run over run.
 
 use std::time::{Duration, Instant};
 
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use serde::Serialize;
 
-use qcoral::{Analyzer, Options};
-use qcoral_constraints::{ConstraintSet, Domain, EvalTape};
-use qcoral_mc::UsageProfile;
+use qcoral::{Analyzer, CompiledPred, Options};
+use qcoral_constraints::{BulkScratch, ConstraintSet, Domain, EvalTape};
+use qcoral_interval::{Interval, IntervalBox};
+use qcoral_mc::{hit_or_miss_plan, hit_or_miss_plan_bulk, SamplePlan, UsageProfile};
 use qcoral_subjects::table3_subjects;
 use qcoral_symexec::SymConfig;
 
@@ -28,8 +32,15 @@ pub struct Row {
     pub parallel_secs: f64,
     /// `serial_secs / parallel_secs` — bounded by the thread count.
     pub parallel_speedup: f64,
-    /// Whether serial and parallel estimates were bit-identical.
+    /// Whether every cross-checked estimate was bit-identical: serial vs
+    /// parallel analyzer, *and* scalar-tape vs columnar-bulk Monte Carlo
+    /// per path condition.
     pub estimates_identical: bool,
+    /// Whether the scalar-tape and columnar-bulk Monte Carlo estimates
+    /// (full draw + evaluate pipeline, per path condition) agreed bit
+    /// for bit — the bulk rows' correctness bit, also folded into
+    /// `estimates_identical`.
+    pub bulk_estimates_identical: bool,
     /// Tree-walk predicate evaluation time for the probe batch (s).
     pub pred_tree_secs: f64,
     /// Compiled-tape predicate evaluation time for the same batch (s).
@@ -37,6 +48,26 @@ pub struct Row {
     /// `pred_tree_secs / pred_tape_secs` — the DAG-dedup win, independent
     /// of the machine's core count.
     pub pred_tape_speedup: f64,
+    /// Scalar-tape predicate evaluation time over the columnar probe
+    /// batch (`samples` points × every PC), row by row (s).
+    pub scalar_eval_secs: f64,
+    /// Columnar bulk-tape evaluation time over the same batch (s).
+    pub bulk_eval_secs: f64,
+    /// Scalar predicate throughput over the probe batch (samples/sec).
+    pub scalar_samples_per_sec: f64,
+    /// Bulk predicate throughput over the same batch (samples/sec).
+    pub bulk_samples_per_sec: f64,
+    /// `scalar_eval_secs / bulk_eval_secs` — the columnar win of the
+    /// register-allocated slice tapes, independent of core count.
+    pub bulk_eval_speedup: f64,
+    /// Scalar-tape Monte Carlo wall time: draw + evaluate `samples`
+    /// samples per path condition through `hit_or_miss_plan` (s).
+    pub mc_scalar_secs: f64,
+    /// The same sampling runs through the columnar bulk path (s).
+    pub mc_bulk_secs: f64,
+    /// `mc_scalar_secs / mc_bulk_secs` — the end-to-end sampling win,
+    /// RNG draws included.
+    pub mc_bulk_speedup: f64,
 }
 
 /// The whole emitted document.
@@ -52,6 +83,12 @@ pub struct Summary {
     pub parallel_speedup_geomean: f64,
     /// Geometric mean of the predicate-tape speedups.
     pub pred_tape_speedup_geomean: f64,
+    /// Geometric mean of the columnar-bulk predicate-throughput speedups
+    /// (`bulk_eval_speedup` across subjects).
+    pub bulk_eval_speedup_geomean: f64,
+    /// Geometric mean of the end-to-end sampling speedups
+    /// (`mc_bulk_speedup` across subjects).
+    pub mc_bulk_speedup_geomean: f64,
 }
 
 fn best_of<R>(reps: u32, mut f: impl FnMut() -> R) -> (Duration, R) {
@@ -132,6 +169,80 @@ fn measure_subject(
     });
     assert_eq!(hits_tree, hits_tape, "tape must agree with the tree walk");
 
+    // Columnar probe: `samples` domain points drawn once with a fixed
+    // seed, stored row-major for the scalar tape and column-major for the
+    // bulk tape. Throughput is `paths × samples` predicate evaluations
+    // over the measured time — the per-sample inner loop with the RNG
+    // taken out, so the ratio isolates the columnar evaluation win.
+    let ndim = bounds.len();
+    let n = samples as usize;
+    let boxed: IntervalBox = bounds
+        .iter()
+        .map(|&(lo, hi)| Interval::new(lo, hi))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(0xB01D);
+    let mut point = vec![0.0; ndim];
+    let mut rows_flat: Vec<f64> = Vec::with_capacity(n * ndim);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n); ndim];
+    for _ in 0..n {
+        assert!(profile.sample_in(&boxed, &boxed, &mut rng, &mut point));
+        rows_flat.extend_from_slice(&point);
+        for (d, col) in cols.iter_mut().enumerate() {
+            col.push(point[d]);
+        }
+    }
+    let preds: Vec<CompiledPred> = cs.pcs().iter().map(CompiledPred::compile).collect();
+    let (scalar_eval, hits_scalar) = best_of(reps, || {
+        let mut hits = 0u64;
+        for p in &preds {
+            for row in rows_flat.chunks_exact(ndim) {
+                if p.scalar().holds(row) {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    });
+    let (bulk_eval, hits_bulk) = best_of(reps, || {
+        let mut scratch = BulkScratch::new();
+        let mut hits = 0u64;
+        for p in &preds {
+            hits += p.bulk().count_hits_with(&cols, n, &mut scratch);
+        }
+        hits
+    });
+    assert_eq!(
+        hits_scalar, hits_bulk,
+        "bulk must agree with the scalar tape"
+    );
+    let evals = (cs.len() * n) as f64;
+
+    // End-to-end sampling probe: the same `hit_or_miss_plan` runs the
+    // analyzer performs per factor, scalar closure vs columnar bulk
+    // predicate — RNG draws included, estimates must match bit for bit.
+    let plan = SamplePlan::serial(1);
+    let (mc_scalar, ests_scalar) = best_of(reps, || {
+        preds
+            .iter()
+            .map(|p| {
+                hit_or_miss_plan(
+                    &|x: &[f64]| p.scalar().holds(x),
+                    &boxed,
+                    &profile,
+                    samples,
+                    plan,
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+    let (mc_bulk, ests_bulk) = best_of(reps, || {
+        preds
+            .iter()
+            .map(|p| hit_or_miss_plan_bulk(p, &boxed, &profile, samples, plan))
+            .collect::<Vec<_>>()
+    });
+    let bulk_estimates_identical = ests_scalar == ests_bulk;
+
     Row {
         subject: name.to_owned(),
         paths: cs.len(),
@@ -139,10 +250,19 @@ fn measure_subject(
         serial_secs: serial.as_secs_f64(),
         parallel_secs: parallel.as_secs_f64(),
         parallel_speedup: serial.as_secs_f64() / parallel.as_secs_f64().max(1e-12),
-        estimates_identical: est_serial == est_parallel,
+        estimates_identical: est_serial == est_parallel && bulk_estimates_identical,
+        bulk_estimates_identical,
         pred_tree_secs: pred_tree.as_secs_f64(),
         pred_tape_secs: pred_tape.as_secs_f64(),
         pred_tape_speedup: pred_tree.as_secs_f64() / pred_tape.as_secs_f64().max(1e-12),
+        scalar_eval_secs: scalar_eval.as_secs_f64(),
+        bulk_eval_secs: bulk_eval.as_secs_f64(),
+        scalar_samples_per_sec: evals / scalar_eval.as_secs_f64().max(1e-12),
+        bulk_samples_per_sec: evals / bulk_eval.as_secs_f64().max(1e-12),
+        bulk_eval_speedup: scalar_eval.as_secs_f64() / bulk_eval.as_secs_f64().max(1e-12),
+        mc_scalar_secs: mc_scalar.as_secs_f64(),
+        mc_bulk_secs: mc_bulk.as_secs_f64(),
+        mc_bulk_speedup: mc_scalar.as_secs_f64() / mc_bulk.as_secs_f64().max(1e-12),
     }
 }
 
@@ -178,6 +298,8 @@ pub fn run(samples: u64, reps: u32) -> Summary {
         samples,
         parallel_speedup_geomean: geomean(rows.iter().map(|r| r.parallel_speedup)),
         pred_tape_speedup_geomean: geomean(rows.iter().map(|r| r.pred_tape_speedup)),
+        bulk_eval_speedup_geomean: geomean(rows.iter().map(|r| r.bulk_eval_speedup)),
+        mc_bulk_speedup_geomean: geomean(rows.iter().map(|r| r.mc_bulk_speedup)),
         rows,
     }
 }
@@ -200,10 +322,20 @@ mod tests {
         assert!(!s.rows.is_empty());
         for r in &s.rows {
             assert!(r.estimates_identical, "{}: parallel diverged", r.subject);
+            assert!(
+                r.bulk_estimates_identical,
+                "{}: bulk sampling diverged from the scalar tape",
+                r.subject
+            );
             assert!(r.serial_secs > 0.0 && r.pred_tape_secs > 0.0);
+            assert!(r.bulk_eval_secs > 0.0 && r.mc_bulk_secs > 0.0);
+            assert!(r.bulk_samples_per_sec > 0.0 && r.scalar_samples_per_sec > 0.0);
         }
         assert!(s.pred_tape_speedup_geomean > 0.0);
+        assert!(s.bulk_eval_speedup_geomean > 0.0);
         let json = serde_json::to_string_pretty(&s).unwrap();
         assert!(json.contains("\"pred_tape_speedup\""));
+        assert!(json.contains("\"bulk_eval_speedup\""));
+        assert!(json.contains("\"bulk_estimates_identical\""));
     }
 }

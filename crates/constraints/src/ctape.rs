@@ -101,8 +101,10 @@ impl PathCondition {
 }
 
 /// One node of a compiled expression, children strictly before parents.
+/// Shared with [`crate::bulk`], which recompiles the node pool into a
+/// register-allocated columnar tape.
 #[derive(Copy, Clone, Debug, PartialEq)]
-enum Node {
+pub(crate) enum Node {
     /// A literal constant.
     Const(f64),
     /// An input variable (index into the sample point).
@@ -205,6 +207,18 @@ impl EvalTape {
     /// Returns `true` for the empty (always-true) conjunction.
     pub fn is_empty(&self) -> bool {
         self.atoms.is_empty()
+    }
+
+    /// The deduplicated node pool, children strictly before parents
+    /// (consumed by [`crate::bulk::BulkTape::compile`]).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The `(lhs node, op, rhs node)` triple per atom, in conjunction
+    /// order (consumed by [`crate::bulk::BulkTape::compile`]).
+    pub(crate) fn atom_nodes(&self) -> &[(u32, RelOp, u32)] {
+        &self.atoms
     }
 
     /// Evaluates the conjunction with caller-provided scratch. Nodes are

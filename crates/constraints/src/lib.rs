@@ -41,6 +41,7 @@
 #![allow(clippy::should_implement_trait)]
 
 pub mod atom;
+pub mod bulk;
 pub mod ctape;
 pub mod domain;
 pub mod expr;
@@ -49,6 +50,7 @@ pub mod parse;
 pub mod varset;
 
 pub use atom::{Atom, ConstraintSet, PathCondition, RelOp};
+pub use bulk::{BulkScratch, BulkTape, LANES};
 pub use ctape::{expr_fingerprint, EvalTape};
 pub use domain::{Domain, VarId};
 pub use expr::{BinOp, Expr, UnOp};

@@ -63,21 +63,23 @@
 //! whichever landed first stable from then on.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rayon::prelude::*;
 
-use qcoral_constraints::{ConstraintSet, Domain, EvalTape, PathCondition, VarId};
+use qcoral_constraints::{ConstraintSet, Domain, PathCondition, VarId};
 use qcoral_icp::{domain_box, tape_cache_stats};
 use qcoral_interval::IntervalBox;
 use qcoral_mc::{
-    align_strata, initial_allocation, mix_seed, neyman_allocation, proportional_split, refine_plan,
-    Allocation, Estimate, SamplePlan, Stratum, StratumAccum, UsageProfile,
+    align_strata, initial_allocation, mix_seed, neyman_allocation, proportional_split,
+    refine_plan_bulk, Allocation, Estimate, SamplePlan, Stratum, StratumAccum, UsageProfile,
 };
 
 use crate::analyzer::{
     factor_key, hash_key, normalized_partition, Analyzer, Report, Stats, ALIGN_CAP,
 };
+use crate::bulkpred::CompiledPred;
 use crate::factor_store::FactorKey;
 
 /// One distinct factor of the analyzed system, deduplicated across path
@@ -107,10 +109,10 @@ impl FactorState {
     }
 }
 
-/// A factor still being sampled: its compiled predicate, paving strata
-/// and per-stratum accumulators.
+/// A factor still being sampled: its compiled predicate (scalar +
+/// columnar bulk tape), paving strata and per-stratum accumulators.
 struct ActiveFactor {
-    tape: EvalTape,
+    pred: Arc<CompiledPred>,
     profile: UsageProfile,
     strata: Vec<Stratum>,
     /// Exact mass of the certain strata (folded once, never re-sampled).
@@ -140,14 +142,14 @@ impl ActiveFactor {
     /// Draws `counts[j]` further samples for sampled stratum `j`,
     /// continuing each stratum's chunk stream; returns the new
     /// accumulators and the budget spent. Pure (`&self`), so factors
-    /// refine concurrently.
+    /// refine concurrently. Rides the columnar bulk evaluator — chunk
+    /// streams and hit counts are bit-identical to the scalar path.
     fn refined(&self, counts: &[u64]) -> (Vec<StratumAccum>, u64) {
-        let pred = |p: &[f64]| self.tape.holds(p);
         let mut out = Vec::with_capacity(self.accums.len());
         let mut spent = 0u64;
         for (j, &i) in self.sampled.iter().enumerate() {
-            out.push(refine_plan(
-                &pred,
+            out.push(refine_plan_bulk(
+                &*self.pred,
                 &self.strata[i].boxed,
                 &self.profile,
                 counts[j],
@@ -380,7 +382,7 @@ impl Analyzer {
                 return (FactorState::Frozen(exact), d);
             }
             let sampled_weights: Vec<f64> = sampled.iter().map(|&i| weights[i]).collect();
-            let tape = EvalTape::compile(&slot.local_pc);
+            let pred = CompiledPred::compile_cached(&slot.local_pc);
             let accums = vec![StratumAccum::EMPTY; sampled.len()];
             let plan = SamplePlan {
                 seed: mix_seed(opts.seed, hash_key(&slot.key)),
@@ -389,7 +391,7 @@ impl Analyzer {
             };
             (
                 FactorState::Active(Box::new(ActiveFactor {
-                    tape,
+                    pred,
                     profile: local_profile,
                     strata,
                     exact,

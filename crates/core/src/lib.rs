@@ -52,11 +52,13 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod bulkpred;
 pub mod depend;
 pub mod factor_store;
 pub mod iterative;
 
 pub use analyzer::{Analyzer, Options, Report, Stats};
+pub use bulkpred::{pred_cache_stats, CompiledPred};
 pub use depend::{dependency_partition, UnionFind};
 pub use factor_store::{FactorStore, FactorStoreEntry, DEFAULT_STORE_CAP};
 

@@ -1,0 +1,101 @@
+//! Generic process-wide compile cache, shared by every "fingerprint →
+//! compiled artifact" memoization in the workspace (the HC4 [`Tape`]
+//! cache here, the analyzer's `CompiledPred` cache in `qcoral`).
+//!
+//! The access pattern is always the same: keys are 128-bit structural
+//! fingerprints computed *outside* the lock (linear in DAG size, so
+//! lookups do constant work under the mutex), compilation also happens
+//! outside the lock (it can be heavy), the map is capped to bound
+//! memory on adversarial workloads (beyond the cap compilation still
+//! succeeds but is no longer retained), and on a racing double-compile
+//! the first artifact to land wins so every consumer shares one
+//! allocation.
+//!
+//! [`Tape`]: crate::tape::Tape
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A bounded, counted `fingerprint → Arc<T>` compile cache.
+#[derive(Debug)]
+pub struct CompileCache<T> {
+    map: Mutex<HashMap<u128, Arc<T>>>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<T> CompileCache<T> {
+    /// An empty cache retaining at most `cap` artifacts.
+    pub fn new(cap: usize) -> CompileCache<T> {
+        CompileCache {
+            map: Mutex::new(HashMap::new()),
+            cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the artifact for `key`, compiling (outside the lock) on a
+    /// miss. At the cap, fresh artifacts are returned uncached; on a
+    /// race, whichever artifact landed first is kept and shared.
+    pub fn get_or_compile(&self, key: u128, compile: impl FnOnce() -> T) -> Arc<T> {
+        if let Some(t) = self.map.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(t);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(compile());
+        let mut map = self.map.lock();
+        if map.len() >= self.cap && !map.contains_key(&key) {
+            return fresh;
+        }
+        Arc::clone(map.entry(key).or_insert(fresh))
+    }
+
+    /// Cumulative `(hits, misses)`. Counters are monotone; callers
+    /// wanting per-analysis numbers snapshot before and after (exact
+    /// when no other analysis runs concurrently in the process).
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of artifacts currently retained.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Returns `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_up_to_cap_and_counts() {
+        let cache: CompileCache<u64> = CompileCache::new(2);
+        let a = cache.get_or_compile(1, || 10);
+        let b = cache.get_or_compile(1, || 99);
+        assert!(Arc::ptr_eq(&a, &b), "hit shares the first artifact");
+        assert_eq!(*b, 10);
+        assert_eq!(cache.stats(), (1, 1));
+        cache.get_or_compile(2, || 20);
+        assert_eq!(cache.len(), 2);
+        // At the cap: compiled but not retained.
+        let c = cache.get_or_compile(3, || 30);
+        assert_eq!(*c, 30);
+        assert_eq!(cache.len(), 2);
+        // Existing keys still hit at the cap.
+        assert_eq!(*cache.get_or_compile(2, || 99), 20);
+    }
+}

@@ -39,10 +39,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod contract;
 pub mod paver;
 pub mod tape;
 
+pub use cache::CompileCache;
 pub use contract::{ContractScratch, Contractor, Tri};
 pub use paver::{batch_lru_cutoff, pave, Paver, PaverConfig, Paving, PavingCache};
 pub use tape::tape_cache_stats;

@@ -9,13 +9,12 @@
 //! narrowed together.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-
-use parking_lot::Mutex;
 
 use qcoral_constraints::{expr_fingerprint, BinOp, Expr, UnOp, VarId};
 use qcoral_interval::{Interval, IntervalBox};
+
+use crate::cache::CompileCache;
 
 /// Process-wide cache of compiled tapes, keyed by the source expression's
 /// structural fingerprint. Independent factors recur across path
@@ -23,29 +22,21 @@ use qcoral_interval::{Interval, IntervalBox};
 /// compiled [`Tape`] per distinct expression instead of recompiling it.
 /// The fingerprint is computed *outside* the lock and is linear in DAG
 /// size, so lookups do constant work under the mutex.
-static TAPE_CACHE: OnceLock<Mutex<HashMap<u128, Arc<Tape>>>> = OnceLock::new();
+static TAPE_CACHE: OnceLock<CompileCache<Tape>> = OnceLock::new();
 
 /// Cap on cached tapes; beyond it, compilation still succeeds but results
 /// are no longer retained (bounds memory for adversarial workloads).
 const TAPE_CACHE_CAP: usize = 4096;
 
-fn tape_cache() -> &'static Mutex<HashMap<u128, Arc<Tape>>> {
-    TAPE_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn tape_cache() -> &'static CompileCache<Tape> {
+    TAPE_CACHE.get_or_init(|| CompileCache::new(TAPE_CACHE_CAP))
 }
-
-/// Process-wide hit counter for [`Tape::compile_cached`].
-static TAPE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide miss counter for [`Tape::compile_cached`].
-static TAPE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Cumulative `(hits, misses)` of the process-wide tape cache. Counters
 /// are monotone; callers wanting per-analysis numbers snapshot before and
 /// after (exact when no other analysis runs concurrently in the process).
 pub fn tape_cache_stats() -> (u64, u64) {
-    (
-        TAPE_CACHE_HITS.load(Ordering::Relaxed),
-        TAPE_CACHE_MISSES.load(Ordering::Relaxed),
-    )
+    tape_cache().stats()
 }
 
 /// One node of a compiled expression.
@@ -90,26 +81,15 @@ impl Tape {
     /// symbolic executor's per-path pruning queries) should use
     /// [`Tape::compile`] directly so they don't fill the cap.
     pub fn compile_cached(expr: &Arc<Expr>) -> Arc<Tape> {
-        // Fingerprint and compile outside the lock: both can be heavy.
+        // Fingerprinting happens outside the cache lock, like the
+        // compilation itself: both can be heavy.
         let key = expr_fingerprint(expr);
-        if let Some(t) = tape_cache().lock().get(&key) {
-            TAPE_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(t);
-        }
-        TAPE_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
-        let fresh = Arc::new(Tape::compile(expr));
-        let mut cache = tape_cache().lock();
-        if cache.len() >= TAPE_CACHE_CAP && !cache.contains_key(&key) {
-            return fresh;
-        }
-        // On a race, keep whichever tape landed first so every contractor
-        // shares the same allocation.
-        Arc::clone(cache.entry(key).or_insert(fresh))
+        tape_cache().get_or_compile(key, || Tape::compile(expr))
     }
 
     /// Number of tapes currently memoized process-wide.
     pub fn cached_tapes() -> usize {
-        tape_cache().lock().len()
+        tape_cache().len()
     }
 
     fn emit(&mut self, expr: &Expr, memo: &mut HashMap<Expr, usize>) -> usize {

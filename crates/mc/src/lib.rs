@@ -42,7 +42,8 @@ pub use profile::{
     parse_dist_spec, parse_profile_spec, std_normal_cdf, std_normal_quantile, Dist, UsageProfile,
 };
 pub use sampler::{
-    hit_or_miss, hit_or_miss_plan, initial_allocation, mix_seed, neyman_allocation,
-    proportional_split, refine_plan, stratified, stratified_plan, Allocation, SamplePlan, Stratum,
-    StratumAccum,
+    hit_or_miss, hit_or_miss_plan, hit_or_miss_plan_bulk, initial_allocation, mix_seed,
+    neyman_allocation, proportional_split, refine_plan, refine_plan_bulk, stratified,
+    stratified_plan, stratified_plan_bulk, Allocation, BulkPred, SamplePlan, ScalarPred, Stratum,
+    StratumAccum, COLUMN_BLOCK,
 };

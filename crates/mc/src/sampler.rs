@@ -10,6 +10,22 @@
 //!   shared RNG stream. Chunk hit-counts are integers and strata are
 //!   reduced in index order, so the returned [`Estimate`] is bit-identical
 //!   whether the chunks run on one thread or many.
+//!
+//! # Columnar bulk evaluation
+//!
+//! The plan layer's predicates are [`BulkPred`]s. A plain
+//! `Fn(&[f64]) -> bool` closure (wrapped in [`ScalarPred`], which the
+//! classic generic entry points do automatically) is evaluated row by
+//! row, exactly as before. A predicate that reports
+//! [`BulkPred::columnar`] switches the chunk executor to
+//! structure-of-arrays form: samples are drawn into per-variable
+//! *column* buffers, one [`COLUMN_BLOCK`]-sized block at a time — in
+//! the **identical RNG draw order** as the row path, so the samples,
+//! the integer hit counts, and the resulting [`Estimate`]s are
+//! bit-identical — and each block is handed to
+//! [`BulkPred::count_hits`] in one call, letting register-allocated
+//! slice tapes (`qcoral_constraints::bulk`) amortize interpreter
+//! dispatch across whole lane blocks.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -80,25 +96,142 @@ impl SamplePlan {
     }
 }
 
-/// Counts hits of `pred` among `n` samples of chunk `c` (the scratch
-/// buffer `point` is reused across samples). Returns `None` if the box has
+/// A predicate the plan-layer samplers can evaluate either row by row or
+/// over whole sample columns.
+///
+/// The contract that keeps bulk and scalar runs bit-identical: for any
+/// columns `cols` holding `n` samples, [`BulkPred::count_hits`] must
+/// return exactly the number of rows `i` on which [`BulkPred::holds`]
+/// returns `true` for the gathered point `[cols[0][i], cols[1][i], …]`.
+/// Implementors backed by a columnar evaluator (e.g. a
+/// `qcoral_constraints::bulk::BulkTape`) opt in via
+/// [`BulkPred::columnar`]; everything else inherits the row path
+/// unchanged.
+pub trait BulkPred: Sync {
+    /// Row-oriented evaluation of one sample point.
+    fn holds(&self, point: &[f64]) -> bool;
+
+    /// Whether the chunk executor should draw columns and call
+    /// [`BulkPred::count_hits`] instead of looping rows. Defaults to
+    /// `false` (scalar closures keep today's row loop byte for byte).
+    fn columnar(&self) -> bool {
+        false
+    }
+
+    /// Counts hits over the first `n` samples stored in per-variable
+    /// columns (`cols[v][i]` = variable `v` of sample `i`). The default
+    /// gathers each row and defers to [`BulkPred::holds`].
+    fn count_hits(&self, cols: &[Vec<f64>], n: usize) -> u64 {
+        let mut point = vec![0.0; cols.len()];
+        let mut hits = 0u64;
+        for i in 0..n {
+            for (d, col) in cols.iter().enumerate() {
+                point[d] = col[i];
+            }
+            if self.holds(&point) {
+                hits += 1;
+            }
+        }
+        hits
+    }
+}
+
+/// Adapter giving any `Fn(&[f64]) -> bool` closure the [`BulkPred`]
+/// row-path behaviour. The classic generic entry points ([`refine_plan`],
+/// [`hit_or_miss_plan`], [`stratified_plan`]) wrap their closure in this
+/// automatically, so existing callers are untouched.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalarPred<F>(pub F);
+
+impl<F: Fn(&[f64]) -> bool + Sync> BulkPred for ScalarPred<F> {
+    fn holds(&self, point: &[f64]) -> bool {
+        (self.0)(point)
+    }
+}
+
+/// Samples drawn per columnar block: matches the bulk tapes' lane width
+/// (`qcoral_constraints::bulk::LANES`) so each block evaluates as one
+/// full slab, while keeping column-buffer memory at
+/// `COLUMN_BLOCK × ndim` f64s per task regardless of the chunk size.
+/// Purely an execution granule — [`BulkPred::count_hits`] is exact for
+/// any block size, and the RNG draw order never depends on it.
+pub const COLUMN_BLOCK: usize = 128;
+
+/// Per-chunk draw buffers: the row scratch both paths share, plus the
+/// column buffers the bulk path scatters samples into.
+struct DrawScratch {
+    point: Vec<f64>,
+    cols: Vec<Vec<f64>>,
+}
+
+impl DrawScratch {
+    fn new(ndim: usize, columnar: bool) -> DrawScratch {
+        DrawScratch {
+            point: vec![0.0; ndim],
+            cols: if columnar {
+                (0..ndim)
+                    .map(|_| Vec::with_capacity(COLUMN_BLOCK))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+}
+
+/// Counts hits of `pred` among `n` samples of chunk `c` (scratch buffers
+/// are reused across samples and chunks). Returns `None` if the box has
 /// zero conditional mass under the profile.
-fn chunk_hits<F: Fn(&[f64]) -> bool>(
-    pred: &F,
+///
+/// The bulk branch draws [`COLUMN_BLOCK`]-sized blocks of samples into
+/// columns — in the exact per-sample, per-dimension RNG order of the row
+/// branch — and counts each block in one columnar call; since the
+/// predicate never touches the RNG, both branches see bit-identical
+/// samples and produce identical counts.
+fn chunk_hits<P: BulkPred + ?Sized>(
+    pred: &P,
     boxed: &IntervalBox,
     profile: &UsageProfile,
     n: u64,
     seed: u64,
     c: u64,
-    point: &mut [f64],
+    scratch: &mut DrawScratch,
 ) -> Option<u64> {
     let mut rng = SmallRng::seed_from_u64(mix_seed(seed, c));
+    if pred.columnar() {
+        // Draw and evaluate in fixed-size blocks: column buffers stay
+        // O(COLUMN_BLOCK × ndim) no matter how large the chunk is, and
+        // a freshly drawn block is still cache-hot when evaluated.
+        // Draws remain strictly sequential (the predicate never touches
+        // the RNG), so the sample stream — and every count — is
+        // bit-identical to the row path.
+        let n = n as usize;
+        let mut hits = 0u64;
+        let mut remaining = n;
+        while remaining > 0 {
+            let w = COLUMN_BLOCK.min(remaining);
+            for col in scratch.cols.iter_mut() {
+                col.clear();
+            }
+            for _ in 0..w {
+                if !profile.sample_in(boxed, boxed, &mut rng, &mut scratch.point) {
+                    return None;
+                }
+                for (d, col) in scratch.cols.iter_mut().enumerate() {
+                    col.push(scratch.point[d]);
+                }
+            }
+            hits += pred.count_hits(&scratch.cols, w);
+            remaining -= w;
+        }
+        return Some(hits);
+    }
     let mut hits = 0u64;
     for _ in 0..n {
-        if !profile.sample_in(boxed, boxed, &mut rng, point) {
+        if !profile.sample_in(boxed, boxed, &mut rng, &mut scratch.point) {
             return None;
         }
-        if pred(point) {
+        if pred.holds(&scratch.point) {
             hits += 1;
         }
     }
@@ -179,13 +312,33 @@ pub fn refine_plan<F>(
 where
     F: Fn(&[f64]) -> bool + Sync,
 {
+    refine_plan_bulk(&ScalarPred(pred), boxed, profile, add, plan, acc)
+}
+
+/// [`refine_plan`] over a [`BulkPred`]: the same counter-seeded chunk
+/// streams and integer reductions, but columnar predicates evaluate each
+/// chunk in one structure-of-arrays call. Samples are drawn in the
+/// identical RNG order either way, so the accumulator is bit-identical
+/// to the scalar row path.
+pub fn refine_plan_bulk<P>(
+    pred: &P,
+    boxed: &IntervalBox,
+    profile: &UsageProfile,
+    add: u64,
+    plan: SamplePlan,
+    acc: StratumAccum,
+) -> StratumAccum
+where
+    P: BulkPred + ?Sized,
+{
     if add == 0 || acc.dead {
         return acc;
     }
     let chunk = plan.chunk.max(1);
     let nchunks = add.div_ceil(chunk);
     let ndim = boxed.ndim();
-    let hits_of = |j: u64, point: &mut [f64]| {
+    let columnar = pred.columnar();
+    let hits_of = |j: u64, scratch: &mut DrawScratch| {
         let len = chunk.min(add - j * chunk);
         chunk_hits(
             pred,
@@ -194,24 +347,27 @@ where
             len,
             plan.seed,
             acc.next_chunk + j,
-            point,
+            scratch,
         )
     };
     let total: Option<u64> = if plan.parallel && nchunks > 1 {
+        // Per-worker scratch (`map_init`), not per-chunk: each rayon
+        // worker draws all of its chunks through one reused buffer set,
+        // like the serial branch below.
         (0..nchunks)
             .into_par_iter()
-            .map(|j| {
-                let mut point = vec![0.0; ndim];
-                hits_of(j, &mut point)
-            })
+            .map_init(
+                || DrawScratch::new(ndim, columnar),
+                |scratch, j| hits_of(j, scratch),
+            )
             .collect::<Vec<Option<u64>>>()
             .into_iter()
             .sum()
     } else {
-        let mut point = vec![0.0; ndim];
+        let mut scratch = DrawScratch::new(ndim, columnar);
         let mut sum = Some(0u64);
         for j in 0..nchunks {
-            match (sum, hits_of(j, &mut point)) {
+            match (sum, hits_of(j, &mut scratch)) {
                 (Some(a), Some(h)) => sum = Some(a + h),
                 _ => {
                     sum = None;
@@ -255,8 +411,27 @@ pub fn hit_or_miss_plan<F>(
 where
     F: Fn(&[f64]) -> bool + Sync,
 {
+    hit_or_miss_plan_bulk(&ScalarPred(pred), boxed, profile, n, plan)
+}
+
+/// [`hit_or_miss_plan`] over a [`BulkPred`] — columnar predicates ride
+/// the bulk chunk evaluator, with bit-identical estimates.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or on box/profile dimension mismatch.
+pub fn hit_or_miss_plan_bulk<P>(
+    pred: &P,
+    boxed: &IntervalBox,
+    profile: &UsageProfile,
+    n: u64,
+    plan: SamplePlan,
+) -> Estimate
+where
+    P: BulkPred + ?Sized,
+{
     assert!(n > 0, "hit-or-miss needs at least one sample");
-    refine_plan(pred, boxed, profile, n, plan, StratumAccum::EMPTY).estimate()
+    refine_plan_bulk(pred, boxed, profile, n, plan, StratumAccum::EMPTY).estimate()
 }
 
 /// Stratified sampling (Eq. 3) over counter-seeded chunks.
@@ -286,6 +461,36 @@ pub fn stratified_plan<F>(
 where
     F: Fn(&[f64]) -> bool + Sync,
 {
+    stratified_plan_bulk(
+        &ScalarPred(pred),
+        strata,
+        domain,
+        profile,
+        total_samples,
+        allocation,
+        plan,
+    )
+}
+
+/// [`stratified_plan`] over a [`BulkPred`] — every stratum's chunk
+/// stream rides the bulk evaluator for columnar predicates, with
+/// bit-identical estimates to the scalar row path.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches between strata, `domain` and `profile`.
+pub fn stratified_plan_bulk<P>(
+    pred: &P,
+    strata: &[Stratum],
+    domain: &IntervalBox,
+    profile: &UsageProfile,
+    total_samples: u64,
+    allocation: Allocation,
+    plan: SamplePlan,
+) -> Estimate
+where
+    P: BulkPred + ?Sized,
+{
     let weights: Vec<f64> = strata
         .iter()
         .map(|s| profile.box_probability(&s.boxed, domain))
@@ -312,7 +517,7 @@ where
     let counts = initial_allocation(allocation, total_samples, &sampled_weights);
     let refine_stratum = |j: usize, add: u64, accum: StratumAccum| -> StratumAccum {
         let i = sampled[j];
-        refine_plan(
+        refine_plan_bulk(
             pred,
             &strata[i].boxed,
             profile,
@@ -940,6 +1145,86 @@ mod tests {
         // Ties hand the remainder to the lower index first.
         assert_eq!(counts, vec![4, 3, 3]);
         assert_eq!(proportional_split(5, &[0.0, 0.0]), vec![0, 0]);
+    }
+
+    /// A columnar predicate (here: the default gather evaluator with
+    /// `columnar()` forced on) must see the bit-identical sample stream
+    /// as the row path: the chunk executor draws the same RNG sequence
+    /// in both modes, so estimates and accumulators agree exactly —
+    /// serial, parallel, across refinement rounds and under stratified
+    /// composition.
+    #[test]
+    fn columnar_chunk_executor_is_bit_identical_to_row_path() {
+        struct ColumnarHalfSpace;
+        impl BulkPred for ColumnarHalfSpace {
+            fn holds(&self, p: &[f64]) -> bool {
+                p[0] + p[1] > 0.3
+            }
+            fn columnar(&self) -> bool {
+                true
+            }
+        }
+        let b = unit_square();
+        let p = UsageProfile::uniform(2);
+        let pred = |x: &[f64]| x[0] + x[1] > 0.3;
+        for chunk in [1u64, 100, 4096] {
+            let mut plan = SamplePlan::serial(7);
+            plan.chunk = chunk;
+            let row = hit_or_miss_plan(&pred, &b, &p, 9_777, plan);
+            let col = hit_or_miss_plan_bulk(&ColumnarHalfSpace, &b, &p, 9_777, plan);
+            assert_eq!(row, col, "chunk {chunk}: columnar diverged");
+            let mut par = SamplePlan::parallel(7);
+            par.chunk = chunk;
+            assert_eq!(
+                col,
+                hit_or_miss_plan_bulk(&ColumnarHalfSpace, &b, &p, 9_777, par)
+            );
+        }
+        // Round-split refinement continues the identical chunk streams.
+        let plan = SamplePlan::serial(41);
+        let row = [500u64, 1_311, 96]
+            .iter()
+            .fold(StratumAccum::EMPTY, |acc, &add| {
+                refine_plan(&pred, &b, &p, add, plan, acc)
+            });
+        let col = [500u64, 1_311, 96]
+            .iter()
+            .fold(StratumAccum::EMPTY, |acc, &add| {
+                refine_plan_bulk(&ColumnarHalfSpace, &b, &p, add, plan, acc)
+            });
+        assert_eq!(row, col);
+        // Stratified composition with mixed certain/boundary strata.
+        let strata = vec![
+            Stratum::inner(
+                [Interval::new(-1.0, 0.0), Interval::new(-1.0, 1.0)]
+                    .into_iter()
+                    .collect(),
+            ),
+            Stratum::boundary(
+                [Interval::new(0.0, 1.0), Interval::new(-1.0, 1.0)]
+                    .into_iter()
+                    .collect(),
+            ),
+        ];
+        let srow = stratified_plan(
+            &pred,
+            &strata,
+            &b,
+            &p,
+            4_000,
+            Allocation::Proportional,
+            plan,
+        );
+        let scol = stratified_plan_bulk(
+            &ColumnarHalfSpace,
+            &strata,
+            &b,
+            &p,
+            4_000,
+            Allocation::Proportional,
+            plan,
+        );
+        assert_eq!(srow, scol);
     }
 
     /// Refining in rounds visits fresh chunks, so the estimate depends

@@ -89,11 +89,26 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    par_map_init_vec(items, &|| (), &|_: &mut (), t| f(t))
+}
+
+/// [`par_map_vec`] with per-worker state, mirroring rayon's `map_init`:
+/// `init` runs once per contiguous chunk (≈ once per worker thread) and
+/// the resulting state is threaded through that chunk's calls — the
+/// scratch-buffer reuse pattern of the sampling hot path.
+fn par_map_init_vec<T, S, R, INIT, F>(items: Vec<T>, init: &INIT, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
     let n = items.len();
     let budget = current_num_threads().saturating_sub(ACTIVE_WORKERS.load(Ordering::Relaxed));
     let threads = budget.min(n);
     if threads <= 1 {
-        return items.into_iter().map(f).collect();
+        let mut state = init();
+        return items.into_iter().map(|t| f(&mut state, t)).collect();
     }
     // Contiguous chunking: ceil(n / threads) per chunk.
     let chunk = n.div_ceil(threads);
@@ -110,10 +125,14 @@ where
         let mut iter = chunks.into_iter();
         let first = iter.next().expect("at least one chunk");
         for c in iter {
-            handles.push(s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()));
+            handles.push(s.spawn(move || {
+                let mut state = init();
+                c.into_iter().map(|t| f(&mut state, t)).collect::<Vec<R>>()
+            }));
         }
         // The caller's thread works on the first chunk instead of idling.
-        let mut out: Vec<R> = first.into_iter().map(f).collect();
+        let mut state = init();
+        let mut out: Vec<R> = first.into_iter().map(|t| f(&mut state, t)).collect();
         for h in handles {
             match h.join() {
                 Ok(mut v) => out.append(&mut v),
@@ -152,6 +171,22 @@ impl<T: Send> ParIter<T> {
     pub fn with_min_len(self, _len: usize) -> Self {
         self
     }
+
+    /// Maps each item through `f` with per-worker state created by
+    /// `init` (rayon's `map_init`): the state is built once per
+    /// contiguous chunk and reused across that chunk's items.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<T, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
 }
 
 impl<T, R, F> ParMap<T, F>
@@ -173,6 +208,36 @@ where
     /// Runs the map in parallel, discarding results.
     pub fn for_each(self) {
         let _ = self.collect::<Vec<R>>();
+    }
+}
+
+/// A mapped parallel iterator with per-worker state (see
+/// [`ParIter::map_init`]); execution happens at `collect`/`sum`.
+pub struct ParMapInit<T, INIT, F> {
+    items: Vec<T>,
+    init: INIT,
+    f: F,
+}
+
+impl<T, S, R, INIT, F> ParMapInit<T, INIT, F>
+where
+    T: Send,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_init_vec(self.items, &self.init, &self.f)
+            .into_iter()
+            .collect()
+    }
+
+    /// Runs the map in parallel and sums the results.
+    pub fn sum<Sum: std::iter::Sum<R>>(self) -> Sum {
+        par_map_init_vec(self.items, &self.init, &self.f)
+            .into_iter()
+            .sum()
     }
 }
 

@@ -12,8 +12,12 @@
 
 use std::sync::Arc;
 
-use qcoral::{Analyzer, FactorStore, Options};
-use qcoral_mc::UsageProfile;
+use qcoral::{Analyzer, CompiledPred, FactorStore, Options};
+use qcoral_icp::domain_box;
+use qcoral_mc::{
+    hit_or_miss_plan, hit_or_miss_plan_bulk, mix_seed, stratified_plan, stratified_plan_bulk,
+    Allocation, SamplePlan, Stratum, UsageProfile,
+};
 use qcoral_subjects::{nonuniform_subjects, table3_subjects};
 use qcoral_symexec::SymConfig;
 
@@ -241,6 +245,102 @@ fn nonuniform_profiles_are_deterministic_and_restart_stable() {
         );
         assert_eq!(warm.stats.pavings, 0, "{}: warm run paved", subj.name);
     }
+}
+
+/// The columnar bulk path is pinned **bit-identical to the scalar row
+/// path** on every VolComp-suite subject: for each path condition, the
+/// plan-layer samplers must return the same `Estimate` whether the
+/// predicate is a scalar closure over the row tape or the compiled
+/// columnar `BulkPred` — serial and parallel, plain hit-or-miss and
+/// stratified composition alike. (The analyzer rides the bulk path
+/// unconditionally, so together with the serial/parallel and
+/// warm-restart suites above — which CI runs under
+/// `RAYON_NUM_THREADS=1` and `=4` — this pins the whole chain: bulk ==
+/// scalar == parallel == warm restart.)
+#[test]
+fn bulk_path_matches_scalar_path_bit_for_bit() {
+    for subj in table3_subjects() {
+        let (domain, cs) = subj.system_for(0, &SymConfig::default());
+        if cs.is_empty() {
+            continue;
+        }
+        let profile = UsageProfile::uniform(domain.len());
+        let boxed = domain_box(&domain);
+        for (i, pc) in cs.pcs().iter().enumerate().take(6) {
+            let pred = CompiledPred::compile(pc);
+            let scalar_pred = |x: &[f64]| pred.scalar().holds(x);
+            let plan = SamplePlan::serial(mix_seed(97, i as u64));
+            let scalar = hit_or_miss_plan(&scalar_pred, &boxed, &profile, 3_000, plan);
+            let bulk = hit_or_miss_plan_bulk(&pred, &boxed, &profile, 3_000, plan);
+            assert_eq!(scalar, bulk, "{}[pc {i}]: bulk diverged", subj.name);
+            let par = hit_or_miss_plan_bulk(
+                &pred,
+                &boxed,
+                &profile,
+                3_000,
+                SamplePlan::parallel(mix_seed(97, i as u64)),
+            );
+            assert_eq!(scalar, par, "{}[pc {i}]: parallel bulk diverged", subj.name);
+
+            // Stratified composition over a two-way split of the domain.
+            let d0 = boxed.dims()[0];
+            let mid = 0.5 * (d0.lo() + d0.hi());
+            let mut lo_box: Vec<_> = boxed.dims().to_vec();
+            lo_box[0] = qcoral_interval::Interval::new(d0.lo(), mid);
+            let mut hi_box: Vec<_> = boxed.dims().to_vec();
+            hi_box[0] = qcoral_interval::Interval::new(mid, d0.hi());
+            let strata = vec![
+                Stratum::boundary(lo_box.into_iter().collect()),
+                Stratum::boundary(hi_box.into_iter().collect()),
+            ];
+            let s_scalar = stratified_plan(
+                &scalar_pred,
+                &strata,
+                &boxed,
+                &profile,
+                2_000,
+                Allocation::Proportional,
+                plan,
+            );
+            let s_bulk = stratified_plan_bulk(
+                &pred,
+                &strata,
+                &boxed,
+                &profile,
+                2_000,
+                Allocation::Proportional,
+                plan,
+            );
+            assert_eq!(s_scalar, s_bulk, "{}[pc {i}]: stratified bulk", subj.name);
+        }
+    }
+}
+
+/// A warm `FactorStore` restart over the bulk-path analyzer: snapshots
+/// written by a bulk-path run recompose bit-identically after a restart
+/// (store keys and sample streams are untouched by the columnar
+/// rewrite).
+#[test]
+fn bulk_path_warm_restart_is_bit_identical() {
+    let subjects = table3_subjects();
+    let subj = subjects.iter().find(|s| s.name == "VOL").unwrap();
+    let (domain, cs) = subj.system_for(0, &SymConfig::default());
+    let profile = UsageProfile::uniform(domain.len());
+    let opts = Options::strat_partcache().with_samples(2_000).with_seed(23);
+    let store = Arc::new(FactorStore::new(4096));
+    let cold = Analyzer::new(opts.clone())
+        .with_factor_store(Arc::clone(&store))
+        .analyze(&cs, &domain, &profile);
+    assert!(cold.stats.samples_drawn > 0);
+    let restarted = Arc::new(FactorStore::new(4096));
+    restarted.absorb(store.entries());
+    let warm = Analyzer::new(opts)
+        .with_factor_store(restarted)
+        .analyze(&cs, &domain, &profile);
+    assert_eq!(warm.estimate, cold.estimate, "warm restart diverged");
+    assert_eq!(warm.per_pc, cold.per_pc);
+    assert_eq!(warm.stats.samples_drawn, 0, "warm run must not sample");
+    assert_eq!(warm.stats.pavings, 0, "warm run must not pave");
 }
 
 /// Chunk size changes the stream (like a reseed) but never the
