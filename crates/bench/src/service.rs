@@ -64,6 +64,12 @@ pub struct Summary {
     pub warm_total_ms: f64,
     /// Total warm-after-restart latency (ms).
     pub warm_restart_total_ms: f64,
+    /// Wall time of a worst-case crash recovery: every benchmarked
+    /// factor estimate replayed from the write-ahead log against an
+    /// empty snapshot (no snapshot fast path).
+    pub recovery_secs: f64,
+    /// WAL entries replayed by that recovery.
+    pub wal_replay_entries: u64,
 }
 
 fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
@@ -147,7 +153,39 @@ pub fn run(samples: u64) -> Summary {
         .map(|(_, src)| query(&mut client, src, &opts))
         .collect();
     server.shutdown();
+
+    // Crash-recovery trajectory: re-encode everything the run persisted
+    // as a write-ahead log against an *empty* snapshot path and time a
+    // full recovery — the worst case, where nothing comes from the
+    // snapshot fast path and every entry is replayed line by line.
+    let final_store = qcoral_service::PersistentStore::open(Some(snapshot.clone()), 1 << 20);
+    let entries = final_store.factor_store().entries();
+    drop(final_store);
     let _ = std::fs::remove_file(&snapshot);
+    let probe = std::env::temp_dir().join(format!(
+        "qcoral-bench-service-walprobe-{}.json",
+        std::process::id()
+    ));
+    let probe_wal = qcoral_service::store::wal_path(&probe);
+    let _ = std::fs::remove_file(&probe);
+    let lines: String = entries
+        .iter()
+        .flat_map(|e| [qcoral_service::store::encode_wal_line(e), "\n".to_string()])
+        .collect();
+    std::fs::write(&probe_wal, lines).expect("write probe wal");
+    let t0 = Instant::now();
+    let recovered = qcoral_service::PersistentStore::open(Some(probe.clone()), 1 << 20);
+    let recovery_secs = t0.elapsed().as_secs_f64();
+    let report = recovered.recovery_report().clone();
+    assert_eq!(
+        report.wal_replayed_entries as usize,
+        entries.len(),
+        "every WAL entry must replay"
+    );
+    assert_eq!(report.wal_corrupt_entries, 0);
+    drop(recovered);
+    let _ = std::fs::remove_file(&probe);
+    let _ = std::fs::remove_file(&probe_wal);
 
     let rows: Vec<Row> = subjects
         .iter()
@@ -184,6 +222,8 @@ pub fn run(samples: u64) -> Summary {
         cold_total_ms: rows.iter().map(|r| r.cold_ms).sum(),
         warm_total_ms: rows.iter().map(|r| r.warm_ms).sum(),
         warm_restart_total_ms: rows.iter().map(|r| r.warm_restart_ms).sum(),
+        recovery_secs,
+        wal_replay_entries: report.wal_replayed_entries,
         rows,
     }
 }

@@ -38,8 +38,8 @@ use qcoral_constraints::{ConstraintSet, Domain, PathCondition, VarId, VarSet};
 use qcoral_icp::{domain_box, tape_cache_stats, PaverConfig, PavingCache};
 use qcoral_interval::IntervalBox;
 use qcoral_mc::{
-    align_strata, hit_or_miss_plan_bulk, mix_seed, stratified_plan_bulk, Allocation, Dist,
-    Estimate, SamplePlan, Stratum, UsageProfile,
+    align_strata, hit_or_miss_plan_bulk, mix_seed, stratified_plan_bulk, Allocation, Deadline,
+    Dist, Estimate, SamplePlan, Stratum, UsageProfile,
 };
 
 use crate::bulkpred::CompiledPred;
@@ -108,6 +108,18 @@ pub struct Options {
     /// those factors' cache keys; uniform-profile
     /// factors are unaffected and keep their keys.
     pub profile_epsilon: f64,
+    /// Soft wall-clock budget in milliseconds. When set, the analyzer
+    /// converts it to a [`Deadline`] at the start of the run (unless an
+    /// explicit one was attached via [`Analyzer::with_deadline`], which
+    /// wins) and cooperatively stops sampling once it expires, returning
+    /// a best-effort *partial* report flagged
+    /// [`Stats::deadline_exceeded`] instead of an error. `None` (the
+    /// default) never interrupts anything. Excluded from the sampling
+    /// fingerprints: a deadline changes how much work finishes, never
+    /// which streams completed work draws from — and partial results are
+    /// never cached (see [`FactorStore`]), so cached estimates stay
+    /// reproducible.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Options {
@@ -127,6 +139,7 @@ impl Options {
             max_rounds: 8,
             round_budget: 10_000,
             profile_epsilon: 1e-3,
+            deadline_ms: None,
         }
     }
 
@@ -197,6 +210,12 @@ impl Options {
     /// [`Options::profile_epsilon`]).
     pub fn with_profile_epsilon(mut self, epsilon: f64) -> Options {
         self.profile_epsilon = epsilon;
+        self
+    }
+
+    /// Sets the soft wall-clock budget (see [`Options::deadline_ms`]).
+    pub fn with_deadline_ms(mut self, ms: u64) -> Options {
+        self.deadline_ms = Some(ms);
         self
     }
 
@@ -314,6 +333,15 @@ pub struct Stats {
     /// ceiling or refinement exhaustion stopped the loop first, when no
     /// target was set, and always for one-shot `analyze`.
     pub target_met: bool,
+    /// Whether the run's [`Deadline`] expired before the analysis
+    /// finished. When `true` the report is a best-effort *partial*
+    /// result: factors (or whole path conditions) that never ran
+    /// contribute `0 ± 0`, truncated factors contribute the sound
+    /// smaller-`n` estimate of the chunks they completed, and
+    /// `samples_drawn` still reflects the *budgeted* (not completed)
+    /// charge. Nothing computed after expiry is deposited in any cache.
+    /// Always `false` without a deadline.
+    pub deadline_exceeded: bool,
 }
 
 /// The result of a qCORAL analysis.
@@ -370,6 +398,9 @@ pub struct Analyzer {
     /// consulted between the in-run partition cache and fresh sampling,
     /// shared across analyzers, requests and — once persisted — restarts.
     pub(crate) factor_store: Option<Arc<FactorStore>>,
+    /// Optional absolute cutoff (see [`Analyzer::with_deadline`]); takes
+    /// precedence over [`Options::deadline_ms`].
+    pub(crate) deadline: Option<Deadline>,
 }
 
 impl std::fmt::Debug for Analyzer {
@@ -433,6 +464,7 @@ pub(crate) fn profile_bits(profile: &UsageProfile, epsilon: f64) -> Vec<u64> {
 
 struct Shared<'a> {
     opts: &'a Options,
+    deadline: Option<Deadline>,
     domain_box: IntervalBox,
     profile: &'a UsageProfile,
     partition: Vec<VarSet>,
@@ -459,6 +491,7 @@ impl Analyzer {
             opts,
             paving_cache: Arc::new(PavingCache::new()),
             factor_store: None,
+            deadline: None,
         }
     }
 
@@ -495,6 +528,26 @@ impl Analyzer {
         self.factor_store.as_ref()
     }
 
+    /// Attaches an absolute cooperative [`Deadline`] for subsequent
+    /// `analyze`/`analyze_iterative` calls, overriding
+    /// [`Options::deadline_ms`]. An absolute instant (rather than a
+    /// per-call budget) lets a server charge queueing time against the
+    /// request's budget. `None` removes any cutoff.
+    pub fn with_deadline(mut self, deadline: Option<Deadline>) -> Analyzer {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The effective deadline of a run starting now: the explicitly
+    /// attached one, else a fresh one [`Options::deadline_ms`] from now.
+    pub(crate) fn effective_deadline(&self) -> Option<Deadline> {
+        self.deadline.or_else(|| {
+            self.opts
+                .deadline_ms
+                .map(|ms| Deadline::after(Duration::from_millis(ms)))
+        })
+    }
+
     /// Quantifies `Pr[input ∼ profile satisfies any PC in cs]` over the
     /// bounded `domain` (Algorithm 1). Returns the combined estimate, the
     /// per-PC breakdown and counters.
@@ -520,6 +573,7 @@ impl Analyzer {
         let (tape_hits0, tape_misses0) = tape_cache_stats();
         let shared = Shared {
             opts: &self.opts,
+            deadline: self.effective_deadline(),
             domain_box: domain_box(domain),
             profile,
             partition,
@@ -580,9 +634,17 @@ impl Analyzer {
                 rounds: 0,
                 refine_samples: 0,
                 target_met: false,
+                deadline_exceeded: shared.expired(),
             },
             wall: start.elapsed(),
         }
+    }
+}
+
+impl Shared<'_> {
+    /// Whether this run's deadline (if any) has passed.
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(Deadline::expired)
     }
 }
 
@@ -621,6 +683,14 @@ pub(crate) fn normalized_partition(
 /// so under [`Options::parallel`] they are estimated concurrently; the
 /// product (Eq. 7–8) is reduced in partition order either way.
 fn analyze_conjunction(shared: &Shared<'_>, pc: &PathCondition, pc_idx: usize) -> Estimate {
+    // Graceful degradation: once the deadline has passed, path
+    // conditions that have not started contribute the sound (if
+    // pessimistic) `0 ± 0` instead of pinning the worker further. The
+    // report is flagged `deadline_exceeded`, so the caller knows the sum
+    // is a lower bound on the work requested.
+    if shared.expired() {
+        return Estimate::ZERO;
+    }
     // Project each class once; a class no constraint touches contributes
     // exactly 1 and is dropped here.
     let factors: Vec<(usize, &VarSet, PathCondition)> = shared
@@ -708,6 +778,14 @@ fn analyze_factor(
                 // the *adopted* value is published to the cross-run
                 // store, so persisted estimates can never diverge from
                 // what this run reported.
+                // A deadline that expired during sampling means `e` may
+                // be a truncated partial estimate: report it (flagged),
+                // but never let it into the in-run cache or the
+                // cross-run store, where it would masquerade as the
+                // full-budget, bit-reproducible estimate for this key.
+                if shared.expired() {
+                    return e;
+                }
                 let adopted = *shared.cache.lock().entry(key.clone()).or_insert(e);
                 if let Some(store) = shared.store {
                     store.insert(shared.opts_fp, key, adopted);
@@ -763,6 +841,13 @@ fn strat_sampling(
     global_indices: &[usize],
     seed: u64,
 ) -> Estimate {
+    // Checked before paving, not just in the chunk loops: the paver can
+    // legally spend its whole time budget, which an expired request no
+    // longer has. `0 ± 0` zeroes the factor's conjunction — still a
+    // sound lower bound for the flagged partial report.
+    if shared.expired() {
+        return Estimate::ZERO;
+    }
     let local_profile = shared.profile.project(global_indices);
     // Compile the predicate once per factor *process-wide*: the scalar
     // tape evaluates each distinct sub-expression once per sample (the
@@ -775,6 +860,7 @@ fn strat_sampling(
         seed,
         chunk: shared.opts.chunk.max(1),
         parallel: shared.opts.parallel,
+        deadline: shared.deadline,
     };
     if !shared.opts.stratified {
         shared

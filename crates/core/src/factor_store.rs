@@ -62,7 +62,16 @@ pub struct FactorStore {
     hits: AtomicU64,
     misses: AtomicU64,
     revision: AtomicU64,
+    /// Observer invoked once per *fresh* insert (never for re-inserts of
+    /// existing keys, never during [`FactorStore::absorb`]), after the
+    /// map lock is released. Lets a persister append each new estimate
+    /// to a write-ahead log the instant it exists, so a crash between
+    /// snapshots loses nothing.
+    insert_hook: Mutex<Option<InsertHook>>,
 }
+
+/// Callback type of [`FactorStore::set_insert_hook`].
+pub type InsertHook = Box<dyn Fn(&FactorStoreEntry) + Send + Sync>;
 
 /// Default entry capacity (each entry is a few hundred bytes).
 pub const DEFAULT_STORE_CAP: usize = 65_536;
@@ -99,7 +108,18 @@ impl FactorStore {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             revision: AtomicU64::new(0),
+            insert_hook: Mutex::new(None),
         }
+    }
+
+    /// Installs (or clears) the fresh-insert observer: called once per
+    /// estimate newly inserted by `FactorStore::insert` (never for
+    /// `FactorStore::absorb`, so recovery replay cannot echo into a
+    /// log). The hook runs on the inserting thread with no store lock
+    /// held, so it may call back into the store (though appending to a
+    /// log is the intended use).
+    pub fn set_insert_hook(&self, hook: Option<InsertHook>) {
+        *self.insert_hook.lock() = hook;
     }
 
     /// The configured entry capacity.
@@ -160,6 +180,14 @@ impl FactorStore {
     }
 
     pub(crate) fn insert(&self, opts_fp: u64, factor: FactorKey, estimate: Estimate) {
+        self.insert_impl(opts_fp, factor, estimate, true);
+    }
+
+    /// `notify` distinguishes genuinely new estimates (analyzer inserts,
+    /// which the hook should log) from re-loaded ones
+    /// ([`FactorStore::absorb`], whose entries came *from* persistence
+    /// and must not be logged again).
+    fn insert_impl(&self, opts_fp: u64, factor: FactorKey, estimate: Estimate, notify: bool) {
         let key = StoreKey { opts_fp, factor };
         let mut inner = self.inner.lock();
         inner.tick += 1;
@@ -173,22 +201,38 @@ impl FactorStore {
             // O(store-size) snapshot rewrite.
             Entry::Occupied(mut o) => {
                 o.get_mut().last_used = tick;
-                false
+                None
             }
             Entry::Vacant(v) => {
+                let entry = (notify && self.insert_hook.lock().is_some()).then(|| {
+                    let factor = &v.key().factor;
+                    FactorStoreEntry {
+                        opts_fp,
+                        fingerprint: factor.0,
+                        box_bits: factor.1.iter().flat_map(|&(lo, hi)| [lo, hi]).collect(),
+                        profile_bits: factor.2.clone(),
+                        mean_bits: estimate.mean.to_bits(),
+                        variance_bits: estimate.variance.to_bits(),
+                    }
+                });
                 v.insert(Slot {
                     estimate,
                     last_used: tick,
                 });
-                true
+                Some(entry)
             }
         };
         if inner.map.len() > self.cap {
             evict_lru(&mut inner, self.cap);
         }
         drop(inner);
-        if inserted {
+        if let Some(entry) = inserted {
             self.revision.fetch_add(1, Ordering::Relaxed);
+            if let Some(entry) = entry {
+                if let Some(hook) = &*self.insert_hook.lock() {
+                    hook(&entry);
+                }
+            }
         }
     }
 
@@ -231,7 +275,7 @@ impl FactorStore {
                 e.box_bits.chunks_exact(2).map(|p| (p[0], p[1])).collect(),
                 e.profile_bits,
             );
-            self.insert(e.opts_fp, factor, Estimate { mean, variance });
+            self.insert_impl(e.opts_fp, factor, Estimate { mean, variance }, false);
             accepted += 1;
         }
         accepted

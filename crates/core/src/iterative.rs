@@ -73,7 +73,8 @@ use qcoral_icp::{domain_box, tape_cache_stats};
 use qcoral_interval::IntervalBox;
 use qcoral_mc::{
     align_strata, initial_allocation, mix_seed, neyman_allocation, proportional_split,
-    refine_plan_bulk, Allocation, Estimate, SamplePlan, Stratum, StratumAccum, UsageProfile,
+    refine_plan_bulk, Allocation, Deadline, Estimate, SamplePlan, Stratum, StratumAccum,
+    UsageProfile,
 };
 
 use crate::analyzer::{
@@ -254,6 +255,11 @@ impl Analyzer {
         );
         let start = Instant::now();
         let opts = &self.opts;
+        // Deadline expiry is monotonic (an `Instant` cutoff never
+        // un-passes), so one check late in the run also answers "did it
+        // expire at any earlier point".
+        let deadline = self.effective_deadline();
+        let expired = || deadline.is_some_and(Deadline::expired);
         let nvars = domain.len();
         let partition = normalized_partition(opts, cs, nvars);
         let dbox = domain_box(domain);
@@ -318,6 +324,13 @@ impl Analyzer {
                     return (FactorState::Frozen(e), d);
                 }
                 d.store_misses = 1;
+            }
+            // Past the deadline, skip the paving this factor would pay
+            // for and freeze it at `0 ± 0` — the flagged partial report
+            // composes a sound lower bound, and the deposit loop below
+            // never persists anything from an expired run.
+            if expired() {
+                return (FactorState::Frozen(Estimate::ZERO), d);
             }
             let local_profile = profile.project(&slot.indices);
             let raw_strata: Vec<Stratum> = if opts.stratified {
@@ -388,6 +401,7 @@ impl Analyzer {
                 seed: mix_seed(opts.seed, hash_key(&slot.key)),
                 chunk: opts.chunk.max(1),
                 parallel: opts.parallel,
+                deadline,
             };
             (
                 FactorState::Active(Box::new(ActiveFactor {
@@ -460,6 +474,12 @@ impl Analyzer {
             if rounds >= max_rounds {
                 break (per_pc, total);
             }
+            // Cooperative cancellation between rounds (the chunk loops
+            // inside a round check the same deadline): the composed
+            // estimate so far *is* the best-effort answer.
+            if expired() {
+                break (per_pc, total);
+            }
             // Split the round budget across PCs proportional to their
             // variance contribution, then aim each share at the PC's
             // highest-contribution refinable factor.
@@ -529,10 +549,15 @@ impl Analyzer {
 
         // Deposit final factor estimates for warm repeats (store hits
         // re-insert their own value, which neither changes the store nor
-        // bumps its revision).
+        // bumps its revision). An expired run deposits nothing: its
+        // estimates may be deadline-truncated partials, which must never
+        // masquerade as the full-budget reproducible values.
+        let deadline_exceeded = expired();
         if let Some(store) = store {
-            for (slot, state) in slots.iter().zip(&states) {
-                store.insert(iter_fp, slot.key.clone(), state.estimate());
+            if !deadline_exceeded {
+                for (slot, state) in slots.iter().zip(&states) {
+                    store.insert(iter_fp, slot.key.clone(), state.estimate());
+                }
             }
         }
 
@@ -556,6 +581,7 @@ impl Analyzer {
                 rounds,
                 refine_samples,
                 target_met,
+                deadline_exceeded,
             },
             wall: start.elapsed(),
         }

@@ -60,10 +60,10 @@ pub mod iterative;
 pub use analyzer::{Analyzer, Options, Report, Stats};
 pub use bulkpred::{pred_cache_stats, CompiledPred};
 pub use depend::{dependency_partition, UnionFind};
-pub use factor_store::{FactorStore, FactorStoreEntry, DEFAULT_STORE_CAP};
+pub use factor_store::{FactorStore, FactorStoreEntry, InsertHook, DEFAULT_STORE_CAP};
 
 // Re-export the pieces users need to drive the API without spelling out
 // every substrate crate.
 pub use qcoral_constraints::{Atom, ConstraintSet, Domain, Expr, PathCondition, RelOp, VarId};
 pub use qcoral_icp::PaverConfig;
-pub use qcoral_mc::{Allocation, Estimate, UsageProfile};
+pub use qcoral_mc::{Allocation, Deadline, Estimate, UsageProfile};

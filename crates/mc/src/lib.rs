@@ -44,6 +44,6 @@ pub use profile::{
 pub use sampler::{
     hit_or_miss, hit_or_miss_plan, hit_or_miss_plan_bulk, initial_allocation, mix_seed,
     neyman_allocation, proportional_split, refine_plan, refine_plan_bulk, stratified,
-    stratified_plan, stratified_plan_bulk, Allocation, BulkPred, SamplePlan, ScalarPred, Stratum,
-    StratumAccum, COLUMN_BLOCK,
+    stratified_plan, stratified_plan_bulk, Allocation, BulkPred, Deadline, SamplePlan, ScalarPred,
+    Stratum, StratumAccum, COLUMN_BLOCK,
 };

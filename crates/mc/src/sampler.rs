@@ -27,6 +27,8 @@
 //! slice tapes (`qcoral_constraints::bulk`) amortize interpreter
 //! dispatch across whole lane blocks.
 
+use std::time::{Duration, Instant};
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -35,6 +37,50 @@ use serde::{Deserialize, Serialize};
 use qcoral_interval::IntervalBox;
 
 use crate::{Estimate, UsageProfile};
+
+/// A cooperative cancellation token: an absolute cutoff instant that
+/// long-running sampling loops poll between chunks.
+///
+/// Expiry never aborts mid-chunk and never perturbs randomness — a run
+/// that expires simply stops drawing further chunks, and the
+/// accumulated counts remain a statistically sound (smaller-`n`)
+/// estimate. A plan with no deadline behaves bit-identically to one
+/// that never expires.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// A deadline at an absolute instant (e.g. computed when a request
+    /// was received, so queueing time counts against it).
+    pub fn at(at: Instant) -> Deadline {
+        Deadline { at }
+    }
+
+    /// Whether the cutoff has passed.
+    pub fn expired(self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// The absolute cutoff instant.
+    pub fn instant(self) -> Instant {
+        self.at
+    }
+}
+
+/// Whether a plan's optional deadline has expired (`false` when the
+/// plan carries none).
+fn plan_expired(plan: &SamplePlan) -> bool {
+    plan.deadline.is_some_and(Deadline::expired)
+}
 
 /// SplitMix64-style mixing of a base seed with a stream id, used to derive
 /// independent per-chunk and per-stratum RNG seeds from counters.
@@ -58,6 +104,11 @@ pub struct SamplePlan {
     /// Fan chunks/strata out across threads. Purely an execution choice:
     /// estimates are identical either way.
     pub parallel: bool,
+    /// Optional cooperative cutoff, polled between chunks: once expired
+    /// no further chunks are drawn and the accumulated counts stand as
+    /// a best-effort partial result. `None` reproduces the unbounded
+    /// behavior bit for bit.
+    pub deadline: Option<Deadline>,
 }
 
 impl SamplePlan {
@@ -71,6 +122,7 @@ impl SamplePlan {
             seed,
             chunk: Self::DEFAULT_CHUNK,
             parallel: false,
+            deadline: None,
         }
     }
 
@@ -93,6 +145,11 @@ impl SamplePlan {
             seed: mix_seed(self.seed, stream),
             ..self
         }
+    }
+
+    /// The same plan with a cooperative deadline (or none).
+    pub fn with_deadline(self, deadline: Option<Deadline>) -> SamplePlan {
+        SamplePlan { deadline, ..self }
     }
 }
 
@@ -338,7 +395,14 @@ where
     let nchunks = add.div_ceil(chunk);
     let ndim = boxed.ndim();
     let columnar = pred.columnar();
-    let hits_of = |j: u64, scratch: &mut DrawScratch| {
+    // Per-chunk result: `None` = zero conditional mass (dead stratum),
+    // `Some((hits, drawn))`. A chunk skipped because the plan's deadline
+    // expired reports `Some((0, 0))` — it contributes nothing and `n`
+    // stays honest, so the partial accumulator remains a sound estimate.
+    let hits_of = |j: u64, scratch: &mut DrawScratch| -> Option<(u64, u64)> {
+        if plan_expired(&plan) {
+            return Some((0, 0));
+        }
         let len = chunk.min(add - j * chunk);
         chunk_hits(
             pred,
@@ -349,8 +413,9 @@ where
             acc.next_chunk + j,
             scratch,
         )
+        .map(|h| (h, len))
     };
-    let total: Option<u64> = if plan.parallel && nchunks > 1 {
+    let total: Option<(u64, u64)> = if plan.parallel && nchunks > 1 {
         // Per-worker scratch (`map_init`), not per-chunk: each rayon
         // worker draws all of its chunks through one reused buffer set,
         // like the serial branch below.
@@ -360,15 +425,20 @@ where
                 || DrawScratch::new(ndim, columnar),
                 |scratch, j| hits_of(j, scratch),
             )
-            .collect::<Vec<Option<u64>>>()
+            .collect::<Vec<Option<(u64, u64)>>>()
             .into_iter()
-            .sum()
+            .try_fold((0u64, 0u64), |(h, d), part| {
+                part.map(|(ph, pd)| (h + ph, d + pd))
+            })
     } else {
         let mut scratch = DrawScratch::new(ndim, columnar);
-        let mut sum = Some(0u64);
+        let mut sum = Some((0u64, 0u64));
         for j in 0..nchunks {
+            if plan_expired(&plan) {
+                break;
+            }
             match (sum, hits_of(j, &mut scratch)) {
-                (Some(a), Some(h)) => sum = Some(a + h),
+                (Some((a, d)), Some((h, len))) => sum = Some((a + h, d + len)),
                 _ => {
                     sum = None;
                     break;
@@ -380,9 +450,11 @@ where
     match total {
         // Zero conditional mass: the box contributes nothing, ever.
         None => StratumAccum { dead: true, ..acc },
-        Some(hits) => StratumAccum {
+        Some((hits, drawn)) => StratumAccum {
             hits: acc.hits + hits,
-            n: acc.n + add,
+            // `drawn == add` unless the deadline expired mid-run; either
+            // way `hits/n` only counts chunks actually evaluated.
+            n: acc.n + drawn,
             next_chunk: acc.next_chunk + nchunks,
             dead: false,
         },
@@ -539,7 +611,7 @@ where
         }
     };
     let mut accums = fan_out(&counts, &vec![StratumAccum::EMPTY; sampled.len()]);
-    if allocation == Allocation::VarianceAdaptive {
+    if allocation == Allocation::VarianceAdaptive && !plan_expired(&plan) {
         // Follow-up pass: the pilot spent roughly half the budget; the
         // rest goes where `weight × stddev` says the variance lives.
         // Exact strata (stddev 0) are excluded.
@@ -914,6 +986,43 @@ mod tests {
         [Interval::new(-1.0, 1.0), Interval::new(-1.0, 1.0)]
             .into_iter()
             .collect()
+    }
+
+    #[test]
+    fn unexpired_deadline_is_bit_invisible() {
+        let b = unit_square();
+        let p = UsageProfile::uniform(2);
+        let pred = |x: &[f64]| x[0] > 0.0;
+        let far = Deadline::after(Duration::from_secs(3600));
+        for plan in [SamplePlan::serial(7), SamplePlan::parallel(7)] {
+            let bare = hit_or_miss_plan(&pred, &b, &p, 20_000, plan);
+            let with = hit_or_miss_plan(&pred, &b, &p, 20_000, plan.with_deadline(Some(far)));
+            assert_eq!(bare, with, "a live deadline must not perturb estimates");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_drawing_but_stays_sound() {
+        let b = unit_square();
+        let p = UsageProfile::uniform(2);
+        let pred = |x: &[f64]| x[0] > 0.0;
+        let past = Deadline::at(Instant::now() - Duration::from_secs(1));
+        for plan in [SamplePlan::serial(7), SamplePlan::parallel(7)] {
+            let plan = plan.with_deadline(Some(past));
+            // Nothing drawn: the zero-sample accumulator reports 0 ± 0
+            // (flagging happens at the analyzer layer, not here).
+            let acc = refine_plan(&pred, &b, &p, 50_000, plan, StratumAccum::EMPTY);
+            assert_eq!(acc.n, 0, "expired deadline drew {} samples", acc.n);
+            assert_eq!(acc.hits, 0);
+            assert!(!acc.dead);
+            assert_eq!(acc.estimate(), Estimate::ZERO);
+        }
+        // A pre-expiry accumulator survives untouched: the partial
+        // estimate is exactly the work done so far.
+        let plan = SamplePlan::serial(7);
+        let pre = refine_plan(&pred, &b, &p, 8_192, plan, StratumAccum::EMPTY);
+        let post = refine_plan(&pred, &b, &p, 8_192, plan.with_deadline(Some(past)), pre);
+        assert_eq!((post.hits, post.n), (pre.hits, pre.n));
     }
 
     #[test]

@@ -7,8 +7,15 @@
 //!
 //! Prints `listening on <addr>` once ready (port 0 in `--addr` binds an
 //! ephemeral port and prints the resolved one), then serves until
-//! killed. With `--snapshot`, the cross-run factor cache is warm-loaded
-//! at startup and persisted after every micro-batch.
+//! stopped. With `--snapshot`, the cross-run factor cache is recovered
+//! at startup (snapshot + write-ahead-log replay; the recovery outcome
+//! is logged) and persisted after every micro-batch.
+//!
+//! On SIGTERM/SIGINT the daemon shuts down gracefully: it stops
+//! accepting connections, drains the in-flight micro-batch, writes a
+//! final snapshot (which also truncates the WAL), and exits. A second
+//! signal during the drain is ignored — `kill -9` is the escalation,
+//! and crash recovery handles it.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -21,6 +28,39 @@ fn usage() -> ! {
          [--max-batch N] [--store-cap N] [--snapshot PATH]"
     );
     exit(2)
+}
+
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only the async-signal-safe atomic store happens here; the main
+        // loop observes it and runs the actual shutdown.
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // POSIX `signal(2)`, declared directly (no libc crate in the
+        // workspace). The return value (the previous handler) is unused.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        TERMINATE.load(Ordering::SeqCst)
+    }
 }
 
 fn main() {
@@ -42,16 +82,43 @@ fn main() {
             }
         }
     }
+    let has_snapshot = cfg.snapshot.is_some();
     match Server::start(cfg) {
         Ok(server) => {
+            if has_snapshot {
+                let r = server.recovery_report();
+                eprintln!(
+                    "qcoral-serviced: factor store recovery: {}",
+                    serde_json::to_string(r).expect("recovery report serializes")
+                );
+            }
             println!("listening on {}", server.addr());
-            server.wait();
+            run(server);
         }
         Err(e) => {
             eprintln!("qcoral-serviced: {e}");
             exit(1);
         }
     }
+}
+
+#[cfg(unix)]
+fn run(server: Server) {
+    signals::install();
+    while !signals::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("qcoral-serviced: signal received; draining and persisting before exit");
+    // Stops accepting, drains admitted requests, writes the final
+    // snapshot (truncating the WAL), joins the pool.
+    server.shutdown();
+    eprintln!("qcoral-serviced: shutdown complete");
+}
+
+#[cfg(not(unix))]
+fn run(server: Server) {
+    // No signal story on this platform: block for the process lifetime.
+    server.wait();
 }
 
 fn parse(s: &str) -> usize {

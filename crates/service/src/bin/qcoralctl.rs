@@ -2,13 +2,25 @@
 //!
 //! ```text
 //! qcoralctl --addr HOST:PORT status
+//! qcoralctl --addr HOST:PORT health
 //! qcoralctl --addr HOST:PORT system  "var x in [0,1]; pc x < 0.5;" [options]
 //! qcoralctl --addr HOST:PORT program FILE.mj [options] [--max-depth N]
 //!
 //! options: [--samples N] [--seed N] [--plain|--strat] [--parallel]
 //!          [--target-stderr X] [--round-budget N] [--max-rounds N]
 //!          [--profile SPEC] [--profile-epsilon X]
+//!          [--retries N] [--timeout MS]
 //! ```
+//!
+//! `health` prints the server's fault-tolerance report: what startup
+//! recovery found (snapshot/WAL entries, corruption counts) plus
+//! shed/panicked/rejected counters.
+//!
+//! `--retries N` retries connects and transient transport failures up
+//! to N times with capped exponential backoff (safe: identical requests
+//! get bit-identical answers). `--timeout MS` attaches a request
+//! deadline — on expiry the server returns a *partial* report with
+//! `stats.deadline_exceeded: true` instead of an error.
 //!
 //! `--target-stderr` switches the server to the iterative,
 //! variance-driven engine: sampling rounds of `--round-budget` samples
@@ -39,14 +51,15 @@ use qcoral::Options;
 use qcoral_constraints::parse::parse_system;
 use qcoral_mc::{parse_profile_spec, Dist, UsageProfile};
 use qcoral_repro::pipeline::resolve_profile;
-use qcoral_service::{Client, ClientError, NamedDist};
+use qcoral_service::{Client, ClientError, NamedDist, RetryPolicy};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: qcoralctl --addr HOST:PORT <status|system SRC|program FILE> \
+        "usage: qcoralctl --addr HOST:PORT <status|health|system SRC|program FILE> \
          [--samples N] [--seed N] [--plain|--strat] [--parallel] [--max-depth N] \
          [--target-stderr X] [--round-budget N] [--max-rounds N] \
-         [--profile 'x ~ N(0,1); y ~ Exp(2)'] [--profile-epsilon X]"
+         [--profile 'x ~ N(0,1); y ~ Exp(2)'] [--profile-epsilon X] \
+         [--retries N] [--timeout MS]"
     );
     exit(2)
 }
@@ -58,6 +71,7 @@ struct Cli {
     options: Options,
     max_depth: Option<u64>,
     profile: Option<Vec<(String, Dist)>>,
+    retries: u32,
 }
 
 fn parse_cli() -> Cli {
@@ -74,6 +88,8 @@ fn parse_cli() -> Cli {
     let mut max_rounds = None;
     let mut profile = None;
     let mut profile_epsilon = None;
+    let mut retries = 0u32;
+    let mut timeout_ms = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -92,6 +108,8 @@ fn parse_cli() -> Cli {
                 }))
             }
             "--profile-epsilon" => profile_epsilon = Some(parse_float(&value())),
+            "--retries" => retries = parse(&value()) as u32,
+            "--timeout" => timeout_ms = Some(parse(&value())),
             "--plain" => preset = Options::plain,
             "--strat" => preset = Options::strat,
             "--parallel" => parallel = true,
@@ -127,6 +145,9 @@ fn parse_cli() -> Cli {
     if let Some(eps) = profile_epsilon {
         options.profile_epsilon = eps;
     }
+    if let Some(ms) = timeout_ms {
+        options.deadline_ms = Some(ms);
+    }
     options.parallel = parallel;
     Cli {
         addr,
@@ -135,6 +156,7 @@ fn parse_cli() -> Cli {
         options,
         max_depth,
         profile,
+        retries,
     }
 }
 
@@ -190,7 +212,8 @@ fn read_input(spec: &str, as_file: bool) -> String {
 
 fn main() {
     let cli = parse_cli();
-    let mut client = Client::connect(&cli.addr).unwrap_or_else(|e| {
+    let policy = RetryPolicy::with_retries(cli.retries);
+    let mut client = Client::connect_with(&cli.addr, policy).unwrap_or_else(|e| {
         eprintln!("connecting to {}: {e}", cli.addr);
         exit(1)
     });
@@ -198,6 +221,9 @@ fn main() {
         "status" => client
             .status()
             .map(|s| serde_json::to_string_pretty(&s).expect("status serializes")),
+        "health" => client
+            .health()
+            .map(|h| serde_json::to_string_pretty(&h).expect("health serializes")),
         "system" => {
             let src = read_input(cli.input.as_deref().unwrap_or_else(|| usage()), false);
             let profile = cli.profile.as_deref().map(|n| system_profile(&src, n));
@@ -223,7 +249,17 @@ fn main() {
         }
     };
     match result {
-        Ok(json) => println!("{json}"),
+        Ok(json) => {
+            // A downstream that stops reading (`qcoralctl … | grep -q`)
+            // closes the pipe; that is not an error worth reporting.
+            use std::io::Write;
+            if let Err(e) = writeln!(std::io::stdout(), "{json}") {
+                if e.kind() != std::io::ErrorKind::BrokenPipe {
+                    eprintln!("writing output: {e}");
+                    exit(1)
+                }
+            }
+        }
         Err(ClientError::Remote(m)) => {
             eprintln!("server error: {m}");
             exit(1)

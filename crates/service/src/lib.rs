@@ -51,9 +51,11 @@ pub mod server;
 pub mod store;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use protocol::{
-    AnalysisResponse, NamedDist, Op, Outcome, Request, Response, ServerStatus, PROTOCOL_VERSION,
+    AnalysisResponse, FailpointStatus, HealthReport, NamedDist, Op, Outcome, Request, Response,
+    ServerStatus, PROTOCOL_VERSION,
 };
+pub use scheduler::SchedulerMetrics;
 pub use server::{Server, ServiceConfig};
-pub use store::{PersistentStore, SNAPSHOT_VERSION};
+pub use store::{PersistentStore, RecoveryReport, SNAPSHOT_VERSION};

@@ -34,7 +34,16 @@ use qcoral_mc::{Dist, UsageProfile};
 /// (`Normal`/`Exponential`/`TruncatedNormal`), and [`Op::Program`]
 /// gained an optional `profile` of [`NamedDist`] entries resolved
 /// against the program's parameter names.
-pub const PROTOCOL_VERSION: u32 = 3;
+///
+/// v4: fault tolerance and graceful degradation. `Stats` gained the
+/// required `deadline_exceeded` flag (the breaking change: v3 clients
+/// fail to decode v4 reports), `Options` gained the *optional*
+/// `deadline_ms` request deadline (absent ⇒ no deadline, so v4 servers
+/// still accept v3 request frames), and the new [`Op::Health`] op
+/// answers with a [`HealthReport`] (store recovery, WAL and scheduler
+/// fault counters). [`ServerStatus`] gained `requests_shed` and
+/// `jobs_panicked`.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// One named marginal of a program request's usage profile: programs
 /// declare their inputs by name, so profiles address them by name too
@@ -85,6 +94,10 @@ pub enum Op {
     },
     /// Health/statistics probe; answered without entering the queue.
     Status,
+    /// Fault-tolerance probe: store recovery outcome, WAL durability
+    /// and scheduler fault counters ([`HealthReport`]). Like
+    /// [`Op::Status`], answered inline so it works under full load.
+    Health,
 }
 
 /// One response line.
@@ -110,6 +123,8 @@ pub enum Outcome {
     },
     /// Answer to [`Op::Status`].
     Status(ServerStatus),
+    /// Answer to [`Op::Health`].
+    Health(HealthReport),
 }
 
 /// A quantification answer: the full analyzer [`Report`] (estimate,
@@ -153,6 +168,56 @@ pub struct ServerStatus {
     pub requests_served: u64,
     /// Requests rejected at admission (queue full).
     pub requests_rejected: u64,
+    /// Queued requests shed because their deadline passed before a
+    /// worker picked them up (each was answered with a flagged partial
+    /// report).
+    pub requests_shed: u64,
+    /// Jobs that panicked on a worker (contained; the pool survived).
+    pub jobs_panicked: u64,
     /// Micro-batches dispatched to the worker pool.
     pub batches_dispatched: u64,
+}
+
+/// Answer to [`Op::Health`]: what startup recovery found on disk plus
+/// the fault counters accumulated since.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Schema version of this protocol.
+    pub protocol_version: u32,
+    /// Persisted state (snapshot and/or WAL) survived into the warm
+    /// store at startup. `false` for a fresh path or in-memory store.
+    pub factor_store_recovered: bool,
+    /// Full startup-recovery breakdown.
+    pub recovery: crate::store::RecoveryReport,
+    /// WAL append attempts that failed since startup (in-memory state
+    /// stays correct; crash durability until the next snapshot suffers).
+    pub wal_append_failures: u64,
+    /// Entries currently in the cross-run factor store.
+    pub store_entries: u64,
+    /// Requests executed to completion.
+    pub requests_served: u64,
+    /// Requests rejected at admission (queue full).
+    pub requests_rejected: u64,
+    /// Queued requests shed after their deadline expired.
+    pub requests_shed: u64,
+    /// Jobs that panicked on a worker (contained).
+    pub jobs_panicked: u64,
+    /// Micro-batches dispatched.
+    pub batches_dispatched: u64,
+    /// Active fault-injection sites (empty unless the server was built
+    /// with the `failpoints` feature and points were configured).
+    pub failpoints: Vec<FailpointStatus>,
+}
+
+/// One fault-injection site's counters (see the `qcoral-failpoints`
+/// crate); surfaced so chaos harnesses can assert injections actually
+/// happened.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailpointStatus {
+    /// Failpoint name (e.g. `store.wal.append`).
+    pub name: String,
+    /// Times the site was evaluated.
+    pub evaluations: u64,
+    /// Evaluations that fired (injected a failure).
+    pub fired: u64,
 }

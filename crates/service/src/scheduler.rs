@@ -11,9 +11,12 @@
 //!    the batch to finish before running the `after_batch` hook. The
 //!    service uses the hook to persist the factor-store snapshot: writes
 //!    are amortized per batch, not per request, and a snapshot always
-//!    captures whole batches.
+//!    captures whole batches. Queued jobs whose deadline already passed
+//!    are **shed** at this point — their `on_shed` callback answers the
+//!    caller without the job ever pinning a worker.
 //! 3. **Workers** — a fixed pool executing jobs concurrently within the
-//!    batch.
+//!    batch. A panicking job is contained and counted; the pool keeps
+//!    running.
 //!
 //! The batch barrier trades a bounded amount of head-of-line blocking
 //! (at most `max_batch` jobs wait for the slowest member of the current
@@ -29,6 +32,9 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use qcoral_failpoints::failpoint;
 
 /// An admitted unit of work.
 pub type Job = Box<dyn FnOnce() + Send>;
@@ -37,9 +43,34 @@ pub type Job = Box<dyn FnOnce() + Send>;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Overloaded;
 
+/// Cumulative scheduler counters (see [`Scheduler::metrics`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerMetrics {
+    /// Jobs a worker picked up and ran (including panicked ones).
+    pub served: u64,
+    /// Submissions rejected at admission (queue full or stopping).
+    pub rejected: u64,
+    /// Queued jobs shed by the dispatcher because their deadline had
+    /// already passed before a worker was available.
+    pub shed: u64,
+    /// Jobs that panicked on a worker (contained; the pool survived).
+    pub panicked: u64,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+}
+
+struct QueuedJob {
+    job: Job,
+    /// Shed the job (never run it) if this instant passes while queued.
+    deadline: Option<Instant>,
+    /// Runs on the dispatcher thread when the job is shed, so the caller
+    /// still gets an answer. Must be cheap (it holds up dispatch).
+    on_shed: Option<Job>,
+}
+
 struct Shared {
     /// Admission queue (bounded by `queue_cap`).
-    admitted: Mutex<VecDeque<Job>>,
+    admitted: Mutex<VecDeque<QueuedJob>>,
     admitted_cv: Condvar,
     /// Jobs of the in-flight batch, pulled by workers.
     ready: Mutex<VecDeque<Job>>,
@@ -52,6 +83,8 @@ struct Shared {
     stop: AtomicBool,
     served: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
+    panicked: AtomicU64,
     batches: AtomicU64,
 }
 
@@ -91,6 +124,8 @@ impl Scheduler {
             stop: AtomicBool::new(false),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
             batches: AtomicU64::new(0),
         });
 
@@ -123,25 +158,44 @@ impl Scheduler {
 
     /// Admits a job, or rejects it if the queue is at capacity.
     pub fn submit(&self, job: Job) -> Result<(), Overloaded> {
+        self.submit_with(job, None, None)
+    }
+
+    /// [`Scheduler::submit`] with a queue deadline: if `deadline` passes
+    /// before a worker picks the job up, the dispatcher sheds it —
+    /// `on_shed` runs instead of `job`, so the caller still gets an
+    /// answer without the stale work pinning a worker.
+    pub fn submit_with(
+        &self,
+        job: Job,
+        deadline: Option<Instant>,
+        on_shed: Option<Job>,
+    ) -> Result<(), Overloaded> {
         let mut q = self.shared.admitted.lock().expect("scheduler lock");
         if self.shared.stop.load(Ordering::Acquire) || q.len() >= self.shared.queue_cap {
             drop(q);
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(Overloaded);
         }
-        q.push_back(job);
+        q.push_back(QueuedJob {
+            job,
+            deadline,
+            on_shed,
+        });
         drop(q);
         self.shared.admitted_cv.notify_one();
         Ok(())
     }
 
-    /// Cumulative `(served, rejected, batches_dispatched)`.
-    pub fn metrics(&self) -> (u64, u64, u64) {
-        (
-            self.shared.served.load(Ordering::Relaxed),
-            self.shared.rejected.load(Ordering::Relaxed),
-            self.shared.batches.load(Ordering::Relaxed),
-        )
+    /// Cumulative counters since start.
+    pub fn metrics(&self) -> SchedulerMetrics {
+        SchedulerMetrics {
+            served: self.shared.served.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+        }
     }
 
     /// Drains already-admitted jobs, then stops and joins all threads.
@@ -181,7 +235,14 @@ fn worker_loop(shared: &Shared) {
         // A panicking job must neither kill the worker nor skip the
         // inflight decrement — either would deadlock the dispatcher's
         // batch barrier and stall the whole pool.
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if failpoint!("worker.job") {
+                panic!("injected worker job panic");
+            }
+            job();
+        }));
+        if outcome.is_err() {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
             eprintln!("qcoral-service: a job panicked; worker continues");
         }
         shared.served.fetch_add(1, Ordering::Relaxed);
@@ -195,18 +256,38 @@ fn worker_loop(shared: &Shared) {
 
 fn dispatcher_loop(shared: &Shared, after_batch: impl Fn(usize)) {
     loop {
-        // Collect the next micro-batch: whatever is admitted, capped.
+        // Collect the next micro-batch: whatever is admitted, capped —
+        // shedding deadline-expired jobs along the way (they answer via
+        // `on_shed` and never consume a batch slot or a worker).
         let batch: Vec<Job> = {
             let mut q = shared.admitted.lock().expect("scheduler lock");
-            loop {
-                if !q.is_empty() {
-                    let n = q.len().min(shared.max_batch);
-                    break q.drain(..n).collect();
+            'collect: loop {
+                let mut live: Vec<Job> = Vec::new();
+                while live.len() < shared.max_batch {
+                    let Some(queued) = q.pop_front() else { break };
+                    let expired = queued.deadline.is_some_and(|d| Instant::now() >= d);
+                    if expired {
+                        shared.shed.fetch_add(1, Ordering::Relaxed);
+                        if let Some(on_shed) = queued.on_shed {
+                            // Contained like a worker job: a panicking
+                            // shed callback must not kill dispatch.
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(on_shed));
+                        }
+                    } else {
+                        live.push(queued.job);
+                    }
                 }
+                if !live.is_empty() {
+                    break 'collect live;
+                }
+                // Everything drained was shed (or the queue was empty);
+                // wait for more work.
                 if shared.stop.load(Ordering::Acquire) {
                     return;
                 }
-                q = shared.admitted_cv.wait(q).expect("scheduler lock");
+                if q.is_empty() {
+                    q = shared.admitted_cv.wait(q).expect("scheduler lock");
+                }
             }
         };
 
@@ -289,7 +370,9 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(done.load(Ordering::SeqCst), 4, "pool stalled after a panic");
-        assert_eq!(sched.metrics().0, 5, "panicked job still counts as served");
+        let m = sched.metrics();
+        assert_eq!(m.served, 5, "panicked job still counts as served");
+        assert_eq!(m.panicked, 1, "panic counted");
         sched.shutdown();
     }
 
@@ -315,7 +398,7 @@ mod tests {
         sched.submit(Box::new(|| {})).unwrap();
         let r = sched.submit(Box::new(|| {}));
         assert_eq!(r, Err(Overloaded));
-        assert_eq!(sched.metrics().1, 1, "one rejection counted");
+        assert_eq!(sched.metrics().rejected, 1, "one rejection counted");
         // Open the gate and drain.
         {
             let (lock, cv) = &*gate;
@@ -323,12 +406,80 @@ mod tests {
             cv.notify_all();
         }
         for _ in 0..200 {
-            if sched.metrics().0 == 3 {
+            if sched.metrics().served == 3 {
                 break;
             }
             std::thread::sleep(Duration::from_millis(5));
         }
-        assert_eq!(sched.metrics().0, 3);
+        assert_eq!(sched.metrics().served, 3);
         sched.shutdown();
+    }
+
+    #[test]
+    fn expired_queued_jobs_are_shed_not_run() {
+        // Block the single worker so submissions sit in the queue past
+        // their deadline.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let sched = Scheduler::start(1, 16, 4, |_| {});
+        let g = Arc::clone(&gate);
+        sched
+            .submit(Box::new(move || {
+                let (lock, cv) = &*g;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            }))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let shed_seen = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let ran = Arc::clone(&ran);
+            let shed_seen = Arc::clone(&shed_seen);
+            sched
+                .submit_with(
+                    Box::new(move || {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    }),
+                    Some(Instant::now() - Duration::from_millis(1)),
+                    Some(Box::new(move || {
+                        shed_seen.fetch_add(1, Ordering::SeqCst);
+                    })),
+                )
+                .unwrap();
+        }
+        // A live job behind the expired ones still runs.
+        let live = Arc::new(AtomicUsize::new(0));
+        {
+            let live = Arc::clone(&live);
+            sched
+                .submit_with(
+                    Box::new(move || {
+                        live.fetch_add(1, Ordering::SeqCst);
+                    }),
+                    Some(Instant::now() + Duration::from_secs(60)),
+                    None,
+                )
+                .unwrap();
+        }
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        for _ in 0..200 {
+            if live.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sched.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "expired jobs must not run");
+        assert_eq!(shed_seen.load(Ordering::SeqCst), 3, "on_shed ran for each");
+        assert_eq!(live.load(Ordering::SeqCst), 1, "live job survived shedding");
+        let m = sched.metrics();
+        assert_eq!(m.shed, 3);
+        assert_eq!(m.served, 2, "blocker + live job");
     }
 }

@@ -18,16 +18,20 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use qcoral::{Analyzer, FactorStore, DEFAULT_STORE_CAP};
+use qcoral::{Analyzer, Deadline, Estimate, FactorStore, Report, Stats, DEFAULT_STORE_CAP};
 use qcoral_constraints::parse::parse_system;
+use qcoral_failpoints::failpoint;
 use qcoral_icp::{domain_box, PavingCache};
 use qcoral_mc::UsageProfile;
 use qcoral_repro::pipeline::{analyze_program_with_profile, PipelineError};
 use qcoral_symexec::SymConfig;
 
-use crate::protocol::{AnalysisResponse, Op, Outcome, Response, ServerStatus, PROTOCOL_VERSION};
+use crate::protocol::{
+    AnalysisResponse, FailpointStatus, HealthReport, Op, Outcome, Response, ServerStatus,
+    PROTOCOL_VERSION,
+};
 use crate::scheduler::Scheduler;
 use crate::store::PersistentStore;
 use crate::wire::{decode_request, encode_response, read_frame, salvage_id, FrameRead};
@@ -259,6 +263,12 @@ impl Server {
         self.shared.store.factor_store()
     }
 
+    /// What startup recovery found on disk (see
+    /// [`crate::store::RecoveryReport`]); the daemon logs this at boot.
+    pub fn recovery_report(&self) -> &crate::store::RecoveryReport {
+        self.shared.store.recovery_report()
+    }
+
     /// Blocks this thread for the lifetime of the process (the server
     /// binary's main thread has nothing else to do).
     pub fn wait(mut self) {
@@ -347,7 +357,8 @@ fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
                 continue;
             }
         };
-        // Status is answered inline: it must work under full load.
+        // Status and Health are answered inline: probes must work
+        // *especially* when the queue is full.
         if request.op == Op::Status {
             write_response(
                 &writer,
@@ -358,13 +369,49 @@ fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
             );
             continue;
         }
+        if request.op == Op::Health {
+            write_response(
+                &writer,
+                &Response {
+                    id: request.id,
+                    outcome: Outcome::Health(health(shared)),
+                },
+            );
+            continue;
+        }
+        // The deadline is anchored at arrival, not at job start: queue
+        // wait counts against the budget, and a job whose deadline
+        // expires while still queued is shed by the dispatcher —
+        // answered below with a flagged partial report instead of
+        // pinning a worker on already-stale work.
+        let deadline_ms = match &request.op {
+            Op::System { options, .. } | Op::Program { options, .. } => options.deadline_ms,
+            _ => None,
+        };
+        let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
         let job_shared = Arc::clone(shared);
         let job_writer = Arc::clone(&writer);
         let id = request.id;
-        let submitted = shared.scheduler.submit(Box::new(move || {
-            let outcome = execute(&job_shared, request.op);
-            write_response(&job_writer, &Response { id, outcome });
-        }));
+        let on_shed = deadline.map(|_| -> crate::scheduler::Job {
+            let shed_writer = Arc::clone(&writer);
+            Box::new(move || {
+                write_response(
+                    &shed_writer,
+                    &Response {
+                        id,
+                        outcome: deadline_exceeded_report(),
+                    },
+                );
+            })
+        });
+        let submitted = shared.scheduler.submit_with(
+            Box::new(move || {
+                let outcome = execute(&job_shared, request.op, deadline);
+                write_response(&job_writer, &Response { id, outcome });
+            }),
+            deadline,
+            on_shed,
+        );
         if submitted.is_err() {
             write_response(
                 &writer,
@@ -385,6 +432,13 @@ fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
 fn write_response(writer: &Arc<Mutex<TcpStream>>, response: &Response) {
     let frame = encode_response(response);
     let mut w = writer.lock().expect("writer lock");
+    if failpoint!("wire.write") {
+        // Injected transport failure: drop the response and sever the
+        // connection, as a mid-write network fault would. The client's
+        // retry policy is what recovers from this.
+        let _ = w.shutdown(Shutdown::Both);
+        return;
+    }
     if w.write_all(frame.as_bytes())
         .and_then(|()| w.flush())
         .is_err()
@@ -401,7 +455,7 @@ fn write_response(writer: &Arc<Mutex<TcpStream>>, response: &Response) {
 fn status(shared: &ServerShared) -> ServerStatus {
     let store = shared.store.factor_store();
     let (hits, misses) = store.stats();
-    let (served, rejected, batches) = shared.scheduler.metrics();
+    let m = shared.scheduler.metrics();
     ServerStatus {
         protocol_version: PROTOCOL_VERSION,
         workers: shared.cfg.workers as u64,
@@ -411,16 +465,66 @@ fn status(shared: &ServerShared) -> ServerStatus {
         store_capacity: store.capacity() as u64,
         store_hits: hits,
         store_misses: misses,
-        requests_served: served,
-        requests_rejected: rejected,
-        batches_dispatched: batches,
+        requests_served: m.served,
+        requests_rejected: m.rejected,
+        requests_shed: m.shed,
+        jobs_panicked: m.panicked,
+        batches_dispatched: m.batches,
     }
+}
+
+fn health(shared: &ServerShared) -> HealthReport {
+    let recovery = shared.store.recovery_report().clone();
+    let m = shared.scheduler.metrics();
+    HealthReport {
+        protocol_version: PROTOCOL_VERSION,
+        factor_store_recovered: recovery.recovered(),
+        recovery,
+        wal_append_failures: shared.store.wal_append_failures(),
+        store_entries: shared.store.factor_store().len() as u64,
+        requests_served: m.served,
+        requests_rejected: m.rejected,
+        requests_shed: m.shed,
+        jobs_panicked: m.panicked,
+        batches_dispatched: m.batches,
+        failpoints: qcoral_failpoints::stats()
+            .into_iter()
+            .map(|s| FailpointStatus {
+                name: s.name,
+                evaluations: s.evaluations,
+                fired: s.fired,
+            })
+            .collect(),
+    }
+}
+
+/// The graceful-degradation answer for a request whose deadline passed
+/// while it was still queued: a well-formed, explicitly *partial* report
+/// (zero estimate, `deadline_exceeded` flagged) rather than an error —
+/// the same shape a worker returns when the deadline expires mid-
+/// analysis, just with zero progress.
+fn deadline_exceeded_report() -> Outcome {
+    Outcome::Report(AnalysisResponse {
+        report: Report {
+            estimate: Estimate::ZERO,
+            per_pc: Vec::new(),
+            stats: Stats {
+                deadline_exceeded: true,
+                ..Stats::default()
+            },
+            wall: Duration::ZERO,
+        },
+        bound_mass: None,
+        confidence: None,
+        paths: None,
+        cut_paths: None,
+    })
 }
 
 /// Executes one analysis request. Panics (e.g. analyzer input asserts
 /// not caught by validation) become error outcomes; the worker survives.
-fn execute(shared: &ServerShared, op: Op) -> Outcome {
-    let run = AssertUnwindSafe(|| execute_inner(shared, op));
+fn execute(shared: &ServerShared, op: Op, deadline: Option<Instant>) -> Outcome {
+    let run = AssertUnwindSafe(|| execute_inner(shared, op, deadline));
     match catch_unwind(run) {
         Ok(outcome) => outcome,
         Err(panic) => {
@@ -494,9 +598,10 @@ fn validate(
     None
 }
 
-fn execute_inner(shared: &ServerShared, op: Op) -> Outcome {
+fn execute_inner(shared: &ServerShared, op: Op, deadline: Option<Instant>) -> Outcome {
     match op {
         Op::Status => Outcome::Status(status(shared)),
+        Op::Health => Outcome::Health(health(shared)),
         Op::System {
             source,
             options,
@@ -543,7 +648,7 @@ fn execute_inner(shared: &ServerShared, op: Op) -> Outcome {
             // A request carrying a target standard error runs the
             // iterative, variance-driven engine; its refined factor
             // estimates land in (and warm-load from) the same store.
-            let a = analyzer(shared, options);
+            let a = analyzer(shared, options, deadline);
             let report = if a.options().target_stderr.is_some() {
                 a.analyze_iterative(&sys.constraint_set, &sys.domain, &profile)
             } else {
@@ -585,7 +690,7 @@ fn execute_inner(shared: &ServerShared, op: Op) -> Outcome {
                 .map(|nd| (nd.var, nd.dist))
                 .collect();
             match analyze_program_with_profile(
-                &analyzer(shared, options),
+                &analyzer(shared, options, deadline),
                 &source,
                 &sym_cfg,
                 &named,
@@ -626,8 +731,16 @@ fn validated_profile(
 }
 
 /// Builds a per-request analyzer wired to the server's shared caches.
-fn analyzer(shared: &ServerShared, options: qcoral::Options) -> Analyzer {
+/// The deadline (if any) is the arrival-anchored instant computed at
+/// decode time — it takes precedence over `options.deadline_ms`, which
+/// would otherwise restart the clock when the job leaves the queue.
+fn analyzer(
+    shared: &ServerShared,
+    options: qcoral::Options,
+    deadline: Option<Instant>,
+) -> Analyzer {
     Analyzer::new(options)
         .with_paving_cache(Arc::clone(&shared.paving_cache))
         .with_factor_store(Arc::clone(shared.store.factor_store()))
+        .with_deadline(deadline.map(Deadline::at))
 }

@@ -449,13 +449,19 @@ fn snapshot_is_versioned_json() {
     let v = serde_json::Value::parse(&text).expect("snapshot is valid JSON");
     assert_eq!(
         v.get("version"),
-        Some(&serde_json::Value::Number("1".to_string())),
+        Some(&serde_json::Value::Number("2".to_string())),
         "snapshot carries its version"
     );
     assert!(matches!(
         v.get("entries"),
-        Some(serde_json::Value::Array(entries)) if !entries.is_empty()
+        Some(serde_json::Value::Array(entries))
+            if !entries.is_empty()
+                && entries.iter().all(|e| e.get("entry").is_some() && e.get("crc").is_some())
     ));
+    assert!(
+        v.get("footer_crc").is_some(),
+        "snapshot carries a footer checksum"
+    );
     let _ = std::fs::remove_file(&snapshot);
 }
 

@@ -139,6 +139,8 @@ fn arb_outcome() -> impl Strategy<Value = Outcome> {
                     store_misses: b,
                     requests_served: a,
                     requests_rejected: b,
+                    requests_shed: b % 7,
+                    jobs_panicked: a % 3,
                     batches_dispatched: a / 2,
                 }),
                 _ => Outcome::Report(AnalysisResponse {

@@ -1,0 +1,354 @@
+//! Deterministic, named fault-injection points ("failpoints").
+//!
+//! A failpoint is a named site in production code that asks "should I
+//! fail here, this time?":
+//!
+//! ```
+//! if qcoral_failpoints::failpoint!("store.wal.append") {
+//!     // simulate the injected failure
+//! }
+//! ```
+//!
+//! Whether it fires is governed by a [`Plan`] configured per name —
+//! fail the first K evaluations, every Nth, or a seeded probability —
+//! so a chaos test replays the *exact same* fault sequence on every
+//! run: plans are pure functions of a per-name evaluation counter (and
+//! a seed), never of wall-clock time or a global RNG.
+//!
+//! Without the `enabled` cargo feature the whole registry is compiled
+//! out and [`should_fail`] is a constant `false` the optimizer deletes,
+//! so shipping binaries carry zero overhead. Tests either call
+//! [`configure`] directly or set the `QCORAL_FAILPOINTS` environment
+//! variable before the first evaluation:
+//!
+//! ```text
+//! QCORAL_FAILPOINTS="store.wal.append=first(2);wire.write=every(3);worker.job=prob(0.5:42)"
+//! ```
+//!
+//! Failpoints are process-global; tests that configure them must
+//! serialize themselves (e.g. behind a shared mutex) and [`reset`] when
+//! done.
+
+#![warn(missing_docs)]
+
+/// How a named failpoint decides whether to fire on each evaluation.
+///
+/// All plans are deterministic in the per-name evaluation counter, so a
+/// fixed configuration yields a fixed fault sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Plan {
+    /// Never fire (the default for unconfigured names).
+    Off,
+    /// Fire on the first K evaluations, then never again.
+    FirstK(u64),
+    /// Fire on every Nth evaluation (the Nth, 2Nth, …). `EveryNth(1)`
+    /// fires always; `EveryNth(0)` is treated as `Off`.
+    EveryNth(u64),
+    /// Fire with probability `p` per evaluation, decided by a seeded
+    /// hash of the evaluation counter (still fully deterministic).
+    Prob {
+        /// Firing probability in `[0, 1]`.
+        p: f64,
+        /// Seed mixed into the per-evaluation hash.
+        seed: u64,
+    },
+}
+
+/// Evaluation counters for one named failpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailpointStat {
+    /// The failpoint name.
+    pub name: String,
+    /// How many times the site was evaluated.
+    pub evaluations: u64,
+    /// How many evaluations fired.
+    pub fired: u64,
+}
+
+/// Evaluates the named failpoint: returns whether the caller should
+/// simulate a failure now. See [`failpoint!`].
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {
+        $crate::should_fail($name)
+    };
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{FailpointStat, Plan};
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    struct Point {
+        plan: Plan,
+        evaluations: u64,
+        fired: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Point>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Point>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            let mut map = HashMap::new();
+            if let Ok(spec) = std::env::var("QCORAL_FAILPOINTS") {
+                for (name, plan) in super::parse_env(&spec) {
+                    map.insert(
+                        name,
+                        Point {
+                            plan,
+                            evaluations: 0,
+                            fired: 0,
+                        },
+                    );
+                }
+            }
+            Mutex::new(map)
+        })
+    }
+
+    /// SplitMix64 finalizer: a high-quality 64-bit mix.
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn plan_fires(plan: Plan, evaluation: u64) -> bool {
+        match plan {
+            Plan::Off => false,
+            Plan::FirstK(k) => evaluation < k,
+            Plan::EveryNth(0) => false,
+            Plan::EveryNth(n) => (evaluation + 1).is_multiple_of(n),
+            Plan::Prob { p, seed } => {
+                let h =
+                    mix(seed ^ (evaluation.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                ((h >> 11) as f64 / (1u64 << 53) as f64) < p
+            }
+        }
+    }
+
+    pub fn should_fail(name: &str) -> bool {
+        let mut map = registry().lock().expect("failpoint registry");
+        let point = map.entry(name.to_string()).or_insert(Point {
+            plan: Plan::Off,
+            evaluations: 0,
+            fired: 0,
+        });
+        let fires = plan_fires(point.plan, point.evaluations);
+        point.evaluations += 1;
+        if fires {
+            point.fired += 1;
+        }
+        fires
+    }
+
+    pub fn configure(name: &str, plan: Plan) {
+        let mut map = registry().lock().expect("failpoint registry");
+        map.insert(
+            name.to_string(),
+            Point {
+                plan,
+                evaluations: 0,
+                fired: 0,
+            },
+        );
+    }
+
+    pub fn reset() {
+        registry().lock().expect("failpoint registry").clear();
+    }
+
+    pub fn stats() -> Vec<FailpointStat> {
+        let map = registry().lock().expect("failpoint registry");
+        let mut out: Vec<FailpointStat> = map
+            .iter()
+            .map(|(name, p)| FailpointStat {
+                name: name.clone(),
+                evaluations: p.evaluations,
+                fired: p.fired,
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use super::{FailpointStat, Plan};
+
+    #[inline(always)]
+    pub fn should_fail(_name: &str) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub fn configure(_name: &str, _plan: Plan) {}
+
+    #[inline(always)]
+    pub fn reset() {}
+
+    #[inline(always)]
+    pub fn stats() -> Vec<FailpointStat> {
+        Vec::new()
+    }
+}
+
+/// Evaluates the named failpoint, advancing its counter. Prefer the
+/// [`failpoint!`] macro at call sites.
+pub fn should_fail(name: &str) -> bool {
+    imp::should_fail(name)
+}
+
+/// Installs (or replaces) the plan for one failpoint name, resetting
+/// its counters. No-op without the `enabled` feature.
+pub fn configure(name: &str, plan: Plan) {
+    imp::configure(name, plan)
+}
+
+/// Clears every configured plan and all counters.
+pub fn reset() {
+    imp::reset()
+}
+
+/// Snapshot of all failpoint counters, sorted by name. Empty without
+/// the `enabled` feature.
+pub fn stats() -> Vec<FailpointStat> {
+    imp::stats()
+}
+
+/// Parses a `QCORAL_FAILPOINTS` specification: `;`-separated
+/// `name=plan` entries where plan is `off`, `first(K)`, `every(N)` or
+/// `prob(P:SEED)`. Unparseable entries are ignored (a chaos harness
+/// typo must not take the service down).
+pub fn parse_env(spec: &str) -> Vec<(String, Plan)> {
+    spec.split(';')
+        .filter_map(|entry| {
+            let entry = entry.trim();
+            let (name, plan) = entry.split_once('=')?;
+            let (name, plan) = (name.trim(), plan.trim());
+            if name.is_empty() {
+                return None;
+            }
+            Some((name.to_string(), parse_plan(plan)?))
+        })
+        .collect()
+}
+
+fn parse_plan(s: &str) -> Option<Plan> {
+    if s.eq_ignore_ascii_case("off") {
+        return Some(Plan::Off);
+    }
+    let (kind, rest) = s.split_once('(')?;
+    let args = rest.strip_suffix(')')?;
+    match kind.trim() {
+        "first" => Some(Plan::FirstK(args.trim().parse().ok()?)),
+        "every" => Some(Plan::EveryNth(args.trim().parse().ok()?)),
+        "prob" => {
+            let (p, seed) = args.split_once(':')?;
+            let p: f64 = p.trim().parse().ok()?;
+            if !(0.0..=1.0).contains(&p) {
+                return None;
+            }
+            Some(Plan::Prob {
+                p,
+                seed: seed.trim().parse().ok()?,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_spec_parses() {
+        let plans = parse_env("a=first(2); b=every(3);c=prob(0.5:42);bad=wat(1);d=off");
+        assert_eq!(
+            plans,
+            vec![
+                ("a".to_string(), Plan::FirstK(2)),
+                ("b".to_string(), Plan::EveryNth(3)),
+                ("c".to_string(), Plan::Prob { p: 0.5, seed: 42 }),
+                ("d".to_string(), Plan::Off),
+            ]
+        );
+        assert!(parse_env("").is_empty());
+        assert!(parse_env("noequals").is_empty());
+        assert!(parse_env("p=prob(1.5:1)").is_empty());
+    }
+
+    // Everything below exercises the real registry, which only exists
+    // with the feature on. Registry state is process-global, so these
+    // tests serialize themselves behind one mutex.
+    #[cfg(feature = "enabled")]
+    mod live {
+        use super::*;
+        use std::sync::{Mutex, MutexGuard, OnceLock};
+
+        fn lock() -> MutexGuard<'static, ()> {
+            static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+            let guard = GATE
+                .get_or_init(|| Mutex::new(()))
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            reset();
+            guard
+        }
+
+        #[test]
+        fn unconfigured_points_never_fire_but_are_counted() {
+            let _g = lock();
+            assert!(!should_fail("nope"));
+            assert!(!should_fail("nope"));
+            let s = stats();
+            assert_eq!(s.len(), 1);
+            assert_eq!((s[0].evaluations, s[0].fired), (2, 0));
+        }
+
+        #[test]
+        fn first_k_fires_exactly_k_times() {
+            let _g = lock();
+            configure("fk", Plan::FirstK(3));
+            let fired: Vec<bool> = (0..6).map(|_| failpoint!("fk")).collect();
+            assert_eq!(fired, [true, true, true, false, false, false]);
+        }
+
+        #[test]
+        fn every_nth_fires_periodically() {
+            let _g = lock();
+            configure("nth", Plan::EveryNth(3));
+            let fired: Vec<bool> = (0..7).map(|_| failpoint!("nth")).collect();
+            assert_eq!(fired, [false, false, true, false, false, true, false]);
+            configure("zero", Plan::EveryNth(0));
+            assert!(!failpoint!("zero"));
+        }
+
+        #[test]
+        fn prob_is_seed_deterministic_and_roughly_calibrated() {
+            let _g = lock();
+            configure("p", Plan::Prob { p: 0.25, seed: 7 });
+            let a: Vec<bool> = (0..1000).map(|_| failpoint!("p")).collect();
+            configure("p", Plan::Prob { p: 0.25, seed: 7 });
+            let b: Vec<bool> = (0..1000).map(|_| failpoint!("p")).collect();
+            assert_eq!(a, b, "same seed, same sequence");
+            let hits = a.iter().filter(|&&x| x).count();
+            assert!((150..350).contains(&hits), "p=0.25 fired {hits}/1000");
+            configure("p", Plan::Prob { p: 0.25, seed: 8 });
+            let c: Vec<bool> = (0..1000).map(|_| failpoint!("p")).collect();
+            assert_ne!(a, c, "different seed, different sequence");
+        }
+
+        #[test]
+        fn configure_resets_counters() {
+            let _g = lock();
+            configure("r", Plan::FirstK(1));
+            assert!(failpoint!("r"));
+            assert!(!failpoint!("r"));
+            configure("r", Plan::FirstK(1));
+            assert!(failpoint!("r"), "reconfigure restarts the plan");
+        }
+    }
+}

@@ -362,3 +362,104 @@ fn chunk_size_preserves_schedule_independence() {
         );
     }
 }
+
+/// Crash-recovery bit-identity: a process that dies after depositing
+/// factor estimates — write-ahead log appended, but no snapshot ever
+/// completed (only a torn `.tmp` from a save that never reached its
+/// rename) — must recover warm answers bit-for-bit from the WAL alone,
+/// serial and parallel alike (the CI matrix additionally runs this at
+/// RAYON_NUM_THREADS=1 and 4).
+#[test]
+fn recovery_is_bit_identical() {
+    let subjects = table3_subjects();
+    let subj = subjects.iter().find(|s| s.name == "VOL").unwrap();
+    let (domain, cs) = subj.system_for(0, &SymConfig::default());
+    let profile = UsageProfile::uniform(domain.len());
+    for parallel in [false, true] {
+        let path = std::env::temp_dir().join(format!(
+            "qcoral-recovery-{}-{parallel}.json",
+            std::process::id()
+        ));
+        let wal = qcoral_service::store::wal_path(&path);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&wal);
+        let opts = Options::strat_partcache()
+            .with_samples(2_000)
+            .with_seed(23)
+            .with_parallel(parallel);
+
+        let store = qcoral_service::PersistentStore::open(Some(path.clone()), 4096);
+        let cold = Analyzer::new(opts.clone())
+            .with_factor_store(Arc::clone(store.factor_store()))
+            .analyze(&cs, &domain, &profile);
+        assert!(cold.stats.samples_drawn > 0, "cold run must sample");
+        // Crash simulation: the process dies before any save() — all
+        // that reached disk is the WAL, plus a torn tmp of a snapshot
+        // whose rename never happened.
+        std::fs::write(path.with_extension("tmp"), "{\"version\": 2, \"entr").unwrap();
+        drop(store);
+        assert!(!path.exists(), "no snapshot must exist pre-recovery");
+        assert!(wal.exists(), "the WAL is the only durable artifact");
+
+        let store2 = qcoral_service::PersistentStore::open(Some(path.clone()), 4096);
+        let report = store2.recovery_report().clone();
+        assert!(report.recovered(), "parallel={parallel}: WAL recovery");
+        assert!(report.wal_replayed_entries > 0);
+        assert_eq!(report.wal_corrupt_entries, 0, "clean WAL, zero loss");
+        let warm = Analyzer::new(opts)
+            .with_factor_store(Arc::clone(store2.factor_store()))
+            .analyze(&cs, &domain, &profile);
+        assert_eq!(
+            warm.estimate, cold.estimate,
+            "parallel={parallel}: recovered estimate diverged"
+        );
+        assert_eq!(warm.per_pc, cold.per_pc);
+        assert_eq!(warm.stats.samples_drawn, 0, "recovery must be fully warm");
+        assert_eq!(warm.stats.pavings, 0);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_file(path.with_extension("tmp"));
+    }
+}
+
+/// Same recovery contract when the crash additionally tears the WAL's
+/// final record mid-append: the torn tail is truncated away and every
+/// complete record still recomposes bit-identically.
+#[test]
+fn recovery_with_torn_wal_tail_is_bit_identical() {
+    let subjects = table3_subjects();
+    let subj = subjects.iter().find(|s| s.name == "CORONARY").unwrap();
+    let (domain, cs) = subj.system_for(0, &SymConfig::default());
+    let profile = UsageProfile::uniform(domain.len());
+    let path =
+        std::env::temp_dir().join(format!("qcoral-recovery-torn-{}.json", std::process::id()));
+    let wal = qcoral_service::store::wal_path(&path);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal);
+    let opts = Options::strat_partcache().with_samples(2_000).with_seed(7);
+
+    let store = qcoral_service::PersistentStore::open(Some(path.clone()), 4096);
+    let cold = Analyzer::new(opts.clone())
+        .with_factor_store(Arc::clone(store.factor_store()))
+        .analyze(&cs, &domain, &profile);
+    drop(store);
+    // Crash mid-append: a partial record with no terminating newline.
+    let mut bytes = std::fs::read(&wal).expect("wal written");
+    let complete_lines = bytes.iter().filter(|&&b| b == b'\n').count() as u64;
+    assert!(complete_lines > 0);
+    bytes.extend_from_slice(b"{\"entry\": {\"opts_fp\": 99, \"finger");
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let store2 = qcoral_service::PersistentStore::open(Some(path.clone()), 4096);
+    let report = store2.recovery_report().clone();
+    assert!(report.wal_torn_tail, "torn tail detected");
+    assert_eq!(report.wal_replayed_entries, complete_lines);
+    assert_eq!(report.wal_corrupt_entries, 0);
+    let warm = Analyzer::new(opts)
+        .with_factor_store(Arc::clone(store2.factor_store()))
+        .analyze(&cs, &domain, &profile);
+    assert_eq!(warm.estimate, cold.estimate, "torn-tail recovery diverged");
+    assert_eq!(warm.stats.samples_drawn, 0);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal);
+}
