@@ -35,6 +35,10 @@ const GATED: &[(&str, &[&str])] = &[
             "pred_tape_secs",
             "bulk_eval_secs",
             "mc_bulk_secs",
+            // The untraced analyzer path of the obs_overhead row:
+            // instrumentation creep with `Options.trace` off is a
+            // hot-path regression like any other.
+            "trace_off_secs",
         ],
     ),
     (

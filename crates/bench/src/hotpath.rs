@@ -70,6 +70,32 @@ pub struct Row {
     pub mc_bulk_speedup: f64,
 }
 
+/// Observability tax on the sampling hot path: the same end-to-end
+/// analysis with `Options::trace` off (the default; every span site
+/// collapses to one branch) and on (spans recorded at factor/paving/
+/// round granularity). The `subject` field comes first so the perf
+/// gate's line-oriented extractor scopes these metrics under
+/// `obs_overhead`.
+#[derive(Clone, Debug, Serialize)]
+pub struct ObsOverhead {
+    /// Always `"obs_overhead"` (perf-gate row key).
+    pub subject: String,
+    /// Sample budget per factor.
+    pub samples: u64,
+    /// Analyzer wall time with tracing off (s), best of `reps` — gated
+    /// against the committed baseline, so instrumentation creep on the
+    /// untraced path fails CI like any other hot-path regression.
+    pub trace_off_secs: f64,
+    /// The same analysis with `Options::trace` on (s).
+    pub trace_on_secs: f64,
+    /// `trace_on_secs / trace_off_secs` — the cost of *collecting* a
+    /// trace, paid only by requests that opt in.
+    pub trace_on_ratio: f64,
+    /// Tracing must be a pure observer: traced and untraced estimates
+    /// bit-identical.
+    pub estimates_identical: bool,
+}
+
 /// The whole emitted document.
 #[derive(Clone, Debug, Serialize)]
 pub struct Summary {
@@ -89,6 +115,10 @@ pub struct Summary {
     /// Geometric mean of the end-to-end sampling speedups
     /// (`mc_bulk_speedup` across subjects).
     pub mc_bulk_speedup_geomean: f64,
+    /// Tracing cost on the widest subject, off and on. Declared last so
+    /// its `subject` scope cannot leak onto the geomean lines above in
+    /// the perf gate's line-oriented extractor.
+    pub obs_overhead: ObsOverhead,
 }
 
 fn best_of<R>(reps: u32, mut f: impl FnMut() -> R) -> (Duration, R) {
@@ -266,6 +296,39 @@ fn measure_subject(
     }
 }
 
+/// Measures the tracing tax on the widest Table 3 subject (EGFR EPI,
+/// 41 path conditions — the most span sites per analysis).
+fn measure_obs_overhead(samples: u64, reps: u32) -> ObsOverhead {
+    let subjects = table3_subjects();
+    let subj = subjects
+        .iter()
+        .find(|s| s.name == "EGFR EPI")
+        .expect("subject exists");
+    let (domain, cs) = subj.system_for(0, &SymConfig::default());
+    let profile = UsageProfile::uniform(domain.len());
+    let opts = Options::strat_partcache()
+        .with_samples(samples)
+        .with_seed(1);
+    let (off, est_off) = best_of(reps, || {
+        Analyzer::new(opts.clone())
+            .analyze(&cs, &domain, &profile)
+            .estimate
+    });
+    let (on, est_on) = best_of(reps, || {
+        Analyzer::new(opts.clone().with_trace(true))
+            .analyze(&cs, &domain, &profile)
+            .estimate
+    });
+    ObsOverhead {
+        subject: "obs_overhead".to_string(),
+        samples,
+        trace_off_secs: off.as_secs_f64(),
+        trace_on_secs: on.as_secs_f64(),
+        trace_on_ratio: on.as_secs_f64() / off.as_secs_f64().max(1e-12),
+        estimates_identical: est_off == est_on,
+    }
+}
+
 fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
     let (mut log_sum, mut n) = (0.0, 0u32);
     for x in xs {
@@ -300,6 +363,7 @@ pub fn run(samples: u64, reps: u32) -> Summary {
         pred_tape_speedup_geomean: geomean(rows.iter().map(|r| r.pred_tape_speedup)),
         bulk_eval_speedup_geomean: geomean(rows.iter().map(|r| r.bulk_eval_speedup)),
         mc_bulk_speedup_geomean: geomean(rows.iter().map(|r| r.mc_bulk_speedup)),
+        obs_overhead: measure_obs_overhead(samples, reps),
         rows,
     }
 }
@@ -333,9 +397,16 @@ mod tests {
         }
         assert!(s.pred_tape_speedup_geomean > 0.0);
         assert!(s.bulk_eval_speedup_geomean > 0.0);
+        assert!(
+            s.obs_overhead.estimates_identical,
+            "tracing changed an estimate"
+        );
+        assert!(s.obs_overhead.trace_off_secs > 0.0 && s.obs_overhead.trace_on_secs > 0.0);
         let json = serde_json::to_string_pretty(&s).unwrap();
         assert!(json.contains("\"pred_tape_speedup\""));
         assert!(json.contains("\"bulk_eval_speedup\""));
         assert!(json.contains("\"bulk_estimates_identical\""));
+        assert!(json.contains("\"subject\": \"obs_overhead\""));
+        assert!(json.contains("\"trace_off_secs\""));
     }
 }

@@ -26,11 +26,12 @@
 //! same caveat the serial path already carries).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use qcoral_obs::trace::arg;
+use qcoral_obs::{Counter, Histogram, Registry, Trace, TraceData};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -120,6 +121,16 @@ pub struct Options {
     /// never cached (see [`FactorStore`]), so cached estimates stay
     /// reproducible.
     pub deadline_ms: Option<u64>,
+    /// Collect a per-request execution trace: span timers over paving,
+    /// tape compilation, factor sampling and refinement rounds, drained
+    /// into [`Report::trace`] and exportable as Chrome trace-event JSON
+    /// (see [`qcoral_obs::TraceData::to_chrome_json`]). Spans read
+    /// monotonic clocks only and never touch an RNG, so tracing cannot
+    /// perturb estimates: trace-on and trace-off runs are bit-identical.
+    /// Excluded from both sampling fingerprints (like `parallel` and
+    /// `deadline_ms`) — tracing never changes which streams are drawn,
+    /// so warm factor stores stay warm.
+    pub trace: bool,
 }
 
 impl Options {
@@ -140,6 +151,7 @@ impl Options {
             round_budget: 10_000,
             profile_epsilon: 1e-3,
             deadline_ms: None,
+            trace: false,
         }
     }
 
@@ -216,6 +228,13 @@ impl Options {
     /// Sets the soft wall-clock budget (see [`Options::deadline_ms`]).
     pub fn with_deadline_ms(mut self, ms: u64) -> Options {
         self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Enables or disables per-request trace collection (see
+    /// [`Options::trace`]).
+    pub fn with_trace(mut self, trace: bool) -> Options {
+        self.trace = trace;
         self
     }
 
@@ -356,6 +375,11 @@ pub struct Report {
     pub stats: Stats,
     /// Wall-clock analysis time.
     pub wall: Duration,
+    /// The execution trace, when [`Options::trace`] asked for one (or a
+    /// collector was injected via [`Analyzer::with_trace`]); `None`
+    /// otherwise. `Option` keeps the wire format compatible: absent on
+    /// untraced reports.
+    pub trace: Option<TraceData>,
 }
 
 impl Report {
@@ -401,6 +425,8 @@ pub struct Analyzer {
     /// Optional absolute cutoff (see [`Analyzer::with_deadline`]); takes
     /// precedence over [`Options::deadline_ms`].
     pub(crate) deadline: Option<Deadline>,
+    /// Optional pre-seeded trace collector (see [`Analyzer::with_trace`]).
+    pub(crate) trace: Option<Arc<Trace>>,
 }
 
 impl std::fmt::Debug for Analyzer {
@@ -471,17 +497,25 @@ struct Shared<'a> {
     pavings_cache: &'a PavingCache,
     store: Option<&'a FactorStore>,
     opts_fp: u64,
+    /// Span collector of this run, when tracing (one branch when not).
+    trace: Option<&'a Trace>,
     cache: Mutex<HashMap<FactorKey, Estimate>>,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    store_hits: AtomicU64,
-    store_misses: AtomicU64,
-    inner_boxes: AtomicU64,
-    boundary_boxes: AtomicU64,
-    pavings: AtomicU64,
-    paving_hits: AtomicU64,
-    paving_misses: AtomicU64,
-    samples_drawn: AtomicU64,
+    // Per-analysis counters on the `qcoral-obs` primitives (the same
+    // type the process-wide registry serves), so `Stats` and the metrics
+    // exposition share one counting substrate. Kept per-run — not
+    // registry-minted — because tests and callers rely on exact
+    // per-analysis numbers even when analyses run concurrently; the
+    // totals are folded into the global registry by `publish_report`.
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    store_hits: Arc<Counter>,
+    store_misses: Arc<Counter>,
+    inner_boxes: Arc<Counter>,
+    boundary_boxes: Arc<Counter>,
+    pavings: Arc<Counter>,
+    paving_hits: Arc<Counter>,
+    paving_misses: Arc<Counter>,
+    samples_drawn: Arc<Counter>,
 }
 
 impl Analyzer {
@@ -492,6 +526,7 @@ impl Analyzer {
             paving_cache: Arc::new(PavingCache::new()),
             factor_store: None,
             deadline: None,
+            trace: None,
         }
     }
 
@@ -538,6 +573,33 @@ impl Analyzer {
         self
     }
 
+    /// Injects a pre-seeded [`Trace`] collector: spans recorded by the
+    /// caller before the analysis (queue wait, parsing, symbolic
+    /// execution) share the request's timeline with the analyzer's own
+    /// spans. The collector is used — and drained into
+    /// [`Report::trace`] — whether or not [`Options::trace`] is set;
+    /// without an injected collector, each run creates its own when
+    /// `Options::trace` asks for one.
+    pub fn with_trace(mut self, trace: Arc<Trace>) -> Analyzer {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The injected trace collector, if any (see
+    /// [`Analyzer::with_trace`]): hosts wrapping an analysis in extra
+    /// stages (parsing, symbolic execution) record their spans here so
+    /// they land in the same [`Report::trace`] timeline.
+    pub fn trace(&self) -> Option<&Arc<Trace>> {
+        self.trace.as_ref()
+    }
+
+    /// The trace collector a run starting now records into, if any.
+    pub(crate) fn run_trace(&self) -> Option<Arc<Trace>> {
+        self.trace
+            .clone()
+            .or_else(|| self.opts.trace.then(Trace::new))
+    }
+
     /// The effective deadline of a run starting now: the explicitly
     /// attached one, else a fresh one [`Options::deadline_ms`] from now.
     pub(crate) fn effective_deadline(&self) -> Option<Deadline> {
@@ -567,6 +629,8 @@ impl Analyzer {
             "constraint set references undeclared variables"
         );
         let start = Instant::now();
+        let trace = self.run_trace();
+        let trace_t0 = qcoral_obs::trace::span_start(&trace);
         let nvars = domain.len();
         let partition = normalized_partition(&self.opts, cs, nvars);
 
@@ -580,17 +644,18 @@ impl Analyzer {
             pavings_cache: &self.paving_cache,
             store: self.factor_store.as_deref(),
             opts_fp: self.opts.sampling_fingerprint(),
+            trace: trace.as_deref(),
             cache: Mutex::new(HashMap::new()),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            store_hits: AtomicU64::new(0),
-            store_misses: AtomicU64::new(0),
-            inner_boxes: AtomicU64::new(0),
-            boundary_boxes: AtomicU64::new(0),
-            pavings: AtomicU64::new(0),
-            paving_hits: AtomicU64::new(0),
-            paving_misses: AtomicU64::new(0),
-            samples_drawn: AtomicU64::new(0),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            store_hits: Counter::new(),
+            store_misses: Counter::new(),
+            inner_boxes: Counter::new(),
+            boundary_boxes: Counter::new(),
+            pavings: Counter::new(),
+            paving_hits: Counter::new(),
+            paving_misses: Counter::new(),
+            samples_drawn: Counter::new(),
         };
 
         // Algorithm 1, fanned out per Theorem 1: each path condition's
@@ -615,30 +680,141 @@ impl Analyzer {
         let estimate = per_pc.iter().fold(Estimate::ZERO, |acc, e| acc.sum(*e));
 
         let (tape_hits1, tape_misses1) = tape_cache_stats();
-        Report {
+        let stats = Stats {
+            cache_hits: shared.cache_hits.get(),
+            cache_misses: shared.cache_misses.get(),
+            inner_boxes: shared.inner_boxes.get(),
+            boundary_boxes: shared.boundary_boxes.get(),
+            pavings: shared.pavings.get(),
+            paving_cache_hits: shared.paving_hits.get(),
+            paving_cache_misses: shared.paving_misses.get(),
+            tape_cache_hits: tape_hits1 - tape_hits0,
+            tape_cache_misses: tape_misses1 - tape_misses0,
+            factor_store_hits: shared.store_hits.get(),
+            factor_store_misses: shared.store_misses.get(),
+            samples_drawn: shared.samples_drawn.get(),
+            rounds: 0,
+            refine_samples: 0,
+            target_met: false,
+            deadline_exceeded: shared.expired(),
+        };
+        if let Some(t) = &trace {
+            t.record(
+                "analyze",
+                "core",
+                trace_t0,
+                vec![
+                    arg("pcs", per_pc.len()),
+                    arg("samples_drawn", stats.samples_drawn),
+                ],
+            );
+        }
+        let report = Report {
             estimate,
             per_pc,
-            stats: Stats {
-                cache_hits: shared.cache_hits.load(Ordering::Relaxed),
-                cache_misses: shared.cache_misses.load(Ordering::Relaxed),
-                inner_boxes: shared.inner_boxes.load(Ordering::Relaxed),
-                boundary_boxes: shared.boundary_boxes.load(Ordering::Relaxed),
-                pavings: shared.pavings.load(Ordering::Relaxed),
-                paving_cache_hits: shared.paving_hits.load(Ordering::Relaxed),
-                paving_cache_misses: shared.paving_misses.load(Ordering::Relaxed),
-                tape_cache_hits: tape_hits1 - tape_hits0,
-                tape_cache_misses: tape_misses1 - tape_misses0,
-                factor_store_hits: shared.store_hits.load(Ordering::Relaxed),
-                factor_store_misses: shared.store_misses.load(Ordering::Relaxed),
-                samples_drawn: shared.samples_drawn.load(Ordering::Relaxed),
-                rounds: 0,
-                refine_samples: 0,
-                target_met: false,
-                deadline_exceeded: shared.expired(),
-            },
+            stats,
             wall: start.elapsed(),
-        }
+            trace: trace.map(|t| t.take()),
+        };
+        publish_report(&report);
+        report
     }
+}
+
+/// Process-wide totals of the per-analysis counters, minted once in the
+/// global [`Registry`] and fed by [`publish_report`] after every
+/// completed analysis. Per-analysis exactness lives in [`Stats`]; these
+/// are the lifetime aggregates the `metrics` exposition serves.
+struct GlobalAnalysisMetrics {
+    analyses: Arc<Counter>,
+    samples_drawn: Arc<Counter>,
+    pavings: Arc<Counter>,
+    paving_hits: Arc<Counter>,
+    paving_misses: Arc<Counter>,
+    partition_hits: Arc<Counter>,
+    partition_misses: Arc<Counter>,
+    inner_boxes: Arc<Counter>,
+    boundary_boxes: Arc<Counter>,
+    rounds: Arc<Counter>,
+    refine_samples: Arc<Counter>,
+    duration_us: Arc<Histogram>,
+}
+
+fn global_metrics() -> &'static GlobalAnalysisMetrics {
+    static METRICS: OnceLock<GlobalAnalysisMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        GlobalAnalysisMetrics {
+            analyses: r.counter(
+                "qcoral_analyses_total",
+                "Completed analyses (one-shot and iterative).",
+            ),
+            samples_drawn: r.counter(
+                "qcoral_samples_drawn_total",
+                "Monte Carlo sampling budget charged across all analyses.",
+            ),
+            pavings: r.counter(
+                "qcoral_pavings_total",
+                "ICP paving requests (paving-cache hits included).",
+            ),
+            paving_hits: r.counter(
+                "qcoral_paving_cache_hits_total",
+                "Paving requests answered from the paving cache.",
+            ),
+            paving_misses: r.counter(
+                "qcoral_paving_cache_misses_total",
+                "Paving requests that ran branch-and-prune.",
+            ),
+            partition_hits: r.counter(
+                "qcoral_partition_cache_hits_total",
+                "Factor estimates answered from the in-run partition cache.",
+            ),
+            partition_misses: r.counter(
+                "qcoral_partition_cache_misses_total",
+                "Factor estimates the in-run partition cache could not answer.",
+            ),
+            inner_boxes: r.counter(
+                "qcoral_inner_boxes_total",
+                "ICP inner boxes across all pavings.",
+            ),
+            boundary_boxes: r.counter(
+                "qcoral_boundary_boxes_total",
+                "ICP boundary boxes across all pavings.",
+            ),
+            rounds: r.counter(
+                "qcoral_rounds_total",
+                "Sampling rounds executed by iterative analyses.",
+            ),
+            refine_samples: r.counter(
+                "qcoral_refine_samples_total",
+                "Samples drawn by refinement rounds after the first.",
+            ),
+            duration_us: r.histogram(
+                "qcoral_analysis_duration_us",
+                "Wall-clock time per analysis, microseconds.",
+            ),
+        }
+    })
+}
+
+/// Folds a finished report's counters into the process-wide registry —
+/// the single write path from per-analysis [`Stats`] to the lifetime
+/// metric families.
+pub(crate) fn publish_report(report: &Report) {
+    let m = global_metrics();
+    let s = &report.stats;
+    m.analyses.inc();
+    m.samples_drawn.add(s.samples_drawn);
+    m.pavings.add(s.pavings);
+    m.paving_hits.add(s.paving_cache_hits);
+    m.paving_misses.add(s.paving_cache_misses);
+    m.partition_hits.add(s.cache_hits);
+    m.partition_misses.add(s.cache_misses);
+    m.inner_boxes.add(s.inner_boxes);
+    m.boundary_boxes.add(s.boundary_boxes);
+    m.rounds.add(s.rounds);
+    m.refine_samples.add(s.refine_samples);
+    m.duration_us.record(report.wall.as_micros() as u64);
 }
 
 impl Shared<'_> {
@@ -691,6 +867,7 @@ fn analyze_conjunction(shared: &Shared<'_>, pc: &PathCondition, pc_idx: usize) -
     if shared.expired() {
         return Estimate::ZERO;
     }
+    let t0 = shared.trace.map_or(0, Trace::now_us);
     // Project each class once; a class no constraint touches contributes
     // exactly 1 and is dropped here.
     let factors: Vec<(usize, &VarSet, PathCondition)> = shared
@@ -711,13 +888,24 @@ fn analyze_conjunction(shared: &Shared<'_>, pc: &PathCondition, pc_idx: usize) -
         factors.iter().map(estimate_factor).collect()
     };
     // Eq. 7–8: independent factors multiply.
-    per_factor
+    let product = per_factor
         .into_iter()
-        .fold(Estimate::ONE, Estimate::product)
+        .fold(Estimate::ONE, Estimate::product);
+    if let Some(t) = shared.trace {
+        t.record(
+            "pc",
+            "core",
+            t0,
+            vec![arg("pc", pc_idx), arg("factors", factors.len())],
+        );
+    }
+    product
 }
 
 /// One independent factor of Algorithm 2: canonicalize the projected
 /// conjunction, consult the estimate cache, and sample on a miss.
+/// Records one `factor` span per call, annotated with where the answer
+/// came from (`partition_cache`, `factor_store`, or `sampled`).
 fn analyze_factor(
     shared: &Shared<'_>,
     part: &PathCondition,
@@ -725,6 +913,32 @@ fn analyze_factor(
     factor_idx: usize,
     class: &VarSet,
 ) -> Estimate {
+    let t0 = shared.trace.map_or(0, Trace::now_us);
+    let (estimate, source) = analyze_factor_impl(shared, part, pc_idx, factor_idx, class);
+    if let Some(t) = shared.trace {
+        t.record(
+            "factor",
+            "sampling",
+            t0,
+            vec![
+                arg("pc", pc_idx),
+                arg("factor", factor_idx),
+                arg("source", source),
+            ],
+        );
+    }
+    estimate
+}
+
+/// The body of [`analyze_factor`], returning the estimate plus the
+/// source label for its span.
+fn analyze_factor_impl(
+    shared: &Shared<'_>,
+    part: &PathCondition,
+    pc_idx: usize,
+    factor_idx: usize,
+    class: &VarSet,
+) -> (Estimate, &'static str) {
     let indices = class.indices();
     // Re-index onto a dense local variable space aligned with the
     // projected box.
@@ -745,21 +959,22 @@ fn analyze_factor(
         let cached = shared.cache.lock().get(&key).copied();
         match cached {
             Some(e) => {
-                shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-                e
+                shared.cache_hits.inc();
+                (e, "partition_cache")
             }
             None => {
-                shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+                shared.cache_misses.inc();
                 // Cross-run store, between the in-run cache and fresh
                 // sampling: a hit skips paving and sampling entirely and
                 // is bit-identical to recomputing (the sampling seed
                 // below is a pure function of the key).
                 if let Some(store) = shared.store {
                     if let Some(e) = store.get(shared.opts_fp, &key) {
-                        shared.store_hits.fetch_add(1, Ordering::Relaxed);
-                        return *shared.cache.lock().entry(key).or_insert(e);
+                        shared.store_hits.inc();
+                        let adopted = *shared.cache.lock().entry(key).or_insert(e);
+                        return (adopted, "factor_store");
                     }
-                    shared.store_misses.fetch_add(1, Ordering::Relaxed);
+                    shared.store_misses.inc();
                 }
                 // Key-derived seed: identical sub-problems produce
                 // identical estimates no matter which PC (or thread)
@@ -784,23 +999,24 @@ fn analyze_factor(
                 // cross-run store, where it would masquerade as the
                 // full-budget, bit-reproducible estimate for this key.
                 if shared.expired() {
-                    return e;
+                    return (e, "sampled");
                 }
                 let adopted = *shared.cache.lock().entry(key.clone()).or_insert(e);
                 if let Some(store) = shared.store {
                     store.insert(shared.opts_fp, key, adopted);
                 }
-                adopted
+                (adopted, "sampled")
             }
         }
     } else {
-        strat_sampling(
+        let e = strat_sampling(
             shared,
             &local_pc,
             &sub_box,
             &indices,
             mix_seed(shared.opts.seed, (pc_idx as u64) << 32 | factor_idx as u64),
-        )
+        );
+        (e, "sampled")
     }
 }
 
@@ -855,7 +1071,16 @@ fn strat_sampling(
     // on symexec-generated conditions), and its columnar [`CompiledPred`]
     // twin lets the chunked samplers evaluate 128-sample lane slabs per
     // instruction — same samples, same hits, bit-identical estimates.
+    let t_compile = shared.trace.map_or(0, Trace::now_us);
     let pred = CompiledPred::compile_cached(local_pc);
+    if let Some(t) = shared.trace {
+        t.record(
+            "compile",
+            "tape",
+            t_compile,
+            vec![arg("vars", sub_box.dims().len())],
+        );
+    }
     let plan = SamplePlan {
         seed,
         chunk: shared.opts.chunk.max(1),
@@ -863,36 +1088,51 @@ fn strat_sampling(
         deadline: shared.deadline,
     };
     if !shared.opts.stratified {
-        shared
-            .samples_drawn
-            .fetch_add(shared.opts.samples, Ordering::Relaxed);
-        return hit_or_miss_plan_bulk(&*pred, sub_box, &local_profile, shared.opts.samples, plan);
+        shared.samples_drawn.add(shared.opts.samples);
+        let t_sample = shared.trace.map_or(0, Trace::now_us);
+        let e = hit_or_miss_plan_bulk(&*pred, sub_box, &local_profile, shared.opts.samples, plan);
+        if let Some(t) = shared.trace {
+            t.record(
+                "sample",
+                "sampling",
+                t_sample,
+                vec![arg("strata", 1), arg("budget", shared.opts.samples)],
+            );
+        }
+        return e;
     }
     // The counted variant attributes the hit/miss to *this* analysis:
     // the cache may be shared service-wide, and deltas of its global
     // counters would charge concurrent requests' pavings to each other.
+    let t_pave = shared.trace.map_or(0, Trace::now_us);
     let (paving, was_hit) =
         shared
             .pavings_cache
             .pave_cached_counted(local_pc, sub_box, &shared.opts.paver);
-    if was_hit {
-        shared.paving_hits.fetch_add(1, Ordering::Relaxed);
-    } else {
-        shared.paving_misses.fetch_add(1, Ordering::Relaxed);
+    if let Some(t) = shared.trace {
+        t.record(
+            "paving",
+            "icp",
+            t_pave,
+            vec![
+                arg("inner", paving.inner.len()),
+                arg("boundary", paving.boundary.len()),
+                arg("cache_hit", was_hit),
+            ],
+        );
     }
-    shared.pavings.fetch_add(1, Ordering::Relaxed);
-    shared
-        .inner_boxes
-        .fetch_add(paving.inner.len() as u64, Ordering::Relaxed);
-    shared
-        .boundary_boxes
-        .fetch_add(paving.boundary.len() as u64, Ordering::Relaxed);
+    if was_hit {
+        shared.paving_hits.inc();
+    } else {
+        shared.paving_misses.inc();
+    }
+    shared.pavings.inc();
+    shared.inner_boxes.add(paving.inner.len() as u64);
+    shared.boundary_boxes.add(paving.boundary.len() as u64);
     if paving.is_unsat() {
         return Estimate::ZERO;
     }
-    shared
-        .samples_drawn
-        .fetch_add(shared.opts.samples, Ordering::Relaxed);
+    shared.samples_drawn.add(shared.opts.samples);
     let strata: Vec<Stratum> = paving
         .inner
         .iter()
@@ -911,7 +1151,8 @@ fn strat_sampling(
         shared.opts.profile_epsilon,
         ALIGN_CAP,
     );
-    stratified_plan_bulk(
+    let t_sample = shared.trace.map_or(0, Trace::now_us);
+    let e = stratified_plan_bulk(
         &*pred,
         &strata,
         sub_box,
@@ -919,7 +1160,19 @@ fn strat_sampling(
         shared.opts.samples,
         shared.opts.allocation,
         plan,
-    )
+    );
+    if let Some(t) = shared.trace {
+        t.record(
+            "sample",
+            "sampling",
+            t_sample,
+            vec![
+                arg("strata", strata.len()),
+                arg("budget", shared.opts.samples),
+            ],
+        );
+    }
+    e
 }
 
 /// FNV-1a offset basis (64-bit).

@@ -35,7 +35,7 @@ static PRED_CACHE: OnceLock<CompileCache<CompiledPred>> = OnceLock::new();
 const PRED_CACHE_CAP: usize = 4096;
 
 fn pred_cache() -> &'static CompileCache<CompiledPred> {
-    PRED_CACHE.get_or_init(|| CompileCache::new(PRED_CACHE_CAP))
+    PRED_CACHE.get_or_init(|| CompileCache::new_named(PRED_CACHE_CAP, "pred_cache"))
 }
 
 /// Cumulative `(hits, misses)` of the process-wide predicate cache.

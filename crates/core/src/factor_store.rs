@@ -25,8 +25,10 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
+use qcoral_obs::{Counter, Registry};
 use serde::{Deserialize, Serialize};
 
 use qcoral_mc::Estimate;
@@ -59,8 +61,12 @@ struct Inner {
 pub struct FactorStore {
     cap: usize,
     inner: Mutex<Inner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    // Per-instance `qcoral-obs` counters (tests assert per-instance
+    // exactness, so these are never minted from the global registry);
+    // a server attaches them for exposition via
+    // [`FactorStore::register_metrics`].
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
     revision: AtomicU64,
     /// Observer invoked once per *fresh* insert (never for re-inserts of
     /// existing keys, never during [`FactorStore::absorb`]), after the
@@ -105,8 +111,8 @@ impl FactorStore {
                 map: HashMap::new(),
                 tick: 0,
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
             revision: AtomicU64::new(0),
             insert_hook: Mutex::new(None),
         }
@@ -139,10 +145,23 @@ impl FactorStore {
 
     /// Cumulative `(hits, misses)` across all lookups.
     pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        (self.hits.get(), self.misses.get())
+    }
+
+    /// Attaches this store's hit/miss counters to `registry` as
+    /// `qcoral_factor_store_hits_total` / `qcoral_factor_store_misses_total`
+    /// (the service does this once for its long-lived store).
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "qcoral_factor_store_hits_total",
+            "Cross-run factor-store lookups answered from the store.",
+            Arc::clone(&self.hits),
+        );
+        registry.register_counter(
+            "qcoral_factor_store_misses_total",
+            "Cross-run factor-store lookups that missed.",
+            Arc::clone(&self.misses),
+        );
     }
 
     /// Monotone counter bumped whenever an insert/absorb actually adds a
@@ -169,11 +188,11 @@ impl FactorStore {
         drop(inner);
         match found {
             Some(e) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(e)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }

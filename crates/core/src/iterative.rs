@@ -66,6 +66,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+use qcoral_obs::trace::arg;
+use qcoral_obs::Trace;
 use rayon::prelude::*;
 
 use qcoral_constraints::{ConstraintSet, Domain, PathCondition, VarId};
@@ -78,7 +80,7 @@ use qcoral_mc::{
 };
 
 use crate::analyzer::{
-    factor_key, hash_key, normalized_partition, Analyzer, Report, Stats, ALIGN_CAP,
+    factor_key, hash_key, normalized_partition, publish_report, Analyzer, Report, Stats, ALIGN_CAP,
 };
 use crate::bulkpred::CompiledPred;
 use crate::factor_store::FactorKey;
@@ -254,6 +256,9 @@ impl Analyzer {
             "constraint set references undeclared variables"
         );
         let start = Instant::now();
+        let trace = self.run_trace();
+        let trace_t0 = qcoral_obs::trace::span_start(&trace);
+        let tr = trace.as_deref();
         let opts = &self.opts;
         // Deadline expiry is monotonic (an `Instant` cutoff never
         // un-passes), so one check late in the run also answers "did it
@@ -316,7 +321,7 @@ impl Analyzer {
         } else {
             None
         };
-        let prep = |slot: &Slot| -> (FactorState, PrepStats) {
+        let prep_body = |slot: &Slot| -> (FactorState, PrepStats) {
             let mut d = PrepStats::default();
             if let Some(store) = store {
                 if let Some(e) = store.get(iter_fp, &slot.key) {
@@ -334,11 +339,26 @@ impl Analyzer {
             }
             let local_profile = profile.project(&slot.indices);
             let raw_strata: Vec<Stratum> = if opts.stratified {
+                let t_pave = tr.map_or(0, Trace::now_us);
                 let (paving, was_hit) = self.paving_cache.pave_cached_counted(
                     &slot.local_pc,
                     &slot.sub_box,
                     &opts.paver,
                 );
+                // Same span taxonomy as the one-shot engine, so a
+                // Perfetto timeline reads identically across both.
+                if let Some(t) = tr {
+                    t.record(
+                        "paving",
+                        "icp",
+                        t_pave,
+                        vec![
+                            arg("inner", paving.inner.len()),
+                            arg("boundary", paving.boundary.len()),
+                            arg("cache_hit", was_hit),
+                        ],
+                    );
+                }
                 if was_hit {
                     d.paving_hits = 1;
                 } else {
@@ -395,7 +415,16 @@ impl Analyzer {
                 return (FactorState::Frozen(exact), d);
             }
             let sampled_weights: Vec<f64> = sampled.iter().map(|&i| weights[i]).collect();
+            let t_compile = tr.map_or(0, Trace::now_us);
             let pred = CompiledPred::compile_cached(&slot.local_pc);
+            if let Some(t) = tr {
+                t.record(
+                    "compile",
+                    "tape",
+                    t_compile,
+                    vec![arg("vars", slot.sub_box.dims().len())],
+                );
+            }
             let accums = vec![StratumAccum::EMPTY; sampled.len()];
             let plan = SamplePlan {
                 seed: mix_seed(opts.seed, hash_key(&slot.key)),
@@ -416,6 +445,30 @@ impl Analyzer {
                 })),
                 d,
             )
+        };
+        // Per-slot `prep` span: paving (box counts) plus where the
+        // factor ended up (store hit, frozen exact, or live sampling).
+        let prep = |slot: &Slot| -> (FactorState, PrepStats) {
+            let t0 = tr.map_or(0, Trace::now_us);
+            let (state, d) = prep_body(slot);
+            if let Some(t) = tr {
+                let outcome = match &state {
+                    FactorState::Frozen(_) if d.store_hits == 1 => "factor_store",
+                    FactorState::Frozen(_) => "frozen",
+                    FactorState::Active(_) => "active",
+                };
+                t.record(
+                    "prep",
+                    "core",
+                    t0,
+                    vec![
+                        arg("inner", d.inner),
+                        arg("boundary", d.boundary),
+                        arg("outcome", outcome),
+                    ],
+                );
+            }
+            (state, d)
         };
         let prepped: Vec<(FactorState, PrepStats)> = if opts.parallel && slots.len() > 1 {
             slots.par_iter().map(prep).collect()
@@ -447,7 +500,20 @@ impl Analyzer {
                 FactorState::Frozen(_) => None,
             })
             .collect();
+        let t_round1 = tr.map_or(0, Trace::now_us);
         let mut samples_drawn = refine_states(&mut states, &round1, opts.parallel);
+        if let Some(t) = tr {
+            t.record(
+                "round",
+                "sampling",
+                t_round1,
+                vec![
+                    arg("round", 1),
+                    arg("budget", samples_drawn),
+                    arg("factors", round1.len()),
+                ],
+            );
+        }
         let mut rounds = 1u64;
         let mut refine_samples = 0u64;
         let mut target_met = false;
@@ -541,10 +607,26 @@ impl Analyzer {
                 // is exact or frozen. Further rounds cannot help.
                 break (per_pc, total);
             }
+            let t_round = tr.map_or(0, Trace::now_us);
             let spent = refine_states(&mut states, &work, opts.parallel);
             rounds += 1;
             samples_drawn += spent;
             refine_samples += spent;
+            if let Some(t) = tr {
+                // `stderr` is the composed standard error that *drove*
+                // this round's Neyman placement (measured before it).
+                t.record(
+                    "round",
+                    "sampling",
+                    t_round,
+                    vec![
+                        arg("round", rounds),
+                        arg("budget", spent),
+                        arg("factors", work.len()),
+                        arg("stderr", total.variance.sqrt()),
+                    ],
+                );
+            }
         };
 
         // Deposit final factor estimates for warm repeats (store hits
@@ -562,29 +644,45 @@ impl Analyzer {
         }
 
         let (tape_hits1, tape_misses1) = tape_cache_stats();
-        Report {
+        let stats = Stats {
+            cache_hits: factor_refs - slots.len() as u64,
+            cache_misses: slots.len() as u64,
+            inner_boxes: prep_stats.inner,
+            boundary_boxes: prep_stats.boundary,
+            pavings: prep_stats.pavings,
+            paving_cache_hits: prep_stats.paving_hits,
+            paving_cache_misses: prep_stats.paving_misses,
+            tape_cache_hits: tape_hits1 - tape_hits0,
+            tape_cache_misses: tape_misses1 - tape_misses0,
+            factor_store_hits: prep_stats.store_hits,
+            factor_store_misses: prep_stats.store_misses,
+            samples_drawn,
+            rounds,
+            refine_samples,
+            target_met,
+            deadline_exceeded,
+        };
+        if let Some(t) = &trace {
+            t.record(
+                "analyze_iterative",
+                "core",
+                trace_t0,
+                vec![
+                    arg("pcs", per_pc.len()),
+                    arg("rounds", rounds),
+                    arg("samples_drawn", samples_drawn),
+                ],
+            );
+        }
+        let report = Report {
             estimate,
             per_pc,
-            stats: Stats {
-                cache_hits: factor_refs - slots.len() as u64,
-                cache_misses: slots.len() as u64,
-                inner_boxes: prep_stats.inner,
-                boundary_boxes: prep_stats.boundary,
-                pavings: prep_stats.pavings,
-                paving_cache_hits: prep_stats.paving_hits,
-                paving_cache_misses: prep_stats.paving_misses,
-                tape_cache_hits: tape_hits1 - tape_hits0,
-                tape_cache_misses: tape_misses1 - tape_misses0,
-                factor_store_hits: prep_stats.store_hits,
-                factor_store_misses: prep_stats.store_misses,
-                samples_drawn,
-                rounds,
-                refine_samples,
-                target_met,
-                deadline_exceeded,
-            },
+            stats,
             wall: start.elapsed(),
-        }
+            trace: trace.map(|t| t.take()),
+        };
+        publish_report(&report);
+        report
     }
 }
 

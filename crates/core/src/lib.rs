@@ -67,3 +67,4 @@ pub use factor_store::{FactorStore, FactorStoreEntry, InsertHook, DEFAULT_STORE_
 pub use qcoral_constraints::{Atom, ConstraintSet, Domain, Expr, PathCondition, RelOp, VarId};
 pub use qcoral_icp::PaverConfig;
 pub use qcoral_mc::{Allocation, Deadline, Estimate, UsageProfile};
+pub use qcoral_obs::{Trace, TraceData};

@@ -14,28 +14,51 @@
 //! [`Tape`]: crate::tape::Tape
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use qcoral_obs::{Counter, Registry};
 
-/// A bounded, counted `fingerprint → Arc<T>` compile cache.
+/// A bounded, counted `fingerprint → Arc<T>` compile cache. Hit/miss
+/// counting rides `qcoral-obs` counters, so a cache built with
+/// [`CompileCache::new_named`] is a first-class metric family of the
+/// process-wide registry instead of a bespoke counter path.
 #[derive(Debug)]
 pub struct CompileCache<T> {
     map: Mutex<HashMap<u128, Arc<T>>>,
     cap: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 impl<T> CompileCache<T> {
-    /// An empty cache retaining at most `cap` artifacts.
+    /// An empty cache retaining at most `cap` artifacts, with private
+    /// (unregistered) counters.
     pub fn new(cap: usize) -> CompileCache<T> {
         CompileCache {
             map: Mutex::new(HashMap::new()),
             cap,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
+    }
+
+    /// An empty cache whose hit/miss counters are registered in the
+    /// process-wide metrics registry as
+    /// `qcoral_<name>_hits_total` / `qcoral_<name>_misses_total`.
+    pub fn new_named(cap: usize, name: &str) -> CompileCache<T> {
+        let reg = Registry::global();
+        CompileCache {
+            map: Mutex::new(HashMap::new()),
+            cap,
+            hits: reg.counter(
+                &format!("qcoral_{name}_hits_total"),
+                "Compile-cache lookups answered from the cache.",
+            ),
+            misses: reg.counter(
+                &format!("qcoral_{name}_misses_total"),
+                "Compile-cache lookups that had to compile.",
+            ),
         }
     }
 
@@ -44,10 +67,10 @@ impl<T> CompileCache<T> {
     /// race, whichever artifact landed first is kept and shared.
     pub fn get_or_compile(&self, key: u128, compile: impl FnOnce() -> T) -> Arc<T> {
         if let Some(t) = self.map.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Arc::clone(t);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let fresh = Arc::new(compile());
         let mut map = self.map.lock();
         if map.len() >= self.cap && !map.contains_key(&key) {
@@ -60,10 +83,7 @@ impl<T> CompileCache<T> {
     /// wanting per-analysis numbers snapshot before and after (exact
     /// when no other analysis runs concurrently in the process).
     pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        (self.hits.get(), self.misses.get())
     }
 
     /// Number of artifacts currently retained.

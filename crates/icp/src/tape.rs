@@ -29,7 +29,7 @@ static TAPE_CACHE: OnceLock<CompileCache<Tape>> = OnceLock::new();
 const TAPE_CACHE_CAP: usize = 4096;
 
 fn tape_cache() -> &'static CompileCache<Tape> {
-    TAPE_CACHE.get_or_init(|| CompileCache::new(TAPE_CACHE_CAP))
+    TAPE_CACHE.get_or_init(|| CompileCache::new_named(TAPE_CACHE_CAP, "tape_cache"))
 }
 
 /// Cumulative `(hits, misses)` of the process-wide tape cache. Counters

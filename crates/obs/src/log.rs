@@ -1,0 +1,167 @@
+//! Structured JSON logging: one `{"ts_ms": …, "level": …, "event": …,
+//! …fields}` object per stderr line, level-filtered through the
+//! `QCORAL_LOG` environment variable (`error`, `warn`, `info` or
+//! `debug`; unset or unparseable means `info`).
+//!
+//! Events are dotted snake-case names (`server.listening`,
+//! `store.snapshot_failed`); fields are preformatted strings so a log
+//! line is cheap to build and always valid JSON regardless of content.
+//! Timestamps are wall-clock Unix milliseconds — logs are for humans
+//! and collectors, so unlike trace spans they use real time.
+
+use std::io::Write;
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::JsonEmitter;
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The service lost something (a failed write, a panicked job).
+    Error,
+    /// Degraded but coping (recovery losses, shed load).
+    Warn,
+    /// Lifecycle landmarks (startup, shutdown, periodic metrics).
+    Info,
+    /// Per-operation chatter.
+    Debug,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Parses a `QCORAL_LOG` value; `None` for unrecognized text.
+pub fn parse_level(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "error" => Some(Level::Error),
+        "warn" | "warning" => Some(Level::Warn),
+        "info" => Some(Level::Info),
+        "debug" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+fn max_level() -> Level {
+    static MAX: OnceLock<Level> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        std::env::var("QCORAL_LOG")
+            .ok()
+            .and_then(|s| parse_level(&s))
+            .unwrap_or(Level::Info)
+    })
+}
+
+/// Whether records at `level` are currently emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Formats one record as a single JSON line (no trailing newline).
+pub fn format_record(ts_ms: u64, level: Level, event: &str, fields: &[(&str, String)]) -> String {
+    let mut e = JsonEmitter::new(false);
+    e.begin_object();
+    e.key("ts_ms");
+    e.raw(&ts_ms.to_string());
+    e.key("level");
+    e.string(level.as_str());
+    e.key("event");
+    e.string(event);
+    for (k, v) in fields {
+        e.key(k);
+        e.string(v);
+    }
+    e.end_object();
+    e.finish()
+}
+
+/// Emits one structured record to stderr if `level` passes the filter.
+/// The line is written with a single locked `write`, so concurrent
+/// threads never interleave records.
+pub fn log(level: Level, event: &str, fields: &[(&str, String)]) {
+    if !enabled(level) {
+        return;
+    }
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut line = format_record(ts_ms, level, event, fields);
+    line.push('\n');
+    let stderr = std::io::stderr();
+    let _ = stderr.lock().write_all(line.as_bytes());
+}
+
+/// Logs at [`Level::Error`].
+pub fn error(event: &str, fields: &[(&str, String)]) {
+    log(Level::Error, event, fields);
+}
+
+/// Logs at [`Level::Warn`].
+pub fn warn(event: &str, fields: &[(&str, String)]) {
+    log(Level::Warn, event, fields);
+}
+
+/// Logs at [`Level::Info`].
+pub fn info(event: &str, fields: &[(&str, String)]) {
+    log(Level::Info, event, fields);
+}
+
+/// Logs at [`Level::Debug`].
+pub fn debug(event: &str, fields: &[(&str, String)]) {
+    log(Level::Debug, event, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(parse_level("DEBUG"), Some(Level::Debug));
+        assert_eq!(parse_level(" warn "), Some(Level::Warn));
+        assert_eq!(parse_level("warning"), Some(Level::Warn));
+        assert_eq!(parse_level("trace"), None);
+        assert_eq!(parse_level(""), None);
+    }
+
+    #[test]
+    fn records_are_single_line_valid_json() {
+        let line = format_record(
+            1_700_000_000_000,
+            Level::Warn,
+            "store.snapshot_failed",
+            &[
+                ("path", "/tmp/x.json".to_string()),
+                ("error", "disk \"full\"\nretrying".to_string()),
+            ],
+        );
+        assert!(!line.contains('\n'), "one record, one line: {line}");
+        let v = serde::JsonValue::parse(&line).expect("valid JSON");
+        assert_eq!(
+            v.get("level"),
+            Some(&serde::JsonValue::String("warn".into()))
+        );
+        assert_eq!(
+            v.get("event"),
+            Some(&serde::JsonValue::String("store.snapshot_failed".into()))
+        );
+        assert_eq!(
+            v.get("ts_ms"),
+            Some(&serde::JsonValue::Number("1700000000000".into()))
+        );
+        assert!(v.get("error").is_some());
+    }
+}

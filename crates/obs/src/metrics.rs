@@ -1,0 +1,481 @@
+//! Counters, gauges and mergeable log-bucket histograms behind a named
+//! registry with Prometheus-style text exposition.
+//!
+//! Handles are `Arc`-shared atomics: a subsystem either asks a
+//! [`Registry`] to mint one by name ([`Registry::counter`]) or keeps its
+//! own per-instance handle and *registers* it for exposition
+//! ([`Registry::register_counter`]) — the latter is how per-instance
+//! exactness survives (the scheduler and factor-store tests assert
+//! per-instance counts, so those subsystems own their handles and the
+//! server attaches them to its registry at startup).
+//!
+//! Histograms use a fixed power-of-two bucket layout over `u64` samples
+//! (bucket *i* ≥ 1 holds values in `[2^(i-1), 2^i)`, bucket 0 holds the
+//! value 0), so merging two histograms is exact integer addition of
+//! bucket counts — associative and commutative by construction — and
+//! any quantile is derivable from the cumulative counts with at most a
+//! 2× overestimate (the reported bound is the bucket's inclusive upper
+//! edge).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter behind an `Arc`.
+    pub fn new() -> Arc<Counter> {
+        Arc::new(Counter(AtomicU64::new(0)))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n > 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (queue depth, in-flight jobs, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh zeroed gauge behind an `Arc`.
+    pub fn new() -> Arc<Gauge> {
+        Arc::new(Gauge(AtomicI64::new(0)))
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds to the level (may go negative transiently under races; reads
+    /// clamp at callers' discretion).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Subtracts from the level.
+    #[inline]
+    pub fn sub(&self, d: i64) {
+        self.0.fetch_sub(d, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one zero bucket plus one per possible
+/// leading-bit position of a `u64` sample.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A mergeable log-bucket histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+/// A plain-value copy of a [`Histogram`], for merging and assertions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see the module docs for the layout).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+}
+
+/// Bucket index of a sample: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper edge of bucket `i` (saturating at `u64::MAX`).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram behind an `Arc`.
+    pub fn new() -> Arc<Histogram> {
+        Arc::new(Histogram::default())
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// An upper bound on the `q`-quantile (`q` in `[0, 1]`): the
+    /// inclusive upper edge of the bucket holding the rank-`⌈q·n⌉`
+    /// sample. At most 2× the true quantile for non-zero values; exact
+    /// for 0. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let snap = self.snapshot();
+        snap.quantile(q)
+    }
+
+    /// Folds another histogram into this one (exact integer addition of
+    /// bucket counts — associative and commutative).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Plain-value copy of the current counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Exact integer merge of two snapshots.
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(other.buckets.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+            sum: self.sum + other.sum,
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Same quantile bound as [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Registered {
+    help: String,
+    metric: Metric,
+}
+
+/// A named collection of metrics with Prometheus-style exposition.
+///
+/// The process-global registry ([`Registry::global`]) holds everything
+/// process-scoped (compile caches, analyzer totals); instance-scoped
+/// subsystems (a server's scheduler and store) register their own
+/// handles into a per-instance registry so concurrent instances in one
+/// process — the test suites — never share counts.
+#[derive(Default)]
+pub struct Registry {
+    items: Mutex<BTreeMap<String, Registered>>,
+}
+
+impl Registry {
+    /// A fresh empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Returns the counter named `name`, minting it on first use.
+    /// Panics if the name is already registered as a different kind.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut items = self.items.lock().expect("metrics registry");
+        let entry = items.entry(name.to_string()).or_insert_with(|| Registered {
+            help: help.to_string(),
+            metric: Metric::Counter(Counter::new()),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// Returns the gauge named `name`, minting it on first use.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut items = self.items.lock().expect("metrics registry");
+        let entry = items.entry(name.to_string()).or_insert_with(|| Registered {
+            help: help.to_string(),
+            metric: Metric::Gauge(Gauge::new()),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// Returns the histogram named `name`, minting it on first use.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut items = self.items.lock().expect("metrics registry");
+        let entry = items.entry(name.to_string()).or_insert_with(|| Registered {
+            help: help.to_string(),
+            metric: Metric::Histogram(Histogram::new()),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// Attaches an existing counter handle under `name` (replacing any
+    /// previous registration of that name).
+    pub fn register_counter(&self, name: &str, help: &str, c: Arc<Counter>) {
+        self.items.lock().expect("metrics registry").insert(
+            name.to_string(),
+            Registered {
+                help: help.to_string(),
+                metric: Metric::Counter(c),
+            },
+        );
+    }
+
+    /// Attaches an existing gauge handle under `name`.
+    pub fn register_gauge(&self, name: &str, help: &str, g: Arc<Gauge>) {
+        self.items.lock().expect("metrics registry").insert(
+            name.to_string(),
+            Registered {
+                help: help.to_string(),
+                metric: Metric::Gauge(g),
+            },
+        );
+    }
+
+    /// Attaches an existing histogram handle under `name`.
+    pub fn register_histogram(&self, name: &str, help: &str, h: Arc<Histogram>) {
+        self.items.lock().expect("metrics registry").insert(
+            name.to_string(),
+            Registered {
+                help: help.to_string(),
+                metric: Metric::Histogram(h),
+            },
+        );
+    }
+
+    /// Prometheus-style text exposition of every registered metric, in
+    /// name order. Histograms render cumulative `_bucket{le="…"}` lines
+    /// (empty leading buckets elided), `_sum` and `_count`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let items = self.items.lock().expect("metrics registry");
+        let mut out = String::new();
+        for (name, reg) in items.iter() {
+            match &reg.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# HELP {name} {}", reg.help);
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# HELP {name} {}", reg.help);
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let _ = writeln!(out, "# HELP {name} {}", reg.help);
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cum = 0u64;
+                    for (i, &c) in snap.buckets.iter().enumerate() {
+                        cum += c;
+                        // Elide the empty prefix, keep every populated
+                        // edge and the final +Inf.
+                        if c == 0 && i + 1 < snap.buckets.len() {
+                            continue;
+                        }
+                        if i + 1 < snap.buckets.len() {
+                            let _ =
+                                writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", bucket_upper(i));
+                        } else {
+                            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                        }
+                    }
+                    let _ = writeln!(out, "{name}_sum {}", snap.sum);
+                    let _ = writeln!(out, "{name}_count {}", snap.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        c.add(0);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(3);
+        g.add(2);
+        g.sub(4);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in [0u64, 1, 2, 3, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1_001_106);
+        // Every quantile bound is >= the true quantile and < 2x it.
+        for (q, truth) in [(0.0, 0u64), (0.5, 3), (0.8, 1000), (1.0, 1_000_000)] {
+            let bound = h.quantile(q);
+            assert!(bound >= truth, "q={q}: {bound} < {truth}");
+            assert!(
+                bound <= truth.saturating_mul(2).max(1),
+                "q={q}: {bound} way over {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let all = Histogram::default();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 5, 1 << 40] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), all.snapshot());
+    }
+
+    #[test]
+    fn registry_renders_prometheus_text() {
+        let r = Registry::new();
+        r.counter("qcoral_test_events_total", "Events seen.").add(7);
+        r.gauge("qcoral_test_depth", "Live depth.").set(-2);
+        r.histogram("qcoral_test_wait_us", "Wait (µs).").record(100);
+        let text = r.render();
+        assert!(text.contains("# TYPE qcoral_test_events_total counter"));
+        assert!(text.contains("qcoral_test_events_total 7"));
+        assert!(text.contains("qcoral_test_depth -2"));
+        assert!(text.contains("# TYPE qcoral_test_wait_us histogram"));
+        assert!(text.contains("qcoral_test_wait_us_bucket{le=\"127\"} 1"));
+        assert!(text.contains("qcoral_test_wait_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("qcoral_test_wait_us_sum 100"));
+        assert!(text.contains("qcoral_test_wait_us_count 1"));
+    }
+
+    #[test]
+    fn registry_minting_is_idempotent_and_registration_attaches() {
+        let r = Registry::new();
+        let c1 = r.counter("qcoral_test_same", "x");
+        let c2 = r.counter("qcoral_test_same", "x");
+        c1.inc();
+        assert_eq!(c2.get(), 1, "same name, same handle");
+        let mine = Counter::new();
+        mine.add(41);
+        r.register_counter("qcoral_test_mine", "mine", Arc::clone(&mine));
+        mine.inc();
+        assert!(r.render().contains("qcoral_test_mine 42"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based invariants of the log-bucket histogram:
+//!
+//! 1. merge is **associative** and **commutative** (exact integer
+//!    bucket addition — the property that makes per-worker histograms
+//!    safe to fold in any order),
+//! 2. merging equals recording the concatenated sample stream, and
+//! 3. every quantile bound brackets the true quantile: `true ≤ bound`
+//!    and `bound < 2·max(true, 1)` (the log-bucket resolution
+//!    guarantee), with `count`/`sum` exact.
+
+use proptest::prelude::*;
+use qcoral_obs::{Histogram, HistogramSnapshot};
+
+fn hist_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// True q-quantile by the same rank convention the histogram uses
+/// (rank = max(1, ceil(q·n)), 1-based into the sorted samples).
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(0u64..1_000_000, 0..64),
+        b in prop::collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        prop_assert_eq!(ha.merged(&hb), hb.merged(&ha));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..1_000_000, 0..48),
+        b in prop::collection::vec(0u64..1_000_000, 0..48),
+        c in prop::collection::vec(0u64..1_000_000, 0..48),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        prop_assert_eq!(
+            ha.merged(&hb).merged(&hc),
+            ha.merged(&hb.merged(&hc))
+        );
+    }
+
+    #[test]
+    fn merge_has_identity_and_matches_concatenation(
+        a in prop::collection::vec(0u64..1_000_000, 0..64),
+        b in prop::collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        prop_assert_eq!(ha.merged(&HistogramSnapshot::empty()), ha.clone());
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(ha.merged(&hb), hist_of(&all));
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_the_truth(
+        mut samples in prop::collection::vec(0u64..1 << 40, 1..128),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&samples);
+        samples.sort_unstable();
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum, samples.iter().sum::<u64>());
+        let truth = true_quantile(&samples, q);
+        let bound = h.quantile(q);
+        prop_assert!(bound >= truth, "q={}: bound {} < true {}", q, bound, truth);
+        prop_assert!(
+            bound <= truth.saturating_mul(2).max(1),
+            "q={}: bound {} over 2x true {}",
+            q, bound, truth
+        );
+    }
+
+    /// The live `Histogram::merge_from` agrees with the snapshot-level
+    /// merge (the exposition path and the fold path cannot drift).
+    #[test]
+    fn live_merge_matches_snapshot_merge(
+        a in prop::collection::vec(0u64..1_000_000, 0..64),
+        b in prop::collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let live = Histogram::default();
+        for &v in &a {
+            live.record(v);
+        }
+        let other = Histogram::default();
+        for &v in &b {
+            other.record(v);
+        }
+        live.merge_from(&other);
+        prop_assert_eq!(live.snapshot(), hist_of(&a).merged(&hist_of(&b)));
+    }
+}

@@ -11,6 +11,12 @@
 //! at startup (snapshot + write-ahead-log replay; the recovery outcome
 //! is logged) and persisted after every micro-batch.
 //!
+//! Diagnostics go to stderr as single-line JSON records
+//! (`{"ts":…,"level":"info","event":…,…}`), level-filtered by the
+//! `QCORAL_LOG` environment variable (`error`/`warn`/`info`/`debug`;
+//! default `info`). A metrics digest — the same Prometheus-style text
+//! the `metrics` protocol op serves — is logged every 60 s.
+//!
 //! On SIGTERM/SIGINT the daemon shuts down gracefully: it stops
 //! accepting connections, drains the in-flight micro-batch, writes a
 //! final snapshot (which also truncates the WAL), and exits. A second
@@ -20,6 +26,7 @@
 use std::path::PathBuf;
 use std::process::exit;
 
+use qcoral_obs::log;
 use qcoral_service::{Server, ServiceConfig};
 
 fn usage() -> ! {
@@ -87,16 +94,21 @@ fn main() {
         Ok(server) => {
             if has_snapshot {
                 let r = server.recovery_report();
-                eprintln!(
-                    "qcoral-serviced: factor store recovery: {}",
-                    serde_json::to_string(r).expect("recovery report serializes")
+                log::info(
+                    "factor_store_recovery",
+                    &[(
+                        "report",
+                        serde_json::to_string(r).expect("recovery report serializes"),
+                    )],
                 );
             }
+            // Plain stdout on purpose: harnesses wait for this exact
+            // line to learn the resolved address.
             println!("listening on {}", server.addr());
             run(server);
         }
         Err(e) => {
-            eprintln!("qcoral-serviced: {e}");
+            log::error("startup_failed", &[("error", e.to_string())]);
             exit(1);
         }
     }
@@ -105,14 +117,25 @@ fn main() {
 #[cfg(unix)]
 fn run(server: Server) {
     signals::install();
+    let mut ticks: u64 = 0;
     while !signals::requested() {
         std::thread::sleep(std::time::Duration::from_millis(100));
+        ticks += 1;
+        // Periodic metrics digest: the full exposition as one log
+        // record, so operators without a scraper still get a time
+        // series out of plain stderr capture.
+        if ticks.is_multiple_of(600) {
+            log::info("metrics_snapshot", &[("exposition", server.metrics_text())]);
+        }
     }
-    eprintln!("qcoral-serviced: signal received; draining and persisting before exit");
+    log::info(
+        "signal_received",
+        &[("action", "draining and persisting before exit".to_string())],
+    );
     // Stops accepting, drains admitted requests, writes the final
     // snapshot (truncating the WAL), joins the pool.
     server.shutdown();
-    eprintln!("qcoral-serviced: shutdown complete");
+    log::info("shutdown_complete", &[]);
 }
 
 #[cfg(not(unix))]

@@ -3,18 +3,30 @@
 //! ```text
 //! qcoralctl --addr HOST:PORT status
 //! qcoralctl --addr HOST:PORT health
+//! qcoralctl --addr HOST:PORT metrics
 //! qcoralctl --addr HOST:PORT system  "var x in [0,1]; pc x < 0.5;" [options]
 //! qcoralctl --addr HOST:PORT program FILE.mj [options] [--max-depth N]
 //!
 //! options: [--samples N] [--seed N] [--plain|--strat] [--parallel]
 //!          [--target-stderr X] [--round-budget N] [--max-rounds N]
 //!          [--profile SPEC] [--profile-epsilon X]
-//!          [--retries N] [--timeout MS]
+//!          [--retries N] [--timeout MS] [--trace FILE]
 //! ```
 //!
 //! `health` prints the server's fault-tolerance report: what startup
 //! recovery found (snapshot/WAL entries, corruption counts) plus
 //! shed/panicked/rejected counters.
+//!
+//! `metrics` prints the server's metric families as Prometheus-style
+//! text exposition (counters, gauges, and histograms with
+//! `_bucket{le="…"}` series).
+//!
+//! `--trace FILE` (for `system`/`program`) requests a per-request
+//! execution trace and writes it to FILE as Chrome trace-event JSON —
+//! load it in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`
+//! to see queue wait, parsing, paving, tape compilation and per-round
+//! sampling spans on one timeline. Tracing never changes the estimates:
+//! span clocks are monotonic timers, not randomness.
 //!
 //! `--retries N` retries connects and transient transport failures up
 //! to N times with capped exponential backoff (safe: identical requests
@@ -55,11 +67,11 @@ use qcoral_service::{Client, ClientError, NamedDist, RetryPolicy};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: qcoralctl --addr HOST:PORT <status|health|system SRC|program FILE> \
+        "usage: qcoralctl --addr HOST:PORT <status|health|metrics|system SRC|program FILE> \
          [--samples N] [--seed N] [--plain|--strat] [--parallel] [--max-depth N] \
          [--target-stderr X] [--round-budget N] [--max-rounds N] \
          [--profile 'x ~ N(0,1); y ~ Exp(2)'] [--profile-epsilon X] \
-         [--retries N] [--timeout MS]"
+         [--retries N] [--timeout MS] [--trace FILE]"
     );
     exit(2)
 }
@@ -72,6 +84,7 @@ struct Cli {
     max_depth: Option<u64>,
     profile: Option<Vec<(String, Dist)>>,
     retries: u32,
+    trace_out: Option<String>,
 }
 
 fn parse_cli() -> Cli {
@@ -90,6 +103,7 @@ fn parse_cli() -> Cli {
     let mut profile_epsilon = None;
     let mut retries = 0u32;
     let mut timeout_ms = None;
+    let mut trace_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -110,6 +124,7 @@ fn parse_cli() -> Cli {
             "--profile-epsilon" => profile_epsilon = Some(parse_float(&value())),
             "--retries" => retries = parse(&value()) as u32,
             "--timeout" => timeout_ms = Some(parse(&value())),
+            "--trace" => trace_out = Some(value()),
             "--plain" => preset = Options::plain,
             "--strat" => preset = Options::strat,
             "--parallel" => parallel = true,
@@ -149,6 +164,7 @@ fn parse_cli() -> Cli {
         options.deadline_ms = Some(ms);
     }
     options.parallel = parallel;
+    options.trace = trace_out.is_some();
     Cli {
         addr,
         cmd,
@@ -157,6 +173,20 @@ fn parse_cli() -> Cli {
         max_depth,
         profile,
         retries,
+        trace_out,
+    }
+}
+
+/// Writes the response's trace as Chrome trace-event JSON. Exits 1 when
+/// the user asked for a trace but the server answered without one.
+fn write_trace(path: &str, response: &qcoral_service::AnalysisResponse) {
+    let Some(trace) = &response.report.trace else {
+        eprintln!("server returned no trace (check its protocol version)");
+        exit(1)
+    };
+    if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+        eprintln!("writing {path}: {e}");
+        exit(1)
     }
 }
 
@@ -224,12 +254,16 @@ fn main() {
         "health" => client
             .health()
             .map(|h| serde_json::to_string_pretty(&h).expect("health serializes")),
+        "metrics" => client.metrics().map(|m| m.text.trim_end().to_string()),
         "system" => {
             let src = read_input(cli.input.as_deref().unwrap_or_else(|| usage()), false);
             let profile = cli.profile.as_deref().map(|n| system_profile(&src, n));
-            client
-                .analyze_system(&src, cli.options, profile)
-                .map(|r| serde_json::to_string_pretty(&r).expect("report serializes"))
+            client.analyze_system(&src, cli.options, profile).map(|r| {
+                if let Some(path) = &cli.trace_out {
+                    write_trace(path, &r);
+                }
+                serde_json::to_string_pretty(&r).expect("report serializes")
+            })
         }
         "program" => {
             let src = read_input(cli.input.as_deref().unwrap_or_else(|| usage()), true);
@@ -241,7 +275,12 @@ fn main() {
             });
             client
                 .analyze_program(&src, cli.options, cli.max_depth, profile)
-                .map(|r| serde_json::to_string_pretty(&r).expect("report serializes"))
+                .map(|r| {
+                    if let Some(path) = &cli.trace_out {
+                        write_trace(path, &r);
+                    }
+                    serde_json::to_string_pretty(&r).expect("report serializes")
+                })
         }
         other => {
             eprintln!("unknown command `{other}`");

@@ -22,7 +22,8 @@ use qcoral::Options;
 use qcoral_mc::UsageProfile;
 
 use crate::protocol::{
-    AnalysisResponse, HealthReport, NamedDist, Op, Outcome, Request, Response, ServerStatus,
+    AnalysisResponse, HealthReport, MetricsReport, NamedDist, Op, Outcome, Request, Response,
+    ServerStatus,
 };
 use crate::wire::{decode_response, encode_request, WireError};
 
@@ -276,6 +277,16 @@ impl Client {
     pub fn health(&mut self) -> Result<HealthReport, ClientError> {
         match self.call(Op::Health)?.outcome {
             Outcome::Health(h) => Ok(h),
+            Outcome::Error { message } => Err(ClientError::Remote(message)),
+            _ => Err(ClientError::UnexpectedOutcome),
+        }
+    }
+
+    /// Scrapes the server's metric families (Prometheus-style text
+    /// exposition).
+    pub fn metrics(&mut self) -> Result<MetricsReport, ClientError> {
+        match self.call(Op::Metrics)?.outcome {
+            Outcome::Metrics(m) => Ok(m),
             Outcome::Error { message } => Err(ClientError::Remote(message)),
             _ => Err(ClientError::UnexpectedOutcome),
         }

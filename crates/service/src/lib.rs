@@ -53,8 +53,8 @@ pub mod wire;
 
 pub use client::{Client, ClientError, RetryPolicy};
 pub use protocol::{
-    AnalysisResponse, FailpointStatus, HealthReport, NamedDist, Op, Outcome, Request, Response,
-    ServerStatus, PROTOCOL_VERSION,
+    AnalysisResponse, FailpointStatus, HealthReport, MetricsReport, NamedDist, Op, Outcome,
+    Request, Response, ServerStatus, PROTOCOL_VERSION,
 };
 pub use scheduler::SchedulerMetrics;
 pub use server::{Server, ServiceConfig};

@@ -43,7 +43,17 @@ use qcoral_mc::{Dist, UsageProfile};
 /// answers with a [`HealthReport`] (store recovery, WAL and scheduler
 /// fault counters). [`ServerStatus`] gained `requests_shed` and
 /// `jobs_panicked`.
-pub const PROTOCOL_VERSION: u32 = 4;
+///
+/// v5: observability. `Options` gained the required `trace` flag (the
+/// breaking change: v4 request frames are rejected with a missing-field
+/// error), `Report` gained the *optional* `trace` span list (absent on
+/// untraced reports, so v4 responses without it still decode as far as
+/// v4 clients are concerned), the new [`Op::Metrics`] op answers with a
+/// [`MetricsReport`] (Prometheus-style text exposition of the server's
+/// counters, gauges and histograms), and [`ServerStatus`] gained the
+/// live `queue_depth` and `inflight` gauges next to the lifetime
+/// totals.
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// One named marginal of a program request's usage profile: programs
 /// declare their inputs by name, so profiles address them by name too
@@ -98,6 +108,10 @@ pub enum Op {
     /// and scheduler fault counters ([`HealthReport`]). Like
     /// [`Op::Status`], answered inline so it works under full load.
     Health,
+    /// Metrics scrape: the server's counters, gauges and histograms as
+    /// Prometheus-style text exposition ([`MetricsReport`]). Like
+    /// [`Op::Status`], answered inline so scrapes work under full load.
+    Metrics,
 }
 
 /// One response line.
@@ -125,6 +139,8 @@ pub enum Outcome {
     Status(ServerStatus),
     /// Answer to [`Op::Health`].
     Health(HealthReport),
+    /// Answer to [`Op::Metrics`].
+    Metrics(MetricsReport),
 }
 
 /// A quantification answer: the full analyzer [`Report`] (estimate,
@@ -176,6 +192,25 @@ pub struct ServerStatus {
     pub jobs_panicked: u64,
     /// Micro-batches dispatched to the worker pool.
     pub batches_dispatched: u64,
+    /// Jobs currently waiting in the admission queue (live, not a
+    /// lifetime total).
+    pub queue_depth: u64,
+    /// Jobs of the current micro-batch not yet finished (live).
+    pub inflight: u64,
+}
+
+/// Answer to [`Op::Metrics`]: the server's metric families rendered as
+/// Prometheus-style text exposition (`# HELP`/`# TYPE` plus value
+/// lines; histograms as cumulative `_bucket{le="…"}` series). Carried
+/// as text so scrapers and humans read the same bytes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Schema version of this protocol.
+    pub protocol_version: u32,
+    /// The rendered exposition: the server's per-instance registry
+    /// (scheduler, factor store, request timings) followed by the
+    /// process-wide registry (analyzer, compile caches).
+    pub text: String,
 }
 
 /// Answer to [`Op::Health`]: what startup recovery found on disk plus

@@ -29,12 +29,13 @@
 //! the wire protocol.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use qcoral_failpoints::failpoint;
+use qcoral_obs::{log, Counter, Gauge, Histogram, Registry};
 
 /// An admitted unit of work.
 pub type Job = Box<dyn FnOnce() + Send>;
@@ -61,6 +62,9 @@ pub struct SchedulerMetrics {
 
 struct QueuedJob {
     job: Job,
+    /// When the job entered the admission queue (feeds the queue-wait
+    /// histogram at pickup; monotonic clock, never the RNG).
+    enqueued_at: Instant,
     /// Shed the job (never run it) if this instant passes while queued.
     deadline: Option<Instant>,
     /// Runs on the dispatcher thread when the job is shed, so the caller
@@ -81,11 +85,23 @@ struct Shared {
     queue_cap: usize,
     max_batch: usize,
     stop: AtomicBool,
-    served: AtomicU64,
-    rejected: AtomicU64,
-    shed: AtomicU64,
-    panicked: AtomicU64,
-    batches: AtomicU64,
+    // Per-instance `qcoral-obs` counters: the scheduler owns its exact
+    // numbers (tests assert them per instance) and the server *attaches*
+    // these handles to its registry via `register_metrics` — one
+    // counting substrate, no parallel bookkeeping.
+    served: Arc<Counter>,
+    rejected: Arc<Counter>,
+    shed: Arc<Counter>,
+    panicked: Arc<Counter>,
+    batches: Arc<Counter>,
+    /// Jobs currently waiting in the admission queue (live gauge).
+    queue_depth: Arc<Gauge>,
+    /// Jobs of the current batch not yet finished (live gauge).
+    inflight_gauge: Arc<Gauge>,
+    /// Time jobs spent queued before dispatch (or shedding), µs.
+    queue_wait_us: Arc<Histogram>,
+    /// Batch sizes at dispatch.
+    batch_occupancy: Arc<Histogram>,
 }
 
 /// The scheduler handle. Dropping it without [`Scheduler::shutdown`]
@@ -122,11 +138,15 @@ impl Scheduler {
             queue_cap: queue_cap.max(1),
             max_batch: max_batch.max(1),
             stop: AtomicBool::new(false),
-            served: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            panicked: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
+            served: Counter::new(),
+            rejected: Counter::new(),
+            shed: Counter::new(),
+            panicked: Counter::new(),
+            batches: Counter::new(),
+            queue_depth: Gauge::new(),
+            inflight_gauge: Gauge::new(),
+            queue_wait_us: Histogram::new(),
+            batch_occupancy: Histogram::new(),
         });
 
         let worker_handles: Vec<JoinHandle<()>> = (0..workers.max(1))
@@ -174,14 +194,16 @@ impl Scheduler {
         let mut q = self.shared.admitted.lock().expect("scheduler lock");
         if self.shared.stop.load(Ordering::Acquire) || q.len() >= self.shared.queue_cap {
             drop(q);
-            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.rejected.inc();
             return Err(Overloaded);
         }
         q.push_back(QueuedJob {
             job,
+            enqueued_at: Instant::now(),
             deadline,
             on_shed,
         });
+        self.shared.queue_depth.set(q.len() as i64);
         drop(q);
         self.shared.admitted_cv.notify_one();
         Ok(())
@@ -190,12 +212,75 @@ impl Scheduler {
     /// Cumulative counters since start.
     pub fn metrics(&self) -> SchedulerMetrics {
         SchedulerMetrics {
-            served: self.shared.served.load(Ordering::Relaxed),
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
-            shed: self.shared.shed.load(Ordering::Relaxed),
-            panicked: self.shared.panicked.load(Ordering::Relaxed),
-            batches: self.shared.batches.load(Ordering::Relaxed),
+            served: self.shared.served.get(),
+            rejected: self.shared.rejected.get(),
+            shed: self.shared.shed.get(),
+            panicked: self.shared.panicked.get(),
+            batches: self.shared.batches.get(),
         }
+    }
+
+    /// Jobs currently waiting in the admission queue (live).
+    pub fn queue_depth(&self) -> u64 {
+        self.shared.queue_depth.get().max(0) as u64
+    }
+
+    /// Jobs of the in-flight batch not yet finished (live).
+    pub fn inflight(&self) -> u64 {
+        self.shared.inflight_gauge.get().max(0) as u64
+    }
+
+    /// Attaches this scheduler's counters, gauges and histograms to a
+    /// metrics [`Registry`] under `qcoral_scheduler_*` names. The
+    /// scheduler keeps owning the handles — per-instance exactness is
+    /// untouched; the registry just renders them.
+    pub fn register_metrics(&self, registry: &Registry) {
+        let s = &self.shared;
+        registry.register_counter(
+            "qcoral_scheduler_served_total",
+            "Jobs a worker picked up and ran (including panicked ones).",
+            Arc::clone(&s.served),
+        );
+        registry.register_counter(
+            "qcoral_scheduler_rejected_total",
+            "Submissions rejected at admission (queue full or stopping).",
+            Arc::clone(&s.rejected),
+        );
+        registry.register_counter(
+            "qcoral_scheduler_shed_total",
+            "Queued jobs shed because their deadline passed before dispatch.",
+            Arc::clone(&s.shed),
+        );
+        registry.register_counter(
+            "qcoral_scheduler_panicked_total",
+            "Jobs that panicked on a worker (contained; the pool survived).",
+            Arc::clone(&s.panicked),
+        );
+        registry.register_counter(
+            "qcoral_scheduler_batches_total",
+            "Micro-batches dispatched to the worker pool.",
+            Arc::clone(&s.batches),
+        );
+        registry.register_gauge(
+            "qcoral_scheduler_queue_depth",
+            "Jobs currently waiting in the admission queue.",
+            Arc::clone(&s.queue_depth),
+        );
+        registry.register_gauge(
+            "qcoral_scheduler_inflight",
+            "Jobs of the current micro-batch not yet finished.",
+            Arc::clone(&s.inflight_gauge),
+        );
+        registry.register_histogram(
+            "qcoral_scheduler_queue_wait_us",
+            "Time jobs spent in the admission queue before dispatch, microseconds.",
+            Arc::clone(&s.queue_wait_us),
+        );
+        registry.register_histogram(
+            "qcoral_scheduler_batch_occupancy",
+            "Micro-batch sizes at dispatch.",
+            Arc::clone(&s.batch_occupancy),
+        );
     }
 
     /// Drains already-admitted jobs, then stops and joins all threads.
@@ -242,10 +327,14 @@ fn worker_loop(shared: &Shared) {
             job();
         }));
         if outcome.is_err() {
-            shared.panicked.fetch_add(1, Ordering::Relaxed);
-            eprintln!("qcoral-service: a job panicked; worker continues");
+            shared.panicked.inc();
+            log::warn(
+                "job_panicked",
+                &[("detail", "contained; worker continues".to_string())],
+            );
         }
-        shared.served.fetch_add(1, Ordering::Relaxed);
+        shared.served.inc();
+        shared.inflight_gauge.sub(1);
         let mut inflight = shared.inflight.lock().expect("scheduler lock");
         *inflight -= 1;
         if *inflight == 0 {
@@ -265,9 +354,13 @@ fn dispatcher_loop(shared: &Shared, after_batch: impl Fn(usize)) {
                 let mut live: Vec<Job> = Vec::new();
                 while live.len() < shared.max_batch {
                     let Some(queued) = q.pop_front() else { break };
-                    let expired = queued.deadline.is_some_and(|d| Instant::now() >= d);
+                    let now = Instant::now();
+                    shared
+                        .queue_wait_us
+                        .record(now.duration_since(queued.enqueued_at).as_micros() as u64);
+                    let expired = queued.deadline.is_some_and(|d| now >= d);
                     if expired {
-                        shared.shed.fetch_add(1, Ordering::Relaxed);
+                        shared.shed.inc();
                         if let Some(on_shed) = queued.on_shed {
                             // Contained like a worker job: a panicking
                             // shed callback must not kill dispatch.
@@ -277,6 +370,7 @@ fn dispatcher_loop(shared: &Shared, after_batch: impl Fn(usize)) {
                         live.push(queued.job);
                     }
                 }
+                shared.queue_depth.set(q.len() as i64);
                 if !live.is_empty() {
                     break 'collect live;
                 }
@@ -292,6 +386,8 @@ fn dispatcher_loop(shared: &Shared, after_batch: impl Fn(usize)) {
         };
 
         let n = batch.len();
+        shared.batch_occupancy.record(n as u64);
+        shared.inflight_gauge.set(n as i64);
         *shared.inflight.lock().expect("scheduler lock") = n;
         {
             let mut ready = shared.ready.lock().expect("scheduler lock");
@@ -306,7 +402,7 @@ fn dispatcher_loop(shared: &Shared, after_batch: impl Fn(usize)) {
         }
         drop(inflight);
 
-        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.batches.inc();
         after_batch(n);
     }
 }

@@ -20,17 +20,18 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use qcoral::{Analyzer, Deadline, Estimate, FactorStore, Report, Stats, DEFAULT_STORE_CAP};
+use qcoral::{Analyzer, Deadline, Estimate, FactorStore, Report, Stats, Trace, DEFAULT_STORE_CAP};
 use qcoral_constraints::parse::parse_system;
 use qcoral_failpoints::failpoint;
 use qcoral_icp::{domain_box, PavingCache};
 use qcoral_mc::UsageProfile;
+use qcoral_obs::{log, Histogram, Registry};
 use qcoral_repro::pipeline::{analyze_program_with_profile, PipelineError};
 use qcoral_symexec::SymConfig;
 
 use crate::protocol::{
-    AnalysisResponse, FailpointStatus, HealthReport, Op, Outcome, Response, ServerStatus,
-    PROTOCOL_VERSION,
+    AnalysisResponse, FailpointStatus, HealthReport, MetricsReport, Op, Outcome, Response,
+    ServerStatus, PROTOCOL_VERSION,
 };
 use crate::scheduler::Scheduler;
 use crate::store::PersistentStore;
@@ -111,6 +112,13 @@ struct ServerShared {
     scheduler: Scheduler,
     cfg: ServiceConfig,
     connections: std::sync::atomic::AtomicUsize,
+    /// Per-instance metric registry: the scheduler's and factor store's
+    /// own counters are registered here (never global, so per-instance
+    /// tests and multi-server processes stay exact), plus request
+    /// timings. `Op::Metrics` renders this followed by the process-wide
+    /// [`Registry::global`] (analyzer totals, compile caches).
+    registry: Registry,
+    request_duration_us: Arc<Histogram>,
 }
 
 /// Decrements the live-connection count when a reader thread exits,
@@ -149,9 +157,21 @@ impl Server {
         let persist = Arc::clone(&store);
         let scheduler = Scheduler::start(cfg.workers, cfg.queue_cap, cfg.max_batch, move |_n| {
             if let Err(e) = persist.save_if_dirty_debounced(Duration::from_millis(500)) {
-                eprintln!("qcoral-service: snapshot save failed: {e}");
+                log::warn("snapshot_save_failed", &[("error", e.to_string())]);
             }
         });
+
+        // Per-instance registry: the scheduler and factor store own their
+        // counters; the server registers those handles here so `Op::Metrics`
+        // can render them without minting process-global state.
+        let registry = Registry::new();
+        let request_duration_us = registry.histogram(
+            "qcoral_request_duration_us",
+            "End-to-end request execution time on a worker (microseconds).",
+        );
+        scheduler.register_metrics(&registry);
+        store.factor_store().register_metrics(&registry);
+        store.register_metrics(&registry);
 
         let shared = Arc::new(ServerShared {
             store,
@@ -159,6 +179,8 @@ impl Server {
             scheduler,
             cfg,
             connections: std::sync::atomic::AtomicUsize::new(0),
+            registry,
+            request_duration_us,
         });
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -177,7 +199,7 @@ impl Server {
                         std::thread::sleep(Duration::from_millis(250));
                         if let Err(e) = shared.store.save_if_dirty_debounced(Duration::from_secs(2))
                         {
-                            eprintln!("qcoral-service: periodic snapshot save failed: {e}");
+                            log::warn("periodic_snapshot_save_failed", &[("error", e.to_string())]);
                         }
                     }
                 })
@@ -235,7 +257,7 @@ impl Server {
                             }
                             Err(e) => {
                                 if !stop.load(Ordering::Acquire) {
-                                    eprintln!("qcoral-service: accept failed: {e}");
+                                    log::warn("accept_failed", &[("error", e.to_string())]);
                                 }
                             }
                         }
@@ -269,6 +291,15 @@ impl Server {
         self.shared.store.recovery_report()
     }
 
+    /// The server's metric families as Prometheus-style text exposition:
+    /// the per-instance registry (scheduler, factor store, request
+    /// timings) followed by the process-wide registry (analyzer totals,
+    /// compile caches). Same bytes [`Op::Metrics`] answers with; the
+    /// daemon logs a digest of this periodically.
+    pub fn metrics_text(&self) -> String {
+        metrics_text(&self.shared)
+    }
+
     /// Blocks this thread for the lifetime of the process (the server
     /// binary's main thread has nothing else to do).
     pub fn wait(mut self) {
@@ -293,7 +324,7 @@ impl Server {
             let _ = t.join();
         }
         if let Err(e) = self.shared.store.save_if_dirty() {
-            eprintln!("qcoral-service: final snapshot save failed: {e}");
+            log::error("final_snapshot_save_failed", &[("error", e.to_string())]);
         }
     }
 }
@@ -308,7 +339,7 @@ fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
     let writer = match stream.try_clone() {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(e) => {
-            eprintln!("qcoral-service: connection setup failed: {e}");
+            log::warn("connection_setup_failed", &[("error", e.to_string())]);
             return;
         }
     };
@@ -379,6 +410,16 @@ fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
             );
             continue;
         }
+        if request.op == Op::Metrics {
+            write_response(
+                &writer,
+                &Response {
+                    id: request.id,
+                    outcome: Outcome::Metrics(metrics_report(shared)),
+                },
+            );
+            continue;
+        }
         // The deadline is anchored at arrival, not at job start: queue
         // wait counts against the budget, and a job whose deadline
         // expires while still queued is shed by the dispatcher —
@@ -389,6 +430,17 @@ fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
             _ => None,
         };
         let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        // Tracing opt-in: the trace is created here at decode time so the
+        // queue wait (arrival → job start) lands on it as a span — queue
+        // time is part of what the client experiences, and Status's
+        // lifetime histograms can't attribute it to one request.
+        let trace = match &request.op {
+            Op::System { options, .. } | Op::Program { options, .. } if options.trace => {
+                Some(Trace::new())
+            }
+            _ => None,
+        };
+        let trace_t0 = qcoral_obs::trace::span_start(&trace);
         let job_shared = Arc::clone(shared);
         let job_writer = Arc::clone(&writer);
         let id = request.id;
@@ -406,7 +458,14 @@ fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
         });
         let submitted = shared.scheduler.submit_with(
             Box::new(move || {
-                let outcome = execute(&job_shared, request.op, deadline);
+                if let Some(t) = &trace {
+                    t.record("queue_wait", "service", trace_t0, Vec::new());
+                }
+                let started = Instant::now();
+                let outcome = execute(&job_shared, request.op, deadline, trace);
+                job_shared
+                    .request_duration_us
+                    .record(started.elapsed().as_micros() as u64);
                 write_response(&job_writer, &Response { id, outcome });
             }),
             deadline,
@@ -470,6 +529,25 @@ fn status(shared: &ServerShared) -> ServerStatus {
         requests_shed: m.shed,
         jobs_panicked: m.panicked,
         batches_dispatched: m.batches,
+        queue_depth: shared.scheduler.queue_depth(),
+        inflight: shared.scheduler.inflight(),
+    }
+}
+
+/// Renders both registries: per-instance first (scheduler, factor
+/// store, request timings), then process-wide (analyzer totals, compile
+/// caches). Family names are disjoint by construction, so plain
+/// concatenation is a valid exposition.
+fn metrics_text(shared: &ServerShared) -> String {
+    let mut text = shared.registry.render();
+    text.push_str(&Registry::global().render());
+    text
+}
+
+fn metrics_report(shared: &ServerShared) -> MetricsReport {
+    MetricsReport {
+        protocol_version: PROTOCOL_VERSION,
+        text: metrics_text(shared),
     }
 }
 
@@ -513,6 +591,7 @@ fn deadline_exceeded_report() -> Outcome {
                 ..Stats::default()
             },
             wall: Duration::ZERO,
+            trace: None,
         },
         bound_mass: None,
         confidence: None,
@@ -523,8 +602,13 @@ fn deadline_exceeded_report() -> Outcome {
 
 /// Executes one analysis request. Panics (e.g. analyzer input asserts
 /// not caught by validation) become error outcomes; the worker survives.
-fn execute(shared: &ServerShared, op: Op, deadline: Option<Instant>) -> Outcome {
-    let run = AssertUnwindSafe(|| execute_inner(shared, op, deadline));
+fn execute(
+    shared: &ServerShared,
+    op: Op,
+    deadline: Option<Instant>,
+    trace: Option<Arc<Trace>>,
+) -> Outcome {
+    let run = AssertUnwindSafe(|| execute_inner(shared, op, deadline, trace));
     match catch_unwind(run) {
         Ok(outcome) => outcome,
         Err(panic) => {
@@ -598,10 +682,16 @@ fn validate(
     None
 }
 
-fn execute_inner(shared: &ServerShared, op: Op, deadline: Option<Instant>) -> Outcome {
+fn execute_inner(
+    shared: &ServerShared,
+    op: Op,
+    deadline: Option<Instant>,
+    trace: Option<Arc<Trace>>,
+) -> Outcome {
     match op {
         Op::Status => Outcome::Status(status(shared)),
         Op::Health => Outcome::Health(health(shared)),
+        Op::Metrics => Outcome::Metrics(metrics_report(shared)),
         Op::System {
             source,
             options,
@@ -648,7 +738,7 @@ fn execute_inner(shared: &ServerShared, op: Op, deadline: Option<Instant>) -> Ou
             // A request carrying a target standard error runs the
             // iterative, variance-driven engine; its refined factor
             // estimates land in (and warm-load from) the same store.
-            let a = analyzer(shared, options, deadline);
+            let a = analyzer(shared, options, deadline, trace);
             let report = if a.options().target_stderr.is_some() {
                 a.analyze_iterative(&sys.constraint_set, &sys.domain, &profile)
             } else {
@@ -690,7 +780,7 @@ fn execute_inner(shared: &ServerShared, op: Op, deadline: Option<Instant>) -> Ou
                 .map(|nd| (nd.var, nd.dist))
                 .collect();
             match analyze_program_with_profile(
-                &analyzer(shared, options, deadline),
+                &analyzer(shared, options, deadline, trace),
                 &source,
                 &sym_cfg,
                 &named,
@@ -738,9 +828,17 @@ fn analyzer(
     shared: &ServerShared,
     options: qcoral::Options,
     deadline: Option<Instant>,
+    trace: Option<Arc<Trace>>,
 ) -> Analyzer {
-    Analyzer::new(options)
+    let a = Analyzer::new(options)
         .with_paving_cache(Arc::clone(&shared.paving_cache))
         .with_factor_store(Arc::clone(shared.store.factor_store()))
-        .with_deadline(deadline.map(Deadline::at))
+        .with_deadline(deadline.map(Deadline::at));
+    match trace {
+        // The decode-time trace (it already carries the queue_wait span)
+        // becomes the analyzer's run trace, so analysis spans land on
+        // the same timeline.
+        Some(t) => a.with_trace(t),
+        None => a,
+    }
 }

@@ -57,6 +57,7 @@ use serde::{Deserialize, Serialize};
 
 use qcoral::{FactorStore, FactorStoreEntry};
 use qcoral_failpoints::failpoint;
+use qcoral_obs::{log, Histogram, Registry};
 
 /// Version of the snapshot document. Bumped on any change to the entry
 /// or checksum schema; older snapshots are discarded (cold start) rather
@@ -181,6 +182,10 @@ pub struct PersistentStore {
     /// Shared with the store's insert hook; see [`WalState`].
     wal: Arc<Mutex<WalState>>,
     recovery: RecoveryReport,
+    /// Wall time of each snapshot write (tmp write + rename + WAL
+    /// truncation), microseconds. Per-instance; the server registers it
+    /// via [`PersistentStore::register_metrics`].
+    save_duration_us: Arc<Histogram>,
 }
 
 struct SaveState {
@@ -263,7 +268,18 @@ impl PersistentStore {
             path,
             wal,
             recovery,
+            save_duration_us: Histogram::new(),
         }
+    }
+
+    /// Registers this store's persistence metrics
+    /// (`qcoral_store_save_duration_us`) into `registry`.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_histogram(
+            "qcoral_store_save_duration_us",
+            "Factor-store snapshot write time (tmp write + rename + WAL truncation), microseconds.",
+            Arc::clone(&self.save_duration_us),
+        );
     }
 
     /// The in-memory store (attach to analyzers via
@@ -356,6 +372,7 @@ impl PersistentStore {
         let Some(path) = &self.path else {
             return Ok(());
         };
+        let t0 = Instant::now();
         let wal = self.wal.lock().expect("wal state");
         let entries: Vec<SnapshotEntry> = self
             .store
@@ -393,6 +410,8 @@ impl PersistentStore {
                 .truncate(true)
                 .open(wal_p);
         }
+        self.save_duration_us
+            .record(t0.elapsed().as_micros() as u64);
         Ok(())
     }
 }
@@ -418,14 +437,22 @@ fn recover(store: &FactorStore, path: &Path) -> RecoveryReport {
                 report.snapshot_entries = store.absorb(valid) as u64;
                 report.snapshot_corrupt_entries = total - report.snapshot_entries;
             }
-            Ok(snap) => eprintln!(
-                "qcoral-service: snapshot {} has version {} (want {SNAPSHOT_VERSION}); starting cold",
-                path.display(),
-                snap.version
+            Ok(snap) => log::warn(
+                "snapshot_version_mismatch",
+                &[
+                    ("path", path.display().to_string()),
+                    ("found", snap.version.to_string()),
+                    ("want", SNAPSHOT_VERSION.to_string()),
+                    ("action", "starting cold".to_string()),
+                ],
             ),
-            Err(e) => eprintln!(
-                "qcoral-service: snapshot {} is unreadable ({e}); starting cold",
-                path.display()
+            Err(e) => log::warn(
+                "snapshot_unreadable",
+                &[
+                    ("path", path.display().to_string()),
+                    ("error", e.to_string()),
+                    ("action", "starting cold".to_string()),
+                ],
             ),
         }
     }

@@ -28,6 +28,20 @@ fn start(cfg: ServiceConfig) -> (Server, Client) {
 }
 
 /// A unique temp path for snapshot tests.
+/// The worker bumps the scheduler's completion bookkeeping (`served`,
+/// `inflight`) *after* writing the response, so a scrape issued the
+/// moment a reply lands can legitimately read the pre-completion
+/// values. Poll briefly for the settled state.
+fn eventually(mut cond: impl FnMut() -> bool) {
+    for _ in 0..500 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    panic!("condition not reached within the polling budget");
+}
+
 fn temp_snapshot(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!(
         "qcoral-service-test-{}-{tag}.json",
@@ -708,5 +722,168 @@ fn resource_ceilings_reject_hostile_options() {
         .analyze_system(source, Options::default().with_samples(500), None)
         .expect("sane request");
     assert!((r.report.estimate.mean - 0.5).abs() < 0.1);
+    server.shutdown();
+}
+
+/// The `metrics` op: a scrape after real traffic must expose the
+/// scheduler's, factor store's, and analyzer's metric families in
+/// Prometheus-style text exposition — with live values that reflect the
+/// requests actually served.
+#[test]
+fn metrics_op_exposes_required_families() {
+    let (server, mut client) = start(ServiceConfig::default());
+    let source = "var x in [0, 1]; pc x < 0.5;";
+    client
+        .analyze_system(source, Options::default().with_samples(500), None)
+        .expect("request serves");
+    let m = client.metrics().expect("metrics scrape");
+    assert_eq!(m.protocol_version, qcoral_service::PROTOCOL_VERSION);
+    // Per-instance families (server registry)…
+    for family in [
+        "qcoral_scheduler_served_total",
+        "qcoral_scheduler_rejected_total",
+        "qcoral_scheduler_shed_total",
+        "qcoral_scheduler_queue_depth",
+        "qcoral_scheduler_inflight",
+        "qcoral_scheduler_queue_wait_us",
+        "qcoral_scheduler_batch_occupancy",
+        "qcoral_factor_store_hits_total",
+        "qcoral_factor_store_misses_total",
+        "qcoral_request_duration_us",
+        "qcoral_store_save_duration_us",
+        // …and process-wide families (global registry).
+        "qcoral_analyses_total",
+        "qcoral_samples_drawn_total",
+        "qcoral_pavings_total",
+        "qcoral_tape_cache_hits_total",
+        "qcoral_analysis_duration_us",
+    ] {
+        assert!(
+            m.text.contains(&format!("# TYPE {family} ")),
+            "family {family} missing from exposition:\n{}",
+            m.text
+        );
+    }
+    // Histograms render cumulative buckets; counters carry real traffic.
+    assert!(m.text.contains("qcoral_request_duration_us_bucket{le=\""));
+    assert!(m.text.contains("qcoral_request_duration_us_count 1"));
+    // `served` increments after the response write — poll for it.
+    eventually(|| {
+        let m = client.metrics().expect("metrics scrape");
+        m.text
+            .lines()
+            .find_map(|l| l.strip_prefix("qcoral_scheduler_served_total "))
+            .expect("served counter has a value line")
+            .trim()
+            .parse::<u64>()
+            .expect("integer value")
+            >= 1
+    });
+    // The same bytes flow through Server::metrics_text (the daemon's
+    // periodic log) — same per-instance families, fresher values.
+    assert!(server
+        .metrics_text()
+        .contains("qcoral_scheduler_served_total"));
+    server.shutdown();
+}
+
+/// `status` must surface the *live* queue-depth and batch-occupancy
+/// gauges next to the lifetime totals: an idle server reads zero on
+/// both, while served totals persist.
+#[test]
+fn status_surfaces_live_queue_gauges() {
+    let (server, mut client) = start(ServiceConfig::default());
+    client
+        .analyze_system(
+            "var x in [0, 1]; pc x < 0.5;",
+            Options::default().with_samples(500),
+            None,
+        )
+        .expect("request serves");
+    let status = client.status().expect("status");
+    assert_eq!(status.protocol_version, qcoral_service::PROTOCOL_VERSION);
+    // The reply arrives before the worker's completion bookkeeping
+    // (served++, inflight--): poll until the server reads idle, with
+    // the lifetime total persisting and both live gauges drained.
+    eventually(|| {
+        let s = client.status().expect("status");
+        s.requests_served >= 1 && s.queue_depth == 0 && s.inflight == 0
+    });
+    server.shutdown();
+}
+
+/// Per-request tracing over the wire: `Options::trace` returns a span
+/// list covering the service layer (queue wait) and the analysis
+/// (paving, compilation, sampling); the estimate stays bit-identical to
+/// the untraced request, and untraced requests carry no trace.
+#[test]
+fn traced_requests_return_spans_and_identical_estimates() {
+    let (server, mut client) = start(ServiceConfig::default());
+    let source = "var a in [0, 2]; var b in [-1, 1];
+                  pc a * a < 2 && sin(b) > 0.1;";
+    let opts = Options::strat_partcache().with_samples(1_000).with_seed(9);
+    let untraced = client
+        .analyze_system(source, opts.clone(), None)
+        .expect("untraced");
+    assert!(
+        untraced.report.trace.is_none(),
+        "untraced request got spans"
+    );
+
+    let traced = client
+        .analyze_system(source, opts.with_trace(true), None)
+        .expect("traced");
+    assert_eq!(
+        traced.report.estimate, untraced.report.estimate,
+        "tracing changed the served estimate"
+    );
+    assert_eq!(traced.report.per_pc, untraced.report.per_pc);
+    let trace = traced.report.trace.as_ref().expect("trace in response");
+    assert!(!trace.spans.is_empty());
+    let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+    for expected in ["queue_wait", "analyze", "pc", "factor"] {
+        assert!(
+            names.contains(&expected),
+            "span {expected} missing: {names:?}"
+        );
+    }
+
+    // The Chrome export is well-formed trace-event JSON with one
+    // complete ("ph":"X") event per span.
+    let json = trace.to_chrome_json();
+    let doc = serde_json::Value::parse(&json).expect("chrome trace parses");
+    let events = match doc.get("traceEvents") {
+        Some(serde_json::Value::Array(events)) => events,
+        other => panic!("traceEvents array missing: {other:?}"),
+    };
+    assert_eq!(events.len(), trace.spans.len());
+    for ev in events {
+        assert_eq!(
+            ev.get("ph"),
+            Some(&serde_json::Value::String("X".to_string()))
+        );
+        assert!(ev.get("name").is_some() && ev.get("ts").is_some() && ev.get("dur").is_some());
+    }
+    server.shutdown();
+}
+
+/// Traces ride `Op::Program` too, with the pipeline's parse and symexec
+/// stages on the same timeline as the queue wait and the analysis.
+#[test]
+fn program_traces_cover_the_whole_pipeline() {
+    let (server, mut client) = start(ServiceConfig::default());
+    let source = "program p(x in [0, 1]) { if (x > 0.75) { target(); } }";
+    let opts = Options::default().with_samples(800).with_trace(true);
+    let r = client
+        .analyze_program(source, opts, None, None)
+        .expect("traced program");
+    let trace = r.report.trace.as_ref().expect("trace in response");
+    let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+    for expected in ["queue_wait", "parse", "symexec", "analyze"] {
+        assert!(
+            names.contains(&expected),
+            "span {expected} missing: {names:?}"
+        );
+    }
     server.shutdown();
 }

@@ -142,6 +142,8 @@ fn arb_outcome() -> impl Strategy<Value = Outcome> {
                     requests_shed: b % 7,
                     jobs_panicked: a % 3,
                     batches_dispatched: a / 2,
+                    queue_depth: b % 5,
+                    inflight: a % 5,
                 }),
                 _ => Outcome::Report(AnalysisResponse {
                     report: Report {
@@ -154,6 +156,7 @@ fn arb_outcome() -> impl Strategy<Value = Outcome> {
                             ..Stats::default()
                         },
                         wall: Duration::new(a, (nanos % 1_000_000_000) as u32),
+                        trace: None,
                     },
                     bound_mass: (a % 2 == 0).then_some(estimate),
                     confidence: (b % 2 == 0).then_some(0.75),

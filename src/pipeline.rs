@@ -16,6 +16,7 @@ use qcoral::{Analyzer, Estimate, Options, Report};
 use qcoral_constraints::lexer::ParseError;
 use qcoral_constraints::Domain;
 use qcoral_mc::{Dist, UsageProfile};
+use qcoral_obs::trace::arg;
 use qcoral_symexec::{parse_program, symbolic_execute, SymConfig};
 
 /// Why an end-to-end program analysis could not run.
@@ -181,14 +182,39 @@ pub fn analyze_program_with_profile(
     sym_cfg: &SymConfig,
     profile: &[(String, Dist)],
 ) -> Result<ProgramAnalysis, PipelineError> {
+    // Pipeline stages record onto the analyzer's *injected* trace (the
+    // server attaches one per traced request), sharing the timeline with
+    // the analysis spans. With only `Options::trace` set, the analyzer
+    // creates its collector inside `analyze`, after these stages ran —
+    // the report's trace then covers quantification only.
+    let trace = analyzer.trace();
+    let t_parse = trace.map_or(0, |t| t.now_us());
     let program = parse_program(source)?;
+    if let Some(t) = trace {
+        t.record("parse", "pipeline", t_parse, Vec::new());
+    }
+    let t_sym = trace.map_or(0, |t| t.now_us());
     let sym = symbolic_execute(&program, sym_cfg);
+    if let Some(t) = trace {
+        t.record(
+            "symexec",
+            "pipeline",
+            t_sym,
+            vec![
+                arg("paths", sym.paths),
+                arg("cut_paths", sym.bound_hit.len()),
+            ],
+        );
+    }
     let profile = resolve_profile(&sym.domain, profile).map_err(PipelineError::Profile)?;
     let target = if analyzer.options().target_stderr.is_some() {
         analyzer.analyze_iterative(&sym.target, &sym.domain, &profile)
     } else {
         analyzer.analyze(&sym.target, &sym.domain, &profile)
     };
+    // The target analysis above already drained the trace into its
+    // report; spans this side analysis records are discarded with the
+    // rest of its report.
     let bound_mass = if sym.bound_hit.is_empty() {
         Estimate::ZERO
     } else {

@@ -343,6 +343,80 @@ fn bulk_path_warm_restart_is_bit_identical() {
     assert_eq!(warm.stats.pavings, 0, "warm run must not pave");
 }
 
+/// Tracing must be a pure observer: with `Options::trace` on, every
+/// estimate (total and per-PC) is bit-identical to the untraced run —
+/// span clocks are monotonic timers that never touch an RNG stream, and
+/// no instrumented path branches on a span's value. Checked serial and
+/// parallel (the CI matrix reruns this at RAYON_NUM_THREADS=1 and 4),
+/// one-shot and iterative; the traced runs must actually produce spans,
+/// the untraced ones none.
+#[test]
+fn tracing_never_perturbs_estimates() {
+    // The tape compile cache is process-wide, so its hit/miss split
+    // depends on which test ran first — cache warmth, not tracing.
+    // Everything else in Stats is per-run and must match exactly.
+    let norm = |mut s: qcoral::Stats| {
+        s.tape_cache_hits = 0;
+        s.tape_cache_misses = 0;
+        s
+    };
+    for subj in table3_subjects() {
+        let (domain, cs) = subj.system_for(0, &SymConfig::default());
+        if cs.is_empty() {
+            continue;
+        }
+        let profile = UsageProfile::uniform(domain.len());
+        for parallel in [false, true] {
+            let opts = Options::strat_partcache()
+                .with_samples(2_000)
+                .with_seed(41)
+                .with_parallel(parallel);
+            let off = Analyzer::new(opts.clone()).analyze(&cs, &domain, &profile);
+            let on = Analyzer::new(opts.clone().with_trace(true)).analyze(&cs, &domain, &profile);
+            assert_eq!(
+                off.estimate, on.estimate,
+                "{} parallel={parallel}: tracing changed the estimate",
+                subj.name
+            );
+            assert_eq!(
+                off.per_pc, on.per_pc,
+                "{} parallel={parallel}: tracing changed the per-PC breakdown",
+                subj.name
+            );
+            assert_eq!(
+                norm(off.stats.clone()),
+                norm(on.stats.clone()),
+                "{} parallel={parallel}: tracing changed the counters",
+                subj.name
+            );
+            assert!(off.trace.is_none(), "untraced run returned spans");
+            let spans = on.trace.as_ref().expect("traced run returns spans");
+            assert!(!spans.spans.is_empty(), "trace must hold spans");
+
+            let iter_opts = opts
+                .with_target_stderr(1e-3)
+                .with_round_budget(800)
+                .with_max_rounds(3);
+            let i_off = Analyzer::new(iter_opts.clone()).analyze_iterative(&cs, &domain, &profile);
+            let i_on =
+                Analyzer::new(iter_opts.with_trace(true)).analyze_iterative(&cs, &domain, &profile);
+            assert_eq!(
+                i_off.estimate, i_on.estimate,
+                "{} parallel={parallel}: tracing changed the iterative estimate",
+                subj.name
+            );
+            assert_eq!(i_off.per_pc, i_on.per_pc, "{}", subj.name);
+            assert_eq!(
+                norm(i_off.stats.clone()),
+                norm(i_on.stats.clone()),
+                "{} parallel={parallel}: tracing changed the round trajectory",
+                subj.name
+            );
+            assert!(i_on.trace.is_some(), "iterative traced run returns spans");
+        }
+    }
+}
+
 /// Chunk size changes the stream (like a reseed) but never the
 /// serial/parallel agreement.
 #[test]
