@@ -35,6 +35,8 @@ const GATED: &[(&str, &[&str])] = &[
             "pred_tape_secs",
             "bulk_eval_secs",
             "mc_bulk_secs",
+            // Batched HC4 paving through the unified interval tape.
+            "pave_bulk_secs",
             // The untraced analyzer path of the obs_overhead row:
             // instrumentation creep with `Options.trace` off is a
             // hot-path regression like any other.

@@ -4,6 +4,7 @@
 //! emitted as `BENCH_hotpath.json` so successive changes can be compared
 //! run over run.
 
+use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
@@ -11,7 +12,8 @@ use rand::SeedableRng;
 use serde::Serialize;
 
 use qcoral::{Analyzer, CompiledPred, Options};
-use qcoral_constraints::{BulkScratch, ConstraintSet, Domain, EvalTape};
+use qcoral_constraints::{BulkScratch, ConstraintSet, Domain, EvalTape, PathCondition};
+use qcoral_icp::{ContractScratch, Contractor, Paver, PaverConfig, Paving, Tri};
 use qcoral_interval::{Interval, IntervalBox};
 use qcoral_mc::{hit_or_miss_plan, hit_or_miss_plan_bulk, SamplePlan, UsageProfile};
 use qcoral_subjects::table3_subjects;
@@ -68,6 +70,19 @@ pub struct Row {
     /// `mc_scalar_secs / mc_bulk_secs` — the end-to-end sampling win,
     /// RNG draws included.
     pub mc_bulk_speedup: f64,
+    /// Reference paving wall time over every path condition (s): the
+    /// pre-unified-IR architecture — one single-atom contractor per
+    /// atom, each with its own tape, boxes contracted one at a time
+    /// with the HC4 fixpoint loop driven from outside.
+    pub pave_scalar_secs: f64,
+    /// The production paver over the same workload (s): one
+    /// whole-conjunction tape, work items contracted and classified in
+    /// structure-of-arrays batches.
+    pub pave_bulk_secs: f64,
+    /// `pave_scalar_secs / pave_bulk_secs` — the bulk-paving win.
+    pub pave_bulk_speedup: f64,
+    /// Total boxes across the production pavings (inner + boundary).
+    pub pave_boxes: usize,
 }
 
 /// Observability tax on the sampling hot path: the same end-to-end
@@ -115,6 +130,9 @@ pub struct Summary {
     /// Geometric mean of the end-to-end sampling speedups
     /// (`mc_bulk_speedup` across subjects).
     pub mc_bulk_speedup_geomean: f64,
+    /// Geometric mean of the bulk-paving speedups (`pave_bulk_speedup`
+    /// across subjects).
+    pub pave_bulk_speedup_geomean: f64,
     /// Tracing cost on the widest subject, off and on. Declared last so
     /// its `subject` scope cannot leak onto the geomean lines above in
     /// the perf gate's line-oriented extractor.
@@ -134,6 +152,141 @@ fn best_of<R>(reps: u32, mut f: impl FnMut() -> R) -> (Duration, R) {
         out = Some(r);
     }
     (best, out.expect("at least one rep"))
+}
+
+/// Reference paver reproducing the pre-unified-IR architecture for the
+/// bulk-paving comparison: every atom gets its *own* single-atom
+/// contractor (and tape), the HC4 fixpoint loop runs in the driver
+/// (`with_max_passes(1)` per atom per sweep), and the branch-and-prune
+/// loop pops and contracts one box at a time. The production [`Paver`]
+/// runs the same policy through one whole-conjunction tape with batched
+/// structure-of-arrays contraction; the time ratio is the paving win.
+struct LegacyPaver {
+    atoms: Vec<Contractor>,
+    config: PaverConfig,
+}
+
+/// Max-heap work item ordered by box volume (largest first), matching
+/// the production paver's best-first order.
+struct LegacyItem {
+    boxed: IntervalBox,
+    volume: f64,
+}
+
+impl PartialEq for LegacyItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.volume == other.volume
+    }
+}
+impl Eq for LegacyItem {}
+impl PartialOrd for LegacyItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LegacyItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.volume
+            .partial_cmp(&other.volume)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+impl LegacyPaver {
+    fn new(pc: &PathCondition, nvars: usize, config: PaverConfig) -> LegacyPaver {
+        let atoms = pc
+            .atoms()
+            .iter()
+            .map(|a| {
+                let single = PathCondition::from_atoms(vec![a.clone()]);
+                Contractor::new_uncached(&single, nvars).with_max_passes(1)
+            })
+            .collect();
+        LegacyPaver { atoms, config }
+    }
+
+    fn contract(
+        &self,
+        boxed: &mut IntervalBox,
+        scratch: &mut ContractScratch,
+        widths: &mut Vec<f64>,
+    ) -> bool {
+        for _ in 0..self.config.max_passes {
+            widths.clear();
+            widths.extend(boxed.dims().iter().map(Interval::width));
+            for c in &self.atoms {
+                if !c.contract_with(boxed, scratch) {
+                    return false;
+                }
+            }
+            let changed = widths
+                .iter()
+                .zip(boxed.dims())
+                .any(|(&w, d)| w - d.width() > 1e-12 * w.max(1e-300));
+            if !changed {
+                break;
+            }
+        }
+        true
+    }
+
+    fn certainty(&self, boxed: &IntervalBox, scratch: &mut ContractScratch) -> Tri {
+        let mut acc = Tri::True;
+        for c in &self.atoms {
+            acc = acc.and(c.certainty_with(boxed, scratch));
+            if acc == Tri::False {
+                return Tri::False;
+            }
+        }
+        acc
+    }
+
+    fn pave(&self, domain: &IntervalBox) -> Paving {
+        let start = Instant::now();
+        let mut scratch = ContractScratch::new();
+        let mut widths = Vec::new();
+        let mut paving = Paving::default();
+        let mut heap = BinaryHeap::new();
+        heap.push(LegacyItem {
+            volume: domain.volume(),
+            boxed: domain.clone(),
+        });
+        let min_width = self.config.min_width();
+        while let Some(LegacyItem { mut boxed, .. }) = heap.pop() {
+            if !self.contract(&mut boxed, &mut scratch, &mut widths) {
+                continue;
+            }
+            match self.certainty(&boxed, &mut scratch) {
+                Tri::True => {
+                    paving.inner.push(boxed);
+                    continue;
+                }
+                Tri::False => continue,
+                Tri::Unknown => {}
+            }
+            let total = paving.len() + heap.len() + 1;
+            if total >= self.config.max_boxes
+                || boxed.max_width() <= min_width
+                || boxed.ndim() == 0
+                || start.elapsed() >= self.config.time_budget
+            {
+                paving.boundary.push(boxed);
+            } else {
+                let (l, r) = boxed.bisect();
+                let lv = l.volume();
+                let rv = r.volume();
+                heap.push(LegacyItem {
+                    boxed: l,
+                    volume: lv,
+                });
+                heap.push(LegacyItem {
+                    boxed: r,
+                    volume: rv,
+                });
+            }
+        }
+        paving
+    }
 }
 
 fn measure_subject(
@@ -273,6 +426,45 @@ fn measure_subject(
     });
     let bulk_estimates_identical = ests_scalar == ests_bulk;
 
+    // Paving probe: branch-and-prune every path condition over the full
+    // domain box with a budget wide enough to give batching room.
+    // Reference architecture (per-atom tapes, one box at a time) vs the
+    // production batched whole-conjunction paver.
+    let pave_cfg = PaverConfig {
+        max_boxes: 128,
+        ..PaverConfig::default()
+    };
+    let legacy: Vec<LegacyPaver> = cs
+        .pcs()
+        .iter()
+        .map(|pc| LegacyPaver::new(pc, ndim, pave_cfg.clone()))
+        .collect();
+    let pavers: Vec<Paver> = cs
+        .pcs()
+        .iter()
+        .map(|pc| Paver::new(pc, ndim, pave_cfg.clone()))
+        .collect();
+    let (pave_scalar, legacy_unsat) = best_of(reps, || {
+        legacy
+            .iter()
+            .map(|p| p.pave(&boxed).is_unsat())
+            .collect::<Vec<_>>()
+    });
+    let (pave_bulk, bulk_pavings) = best_of(reps, || {
+        pavers.iter().map(|p| p.pave(&boxed)).collect::<Vec<_>>()
+    });
+    // Both pavers must agree on satisfiability — the pavings themselves
+    // legitimately differ (the unified tape contracts the conjunction
+    // jointly, the reference one atom at a time).
+    for (pc_idx, (lu, bp)) in legacy_unsat.iter().zip(&bulk_pavings).enumerate() {
+        assert_eq!(
+            *lu,
+            bp.is_unsat(),
+            "{name}: pavers disagree on satisfiability of pc {pc_idx}"
+        );
+    }
+    let pave_boxes = bulk_pavings.iter().map(Paving::len).sum();
+
     Row {
         subject: name.to_owned(),
         paths: cs.len(),
@@ -293,6 +485,10 @@ fn measure_subject(
         mc_scalar_secs: mc_scalar.as_secs_f64(),
         mc_bulk_secs: mc_bulk.as_secs_f64(),
         mc_bulk_speedup: mc_scalar.as_secs_f64() / mc_bulk.as_secs_f64().max(1e-12),
+        pave_scalar_secs: pave_scalar.as_secs_f64(),
+        pave_bulk_secs: pave_bulk.as_secs_f64(),
+        pave_bulk_speedup: pave_scalar.as_secs_f64() / pave_bulk.as_secs_f64().max(1e-12),
+        pave_boxes,
     }
 }
 
@@ -363,6 +559,7 @@ pub fn run(samples: u64, reps: u32) -> Summary {
         pred_tape_speedup_geomean: geomean(rows.iter().map(|r| r.pred_tape_speedup)),
         bulk_eval_speedup_geomean: geomean(rows.iter().map(|r| r.bulk_eval_speedup)),
         mc_bulk_speedup_geomean: geomean(rows.iter().map(|r| r.mc_bulk_speedup)),
+        pave_bulk_speedup_geomean: geomean(rows.iter().map(|r| r.pave_bulk_speedup)),
         obs_overhead: measure_obs_overhead(samples, reps),
         rows,
     }
@@ -394,9 +591,16 @@ mod tests {
             assert!(r.serial_secs > 0.0 && r.pred_tape_secs > 0.0);
             assert!(r.bulk_eval_secs > 0.0 && r.mc_bulk_secs > 0.0);
             assert!(r.bulk_samples_per_sec > 0.0 && r.scalar_samples_per_sec > 0.0);
+            assert!(r.pave_scalar_secs > 0.0 && r.pave_bulk_secs > 0.0);
         }
+        // EGFR EPI's whole-conjunction pavings are all unsat over the full
+        // domain box, so its row legitimately reports zero boxes; the
+        // corpus as a whole must still produce non-empty pavings.
+        let total_boxes: usize = s.rows.iter().map(|r| r.pave_boxes).sum();
+        assert!(total_boxes > 0, "no subject produced a non-empty paving");
         assert!(s.pred_tape_speedup_geomean > 0.0);
         assert!(s.bulk_eval_speedup_geomean > 0.0);
+        assert!(s.pave_bulk_speedup_geomean > 0.0);
         assert!(
             s.obs_overhead.estimates_identical,
             "tracing changed an estimate"
@@ -406,6 +610,7 @@ mod tests {
         assert!(json.contains("\"pred_tape_speedup\""));
         assert!(json.contains("\"bulk_eval_speedup\""));
         assert!(json.contains("\"bulk_estimates_identical\""));
+        assert!(json.contains("\"pave_bulk_speedup\""));
         assert!(json.contains("\"subject\": \"obs_overhead\""));
         assert!(json.contains("\"trace_off_secs\""));
     }

@@ -385,6 +385,77 @@ fn dst_srcs(
     (&mut dreg[..w], pick(a), pick(b))
 }
 
+/// Fixed chunk width of the `lane-kernel` inner loops: small enough to
+/// stay register-resident, wide enough for the autovectorizer to fill a
+/// vector unit from one chunk body.
+#[cfg(feature = "lane-kernel")]
+const LANE_CHUNK: usize = 8;
+
+/// Lane-loop driver for the unary kernels. With the `lane-kernel`
+/// feature the loop runs in fixed-width chunks whose trip count is a
+/// compile-time constant, plus a scalar tail; each lane still applies
+/// the same `f64` operation in the same order, so results are
+/// bit-identical with the feature on or off.
+#[cfg(feature = "lane-kernel")]
+#[inline(always)]
+fn map1(d: &mut [f64], s: &[f64], f: impl Fn(f64) -> f64) {
+    let n = d.len().min(s.len());
+    let split = n - n % LANE_CHUNK;
+    let (dc, dr) = d[..n].split_at_mut(split);
+    let (sc, sr) = s[..n].split_at(split);
+    for (dch, sch) in dc
+        .chunks_exact_mut(LANE_CHUNK)
+        .zip(sc.chunks_exact(LANE_CHUNK))
+    {
+        for i in 0..LANE_CHUNK {
+            dch[i] = f(sch[i]);
+        }
+    }
+    for (d, &x) in dr.iter_mut().zip(sr) {
+        *d = f(x);
+    }
+}
+
+#[cfg(not(feature = "lane-kernel"))]
+#[inline(always)]
+fn map1(d: &mut [f64], s: &[f64], f: impl Fn(f64) -> f64) {
+    for (d, &x) in d.iter_mut().zip(s) {
+        *d = f(x);
+    }
+}
+
+/// Lane-loop driver for the binary kernels; see [`map1`] for the
+/// `lane-kernel` chunking contract.
+#[cfg(feature = "lane-kernel")]
+#[inline(always)]
+fn map2(d: &mut [f64], a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) {
+    let n = d.len().min(a.len()).min(b.len());
+    let split = n - n % LANE_CHUNK;
+    let (dc, dr) = d[..n].split_at_mut(split);
+    let (ac, ar) = a[..n].split_at(split);
+    let (bc, br) = b[..n].split_at(split);
+    for ((dch, ach), bch) in dc
+        .chunks_exact_mut(LANE_CHUNK)
+        .zip(ac.chunks_exact(LANE_CHUNK))
+        .zip(bc.chunks_exact(LANE_CHUNK))
+    {
+        for i in 0..LANE_CHUNK {
+            dch[i] = f(ach[i], bch[i]);
+        }
+    }
+    for ((d, &x), &y) in dr.iter_mut().zip(ar).zip(br) {
+        *d = f(x, y);
+    }
+}
+
+#[cfg(not(feature = "lane-kernel"))]
+#[inline(always)]
+fn map2(d: &mut [f64], a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) {
+    for ((d, &x), &y) in d.iter_mut().zip(a).zip(b) {
+        *d = f(x, y);
+    }
+}
+
 /// Applies a unary operation lane-wise. The `match` is hoisted out of
 /// the loop so each arm is a tight, auto-vectorizable kernel calling the
 /// *same* `f64` operation as [`UnOp::apply`] — lanes stay bit-identical
@@ -392,9 +463,7 @@ fn dst_srcs(
 fn unary_lanes(op: UnOp, d: &mut [f64], s: &[f64]) {
     macro_rules! lanes {
         (|$x:ident| $e:expr) => {
-            for (d, &$x) in d.iter_mut().zip(s) {
-                *d = $e;
-            }
+            map1(d, s, |$x| $e)
         };
     }
     match op {
@@ -417,9 +486,7 @@ fn unary_lanes(op: UnOp, d: &mut [f64], s: &[f64]) {
 fn binary_lanes(op: BinOp, d: &mut [f64], a: &[f64], b: &[f64]) {
     macro_rules! lanes {
         (|$x:ident, $y:ident| $e:expr) => {
-            for ((d, &$x), &$y) in d.iter_mut().zip(a).zip(b) {
-                *d = $e;
-            }
+            map2(d, a, b, |$x, $y| $e)
         };
     }
     match op {

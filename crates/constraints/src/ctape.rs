@@ -101,10 +101,14 @@ impl PathCondition {
 }
 
 /// One node of a compiled expression, children strictly before parents.
-/// Shared with [`crate::bulk`], which recompiles the node pool into a
-/// register-allocated columnar tape.
+///
+/// This is the unified IR's instruction form: [`crate::bulk`] recompiles
+/// the node pool into a register-allocated columnar tape, and
+/// [`crate::ival`] reinterprets the same pool over intervals with HC4
+/// backward contraction. Exposed so differential suites can walk the
+/// pool and cross-check every evaluation kind node by node.
 #[derive(Copy, Clone, Debug, PartialEq)]
-pub(crate) enum Node {
+pub enum Node {
     /// A literal constant.
     Const(f64),
     /// An input variable (index into the sample point).
@@ -209,15 +213,17 @@ impl EvalTape {
         self.atoms.is_empty()
     }
 
-    /// The deduplicated node pool, children strictly before parents
-    /// (consumed by [`crate::bulk::BulkTape::compile`]).
-    pub(crate) fn nodes(&self) -> &[Node] {
+    /// The deduplicated node pool, children strictly before parents —
+    /// the unified IR consumed by [`crate::bulk::BulkTape::compile`] and
+    /// [`crate::ival::IntervalTape::compile`].
+    pub fn nodes(&self) -> &[Node] {
         &self.nodes
     }
 
     /// The `(lhs node, op, rhs node)` triple per atom, in conjunction
-    /// order (consumed by [`crate::bulk::BulkTape::compile`]).
-    pub(crate) fn atom_nodes(&self) -> &[(u32, RelOp, u32)] {
+    /// order (consumed by the derived evaluation kinds alongside
+    /// [`EvalTape::nodes`]).
+    pub fn atom_nodes(&self) -> &[(u32, RelOp, u32)] {
         &self.atoms
     }
 

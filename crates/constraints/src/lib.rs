@@ -45,13 +45,15 @@ pub mod bulk;
 pub mod ctape;
 pub mod domain;
 pub mod expr;
+pub mod ival;
 pub mod lexer;
 pub mod parse;
 pub mod varset;
 
 pub use atom::{Atom, ConstraintSet, PathCondition, RelOp};
 pub use bulk::{BulkScratch, BulkTape, LANES};
-pub use ctape::{expr_fingerprint, EvalTape};
+pub use ctape::{expr_fingerprint, EvalTape, Node};
 pub use domain::{Domain, VarId};
 pub use expr::{BinOp, Expr, UnOp};
+pub use ival::{IntervalTape, IvalScratch};
 pub use varset::VarSet;

@@ -1,9 +1,15 @@
-//! Property-based equivalence of the columnar bulk evaluator and the
-//! scalar tape: for *random expression DAGs* — including NaN-producing
-//! operations (`sqrt` of negatives, `ln` of non-positives, `0/0`) and
-//! every relational operator — [`BulkTape`] must agree with
-//! [`EvalTape::holds`] **hit for hit**, on batch sizes that do not
-//! divide the lane width evenly.
+//! Three-way differential equivalence of the tape IR's evaluation kinds
+//! on *random expression DAGs*:
+//!
+//! * the columnar bulk evaluator must agree with [`EvalTape::holds`]
+//!   **hit for hit**, on batch sizes that do not divide the lane width
+//!   evenly — including NaN-producing operations (`sqrt` of negatives,
+//!   `ln` of non-positives, `asin` outside its domain, negative bases
+//!   under `pow`, `0/0`) and every relational operator;
+//! * the interval kind ([`IntervalTape`]) must **enclose** the scalar
+//!   results: for random boxes, every node's forward interval contains
+//!   the scalar value of that node at every sampled point of the box,
+//!   and HC4 contraction never loses a satisfying point.
 //!
 //! DAGs are grown from a seeded RNG over a pool of shared sub-terms, so
 //! generated conditions exercise hash-consing, register reuse and the
@@ -17,8 +23,10 @@ use rand::{Rng, SeedableRng};
 
 use qcoral_constraints::bulk::LANES;
 use qcoral_constraints::{
-    Atom, BinOp, BulkScratch, BulkTape, EvalTape, Expr, PathCondition, RelOp, UnOp, VarId,
+    Atom, BinOp, BulkScratch, BulkTape, EvalTape, Expr, IntervalTape, IvalScratch, Node,
+    PathCondition, RelOp, UnOp, VarId,
 };
+use qcoral_interval::{Interval, IntervalBox};
 
 const NVARS: usize = 3;
 
@@ -105,6 +113,57 @@ fn columns(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// A random non-degenerate box inside `[-3, 3]^NVARS`.
+fn random_box(seed: u64) -> IntervalBox {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..NVARS)
+        .map(|_| {
+            let a: f64 = rng.gen_range(-3.0..3.0);
+            let b: f64 = rng.gen_range(-3.0..3.0);
+            Interval::new(a.min(b), a.max(b).max(a.min(b) + 1e-9))
+        })
+        .collect()
+}
+
+/// Random points strictly inside a box.
+fn points_in_box(seed: u64, bx: &IntervalBox, n: usize) -> Vec<Vec<f64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (0..bx.ndim())
+                .map(|d| rng.gen_range(bx[d].lo()..bx[d].hi()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-node scalar values at a point, mirroring the float evaluators'
+/// semantics op for op (the shared pool is in topological order). The
+/// second vector flags *real-defined* nodes: the node's value is finite
+/// and so is every intermediate below it. A float chain can revive a
+/// finite value from an undefined one (`exp(ln(0)) = 0`,
+/// `atan(1/0) = π/2`), but interval semantics model real arithmetic,
+/// where the whole chain is undefined — enclosure is only claimed for
+/// defined nodes.
+fn scalar_node_values(nodes: &[Node], p: &[f64]) -> (Vec<f64>, Vec<bool>) {
+    let mut vals: Vec<f64> = Vec::with_capacity(nodes.len());
+    let mut defined: Vec<bool> = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        let (v, d) = match node {
+            Node::Const(c) => (*c, true),
+            Node::Var(i) => (p[*i as usize], true),
+            Node::Unary(op, c) => (op.apply(vals[*c as usize]), defined[*c as usize]),
+            Node::Binary(op, a, b) => (
+                op.apply(vals[*a as usize], vals[*b as usize]),
+                defined[*a as usize] && defined[*b as usize],
+            ),
+        };
+        defined.push(d && v.is_finite());
+        vals.push(v);
+    }
+    (vals, defined)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
 
@@ -188,5 +247,77 @@ proptest! {
             prop_assert!(!tape.holds(p), "NaN atom held at {:?}", p);
         }
         prop_assert_eq!(bulk.count_hits(&cols, n), 0);
+    }
+
+    /// The third way: on random boxes and random DAGs, the interval
+    /// kind's forward evaluation must *enclose* the scalar kind node for
+    /// node — every finite scalar value lies inside the corresponding
+    /// forward interval. Scalar NaNs (undefined points) and infinities
+    /// (float division by an exactly-zero denominator, overflow) are
+    /// outside the real-arithmetic semantics intervals model and are
+    /// skipped.
+    #[test]
+    fn interval_forward_encloses_scalar_on_random_dags(
+        seed in 0u64..1_000_000,
+        size in 0usize..48,
+        natoms in 1usize..6,
+        n in 1usize..48,
+    ) {
+        let pc = random_pc(seed, size, natoms);
+        let tape = EvalTape::compile(&pc);
+        let ival = IntervalTape::compile(&tape);
+        let bx = random_box(seed ^ 0xB0B0);
+        let mut ivals = Vec::new();
+        ival.forward(&bx, &mut ivals);
+        let points = points_in_box(seed ^ 0xCAFE, &bx, n);
+        for p in &points {
+            let (svals, defined) = scalar_node_values(tape.nodes(), p);
+            for (i, &v) in svals.iter().enumerate() {
+                if !defined[i] {
+                    continue;
+                }
+                prop_assert!(
+                    ivals[i].contains(v),
+                    "seed {}: node {} ({:?}) = {} escapes {} at {:?} over {}",
+                    seed, i, tape.nodes()[i], v, ivals[i], p, bx
+                );
+            }
+        }
+    }
+
+    /// HC4 contraction never loses a satisfying point: any sampled point
+    /// that satisfies the conjunction (with every intermediate finite,
+    /// i.e. real-defined) must survive batch contraction inside its
+    /// narrowed box, and the box must not be declared unsat.
+    #[test]
+    fn interval_contraction_keeps_scalar_hits(
+        seed in 0u64..1_000_000,
+        size in 0usize..32,
+        natoms in 1usize..5,
+        n in 1usize..64,
+    ) {
+        let pc = random_pc(seed, size, natoms);
+        let tape = EvalTape::compile(&pc);
+        let ival = IntervalTape::compile(&tape);
+        let bx = random_box(seed ^ 0xB0B0);
+        let points = points_in_box(seed ^ 0xF00D, &bx, n);
+        let hits: Vec<&Vec<f64>> = points
+            .iter()
+            .filter(|p| {
+                let (_, defined) = scalar_node_values(tape.nodes(), p);
+                tape.holds(p) && defined.iter().all(|&d| d)
+            })
+            .collect();
+        let mut contracted = bx.clone();
+        let mut scratch = IvalScratch::new();
+        let sat = ival.contract(&mut contracted, 8, &mut scratch);
+        for p in hits {
+            prop_assert!(sat, "seed {}: box with solution {:?} declared unsat", seed, p);
+            prop_assert!(
+                contracted.contains_point(p),
+                "seed {}: contraction of {} to {} lost solution {:?}",
+                seed, bx, contracted, p
+            );
+        }
     }
 }

@@ -1,5 +1,5 @@
 //! Generic process-wide compile cache, shared by every "fingerprint →
-//! compiled artifact" memoization in the workspace (the HC4 [`Tape`]
+//! compiled artifact" memoization in the workspace (the interval-tape
 //! cache here, the analyzer's `CompiledPred` cache in `qcoral`).
 //!
 //! The access pattern is always the same: keys are 128-bit structural
@@ -10,8 +10,6 @@
 //! succeeds but is no longer retained), and on a racing double-compile
 //! the first artifact to land wins so every consumer shares one
 //! allocation.
-//!
-//! [`Tape`]: crate::tape::Tape
 
 use std::collections::HashMap;
 use std::sync::Arc;

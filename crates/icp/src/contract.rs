@@ -1,32 +1,33 @@
 //! HC4 contractors over conjunctions of atoms.
 //!
-//! A [`Contractor`] is built once from a [`PathCondition`]; it pre-compiles
-//! every atom's normalized expression (`lhs - rhs ⋈ 0`) into a
-//! [`Tape`] and then offers two operations used by the
-//! paver and the analyses:
+//! A [`Contractor`] is built once from a [`PathCondition`]; the whole
+//! conjunction is compiled into one [`IntervalTape`] — the interval kind
+//! of the unified tape IR shared with the scalar and columnar float
+//! evaluators — and then offers two operations used by the paver and the
+//! analyses:
 //!
 //! * [`Contractor::contract`] — shrink a box without losing any solution
 //!   (HC4-revise per atom, iterated to a fixpoint),
 //! * [`Contractor::certainty`] — classify a box as certainly satisfying,
 //!   certainly violating, or undecided.
+//!
+//! Both also come batched: [`Contractor::contract_classify_with`]
+//! narrows and classifies many candidate boxes per dispatch through the
+//! tape's structure-of-arrays kernels; the branch-and-prune paver feeds
+//! whole work batches through one call.
 
 use std::sync::Arc;
 
-use qcoral_constraints::{PathCondition, RelOp};
+use qcoral_constraints::{EvalTape, IntervalTape, IvalScratch, PathCondition, RelOp};
 use qcoral_interval::{Interval, IntervalBox};
-
-use crate::tape::Tape;
 
 /// Reusable working memory for [`Contractor::contract_with`] and
 /// [`Contractor::certainty_with`]. The branch-and-prune loop contracts
 /// thousands of boxes per paving; reusing one scratch across calls keeps
 /// the hot path allocation-free after warm-up.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct ContractScratch {
-    /// Per-node interval values for the HC4 forward/backward passes.
-    vals: Vec<Interval>,
-    /// Dimension widths at the start of a fixpoint pass.
-    widths: Vec<f64>,
+    ival: IvalScratch,
 }
 
 impl ContractScratch {
@@ -58,27 +59,13 @@ impl Tri {
     }
 }
 
-/// The interval the normalized expression must lie in for the atom to
-/// hold. Strict and non-strict inequalities share a closed target: the
-/// boundary has measure zero for the quantification, and closure keeps the
-/// projection sound.
-fn target(op: RelOp) -> Option<Interval> {
-    match op {
-        RelOp::Lt | RelOp::Le => Some(Interval::new(f64::NEG_INFINITY, 0.0)),
-        RelOp::Gt | RelOp::Ge => Some(Interval::new(0.0, f64::INFINITY)),
-        RelOp::Eq => Some(Interval::ZERO),
-        // ≠ carves out a measure-zero set; it cannot narrow a box.
-        RelOp::Ne => None,
-    }
-}
-
 /// A compiled conjunction of atoms with HC4 forward/backward machinery.
 /// Tapes are shared through the process-wide cache
-/// ([`Tape::compile_cached`]), so contractors for recurring factors reuse
-/// one compiled tape per distinct expression.
+/// ([`crate::tape::compile_cached`]), so contractors for recurring
+/// factors reuse one compiled tape per distinct conjunction.
 #[derive(Clone, Debug)]
 pub struct Contractor {
-    atoms: Vec<(Arc<Tape>, RelOp)>,
+    tape: Arc<IntervalTape>,
     nvars: usize,
     max_passes: usize,
 }
@@ -95,16 +82,8 @@ impl Contractor {
             "path condition references variable beyond domain ({} > {nvars})",
             pc.var_bound()
         );
-        let atoms = pc
-            .atoms()
-            .iter()
-            .map(|a| {
-                let (expr, op) = a.normalized();
-                (Tape::compile_cached(&expr), op)
-            })
-            .collect();
         Contractor {
-            atoms,
+            tape: crate::tape::compile_cached(pc),
             nvars,
             max_passes: 8,
         }
@@ -124,16 +103,8 @@ impl Contractor {
             "path condition references variable beyond domain ({} > {nvars})",
             pc.var_bound()
         );
-        let atoms = pc
-            .atoms()
-            .iter()
-            .map(|a| {
-                let (expr, op) = a.normalized();
-                (Arc::new(Tape::compile(&expr)), op)
-            })
-            .collect();
         Contractor {
-            atoms,
+            tape: Arc::new(IntervalTape::compile(&EvalTape::compile(pc))),
             nvars,
             max_passes: 8,
         }
@@ -147,12 +118,12 @@ impl Contractor {
 
     /// Number of compiled atoms.
     pub fn len(&self) -> usize {
-        self.atoms.len()
+        self.tape.num_atoms()
     }
 
     /// Returns `true` if the conjunction has no atoms (always true).
     pub fn is_empty(&self) -> bool {
-        self.atoms.is_empty()
+        self.tape.num_atoms() == 0
     }
 
     /// Number of domain variables the contractor was compiled for.
@@ -177,43 +148,8 @@ impl Contractor {
     /// [`Contractor::contract`] with caller-provided working memory.
     pub fn contract_with(&self, boxed: &mut IntervalBox, scratch: &mut ContractScratch) -> bool {
         assert_eq!(boxed.ndim(), self.nvars, "contract: dimension mismatch");
-        let vals = &mut scratch.vals;
-        for _pass in 0..self.max_passes {
-            scratch.widths.clear();
-            scratch
-                .widths
-                .extend(boxed.dims().iter().map(Interval::width));
-            for (tape, op) in &self.atoms {
-                let Some(t) = target(*op) else { continue };
-                let root_val = tape.forward(boxed, vals);
-                if root_val.is_empty() {
-                    // Expression undefined on the whole box ⇒ atom false
-                    // everywhere ⇒ conjunction unsatisfiable here.
-                    *boxed.dim_mut(0) = Interval::EMPTY;
-                    return false;
-                }
-                let narrowed = root_val.intersect(&t);
-                let root = tape.root();
-                vals[root] = narrowed;
-                if narrowed.is_empty() || !tape.backward(vals, boxed) {
-                    *boxed.dim_mut(0) = Interval::EMPTY;
-                    return false;
-                }
-            }
-            // Stop when a full pass no longer shrinks anything noticeably.
-            let mut changed = false;
-            for (&before, after) in scratch.widths.iter().zip(boxed.dims()) {
-                let shrink = before - after.width();
-                if shrink > 1e-12 * before.max(1e-300) {
-                    changed = true;
-                    break;
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        true
+        self.tape
+            .contract(boxed, self.max_passes, &mut scratch.ival)
     }
 
     /// Classifies the box: [`Tri::True`] if every point satisfies the
@@ -230,11 +166,58 @@ impl Contractor {
     /// [`Contractor::certainty`] with caller-provided working memory.
     pub fn certainty_with(&self, boxed: &IntervalBox, scratch: &mut ContractScratch) -> Tri {
         assert_eq!(boxed.ndim(), self.nvars, "certainty: dimension mismatch");
+        self.tape
+            .eval_atoms_batch(std::slice::from_ref(boxed), &mut scratch.ival);
+        self.classify_lane(0, &scratch.ival)
+    }
+
+    /// Contracts a whole batch of boxes and classifies each survivor, in
+    /// one structure-of-arrays dispatch per tape node. `verdicts[i]`
+    /// reports box `i`: [`Tri::False`] when it was proven solution-free
+    /// (its box is emptied in place, exactly like a failing
+    /// [`Contractor::contract_with`]), otherwise the certainty of the
+    /// *contracted* box. This is the paver's bulk kernel: narrowing and
+    /// classifying N boxes costs one pass over the node pool per atom
+    /// instead of N.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any box's dimension count differs from
+    /// [`Contractor::nvars`].
+    pub fn contract_classify_with(
+        &self,
+        boxes: &mut [IntervalBox],
+        verdicts: &mut Vec<Tri>,
+        scratch: &mut ContractScratch,
+    ) {
+        verdicts.clear();
+        if boxes.is_empty() {
+            return;
+        }
+        for bx in boxes.iter() {
+            assert_eq!(bx.ndim(), self.nvars, "contract batch: dimension mismatch");
+        }
+        self.tape
+            .contract_batch(boxes, self.max_passes, &mut scratch.ival);
+        // Certainty needs clean (un-narrowed) operand images over the
+        // contracted boxes; the batch shapes match, so lane sat-flags
+        // survive this second dispatch.
+        self.tape.eval_atoms_batch(boxes, &mut scratch.ival);
+        for ln in 0..boxes.len() {
+            if !scratch.ival.sat(ln) {
+                verdicts.push(Tri::False);
+            } else {
+                verdicts.push(self.classify_lane(ln, &scratch.ival));
+            }
+        }
+    }
+
+    /// Folds per-atom certainties for one lane of the scratch's images.
+    fn classify_lane(&self, lane: usize, scratch: &IvalScratch) -> Tri {
         let mut acc = Tri::True;
-        for (tape, op) in &self.atoms {
-            let v = tape.forward(boxed, &mut scratch.vals);
-            let verdict = atom_certainty(v, *op);
-            acc = acc.and(verdict);
+        for (k, &(_, op, _)) in self.tape.atoms().iter().enumerate() {
+            let (l, r) = scratch.image(k, lane);
+            acc = acc.and(atom_certainty(l, op, r));
             if acc == Tri::False {
                 return Tri::False;
             }
@@ -243,63 +226,67 @@ impl Contractor {
     }
 }
 
-/// Certainty of `value ⋈ 0` given the interval image of the normalized
-/// expression. An empty image means the expression is undefined on the
-/// whole box, which can never satisfy an atom (NaN semantics).
-fn atom_certainty(value: Interval, op: RelOp) -> Tri {
-    if value.is_empty() {
+/// Certainty of `l ⋈ r` given the interval images of the two operands
+/// over a box. An empty image means the operand is undefined on the
+/// whole box, which can never satisfy an atom (NaN semantics). Working
+/// on the operand images directly (rather than the sign of `l − r`)
+/// avoids the subtraction's outward rounding.
+fn atom_certainty(l: Interval, op: RelOp, r: Interval) -> Tri {
+    if l.is_empty() || r.is_empty() {
         return Tri::False;
     }
+    let disjoint = l.hi() < r.lo() || r.hi() < l.lo();
+    let same_point = l.is_point() && r.is_point() && l.lo() == r.lo();
     match op {
         RelOp::Lt => {
-            if value.hi() < 0.0 {
+            if l.hi() < r.lo() {
                 Tri::True
-            } else if value.lo() >= 0.0 {
+            } else if l.lo() >= r.hi() {
                 Tri::False
             } else {
                 Tri::Unknown
             }
         }
         RelOp::Le => {
-            if value.hi() <= 0.0 {
+            if l.hi() <= r.lo() {
                 Tri::True
-            } else if value.lo() > 0.0 {
+            } else if l.lo() > r.hi() {
                 Tri::False
             } else {
                 Tri::Unknown
             }
         }
         RelOp::Gt => {
-            if value.lo() > 0.0 {
+            if l.lo() > r.hi() {
                 Tri::True
-            } else if value.hi() <= 0.0 {
+            } else if l.hi() <= r.lo() {
                 Tri::False
             } else {
                 Tri::Unknown
             }
         }
         RelOp::Ge => {
-            if value.lo() >= 0.0 {
+            if l.lo() >= r.hi() {
                 Tri::True
-            } else if value.hi() < 0.0 {
+            } else if l.hi() < r.lo() {
                 Tri::False
             } else {
                 Tri::Unknown
             }
         }
         RelOp::Eq => {
-            if value.is_point() && value.lo() == 0.0 {
+            if same_point {
                 Tri::True
-            } else if !value.contains(0.0) {
+            } else if disjoint {
                 Tri::False
             } else {
                 Tri::Unknown
             }
         }
         RelOp::Ne => {
-            if !value.contains(0.0) {
+            if disjoint {
                 Tri::True
-            } else if value.is_point() && value.lo() == 0.0 {
+            } else if same_point {
                 Tri::False
             } else {
                 Tri::Unknown
@@ -441,5 +428,51 @@ mod tests {
         assert!(b[0].lo() > 0.9 && b[0].hi() < 2.3, "{}", b[0]);
         let mid = std::f64::consts::FRAC_PI_2;
         assert!(b.contains_point(&[mid]));
+    }
+
+    #[test]
+    fn batch_contract_classify_matches_serial() {
+        let (pc, dom, b) = pc_and_dom("var x in [-1, 1]; var y in [-1, 1]; pc x * x + y * y <= 1;");
+        let c = Contractor::new(&pc, dom.len());
+        // A spread of sub-boxes: inner, outer, straddling, and the domain.
+        let quarter = |lo: f64, hi: f64| -> IntervalBox {
+            [Interval::new(lo, hi), Interval::new(lo, hi)]
+                .into_iter()
+                .collect()
+        };
+        let cases = vec![
+            b.clone(),
+            quarter(-0.5, 0.5),
+            quarter(0.9, 1.0),
+            quarter(0.0, 1.0),
+            quarter(-0.1, 0.1),
+        ];
+        let mut scratch = ContractScratch::new();
+        // Serial reference: contract + certainty one box at a time.
+        let mut serial_boxes = cases.clone();
+        let mut serial: Vec<Tri> = Vec::new();
+        for bx in &mut serial_boxes {
+            if !c.contract_with(bx, &mut scratch) {
+                serial.push(Tri::False);
+            } else {
+                serial.push(c.certainty_with(bx, &mut scratch));
+            }
+        }
+        let mut batch_boxes = cases;
+        let mut verdicts = Vec::new();
+        c.contract_classify_with(&mut batch_boxes, &mut verdicts, &mut scratch);
+        assert_eq!(verdicts, serial);
+        for (sb, bb) in serial_boxes.iter().zip(&batch_boxes) {
+            assert_eq!(sb, bb, "batched contraction must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn batch_classify_empty_conjunction() {
+        let c = Contractor::new(&PathCondition::new(), 1);
+        let mut boxes: Vec<IntervalBox> = vec![[Interval::new(0.0, 1.0)].into_iter().collect()];
+        let mut verdicts = Vec::new();
+        c.contract_classify_with(&mut boxes, &mut verdicts, &mut ContractScratch::new());
+        assert_eq!(verdicts, vec![Tri::True]);
     }
 }

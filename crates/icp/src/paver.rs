@@ -118,6 +118,14 @@ impl Ord for WorkItem {
     }
 }
 
+/// Number of work items popped and contracted per batched dispatch. A
+/// batch amortizes the per-atom kernel dispatch over many boxes (the
+/// structure-of-arrays layout of
+/// `qcoral_constraints::IntervalTape::contract_batch`); larger batches
+/// also commit the paver to refining more boxes per round, so the size
+/// stays modest to keep best-first ordering meaningful.
+const PAVE_BATCH: usize = 16;
+
 /// A reusable paver holding a compiled [`Contractor`].
 #[derive(Debug)]
 pub struct Paver {
@@ -138,9 +146,13 @@ impl Paver {
     }
 
     /// Pavés `domain`, returning disjoint boxes covering all solutions of
-    /// the compiled conjunction. One [`ContractScratch`] is reused across
-    /// the whole branch-and-prune loop, so the per-box work is free of
-    /// heap allocation except for the boxes themselves.
+    /// the compiled conjunction. Work items are popped up to
+    /// `PAVE_BATCH` (16) at a time and contracted + classified in one bulk
+    /// dispatch; decisions are then made in pop (largest-first) order, so
+    /// the budget accounting matches the serial loop. One
+    /// [`ContractScratch`] is reused across the whole branch-and-prune
+    /// loop, so the per-box work is free of heap allocation except for
+    /// the boxes themselves.
     pub fn pave(&self, domain: &IntervalBox) -> Paving {
         let start = Instant::now();
         let mut scratch = ContractScratch::new();
@@ -151,40 +163,55 @@ impl Paver {
             boxed: domain.clone(),
         });
         let min_width = self.config.min_width();
+        let mut batch: Vec<IntervalBox> = Vec::with_capacity(PAVE_BATCH);
+        let mut verdicts: Vec<Tri> = Vec::with_capacity(PAVE_BATCH);
 
-        while let Some(WorkItem { mut boxed, .. }) = heap.pop() {
+        while !heap.is_empty() {
+            batch.clear();
+            while batch.len() < PAVE_BATCH {
+                let Some(WorkItem { boxed, .. }) = heap.pop() else {
+                    break;
+                };
+                batch.push(boxed);
+            }
             // Contraction never increases the box count, so it is applied
             // even once the box budget is exhausted.
-            if !self.contractor.contract_with(&mut boxed, &mut scratch) {
-                continue;
-            }
-            match self.contractor.certainty_with(&boxed, &mut scratch) {
-                Tri::True => {
-                    paving.inner.push(boxed);
-                    continue;
+            self.contractor
+                .contract_classify_with(&mut batch, &mut verdicts, &mut scratch);
+            let n = batch.len();
+            for (i, boxed) in batch.drain(..).enumerate() {
+                match verdicts[i] {
+                    Tri::True => {
+                        paving.inner.push(boxed);
+                        continue;
+                    }
+                    Tri::False => continue,
+                    Tri::Unknown => {}
                 }
-                Tri::False => continue,
-                Tri::Unknown => {}
-            }
-            let total = paving.len() + heap.len() + 1;
-            let out_of_budget = total >= self.config.max_boxes
-                || boxed.max_width() <= min_width
-                || boxed.ndim() == 0
-                || start.elapsed() >= self.config.time_budget;
-            if out_of_budget {
-                paving.boundary.push(boxed);
-            } else {
-                let (l, r) = boxed.bisect();
-                let lv = l.volume();
-                let rv = r.volume();
-                heap.push(WorkItem {
-                    boxed: l,
-                    volume: lv,
-                });
-                heap.push(WorkItem {
-                    boxed: r,
-                    volume: rv,
-                });
+                // Undecided batch mates still pending after this box
+                // count against the budget exactly as if they were on
+                // the heap.
+                let remaining = n - i - 1;
+                let total = paving.len() + heap.len() + remaining + 1;
+                let out_of_budget = total >= self.config.max_boxes
+                    || boxed.max_width() <= min_width
+                    || boxed.ndim() == 0
+                    || start.elapsed() >= self.config.time_budget;
+                if out_of_budget {
+                    paving.boundary.push(boxed);
+                } else {
+                    let (l, r) = boxed.bisect();
+                    let lv = l.volume();
+                    let rv = r.volume();
+                    heap.push(WorkItem {
+                        boxed: l,
+                        volume: lv,
+                    });
+                    heap.push(WorkItem {
+                        boxed: r,
+                        volume: rv,
+                    });
+                }
             }
         }
         paving
@@ -555,6 +582,34 @@ mod tests {
         // max_width > 1, so children have max_width > 0.5.
         for b in coarse.all_boxes() {
             assert!(b.max_width() > 0.5 - 1e-12, "{b}");
+        }
+    }
+
+    #[test]
+    fn noninteger_power_paving_stays_tight() {
+        // A band constraint through a non-integer power. The tightened
+        // pow forward/backward projections (no [0, ∞) hull) let the
+        // contractor collapse the domain to the solution band directly,
+        // so the paver must not spend its box budget re-discovering it:
+        // solutions are x ∈ [4^0.4, 9^0.4] ≈ [1.741, 2.408].
+        let (pc, dom) = setup("var x in [0, 100]; pc pow(x, 2.5) >= 4 && pow(x, 2.5) <= 9;");
+        let cfg = PaverConfig::default();
+        let paving = pave(&pc, &dom, &cfg);
+        assert!(!paving.is_unsat());
+        assert!(paving_covers(&paving, &[2.0]));
+        // No budget regression: with the over-wide hulls the paver burned
+        // its whole budget on boundary boxes scattered across [0, 100]
+        // and could never certify an inner box.
+        assert!(paving.len() <= cfg.max_boxes, "{}", paving.len());
+        assert!(
+            !paving.inner.is_empty(),
+            "interior of the band must certify as inner"
+        );
+        for b in paving.all_boxes() {
+            assert!(
+                b[0].lo() >= 1.7 && b[0].hi() <= 2.45,
+                "box {b} strays outside the solution band"
+            );
         }
     }
 

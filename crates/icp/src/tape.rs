@@ -1,34 +1,30 @@
-//! Flattened expression tapes for the HC4 forward/backward passes.
+//! Process-wide cache of compiled conjunction tapes.
 //!
-//! HC4-revise needs per-node intervals: a forward pass evaluating each
-//! sub-expression and a backward pass narrowing children from parents. An
-//! expression tree is *compiled* once into a [`Tape`] — a vector of nodes
-//! in topological order (children before parents) with structurally equal
-//! sub-expressions deduplicated. Deduplication both saves work and
-//! strengthens propagation: all occurrences of a shared sub-term are
-//! narrowed together.
+//! The HC4 forward/backward machinery itself lives in the unified tape IR
+//! (`qcoral_constraints::ival`): an [`EvalTape`] is compiled once per
+//! conjunction and [`IntervalTape`] reinterprets its node pool over
+//! intervals. This module only adds the process-wide memoization layer —
+//! independent factors recur across path conditions (and across whole
+//! analyses), so contractors share one compiled tape per distinct
+//! conjunction instead of recompiling it.
 
-use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
-use qcoral_constraints::{expr_fingerprint, BinOp, Expr, UnOp, VarId};
-use qcoral_interval::{Interval, IntervalBox};
+use qcoral_constraints::{EvalTape, IntervalTape, PathCondition};
 
 use crate::cache::CompileCache;
 
-/// Process-wide cache of compiled tapes, keyed by the source expression's
-/// structural fingerprint. Independent factors recur across path
-/// conditions (and across whole analyses), so contractors share one
-/// compiled [`Tape`] per distinct expression instead of recompiling it.
-/// The fingerprint is computed *outside* the lock and is linear in DAG
-/// size, so lookups do constant work under the mutex.
-static TAPE_CACHE: OnceLock<CompileCache<Tape>> = OnceLock::new();
+/// Process-wide cache of compiled interval tapes, keyed by the source
+/// conjunction's structural fingerprint. The fingerprint is computed
+/// *outside* the lock and is linear in DAG size, so lookups do constant
+/// work under the mutex.
+static TAPE_CACHE: OnceLock<CompileCache<IntervalTape>> = OnceLock::new();
 
 /// Cap on cached tapes; beyond it, compilation still succeeds but results
 /// are no longer retained (bounds memory for adversarial workloads).
 const TAPE_CACHE_CAP: usize = 4096;
 
-fn tape_cache() -> &'static CompileCache<Tape> {
+fn tape_cache() -> &'static CompileCache<IntervalTape> {
     TAPE_CACHE.get_or_init(|| CompileCache::new_named(TAPE_CACHE_CAP, "tape_cache"))
 }
 
@@ -39,684 +35,56 @@ pub fn tape_cache_stats() -> (u64, u64) {
     tape_cache().stats()
 }
 
-/// One node of a compiled expression.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Node {
-    /// A literal constant.
-    Const(f64),
-    /// An input variable (narrowings propagate to the box dimension).
-    Var(VarId),
-    /// Unary operation on a previous node.
-    Unary(UnOp, usize),
-    /// Binary operation on two previous nodes.
-    Binary(BinOp, usize, usize),
+/// Number of tapes currently memoized process-wide.
+pub fn cached_tapes() -> usize {
+    tape_cache().len()
 }
 
-/// A compiled expression: nodes in topological order, root last.
-#[derive(Clone, Debug)]
-pub struct Tape {
-    nodes: Vec<Node>,
-    /// For each node, the indices of parents is implicit in the reverse
-    /// walk; variables are tracked for write-back.
-    var_nodes: Vec<(usize, VarId)>,
-}
-
-impl Tape {
-    /// Compiles an expression into a tape.
-    pub fn compile(expr: &Expr) -> Tape {
-        let mut tape = Tape {
-            nodes: Vec::new(),
-            var_nodes: Vec::new(),
-        };
-        let mut memo: HashMap<Expr, usize> = HashMap::new();
-        tape.emit(expr, &mut memo);
-        tape
-    }
-
-    /// Compiles through the process-wide tape cache: structurally equal
-    /// expressions share one compiled tape. Safe across threads; the cache
-    /// is bounded, and on overflow compilation simply stops memoizing.
-    ///
-    /// Callers with throwaway, never-recurring expressions (e.g. the
-    /// symbolic executor's per-path pruning queries) should use
-    /// [`Tape::compile`] directly so they don't fill the cap.
-    pub fn compile_cached(expr: &Arc<Expr>) -> Arc<Tape> {
-        // Fingerprinting happens outside the cache lock, like the
-        // compilation itself: both can be heavy.
-        let key = expr_fingerprint(expr);
-        tape_cache().get_or_compile(key, || Tape::compile(expr))
-    }
-
-    /// Number of tapes currently memoized process-wide.
-    pub fn cached_tapes() -> usize {
-        tape_cache().len()
-    }
-
-    fn emit(&mut self, expr: &Expr, memo: &mut HashMap<Expr, usize>) -> usize {
-        if let Some(&i) = memo.get(expr) {
-            return i;
-        }
-        let node = match expr {
-            Expr::Const(v) => Node::Const(*v),
-            Expr::Var(id) => Node::Var(*id),
-            Expr::Unary(op, e) => {
-                let c = self.emit(e, memo);
-                Node::Unary(*op, c)
-            }
-            Expr::Binary(op, a, b) => {
-                let ca = self.emit(a, memo);
-                let cb = self.emit(b, memo);
-                Node::Binary(*op, ca, cb)
-            }
-        };
-        let i = self.nodes.len();
-        if let Node::Var(id) = node {
-            self.var_nodes.push((i, id));
-        }
-        self.nodes.push(node);
-        memo.insert(expr.clone(), i);
-        i
-    }
-
-    /// Number of nodes.
-    pub fn len(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// Returns `true` if the tape is empty (never happens for compiled
-    /// expressions, provided for completeness).
-    pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
-    }
-
-    /// Index of the root node.
-    pub fn root(&self) -> usize {
-        self.nodes.len() - 1
-    }
-
-    /// The nodes in topological order.
-    pub fn nodes(&self) -> &[Node] {
-        &self.nodes
-    }
-
-    /// `(node index, variable)` pairs for every variable leaf.
-    pub fn var_nodes(&self) -> &[(usize, VarId)] {
-        &self.var_nodes
-    }
-
-    /// Forward pass: evaluates every node over the box, filling `vals`
-    /// (resized as needed). Returns the root interval. An empty root means
-    /// the expression is undefined everywhere on the box (e.g. `sqrt` of a
-    /// negative range) — by the NaN semantics, no point of the box can
-    /// satisfy any atom over it.
-    pub fn forward(&self, boxed: &IntervalBox, vals: &mut Vec<Interval>) -> Interval {
-        vals.clear();
-        vals.reserve(self.nodes.len());
-        for node in &self.nodes {
-            let v = match node {
-                Node::Const(c) => Interval::point(*c),
-                Node::Var(id) => boxed[id.index()],
-                Node::Unary(op, c) => unary_forward(*op, vals[*c]),
-                // Deduplication makes x·x literally share one child node;
-                // the square form is tighter than the generic product.
-                Node::Binary(BinOp::Mul, a, b) if a == b => vals[*a].sqr(),
-                Node::Binary(op, a, b) => binary_forward(*op, vals[*a], vals[*b]),
-            };
-            vals.push(v);
-        }
-        vals[self.root()]
-    }
-
-    /// Backward (projection) pass. `vals` must come from a prior
-    /// [`Tape::forward`] call whose root entry has already been narrowed
-    /// to the constraint target. Narrows child intervals from parents and
-    /// finally writes variable narrowings back into `boxed`.
-    ///
-    /// Returns `false` if some node's interval became empty, proving the
-    /// constraint unsatisfiable on the box.
-    pub fn backward(&self, vals: &mut [Interval], boxed: &mut IntervalBox) -> bool {
-        for i in (0..self.nodes.len()).rev() {
-            let z = vals[i];
-            if z.is_empty() {
-                return false;
-            }
-            match &self.nodes[i] {
-                Node::Const(_) | Node::Var(_) => {}
-                Node::Unary(op, c) => {
-                    let x = vals[*c];
-                    let nx = unary_backward(*op, z, x);
-                    vals[*c] = nx;
-                    if nx.is_empty() {
-                        return false;
-                    }
-                }
-                Node::Binary(BinOp::Mul, a, b) if a == b => {
-                    // z = x²: x ∈ ±sqrt(z).
-                    let r = z.sqrt();
-                    let x = vals[*a];
-                    let cand = r.intersect(&x).hull(&(-r).intersect(&x));
-                    vals[*a] = cand;
-                    if cand.is_empty() {
-                        return false;
-                    }
-                }
-                Node::Binary(op, a, b) => {
-                    let x = vals[*a];
-                    let y = vals[*b];
-                    let (nx, ny) = binary_backward(*op, z, x, y);
-                    // A shared node can be both children; intersect in turn.
-                    vals[*a] = vals[*a].intersect(&nx);
-                    vals[*b] = vals[*b].intersect(&ny);
-                    if vals[*a].is_empty() || vals[*b].is_empty() {
-                        return false;
-                    }
-                }
-            }
-        }
-        for &(node, id) in &self.var_nodes {
-            let d = boxed[id.index()].intersect(&vals[node]);
-            *boxed.dim_mut(id.index()) = d;
-            if d.is_empty() {
-                return false;
-            }
-        }
-        true
-    }
-}
-
-fn unary_forward(op: UnOp, x: Interval) -> Interval {
-    match op {
-        UnOp::Neg => -x,
-        UnOp::Abs => x.abs(),
-        UnOp::Sqrt => x.sqrt(),
-        UnOp::Exp => x.exp(),
-        UnOp::Ln => x.ln(),
-        UnOp::Sin => x.sin(),
-        UnOp::Cos => x.cos(),
-        UnOp::Tan => x.tan(),
-        UnOp::Asin => x.asin(),
-        UnOp::Acos => x.acos(),
-        UnOp::Atan => x.atan(),
-    }
-}
-
-fn binary_forward(op: BinOp, a: Interval, b: Interval) -> Interval {
-    match op {
-        BinOp::Add => a + b,
-        BinOp::Sub => a - b,
-        BinOp::Mul => a * b,
-        BinOp::Div => a / b,
-        BinOp::Pow => a.pow(&b),
-        BinOp::Min => a.min_i(&b),
-        BinOp::Max => a.max_i(&b),
-        BinOp::Atan2 => a.atan2(&b),
-    }
-}
-
-/// Projection of `z = op(x)` onto `x`: returns a superset of
-/// `{t ∈ x : op(t) ∈ z}`.
-fn unary_backward(op: UnOp, z: Interval, x: Interval) -> Interval {
-    use std::f64::consts::{FRAC_PI_2, PI};
-    match op {
-        UnOp::Neg => x.intersect(&-z),
-        UnOp::Abs => {
-            let pos = z.intersect(&Interval::new(0.0, f64::INFINITY));
-            if pos.is_empty() {
-                return Interval::EMPTY;
-            }
-            x.intersect(&pos.hull(&-pos))
-        }
-        UnOp::Sqrt => {
-            let nz = z.intersect(&Interval::new(0.0, f64::INFINITY));
-            if nz.is_empty() {
-                return Interval::EMPTY;
-            }
-            x.intersect(&nz.sqr())
-        }
-        UnOp::Exp => {
-            let pz = z.intersect(&Interval::new(0.0, f64::INFINITY));
-            if pz.is_empty() {
-                return Interval::EMPTY;
-            }
-            x.intersect(&pz.ln().widen())
-        }
-        UnOp::Ln => x.intersect(&z.exp()),
-        UnOp::Sin => periodic_backward(z, x, PeriodicKind::Sin),
-        UnOp::Cos => periodic_backward(z, x, PeriodicKind::Cos),
-        UnOp::Tan => {
-            // t ∈ atan(z) + kπ
-            if !x.is_bounded() || x.width() > 64.0 * PI {
-                return x;
-            }
-            let base = z.atan().widen();
-            let mut acc = Interval::EMPTY;
-            let k_lo = ((x.lo() - base.hi()) / PI).floor() as i64;
-            let k_hi = ((x.hi() - base.lo()) / PI).ceil() as i64;
-            for k in k_lo..=k_hi {
-                let cand =
-                    Interval::new_or_empty(base.lo() + k as f64 * PI, base.hi() + k as f64 * PI)
-                        .widen();
-                acc = acc.hull(&cand.intersect(&x));
-            }
-            acc
-        }
-        UnOp::Asin => {
-            // z = asin(x) has z ⊆ [-π/2, π/2] where sin is monotone.
-            let zc = z.intersect(&Interval::new(-FRAC_PI_2, FRAC_PI_2).widen());
-            if zc.is_empty() {
-                return Interval::EMPTY;
-            }
-            x.intersect(&zc.sin())
-        }
-        UnOp::Acos => {
-            let zc = z.intersect(&Interval::new(0.0, PI).widen());
-            if zc.is_empty() {
-                return Interval::EMPTY;
-            }
-            x.intersect(&zc.cos())
-        }
-        UnOp::Atan => x.intersect(&z.tan()),
-    }
-}
-
-enum PeriodicKind {
-    Sin,
-    Cos,
-}
-
-/// Projection of `z = sin(x)` or `z = cos(x)` onto `x`. Enumerates the
-/// periods overlapping `x`; returns `x` unchanged if `x` spans too many
-/// periods for enumeration to pay off.
-fn periodic_backward(z: Interval, x: Interval, kind: PeriodicKind) -> Interval {
-    use std::f64::consts::PI;
-    let two_pi = 2.0 * PI;
-    let zc = z.intersect(&Interval::new(-1.0, 1.0));
-    if zc.is_empty() {
-        return Interval::EMPTY;
-    }
-    if !x.is_bounded() || x.width() > 32.0 * two_pi {
-        return x;
-    }
-    // Solutions are (A + 2πk) ∪ (B + 2πk) with the two principal branches.
-    let (a, b) = match kind {
-        PeriodicKind::Sin => {
-            let asin = zc.asin().widen(); // ⊆ [-π/2, π/2]
-            let mirrored = Interval::new_or_empty(PI - asin.hi(), PI - asin.lo()).widen();
-            (asin, mirrored)
-        }
-        PeriodicKind::Cos => {
-            let acos = zc.acos().widen(); // ⊆ [0, π]
-            (acos, -acos)
-        }
-    };
-    let mut acc = Interval::EMPTY;
-    for branch in [a, b] {
-        if branch.is_empty() {
-            continue;
-        }
-        let k_lo = ((x.lo() - branch.hi()) / two_pi).floor() as i64;
-        let k_hi = ((x.hi() - branch.lo()) / two_pi).ceil() as i64;
-        for k in k_lo..=k_hi {
-            let cand = Interval::new_or_empty(
-                branch.lo() + k as f64 * two_pi,
-                branch.hi() + k as f64 * two_pi,
-            )
-            .widen();
-            acc = acc.hull(&cand.intersect(&x));
-        }
-    }
-    acc
-}
-
-/// Projection of `z = op(x, y)` onto `(x, y)`.
-fn binary_backward(op: BinOp, z: Interval, x: Interval, y: Interval) -> (Interval, Interval) {
-    match op {
-        BinOp::Add => (x.intersect(&(z - y)), y.intersect(&(z - x))),
-        BinOp::Sub => (x.intersect(&(z + y)), y.intersect(&(x - z))),
-        BinOp::Mul => {
-            // Solve x·y ∈ z. Division by an interval containing zero in
-            // its interior yields ENTIRE (no narrowing). A point-zero
-            // factor constrains nothing about the other operand.
-            let nx = if y == Interval::ZERO {
-                x
-            } else {
-                x.intersect(&(z / y))
-            };
-            let ny = if x == Interval::ZERO {
-                y
-            } else {
-                y.intersect(&(z / x))
-            };
-            (nx, ny)
-        }
-        BinOp::Div => {
-            // z = x / y  ⇒  x = z·y ;  y = x / z.
-            let nx = x.intersect(&(z * y));
-            let ny = if z == Interval::ZERO {
-                y
-            } else {
-                y.intersect(&(x / z))
-            };
-            (nx, ny)
-        }
-        BinOp::Pow => pow_backward(z, x, y),
-        BinOp::Min => {
-            // min(x, y) = z: both operands are ≥ z.lo; an operand forced
-            // to be the minimum (other's lo above z.hi) must lie in z.
-            let ge = Interval::new(z.lo(), f64::INFINITY);
-            let mut nx = x.intersect(&ge);
-            let mut ny = y.intersect(&ge);
-            if y.lo() > z.hi() {
-                nx = nx.intersect(&z);
-            }
-            if x.lo() > z.hi() {
-                ny = ny.intersect(&z);
-            }
-            (nx, ny)
-        }
-        BinOp::Max => {
-            let le = Interval::new(f64::NEG_INFINITY, z.hi());
-            let mut nx = x.intersect(&le);
-            let mut ny = y.intersect(&le);
-            if y.hi() < z.lo() {
-                nx = nx.intersect(&z);
-            }
-            if x.hi() < z.lo() {
-                ny = ny.intersect(&z);
-            }
-            (nx, ny)
-        }
-        // atan2 narrowing is not implemented (sound: no narrowing).
-        BinOp::Atan2 => (x, y),
-    }
-}
-
-/// Projection for `z = x^y`.
-fn pow_backward(z: Interval, x: Interval, y: Interval) -> (Interval, Interval) {
-    // Only narrow x, and only for a point exponent (the common case in
-    // path conditions); anything else keeps the operands unchanged.
-    if !y.is_point() {
-        return (x, y);
-    }
-    let n = y.lo();
-    if n == 0.0 {
-        return (x, y);
-    }
-    if n.fract() == 0.0 && n.abs() <= 64.0 {
-        let n = n as i32;
-        if n > 0 && n % 2 == 1 {
-            // Odd power: monotone; x = z^(1/n) with sign preserved.
-            let root = signed_root(z, n);
-            return (x.intersect(&root), y);
-        }
-        if n > 0 {
-            // Even power: |x| ∈ root(z ∩ [0, ∞)).
-            let nz = z.intersect(&Interval::new(0.0, f64::INFINITY));
-            if nz.is_empty() {
-                return (Interval::EMPTY, y);
-            }
-            let r = signed_root(nz, n);
-            let neg = -r;
-            let cand = r.intersect(&x).hull(&neg.intersect(&x));
-            return (cand, y);
-        }
-        // Negative exponents: x = (1/z)^(1/|n|); keep conservative.
-        return (x, y);
-    }
-    // Non-integer exponent: defined only for x ≥ 0; x = z^(1/n).
-    let nz = z.intersect(&Interval::new(0.0, f64::INFINITY));
-    if nz.is_empty() {
-        return (Interval::EMPTY, y);
-    }
-    if n > 0.0 {
-        let inv = Interval::point(1.0) / Interval::point(n);
-        let cand = nz.pow(&inv).hull(&Interval::ZERO).widen();
-        return (x.intersect(&cand), y);
-    }
-    (x, y)
-}
-
-/// Sign-preserving n-th root hull for positive integer `n`.
-fn signed_root(z: Interval, n: i32) -> Interval {
-    if z.is_empty() {
-        return Interval::EMPTY;
-    }
-    let root1 = |v: f64| -> f64 {
-        if v.is_infinite() {
-            return v;
-        }
-        v.signum() * v.abs().powf(1.0 / n as f64)
-    };
-    Interval::new_or_empty(root1(z.lo()), root1(z.hi()))
-        .widen()
-        .widen()
+/// Compiles `pc` through the process-wide tape cache: structurally equal
+/// conjunctions share one compiled tape. Safe across threads; the cache
+/// is bounded, and on overflow compilation simply stops memoizing.
+///
+/// Callers with throwaway, never-recurring conjunctions (e.g. the
+/// symbolic executor's per-path pruning queries) should compile directly
+/// so they don't fill the cap.
+pub fn compile_cached(pc: &PathCondition) -> Arc<IntervalTape> {
+    // Fingerprinting happens outside the cache lock, like the
+    // compilation itself: both can be heavy.
+    let key = pc.fingerprint();
+    tape_cache().get_or_compile(key, || IntervalTape::compile(&EvalTape::compile(pc)))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qcoral_constraints::Expr;
+    use qcoral_constraints::{Atom, Expr, RelOp, VarId};
 
-    fn x() -> Expr {
-        Expr::var(VarId(0))
-    }
-
-    fn y() -> Expr {
-        Expr::var(VarId(1))
-    }
-
-    fn bx(dims: &[(f64, f64)]) -> IntervalBox {
-        dims.iter().map(|&(l, h)| Interval::new(l, h)).collect()
+    fn pc_of(lhs: Expr, op: RelOp, rhs: Expr) -> PathCondition {
+        PathCondition::from_atoms(vec![Atom::new(lhs, op, rhs)])
     }
 
     #[test]
-    fn compile_dedupes_shared_subterms() {
-        // (x + 1) * (x + 1): the sub-term appears once in the tape.
-        let shared = x().add(Expr::constant(1.0));
-        let e = shared.clone().mul(shared);
-        let t = Tape::compile(&e);
-        // nodes: x, 1, x+1, (x+1)*(x+1) = 4 (not 7)
-        assert_eq!(t.len(), 4);
-        assert_eq!(t.var_nodes().len(), 1);
+    fn structurally_equal_conjunctions_share_one_tape() {
+        let x = || Expr::var(VarId(0));
+        let a = pc_of(x().mul(x()).add(Expr::constant(1.0)), RelOp::Le, x());
+        let b = pc_of(x().mul(x()).add(Expr::constant(1.0)), RelOp::Le, x());
+        let (h0, m0) = tape_cache_stats();
+        let ta = compile_cached(&a);
+        let tb = compile_cached(&b);
+        assert!(Arc::ptr_eq(&ta, &tb), "equal conjunctions share a tape");
+        let (h1, m1) = tape_cache_stats();
+        assert!(h1 > h0, "second lookup hits");
+        assert!(m1 > m0, "first lookup misses");
+        assert!(cached_tapes() >= 1);
     }
 
     #[test]
-    fn dedup_strengthens_forward_to_square() {
-        // Because (x+1) is one shared node, (x+1)*(x+1) evaluates as a
-        // square: on x ∈ [-3, 1] the image is [0, 4]. A tree-shaped
-        // product of two independent copies would give [-2,2]·[-2,2] =
-        // [-4, 4].
-        let shared = x().add(Expr::constant(1.0));
-        let e = shared.clone().mul(shared);
-        let t = Tape::compile(&e);
-        let mut vals = Vec::new();
-        let r = t.forward(&bx(&[(-3.0, 1.0)]), &mut vals);
-        assert!(r.lo() >= 0.0, "square image must be non-negative: {r}");
-        assert!(r.hi() <= 4.0 + 1e-12, "{r}");
-    }
-
-    #[test]
-    fn dedup_narrows_shared_subterms_together() {
-        // (x+1)² ∈ [0, 1] on x ∈ [-3, 1]: both occurrences of (x+1)
-        // narrow simultaneously, giving x ∈ [-2, 0]. With separate
-        // sub-terms the generic product projection narrows much less.
-        let shared = x().add(Expr::constant(1.0));
-        let e = shared.clone().mul(shared);
-        let t = Tape::compile(&e);
-        let mut b = bx(&[(-3.0, 1.0)]);
-        let mut vals = Vec::new();
-        t.forward(&b, &mut vals);
-        let root = t.root();
-        vals[root] = vals[root].intersect(&Interval::new(0.0, 1.0));
-        assert!(t.backward(&mut vals, &mut b));
-        assert!(
-            b[0].lo() >= -2.01 && b[0].hi() <= 0.01,
-            "shared narrowing should give [-2, 0], got {}",
-            b[0]
-        );
-        // Genuine solutions survive.
-        assert!(b[0].contains(-1.5) && b[0].contains(-0.5));
-    }
-
-    #[test]
-    fn compile_cached_shares_one_tape() {
-        // Two structurally equal but separately allocated expressions
-        // resolve to the same Arc through the process-wide cache.
-        let e1 = Arc::new(x().mul(y()).sin().add(x().sqrt()));
-        let e2 = Arc::new(x().mul(y()).sin().add(x().sqrt()));
-        let t1 = Tape::compile_cached(&e1);
-        let t2 = Tape::compile_cached(&e2);
-        assert!(std::sync::Arc::ptr_eq(&t1, &t2));
-        assert!(Tape::cached_tapes() >= 1);
-        // The cached tape evaluates like a fresh one.
-        let fresh = Tape::compile(&e1);
-        let b = bx(&[(4.0, 4.0), (0.5, 0.5)]);
-        let mut va = Vec::new();
-        let mut vb = Vec::new();
-        assert_eq!(t1.forward(&b, &mut va), fresh.forward(&b, &mut vb));
-    }
-
-    #[test]
-    fn forward_matches_point_eval() {
-        let e = x().mul(y()).sin().add(x().sqrt());
-        let t = Tape::compile(&e);
-        let b = bx(&[(4.0, 4.0), (0.5, 0.5)]);
-        let mut vals = Vec::new();
-        let r = t.forward(&b, &mut vals);
-        let exact = (4.0f64 * 0.5).sin() + 2.0;
-        assert!(r.contains(exact), "{r} should contain {exact}");
-        assert!(r.width() < 1e-9);
-    }
-
-    #[test]
-    fn forward_empty_for_undefined() {
-        let e = x().sqrt();
-        let t = Tape::compile(&e);
-        let b = bx(&[(-3.0, -1.0)]);
-        let mut vals = Vec::new();
-        assert!(t.forward(&b, &mut vals).is_empty());
-    }
-
-    #[test]
-    fn backward_narrows_linear() {
-        // x + y ∈ [0, 0.5] on x,y ∈ [0,1]: each var narrows to [0, 0.5].
-        let e = x().add(y());
-        let t = Tape::compile(&e);
-        let mut b = bx(&[(0.0, 1.0), (0.0, 1.0)]);
-        let mut vals = Vec::new();
-        t.forward(&b, &mut vals);
-        let root = t.root();
-        vals[root] = vals[root].intersect(&Interval::new(f64::NEG_INFINITY, 0.5));
-        assert!(t.backward(&mut vals, &mut b));
-        assert!(b[0].hi() <= 0.6);
-        assert!(b[1].hi() <= 0.6);
-    }
-
-    #[test]
-    fn backward_proves_empty() {
-        // x^2 ∈ [-2, -1] is impossible.
-        let e = x().pow(Expr::constant(2.0));
-        let t = Tape::compile(&e);
-        let mut b = bx(&[(-1.0, 1.0)]);
-        let mut vals = Vec::new();
-        t.forward(&b, &mut vals);
-        let root = t.root();
-        vals[root] = Interval::new(-2.0, -1.0).intersect(&vals[root]);
-        // Either the intersection is already empty or backward detects it.
-        let still = !vals[root].is_empty() && t.backward(&mut vals, &mut b);
-        assert!(!still);
-    }
-
-    #[test]
-    fn backward_sqrt() {
-        // sqrt(x) ∈ [2, 3] ⇒ x ∈ [4, 9].
-        let e = x().sqrt();
-        let t = Tape::compile(&e);
-        let mut b = bx(&[(0.0, 100.0)]);
-        let mut vals = Vec::new();
-        t.forward(&b, &mut vals);
-        let root = t.root();
-        vals[root] = vals[root].intersect(&Interval::new(2.0, 3.0));
-        assert!(t.backward(&mut vals, &mut b));
-        assert!(b[0].lo() >= 3.9 && b[0].hi() <= 9.1, "{}", b[0]);
-    }
-
-    #[test]
-    fn backward_sin_enumerates_periods() {
-        use std::f64::consts::PI;
-        // sin(x) ∈ [0.9, 1] on x ∈ [0, 4π]: solutions near π/2 and π/2+2π.
-        let e = x().sin();
-        let t = Tape::compile(&e);
-        let mut b = bx(&[(0.0, 4.0 * PI)]);
-        let mut vals = Vec::new();
-        t.forward(&b, &mut vals);
-        let root = t.root();
-        vals[root] = vals[root].intersect(&Interval::new(0.9, 1.0));
-        assert!(t.backward(&mut vals, &mut b));
-        // Hull of the two solution islands: ⊆ [asin(0.9), 2π + π - asin(0.9)]
-        let lo_expect = 0.9f64.asin();
-        let hi_expect = 2.0 * PI + PI - 0.9f64.asin();
-        assert!(b[0].lo() >= lo_expect - 0.01, "{}", b[0]);
-        assert!(b[0].hi() <= hi_expect + 0.01, "{}", b[0]);
-        // Make sure actual solutions survived.
-        assert!(b[0].contains(PI / 2.0));
-        assert!(b[0].contains(PI / 2.0 + 2.0 * PI));
-    }
-
-    #[test]
-    fn backward_mul_zero_factor_does_not_overprune() {
-        // x * 0 ∈ [0, 0]: x is unconstrained, must stay [0, 1].
-        let e = x().mul(Expr::constant(0.0));
-        let t = Tape::compile(&e);
-        let mut b = bx(&[(0.0, 1.0)]);
-        let mut vals = Vec::new();
-        t.forward(&b, &mut vals);
-        let root = t.root();
-        vals[root] = vals[root].intersect(&Interval::ZERO);
-        assert!(t.backward(&mut vals, &mut b));
-        assert_eq!(b[0], Interval::new(0.0, 1.0));
-    }
-
-    #[test]
-    fn backward_even_power() {
-        // x^2 ∈ [4, 9] on x ∈ [-10, 10] ⇒ x ∈ [-3, 3] (hull of ±[2,3]).
-        let e = x().pow(Expr::constant(2.0));
-        let t = Tape::compile(&e);
-        let mut b = bx(&[(-10.0, 10.0)]);
-        let mut vals = Vec::new();
-        t.forward(&b, &mut vals);
-        let root = t.root();
-        vals[root] = vals[root].intersect(&Interval::new(4.0, 9.0));
-        assert!(t.backward(&mut vals, &mut b));
-        assert!(b[0].lo() >= -3.1 && b[0].hi() <= 3.1, "{}", b[0]);
-        assert!(b[0].contains(2.5) && b[0].contains(-2.5));
-    }
-
-    #[test]
-    fn backward_min_max() {
-        // min(x, y) ∈ [5, 6] with y ∈ [10, 20] forces x ∈ [5, 6].
-        let e = x().min_e(y());
-        let t = Tape::compile(&e);
-        let mut b = bx(&[(0.0, 100.0), (10.0, 20.0)]);
-        let mut vals = Vec::new();
-        t.forward(&b, &mut vals);
-        let root = t.root();
-        vals[root] = vals[root].intersect(&Interval::new(5.0, 6.0));
-        assert!(t.backward(&mut vals, &mut b));
-        assert!(b[0].lo() >= 4.9 && b[0].hi() <= 6.1, "{}", b[0]);
-    }
-
-    #[test]
-    fn backward_exp_ln() {
-        // exp(x) ∈ [1, e] ⇒ x ∈ [0, 1].
-        let e = x().exp();
-        let t = Tape::compile(&e);
-        let mut b = bx(&[(-10.0, 10.0)]);
-        let mut vals = Vec::new();
-        t.forward(&b, &mut vals);
-        let root = t.root();
-        vals[root] = vals[root].intersect(&Interval::new(1.0, std::f64::consts::E));
-        assert!(t.backward(&mut vals, &mut b));
-        assert!(b[0].lo() >= -0.001 && b[0].hi() <= 1.001, "{}", b[0]);
+    fn different_conjunctions_get_different_tapes() {
+        let x = || Expr::var(VarId(0));
+        let a = pc_of(x().sin(), RelOp::Gt, Expr::constant(0.25));
+        let b = pc_of(x().cos(), RelOp::Gt, Expr::constant(0.25));
+        let ta = compile_cached(&a);
+        let tb = compile_cached(&b);
+        assert!(!Arc::ptr_eq(&ta, &tb));
     }
 }

@@ -391,13 +391,18 @@ impl Interval {
         }
     }
 
-    /// General power `x^y`.
+    /// General power `x^y`, enclosing IEEE `powf` on points.
     ///
-    /// Follows IEEE `powf` semantics on points: negative bases are only
-    /// meaningful for integer exponents. If `y` is a point integer the
-    /// computation delegates to [`Interval::powi`]; otherwise the base is
-    /// restricted to `[0, ∞)` (values where `powf` would return NaN carry
-    /// no solutions).
+    /// If `y` is a point integer the computation delegates to
+    /// [`Interval::powi`]. Otherwise the non-negative part of the base
+    /// evaluates as `exp(y · ln x)` — whose unbounded `ln` lower end
+    /// already carries the `0^y` limits (`0` for `y > 0`, divergence for
+    /// `y < 0`, `1` for `y = 0`) whenever the base straddles zero — and,
+    /// because `powf` is finite on negative bases raised to *integer*
+    /// exponents, a symmetric magnitude hull is added for the negative
+    /// part of the base whenever `y` contains an integer. Negative-base
+    /// points with non-integer exponents are NaN in `powf` and carry no
+    /// values to enclose.
     pub fn pow(&self, y: &Interval) -> Interval {
         if self.is_empty() || y.is_empty() {
             return Interval::EMPTY;
@@ -405,17 +410,35 @@ impl Interval {
         if y.is_point() && y.lo.fract() == 0.0 && y.lo.abs() <= i32::MAX as f64 {
             return self.powi(y.lo as i32);
         }
-        // x^y = exp(y · ln x) on the positive part; 0^y = 0 for y > 0.
         let base = self.intersect(&Interval::new(0.0, f64::INFINITY));
-        if base.is_empty() {
-            return Interval::EMPTY;
-        }
-        let mut out = (base.ln() * *y).exp();
-        if base.contains(0.0) && y.possibly_le(&Interval::ZERO) {
-            // 0^y for y ≤ 0 diverges; be conservative.
-            out = out.hull(&Interval::new(0.0, f64::INFINITY));
-        } else if base.contains(0.0) {
-            out = out.hull(&Interval::ZERO);
+        let mut out = if base.is_empty() {
+            Interval::EMPTY
+        } else if base.hi == 0.0 {
+            // Base is exactly {0}: powf(0, t) is 0 for t > 0, 1 at
+            // t = 0 and +∞ for t < 0 (kept as an unbounded-above hull).
+            let mut z = Interval::EMPTY;
+            if y.hi > 0.0 {
+                z = z.hull(&Interval::ZERO);
+            }
+            if y.contains(0.0) {
+                z = z.hull(&Interval::point(1.0));
+            }
+            if y.lo < 0.0 {
+                z = z.hull(&Interval::new(f64::MAX, f64::INFINITY));
+            }
+            z
+        } else {
+            (base.ln() * *y).exp()
+        };
+        // Negative bases: finite for the integer exponents in `y`, with
+        // magnitude |x|^t and either sign (exponent parity).
+        let neg = self.intersect(&Interval::new(f64::NEG_INFINITY, 0.0));
+        if !neg.is_empty() && neg.lo < 0.0 && y.lo.ceil() <= y.hi {
+            let mag = -neg;
+            let m = (mag.ln() * *y).exp();
+            if !m.is_empty() {
+                out = out.hull(&Interval::new_or_empty(-m.hi, m.hi));
+            }
         }
         out
     }

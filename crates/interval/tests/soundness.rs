@@ -194,3 +194,65 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&rv));
     }
 }
+
+proptest! {
+    /// `powf` is finite on negative bases raised to integer exponents;
+    /// the interval power must enclose those values whenever the
+    /// exponent interval contains the integer. (A regression guard: an
+    /// earlier implementation clamped the base to `[0, ∞)` on the
+    /// non-point-exponent path, silently dropping every negative-base
+    /// value and letting the paver misclassify boxes.)
+    #[test]
+    fn pow_integer_exponent_negative_base_inclusion(
+        (a, x) in interval_with_point(),
+        k in -6i32..=6,
+        pad in 0.0f64..=0.9,
+    ) {
+        let b = Interval::new(k as f64 - pad, k as f64 + pad);
+        let p = x.powf(k as f64);
+        if p.is_finite() {
+            prop_assert!(
+                a.pow(&b).contains(p),
+                "{a}.pow({b}) = {} should contain {x}^{k} = {p}",
+                a.pow(&b)
+            );
+        }
+    }
+}
+
+/// A base touching zero with a non-negative exponent range must not blow
+/// the upper bound to +∞: `exp(y · ln x)` carries the zero limits itself.
+#[test]
+fn pow_zero_touching_base_stays_bounded() {
+    let b = Interval::new(0.0, 4.0);
+    let p = b.pow(&Interval::new(0.0, 2.0));
+    assert!(p.hi().is_finite(), "{p}");
+    assert!(p.hi() <= 16.0 + 1e-9, "{p}");
+    assert!(
+        p.contains(0.0) && p.contains(1.0) && p.contains(16.0),
+        "{p}"
+    );
+}
+
+/// An exactly-zero base maps through the `powf(0, t)` case split.
+#[test]
+fn pow_point_zero_base() {
+    let z = Interval::ZERO.pow(&Interval::new(0.5, 2.0));
+    assert_eq!(z, Interval::ZERO);
+    let with_zero_exp = Interval::ZERO.pow(&Interval::new(0.0, 2.0));
+    assert!(with_zero_exp.contains(0.0) && with_zero_exp.contains(1.0));
+    assert!(with_zero_exp.hi().is_finite());
+}
+
+/// A purely negative base with an integer in the exponent range keeps
+/// its finite values.
+#[test]
+fn pow_negative_base_integer_exponent_enclosed() {
+    let a = Interval::new(-2.0, -2.0);
+    let p = a.pow(&Interval::new(0.5, 1.5));
+    assert!(p.contains(-2.0), "{p} should contain (-2)^1 = -2");
+    // Without an integer in the exponent range there is nothing to
+    // enclose: every negative-base powf is NaN.
+    let q = a.pow(&Interval::new(0.25, 0.75));
+    assert!(q.is_empty(), "{q}");
+}
