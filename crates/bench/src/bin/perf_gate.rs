@@ -14,9 +14,10 @@
 //!
 //! * wall-clock fields (`*_secs`, `*_ms`) from the hot-path and service
 //!   benches — machine-relative, hence the geomean-of-ratios;
-//! * samples-to-target fields (`adaptive_samples`, `aligned_samples`)
-//!   from the adaptive and profiles benches — deterministic efficiency
-//!   measures where a jump means an algorithmic regression.
+//! * samples-to-target fields (`adaptive_samples`, `aligned_samples`,
+//!   `is_samples_to_target`) from the adaptive, profiles and rare
+//!   benches — deterministic efficiency measures where a jump means an
+//!   algorithmic regression.
 //!
 //! Files present only in the baseline fail the gate (the smoke run did
 //! not produce them); files present only fresh are noted and skipped
@@ -49,6 +50,9 @@ const GATED: &[(&str, &[&str])] = &[
     ),
     ("BENCH_adaptive.json", &["adaptive_samples"]),
     ("BENCH_profiles.json", &["aligned_samples"]),
+    // Rare-event IS efficiency: more samples to reach the same target
+    // stderr means the proposal adaptation regressed.
+    ("BENCH_rare.json", &["is_samples_to_target"]),
 ];
 
 /// Extracts `(subject, field) -> value` pairs from one of the emitted

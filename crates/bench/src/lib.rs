@@ -20,6 +20,7 @@
 pub mod adaptive;
 pub mod hotpath;
 pub mod profiles;
+pub mod rare;
 pub mod service;
 pub mod table1;
 pub mod table2;

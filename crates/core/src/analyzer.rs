@@ -39,8 +39,9 @@ use qcoral_constraints::{ConstraintSet, Domain, PathCondition, VarId, VarSet};
 use qcoral_icp::{domain_box, tape_cache_stats, PaverConfig, PavingCache};
 use qcoral_interval::IntervalBox;
 use qcoral_mc::{
-    align_strata, hit_or_miss_plan_bulk, mix_seed, stratified_plan_bulk, Allocation, Deadline,
-    Dist, Estimate, SamplePlan, Stratum, UsageProfile,
+    align_strata, hit_or_miss_plan_bulk, initial_allocation, mix_seed, neyman_allocation,
+    refine_plan_bulk, stratified_plan_bulk, Allocation, BulkPred, Deadline, Dist, Estimate,
+    IsEstimator, SamplePlan, Stratum, StratumAccum, UsageProfile,
 };
 
 use crate::bulkpred::CompiledPred;
@@ -71,7 +72,23 @@ pub struct Options {
     /// caching half of the paper's `PARTCACHE`). Requires `partition`.
     pub cache: bool,
     /// Sample allocation across strata (paper: equal per stratum).
+    /// [`Allocation::ImportanceAdaptive`] additionally arms the
+    /// rare-event escalation below.
     pub allocation: Allocation,
+    /// Rare-event escalation threshold, active only under
+    /// [`Allocation::ImportanceAdaptive`]: a factor whose stratified
+    /// pilot round *estimates* a probability strictly below this (exact
+    /// mass plus weighted boundary hit rate — the raw conditional hit
+    /// rate is no rarity signal, because boundary strata hug the
+    /// constraint surface) switches its boundary-region budget to the
+    /// paver-seeded adaptive importance-sampling engine
+    /// ([`qcoral_mc::IsEstimator`]); at or above it the factor stays
+    /// stratified. `1.0` forces IS on every factor with boundary
+    /// strata, `0.0` disables the switch entirely. Folded into the
+    /// sampling fingerprints only under `ImportanceAdaptive`, so every
+    /// other configuration keeps its historic cache keys (and warm
+    /// stores) unchanged.
+    pub is_threshold: f64,
     /// ICP paver budget (paper defaults: 10 boxes, 3 digits, 2 s).
     pub paver: PaverConfig,
     /// Fan out path conditions, independent factors and sample chunks
@@ -142,6 +159,7 @@ impl Options {
             partition: false,
             cache: false,
             allocation: Allocation::EqualPerStratum,
+            is_threshold: qcoral_mc::DEFAULT_IS_THRESHOLD,
             paver: PaverConfig::default(),
             parallel: false,
             chunk: SamplePlan::DEFAULT_CHUNK,
@@ -183,6 +201,21 @@ impl Options {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Options {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the stratum allocation policy.
+    /// [`Allocation::ImportanceAdaptive`] arms the rare-event
+    /// importance-sampling escalation (see [`Options::is_threshold`]).
+    pub fn with_allocation(mut self, allocation: Allocation) -> Options {
+        self.allocation = allocation;
+        self
+    }
+
+    /// Sets the rare-event pilot-estimate threshold (see
+    /// [`Options::is_threshold`]).
+    pub fn with_is_threshold(mut self, threshold: f64) -> Options {
+        self.is_threshold = threshold;
         self
     }
 
@@ -266,6 +299,9 @@ impl Options {
                 Allocation::EqualPerStratum => 0,
                 Allocation::Proportional => 2,
                 Allocation::VarianceAdaptive => 3,
+                // Fresh word: IS estimates share streams with no earlier
+                // release, so stale entries must go cold.
+                Allocation::ImportanceAdaptive => 4,
             },
             self.paver.max_boxes as u64,
             self.paver.precision_digits as u64,
@@ -273,6 +309,13 @@ impl Options {
             self.paver.max_passes as u64,
         ] {
             h = fnv_fold(h, word);
+        }
+        // IS-only bits, folded conditionally: every configuration that
+        // existed before the rare-event engine keeps its exact historic
+        // fingerprint (uniform keys unchanged, warm stores stay warm),
+        // while IS runs key on everything that shapes their streams.
+        if self.allocation == Allocation::ImportanceAdaptive {
+            h = fnv_fold(h, self.is_threshold.to_bits());
         }
         h
     }
@@ -352,6 +395,19 @@ pub struct Stats {
     /// ceiling or refinement exhaustion stopped the loop first, when no
     /// target was set, and always for one-shot `analyze`.
     pub target_met: bool,
+    /// Factors whose boundary-region estimate came from the adaptive
+    /// importance-sampling engine (see [`qcoral_mc::IsEstimator`]):
+    /// under [`Allocation::ImportanceAdaptive`], the factors whose pilot
+    /// hit rate fell below [`Options::is_threshold`] and whose proposal
+    /// produced hits. Always 0 under other allocations and for fully
+    /// cache-answered runs.
+    pub is_factors: u64,
+    /// Degenerate-proposal fallbacks: factors that switched to IS but
+    /// whose first proposal round found zero hits, deterministically
+    /// falling back to stratified sampling for the rest of their budget.
+    /// A non-zero count usually means the paver's boundary boxes carry
+    /// essentially no satisfiable mass at this precision.
+    pub is_fallbacks: u64,
     /// Whether the run's [`Deadline`] expired before the analysis
     /// finished. When `true` the report is a best-effort *partial*
     /// result: factors (or whole path conditions) that never ran
@@ -516,6 +572,8 @@ struct Shared<'a> {
     paving_hits: Arc<Counter>,
     paving_misses: Arc<Counter>,
     samples_drawn: Arc<Counter>,
+    is_factors: Arc<Counter>,
+    is_fallbacks: Arc<Counter>,
 }
 
 impl Analyzer {
@@ -656,6 +714,8 @@ impl Analyzer {
             paving_hits: Counter::new(),
             paving_misses: Counter::new(),
             samples_drawn: Counter::new(),
+            is_factors: Counter::new(),
+            is_fallbacks: Counter::new(),
         };
 
         // Algorithm 1, fanned out per Theorem 1: each path condition's
@@ -696,6 +756,8 @@ impl Analyzer {
             rounds: 0,
             refine_samples: 0,
             target_met: false,
+            is_factors: shared.is_factors.get(),
+            is_fallbacks: shared.is_fallbacks.get(),
             deadline_exceeded: shared.expired(),
         };
         if let Some(t) = &trace {
@@ -737,6 +799,8 @@ struct GlobalAnalysisMetrics {
     boundary_boxes: Arc<Counter>,
     rounds: Arc<Counter>,
     refine_samples: Arc<Counter>,
+    is_factors: Arc<Counter>,
+    is_fallbacks: Arc<Counter>,
     duration_us: Arc<Histogram>,
 }
 
@@ -789,6 +853,14 @@ fn global_metrics() -> &'static GlobalAnalysisMetrics {
                 "qcoral_refine_samples_total",
                 "Samples drawn by refinement rounds after the first.",
             ),
+            is_factors: r.counter(
+                "qcoral_is_factors_total",
+                "Factors quantified by the adaptive importance-sampling engine.",
+            ),
+            is_fallbacks: r.counter(
+                "qcoral_is_fallbacks_total",
+                "IS factors that fell back to stratified after a zero-hit proposal round.",
+            ),
             duration_us: r.histogram(
                 "qcoral_analysis_duration_us",
                 "Wall-clock time per analysis, microseconds.",
@@ -814,6 +886,8 @@ pub(crate) fn publish_report(report: &Report) {
     m.boundary_boxes.add(s.boundary_boxes);
     m.rounds.add(s.rounds);
     m.refine_samples.add(s.refine_samples);
+    m.is_factors.add(s.is_factors);
+    m.is_fallbacks.add(s.is_fallbacks);
     m.duration_us.record(report.wall.as_micros() as u64);
 }
 
@@ -1152,15 +1226,19 @@ fn strat_sampling(
         ALIGN_CAP,
     );
     let t_sample = shared.trace.map_or(0, Trace::now_us);
-    let e = stratified_plan_bulk(
-        &*pred,
-        &strata,
-        sub_box,
-        &local_profile,
-        shared.opts.samples,
-        shared.opts.allocation,
-        plan,
-    );
+    let e = if shared.opts.allocation == Allocation::ImportanceAdaptive {
+        importance_stratified(shared, &*pred, &strata, sub_box, &local_profile, plan)
+    } else {
+        stratified_plan_bulk(
+            &*pred,
+            &strata,
+            sub_box,
+            &local_profile,
+            shared.opts.samples,
+            shared.opts.allocation,
+            plan,
+        )
+    };
     if let Some(t) = shared.trace {
         t.record(
             "sample",
@@ -1173,6 +1251,143 @@ fn strat_sampling(
         );
     }
     e
+}
+
+/// Sub-stream tag of a factor's importance-sampling chunk stream: far
+/// outside the small stratum indices ([`SamplePlan::substream`] per
+/// stratum), so IS draws never collide with stratified ones.
+pub(crate) const IS_STREAM: u64 = 0x15AD_AB0C_5EED_0001;
+
+/// Adaptation rounds the one-shot engine gives the IS proposal (the
+/// iterative engine adapts once per refinement round instead).
+pub(crate) const IS_ROUNDS: u64 = 4;
+
+/// [`Allocation::ImportanceAdaptive`] sampling of one factor: a
+/// stratified equal-split pilot over half the budget estimates the
+/// factor's probability; factors whose pilot estimate reaches
+/// [`Options::is_threshold`] finish with the usual Neyman follow-up
+/// (exactly `VarianceAdaptive`'s policy), while rare-event factors
+/// hand the remaining budget to the paver-seeded
+/// [`IsEstimator`] — seeded from the factor's boundary strata, adapted
+/// over [`IS_ROUNDS`] rounds — and compose `exact inner mass + IS
+/// boundary estimate`. A proposal whose first round finds zero hits is
+/// degenerate: the factor deterministically falls back to the Neyman
+/// follow-up (flagged in [`Stats::is_fallbacks`]).
+fn importance_stratified<P>(
+    shared: &Shared<'_>,
+    pred: &P,
+    strata: &[Stratum],
+    sub_box: &IntervalBox,
+    profile: &UsageProfile,
+    plan: SamplePlan,
+) -> Estimate
+where
+    P: BulkPred + ?Sized,
+{
+    let total = shared.opts.samples;
+    let expired = || plan.deadline.is_some_and(|d| d.expired());
+    let weights: Vec<f64> = strata
+        .iter()
+        .map(|s| profile.box_probability(&s.boxed, sub_box))
+        .collect();
+    let mut exact = Estimate::ZERO;
+    for (i, s) in strata.iter().enumerate() {
+        if s.certain {
+            exact = exact.sum(Estimate::ONE.scale(weights[i]));
+        }
+    }
+    let sampled: Vec<usize> = strata
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| !s.certain && weights[*i] > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    if sampled.is_empty() {
+        return exact;
+    }
+    let sampled_weights: Vec<f64> = sampled.iter().map(|&i| weights[i]).collect();
+    let refine_stratum = |j: usize, add: u64, accum: StratumAccum| -> StratumAccum {
+        let i = sampled[j];
+        refine_plan_bulk(
+            pred,
+            &strata[i].boxed,
+            profile,
+            add,
+            plan.substream(i as u64),
+            accum,
+        )
+    };
+    let fan_out = |counts: &[u64], accums: &[StratumAccum]| -> Vec<StratumAccum> {
+        if plan.parallel && sampled.len() > 1 {
+            (0..sampled.len())
+                .into_par_iter()
+                .map(|j| refine_stratum(j, counts[j], accums[j]))
+                .collect()
+        } else {
+            (0..sampled.len())
+                .map(|j| refine_stratum(j, counts[j], accums[j]))
+                .collect()
+        }
+    };
+    // Stratified pilot, equal-split like `VarianceAdaptive`'s opening
+    // round but over a *quarter* of the budget: under this policy the
+    // pilot only needs to detect rarity (and measure the strata for
+    // the non-rare Neyman follow-up), while a rare factor wants the
+    // lion's share of the budget in the IS stage.
+    let pilot = initial_allocation(Allocation::ImportanceAdaptive, total / 2, &sampled_weights);
+    let mut accums = fan_out(&pilot, &vec![StratumAccum::EMPTY; sampled.len()]);
+    let mut remaining = total.saturating_sub(pilot.iter().sum());
+    let drawn: u64 = accums.iter().map(|a| a.n).sum();
+    // The rarity signal is the pilot *estimate*, not the raw conditional
+    // hit rate: boundary strata hug the constraint surface, so their
+    // conditional rates are O(1) even when the event's probability is
+    // 1e-8 — the rarity lives in the stratum weights.
+    let pilot_estimate = exact.mean
+        + accums
+            .iter()
+            .zip(&sampled_weights)
+            .map(|(a, &w)| w * a.estimate().mean)
+            .sum::<f64>();
+    let rare = drawn > 0 && pilot_estimate < shared.opts.is_threshold;
+    if rare && remaining > 0 && !expired() {
+        let boundary: Vec<IntervalBox> = sampled.iter().map(|&i| strata[i].boxed.clone()).collect();
+        if let Some(mut is) = IsEstimator::seeded(&boundary, profile, sub_box) {
+            // Adaptation schedule: `IS_ROUNDS − 1` equal warm-up rounds
+            // refine the proposal, then a final round drawing half the
+            // IS budget from the best mixture dominates the
+            // accumulator. (Equal splits leave the typical round too
+            // small to see the heavy tail's top weights, which reads
+            // as a stable underestimate.) Round 1 takes the warm-up
+            // remainder so it is never empty while `remaining > 0`.
+            let half = remaining / 2;
+            let per = half / (IS_ROUNDS - 1);
+            let first = remaining - half - (IS_ROUNDS - 2) * per;
+            let is_plan = plan.substream(IS_STREAM);
+            let r1 = is.round(pred, profile, sub_box, first, is_plan);
+            if r1.hits > 0 {
+                for _ in 2..IS_ROUNDS {
+                    is.round(pred, profile, sub_box, per, is_plan);
+                }
+                is.round(pred, profile, sub_box, half, is_plan);
+                shared.is_factors.inc();
+                return exact.sum(is.estimate());
+            }
+            // Degenerate proposal: zero hits in the IS pilot round. Fall
+            // back to the stratified follow-up with what is left.
+            remaining -= first;
+        }
+        shared.is_fallbacks.inc();
+    }
+    if remaining > 0 && !expired() {
+        let stddevs: Vec<f64> = accums.iter().map(StratumAccum::std_dev).collect();
+        let follow = neyman_allocation(remaining, &sampled_weights, &stddevs);
+        accums = fan_out(&follow, &accums);
+    }
+    accums
+        .iter()
+        .zip(&sampled_weights)
+        .map(|(a, &w)| a.estimate().scale(w))
+        .fold(exact, Estimate::sum)
 }
 
 /// FNV-1a offset basis (64-bit).

@@ -39,11 +39,18 @@
 //! above the target — so on a stratum whose true probability is far
 //! below `1/round-1-samples`, the engine can report `target_met` while
 //! carrying a bias of up to roughly `3/n` of that stratum's weight at
-//! 95% confidence. Callers hunting rare events should size
+//! 95% confidence. Callers hunting rare events should either size
 //! [`Options::samples`](crate::Options) so the initial round can see
 //! the event at all (the same requirement every hit-or-miss engine
-//! here has), or read `target_met` together with the per-stratum
-//! budget rather than as an oracle.
+//! here has), or — the purpose-built escape hatch — select
+//! [`Allocation::ImportanceAdaptive`]: after round 1, any factor whose
+//! pilot estimate fell below
+//! [`Options::is_threshold`](crate::Options) swaps its stratified
+//! accumulators for a paver-seeded [`IsEstimator`] and each further
+//! refinement round adapts the proposal instead of re-running Neyman
+//! (see [`qcoral_mc::is`]). A proposal whose pilot round finds zero
+//! hits falls back to stratified deterministically and is flagged in
+//! [`Stats::is_fallbacks`].
 //!
 //! # Determinism and the cross-run store
 //!
@@ -75,12 +82,13 @@ use qcoral_icp::{domain_box, tape_cache_stats};
 use qcoral_interval::IntervalBox;
 use qcoral_mc::{
     align_strata, initial_allocation, mix_seed, neyman_allocation, proportional_split,
-    refine_plan_bulk, Allocation, Deadline, Estimate, SamplePlan, Stratum, StratumAccum,
-    UsageProfile,
+    refine_plan_bulk, Allocation, Deadline, Estimate, IsEstimator, SamplePlan, Stratum,
+    StratumAccum, UsageProfile,
 };
 
 use crate::analyzer::{
     factor_key, hash_key, normalized_partition, publish_report, Analyzer, Report, Stats, ALIGN_CAP,
+    IS_STREAM,
 };
 use crate::bulkpred::CompiledPred;
 use crate::factor_store::FactorKey;
@@ -117,6 +125,9 @@ impl FactorState {
 struct ActiveFactor {
     pred: Arc<CompiledPred>,
     profile: UsageProfile,
+    /// The factor's projected domain box (the IS proposal's support
+    /// universe; strata live inside it).
+    sub_box: IntervalBox,
     strata: Vec<Stratum>,
     /// Exact mass of the certain strata (folded once, never re-sampled).
     exact: Estimate,
@@ -124,13 +135,30 @@ struct ActiveFactor {
     sampled: Vec<usize>,
     sampled_weights: Vec<f64>,
     accums: Vec<StratumAccum>,
+    /// Installed after round 1 when [`Allocation::ImportanceAdaptive`]
+    /// judged the factor rare; from then on refinement rounds advance
+    /// the proposal instead of the stratum accumulators.
+    is_engine: Option<IsEstimator>,
     plan: SamplePlan,
 }
 
+/// Result of one factor refinement pass, computed purely before being
+/// installed by [`refine_states`].
+enum Refined {
+    /// Stratified path: the new per-stratum accumulators.
+    Strata(Vec<StratumAccum>),
+    /// Importance path: the advanced (cloned) IS engine.
+    Importance(Box<IsEstimator>),
+}
+
 impl ActiveFactor {
-    /// Current factor estimate: exact mass plus the weighted stratum
-    /// estimates, reduced in stratum order (Eq. 3).
+    /// Current factor estimate: under IS, the exact inner mass plus the
+    /// self-normalized boundary estimate; otherwise exact mass plus the
+    /// weighted stratum estimates, reduced in stratum order (Eq. 3).
     fn estimate(&self) -> Estimate {
+        if let Some(is) = &self.is_engine {
+            return self.exact.sum(is.estimate());
+        }
         self.accums
             .iter()
             .zip(&self.sampled_weights)
@@ -142,12 +170,34 @@ impl ActiveFactor {
         self.accums.iter().map(StratumAccum::std_dev).collect()
     }
 
-    /// Draws `counts[j]` further samples for sampled stratum `j`,
-    /// continuing each stratum's chunk stream; returns the new
-    /// accumulators and the budget spent. Pure (`&self`), so factors
-    /// refine concurrently. Rides the columnar bulk evaluator — chunk
-    /// streams and hit counts are bit-identical to the scalar path.
-    fn refined(&self, counts: &[u64]) -> (Vec<StratumAccum>, u64) {
+    /// The sampled strata's boxes — the IS proposal seed geometry.
+    fn boundary_boxes(&self) -> Vec<IntervalBox> {
+        self.sampled
+            .iter()
+            .map(|&i| self.strata[i].boxed.clone())
+            .collect()
+    }
+
+    /// Spends `counts` further samples on this factor: one adaptation
+    /// round of the IS engine (which takes the summed budget whole), or
+    /// `counts[j]` samples for sampled stratum `j`, continuing each
+    /// stratum's chunk stream. Pure (`&self`), so factors refine
+    /// concurrently; the IS path clones the engine and returns the
+    /// advanced copy. Rides the columnar bulk evaluator — chunk streams
+    /// and hit counts are bit-identical to the scalar path.
+    fn refined(&self, counts: &[u64]) -> (Refined, u64) {
+        if let Some(engine) = &self.is_engine {
+            let budget: u64 = counts.iter().sum();
+            let mut engine = engine.clone();
+            engine.round(
+                &*self.pred,
+                &self.profile,
+                &self.sub_box,
+                budget,
+                self.plan.substream(IS_STREAM),
+            );
+            return (Refined::Importance(Box::new(engine)), budget);
+        }
         let mut out = Vec::with_capacity(self.accums.len());
         let mut spent = 0u64;
         for (j, &i) in self.sampled.iter().enumerate() {
@@ -161,7 +211,7 @@ impl ActiveFactor {
             ));
             spent += counts[j];
         }
-        (out, spent)
+        (Refined::Strata(out), spent)
     }
 }
 
@@ -194,22 +244,25 @@ impl PrepStats {
 /// spent. Values are independent per factor, so install order is
 /// irrelevant to the result.
 fn refine_states(states: &mut [FactorState], work: &[(usize, Vec<u64>)], parallel: bool) -> u64 {
-    let compute = |(j, counts): &(usize, Vec<u64>)| -> (usize, Vec<StratumAccum>, u64) {
+    let compute = |(j, counts): &(usize, Vec<u64>)| -> (usize, Refined, u64) {
         let FactorState::Active(af) = &states[*j] else {
             unreachable!("refinement work only targets active factors");
         };
-        let (accums, spent) = af.refined(counts);
-        (*j, accums, spent)
+        let (refined, spent) = af.refined(counts);
+        (*j, refined, spent)
     };
-    let computed: Vec<(usize, Vec<StratumAccum>, u64)> = if parallel && work.len() > 1 {
+    let computed: Vec<(usize, Refined, u64)> = if parallel && work.len() > 1 {
         work.par_iter().map(compute).collect()
     } else {
         work.iter().map(compute).collect()
     };
     let mut total = 0u64;
-    for (j, accums, spent) in computed {
+    for (j, refined, spent) in computed {
         if let FactorState::Active(af) = &mut states[j] {
-            af.accums = accums;
+            match refined {
+                Refined::Strata(accums) => af.accums = accums,
+                Refined::Importance(engine) => af.is_engine = Some(*engine),
+            }
         }
         total += spent;
     }
@@ -436,11 +489,13 @@ impl Analyzer {
                 FactorState::Active(Box::new(ActiveFactor {
                     pred,
                     profile: local_profile,
+                    sub_box: slot.sub_box.clone(),
                     strata,
                     exact,
                     sampled,
                     sampled_weights,
                     accums,
+                    is_engine: None,
                     plan,
                 })),
                 d,
@@ -484,9 +539,13 @@ impl Analyzer {
 
         // Round 1: the initial budget, statically allocated (for
         // `VarianceAdaptive` the adaptation *is* the later rounds, so
-        // round 1 pilots with the equal split).
+        // round 1 pilots with the equal split; `ImportanceAdaptive`
+        // pilots the same way — its hit rate decides the escalation
+        // below).
         let round1_alloc = match opts.allocation {
-            Allocation::VarianceAdaptive => Allocation::EqualPerStratum,
+            Allocation::VarianceAdaptive | Allocation::ImportanceAdaptive => {
+                Allocation::EqualPerStratum
+            }
             a => a,
         };
         let round1: Vec<(usize, Vec<u64>)> = states
@@ -517,6 +576,87 @@ impl Analyzer {
         let mut rounds = 1u64;
         let mut refine_samples = 0u64;
         let mut target_met = false;
+        let mut is_fallbacks = 0u64;
+
+        // IS escalation: under `ImportanceAdaptive`, a factor whose
+        // round-1 estimate fell below the threshold seeds a paver-based
+        // IS engine from its sampled strata and pilots it with one more
+        // factor budget. A proposal that cannot be built (degenerate
+        // geometry) or whose pilot finds zero hits falls back to the
+        // stratified accumulators deterministically.
+        if opts.allocation == Allocation::ImportanceAdaptive && !expired() {
+            // Factor index plus its pilot verdict: the seeded engine (or
+            // `None` for a fallback) and the samples the pilot spent.
+            type Decision = (usize, (Option<IsEstimator>, u64));
+            let pilot = |af: &ActiveFactor| -> Option<(Option<IsEstimator>, u64)> {
+                let drawn: u64 = af.accums.iter().map(|a| a.n).sum();
+                // Rarity is judged on the pilot *estimate* (exact mass
+                // plus weighted boundary hit rate), not the raw
+                // conditional hit rate — boundary strata hug the
+                // constraint surface, so their conditional rates are
+                // O(1) even for 1e-8 events.
+                let rare = drawn > 0 && af.estimate().mean < opts.is_threshold;
+                if !rare {
+                    return None;
+                }
+                let Some(mut is) =
+                    IsEstimator::seeded(&af.boundary_boxes(), &af.profile, &af.sub_box)
+                else {
+                    return Some((None, 0));
+                };
+                let r = is.round(
+                    &*af.pred,
+                    &af.profile,
+                    &af.sub_box,
+                    opts.samples,
+                    af.plan.substream(IS_STREAM),
+                );
+                if r.hits == 0 {
+                    return Some((None, opts.samples));
+                }
+                Some((Some(is), opts.samples))
+            };
+            let decide = |j: usize| match &states[j] {
+                FactorState::Active(af) => pilot(af).map(|d| (j, d)),
+                FactorState::Frozen(_) => None,
+            };
+            let t_esc = tr.map_or(0, Trace::now_us);
+            let decided: Vec<Option<Decision>> = if opts.parallel && states.len() > 1 {
+                (0..states.len()).into_par_iter().map(decide).collect()
+            } else {
+                (0..states.len()).map(decide).collect()
+            };
+            let decisions = decided.into_iter().flatten();
+            let mut escalated = 0u64;
+            let mut pilot_spent = 0u64;
+            for (j, (engine, spent)) in decisions {
+                samples_drawn += spent;
+                pilot_spent += spent;
+                match engine {
+                    Some(is) => {
+                        escalated += 1;
+                        if let FactorState::Active(af) = &mut states[j] {
+                            af.is_engine = Some(is);
+                        }
+                    }
+                    None => is_fallbacks += 1,
+                }
+            }
+            if let Some(t) = tr {
+                if escalated + is_fallbacks > 0 {
+                    t.record(
+                        "is_escalate",
+                        "sampling",
+                        t_esc,
+                        vec![
+                            arg("factors", escalated),
+                            arg("fallbacks", is_fallbacks),
+                            arg("budget", pilot_spent),
+                        ],
+                    );
+                }
+            }
+        }
 
         // Refinement loop: compose → stop or reallocate → refine.
         let (per_pc, estimate) = loop {
@@ -589,7 +729,9 @@ impl Analyzer {
                 }
             }
             // Neyman placement within each chosen factor; a factor whose
-            // strata are all exact absorbs nothing.
+            // strata are all exact absorbs nothing. An IS factor takes
+            // its share whole — the engine spends it as one adaptation
+            // round.
             let work: Vec<(usize, Vec<u64>)> = budget_for
                 .iter()
                 .enumerate()
@@ -598,7 +740,11 @@ impl Analyzer {
                     let FactorState::Active(af) = &states[j] else {
                         return None;
                     };
-                    let counts = neyman_allocation(b, &af.sampled_weights, &af.stddevs());
+                    let counts = if af.is_engine.is_some() {
+                        vec![b]
+                    } else {
+                        neyman_allocation(b, &af.sampled_weights, &af.stddevs())
+                    };
                     counts.iter().any(|&c| c > 0).then_some((j, counts))
                 })
                 .collect();
@@ -644,6 +790,10 @@ impl Analyzer {
         }
 
         let (tape_hits1, tape_misses1) = tape_cache_stats();
+        let is_factors = states
+            .iter()
+            .filter(|s| matches!(s, FactorState::Active(af) if af.is_engine.is_some()))
+            .count() as u64;
         let stats = Stats {
             cache_hits: factor_refs - slots.len() as u64,
             cache_misses: slots.len() as u64,
@@ -660,6 +810,8 @@ impl Analyzer {
             rounds,
             refine_samples,
             target_met,
+            is_factors,
+            is_fallbacks,
             deadline_exceeded,
         };
         if let Some(t) = &trace {

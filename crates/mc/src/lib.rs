@@ -13,6 +13,8 @@
 //!   Eq. 2).
 //! * [`stratified`] — stratified sampling over an ICP paving (§3.3,
 //!   Eq. 3).
+//! * [`IsEstimator`] — paver-seeded adaptive importance sampling for
+//!   rare-event factors (the [`is`] module), following SYMPAIS.
 //!
 //! # Example
 //!
@@ -33,11 +35,13 @@
 
 pub mod discretize;
 pub mod estimate;
+pub mod is;
 pub mod profile;
 pub mod sampler;
 
 pub use discretize::{align_strata, discretize, mass_edges, MAX_BINS};
 pub use estimate::{Estimate, Moments};
+pub use is::{IsEstimator, Mixture, RoundReport, SnisAccum, DEFAULT_IS_THRESHOLD};
 pub use profile::{
     parse_dist_spec, parse_profile_spec, std_normal_cdf, std_normal_quantile, Dist, UsageProfile,
 };

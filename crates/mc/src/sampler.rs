@@ -611,7 +611,11 @@ where
         }
     };
     let mut accums = fan_out(&counts, &vec![StratumAccum::EMPTY; sampled.len()]);
-    if allocation == Allocation::VarianceAdaptive && !plan_expired(&plan) {
+    if matches!(
+        allocation,
+        Allocation::VarianceAdaptive | Allocation::ImportanceAdaptive
+    ) && !plan_expired(&plan)
+    {
         // Follow-up pass: the pilot spent roughly half the budget; the
         // rest goes where `weight × stddev` says the variance lives.
         // Exact strata (stddev 0) are excluded.
@@ -725,6 +729,15 @@ pub enum Allocation {
     /// iterative engine (`analyze_iterative`) applies the same rule
     /// across rounds.
     VarianceAdaptive,
+    /// [`Allocation::VarianceAdaptive`] plus per-factor rare-event
+    /// escalation: when the pilot round's hit rate falls below the
+    /// analyzer's threshold, the factor's boundary budget is handed to
+    /// the paver-seeded adaptive importance-sampling engine
+    /// ([`crate::is::IsEstimator`]) instead of further stratified
+    /// rounds. At this layer (plain stratified entry points, which have
+    /// no pilot/escalation machinery) it behaves exactly like
+    /// `VarianceAdaptive`.
+    ImportanceAdaptive,
 }
 
 /// Largest-remainder apportionment of `total` samples proportional to
@@ -846,7 +859,7 @@ pub fn initial_allocation(allocation: Allocation, total: u64, weights: &[f64]) -
             enforce_floor(&mut counts, total);
             counts
         }
-        Allocation::VarianceAdaptive => {
+        Allocation::VarianceAdaptive | Allocation::ImportanceAdaptive => {
             let pilot = (total / 2).max(1);
             vec![(pilot / k).max(1); weights.len()]
         }
@@ -936,7 +949,10 @@ pub fn stratified(
             hits_with_rng(pred, &strata[i].boxed, profile, counts[j], rng).map(|h| (h, counts[j]));
         tallies.push(tally);
     }
-    if allocation == Allocation::VarianceAdaptive {
+    if matches!(
+        allocation,
+        Allocation::VarianceAdaptive | Allocation::ImportanceAdaptive
+    ) {
         // Neyman follow-up from the pilot: exact strata get no more
         // samples; the rng keeps threading in stratum order.
         let spent: u64 = counts.iter().sum();

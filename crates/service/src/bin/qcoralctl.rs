@@ -9,6 +9,8 @@
 //!
 //! options: [--samples N] [--seed N] [--plain|--strat] [--parallel]
 //!          [--target-stderr X] [--round-budget N] [--max-rounds N]
+//!          [--allocation equal|proportional|variance|importance]
+//!          [--is-threshold X] [--paver-boxes N]
 //!          [--profile SPEC] [--profile-epsilon X]
 //!          [--retries N] [--timeout MS] [--trace FILE]
 //! ```
@@ -38,6 +40,14 @@
 //! variance-driven engine: sampling rounds of `--round-budget` samples
 //! continue until the composed standard error reaches `X` or
 //! `--max-rounds` is exhausted (check `stats.target_met` in the reply).
+//!
+//! `--allocation importance` enables per-factor rare-event escalation:
+//! factors whose pilot estimate falls below `--is-threshold` (default
+//! 0.01) hand their boundary budget to the paver-seeded adaptive
+//! importance-sampling engine (check `stats.is_factors` /
+//! `stats.is_fallbacks` in the reply). For ~1e-8 events pair it with a
+//! finer paving via `--paver-boxes 128` — the boundary boxes seed the
+//! IS proposal and bound its importance weights.
 //!
 //! `--profile` attaches a non-uniform usage profile, one `name ~ dist`
 //! entry per input separated by `;`, e.g.
@@ -70,6 +80,8 @@ fn usage() -> ! {
         "usage: qcoralctl --addr HOST:PORT <status|health|metrics|system SRC|program FILE> \
          [--samples N] [--seed N] [--plain|--strat] [--parallel] [--max-depth N] \
          [--target-stderr X] [--round-budget N] [--max-rounds N] \
+         [--allocation equal|proportional|variance|importance] \
+         [--is-threshold X] [--paver-boxes N] \
          [--profile 'x ~ N(0,1); y ~ Exp(2)'] [--profile-epsilon X] \
          [--retries N] [--timeout MS] [--trace FILE]"
     );
@@ -99,6 +111,9 @@ fn parse_cli() -> Cli {
     let mut target_stderr = None;
     let mut round_budget = None;
     let mut max_rounds = None;
+    let mut allocation = None;
+    let mut is_threshold = None;
+    let mut paver_boxes = None;
     let mut profile = None;
     let mut profile_epsilon = None;
     let mut retries = 0u32;
@@ -115,6 +130,9 @@ fn parse_cli() -> Cli {
             "--target-stderr" => target_stderr = Some(parse_float(&value())),
             "--round-budget" => round_budget = Some(parse(&value())),
             "--max-rounds" => max_rounds = Some(parse(&value())),
+            "--allocation" => allocation = Some(parse_allocation(&value())),
+            "--is-threshold" => is_threshold = Some(parse_float(&value())),
+            "--paver-boxes" => paver_boxes = Some(parse(&value()) as usize),
             "--profile" => {
                 profile = Some(parse_profile_spec(&value()).unwrap_or_else(|e| {
                     eprintln!("invalid --profile: {e}");
@@ -156,6 +174,15 @@ fn parse_cli() -> Cli {
     }
     if let Some(rounds) = max_rounds {
         options.max_rounds = rounds;
+    }
+    if let Some(allocation) = allocation {
+        options.allocation = allocation;
+    }
+    if let Some(threshold) = is_threshold {
+        options.is_threshold = threshold;
+    }
+    if let Some(boxes) = paver_boxes {
+        options.paver.max_boxes = boxes;
     }
     if let Some(eps) = profile_epsilon {
         options.profile_epsilon = eps;
@@ -204,6 +231,22 @@ fn system_profile(source: &str, named: &[(String, Dist)]) -> UsageProfile {
         eprintln!("invalid --profile: {e}");
         exit(1)
     })
+}
+
+fn parse_allocation(s: &str) -> qcoral_mc::Allocation {
+    use qcoral_mc::Allocation::*;
+    match s {
+        "equal" => EqualPerStratum,
+        "proportional" => Proportional,
+        "variance" => VarianceAdaptive,
+        "importance" => ImportanceAdaptive,
+        other => {
+            eprintln!(
+                "unknown allocation `{other}` (expected equal|proportional|variance|importance)"
+            );
+            usage()
+        }
+    }
 }
 
 fn parse(s: &str) -> u64 {

@@ -53,7 +53,15 @@ use qcoral_mc::{Dist, UsageProfile};
 /// counters, gauges and histograms), and [`ServerStatus`] gained the
 /// live `queue_depth` and `inflight` gauges next to the lifetime
 /// totals.
-pub const PROTOCOL_VERSION: u32 = 5;
+///
+/// v6: rare-event quantification. `Options` gained the required
+/// `is_threshold` field (the escalation cutoff of the adaptive
+/// importance-sampling engine; the breaking change: v5 request frames
+/// are rejected with a missing-field error), the `allocation` enum
+/// accepts the new `ImportanceAdaptive` variant, and `Stats` gained the
+/// required `is_factors`/`is_fallbacks` counters (v5 clients fail to
+/// decode v6 reports).
+pub const PROTOCOL_VERSION: u32 = 6;
 
 /// One named marginal of a program request's usage profile: programs
 /// declare their inputs by name, so profiles address them by name too

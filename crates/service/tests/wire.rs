@@ -42,10 +42,10 @@ fn arb_options() -> impl Strategy<Value = Options> {
                 o.partition = partition;
                 o.cache = partition;
                 o.parallel = parallel;
-                o.allocation = if samples % 2 == 0 {
-                    Allocation::EqualPerStratum
-                } else {
-                    Allocation::Proportional
+                o.allocation = match samples % 3 {
+                    0 => Allocation::EqualPerStratum,
+                    1 => Allocation::Proportional,
+                    _ => Allocation::ImportanceAdaptive,
                 };
                 o.paver = PaverConfig {
                     max_boxes: boxes,

@@ -16,21 +16,26 @@
 //!   autopilot (a generated many-path sqrt-heavy pipeline), the TSAFE
 //!   Conflict Probe (cos/pow/sin/sqrt/tan) and TSAFE Turn Logic (atan2).
 //!
-//! A fourth family extends the evaluation beyond the paper:
+//! Two further families extend the evaluation beyond the paper:
 //!
 //! * [`nonuniform`] — VolComp subjects paired with realistic non-uniform
 //!   usage profiles (clinical populations, near-equilibrium controller
 //!   states, exponential inflows), the scenario axis the paper's
 //!   conclusion proposes.
+//! * [`rare`] — ~1e-8 events with closed-form ground truth, the
+//!   validation suite for the adaptive importance-sampling engine
+//!   (`qcoral_mc::is`).
 
 #![warn(missing_docs)]
 
 pub mod aerospace;
 pub mod nonuniform;
+pub mod rare;
 pub mod solids;
 pub mod volcomp_suite;
 
 pub use aerospace::{aerospace_subjects, aerospace_subjects_with, AerospaceSubject};
 pub use nonuniform::{nonuniform_subjects, NonUniformSubject};
+pub use rare::{rare_subjects, RareSubject};
 pub use solids::{all_solids, Solid, SolidGroup};
 pub use volcomp_suite::{table3_subjects, Table3Subject};

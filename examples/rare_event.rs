@@ -1,0 +1,121 @@
+//! Rare-event quantification against the service: a ~1e-8 failure
+//! probability, answered cold, then warm, then warm again across a
+//! simulated server restart — all three answers bit-identical.
+//!
+//! The subject is the rare suite's `sum-tail-2d`: two independent
+//! standard-normal inputs, failure when their sum exceeds 7.92, true
+//! probability `Φ(-7.92/√2) ≈ 1.07e-8`. Plain stratified sampling at
+//! this budget reports `0 ± 0` — nearly every stratum sees no hit — so
+//! the request opts into [`Allocation::ImportanceAdaptive`]: factors
+//! whose pilot estimate falls below the escalation threshold hand their
+//! boundary budget to the paver-seeded adaptive importance-sampling
+//! engine. Rare-event work also wants a finer paving than the 10-box
+//! default (the boundary boxes both seed the proposal and bound the
+//! importance weights), hence `paver.max_boxes = 128`.
+//!
+//! Run with: `cargo run --release --example rare_event`
+//!
+//! Expected output (exact numbers are seed-stable across runs and
+//! machines):
+//!
+//! ```text
+//! truth          1.0700e-8  (closed form)
+//! cold   answer  1.0707e-8 ± 3.4e-11   (65536 samples, 1 paving, escalated to IS)
+//! warm   answer  1.0707e-8 ± 3.4e-11   (0 samples, 0 pavings — factor-store hit)
+//! restart answer 1.0707e-8 ± 3.4e-11   (0 samples — recovered from snapshot)
+//! all three answers bit-identical: true
+//! ```
+
+use qcoral::Options;
+use qcoral_mc::Allocation;
+use qcoral_service::{AnalysisResponse, Client, Server, ServiceConfig};
+use qcoral_subjects::rare_subjects;
+
+fn main() {
+    let subj = rare_subjects()
+        .into_iter()
+        .find(|s| s.name == "sum-tail-2d")
+        .expect("rare suite has sum-tail-2d");
+    let (_cs, _domain, profile) = subj.system();
+    println!("truth          {:.4e}  (closed form)", subj.truth());
+
+    // The rare-event recipe: IS escalation plus a fine paving.
+    let mut options = Options::strat_partcache()
+        .with_samples(65_536)
+        .with_seed(7)
+        .with_allocation(Allocation::ImportanceAdaptive);
+    options.paver.max_boxes = 128;
+
+    // A snapshot path lets the factor store survive the restart below.
+    let snapshot =
+        std::env::temp_dir().join(format!("qcoral-rare-event-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&snapshot);
+    let config = || ServiceConfig {
+        snapshot: Some(snapshot.clone()),
+        ..ServiceConfig::default()
+    };
+
+    let server = Server::start(config()).expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let ask = |client: &mut Client| -> AnalysisResponse {
+        client
+            .analyze_system(subj.source, options.clone(), Some(profile.clone()))
+            .expect("request succeeds")
+    };
+
+    // Cold: paves, escalates to IS, samples.
+    let cold = ask(&mut client);
+    let s = &cold.report.stats;
+    assert!(s.is_factors > 0, "pilot must escalate to IS");
+    println!(
+        "cold   answer  {:.4e} ± {:.1e}   ({} samples, {} paving, escalated to IS)",
+        cold.report.estimate.mean,
+        cold.report.estimate.std_dev(),
+        s.samples_drawn,
+        s.pavings,
+    );
+
+    // Warm: the same factor fingerprint (profile, options and IS bits
+    // included) hits the cross-run store — zero new work.
+    let warm = ask(&mut client);
+    println!(
+        "warm   answer  {:.4e} ± {:.1e}   ({} samples, {} pavings — factor-store hit)",
+        warm.report.estimate.mean,
+        warm.report.estimate.std_dev(),
+        warm.report.stats.samples_drawn,
+        warm.report.stats.pavings,
+    );
+    assert_eq!(
+        warm.report.stats.samples_drawn, 0,
+        "warm run must not sample"
+    );
+
+    // Restart: shut the server down (flushing its snapshot), start a
+    // fresh one on the same path, ask again.
+    drop(client);
+    server.shutdown();
+    let server = Server::start(config()).expect("server restarts");
+    let mut client = Client::connect(server.addr()).expect("client reconnects");
+    let restarted = ask(&mut client);
+    println!(
+        "restart answer {:.4e} ± {:.1e}   ({} samples — recovered from snapshot)",
+        restarted.report.estimate.mean,
+        restarted.report.estimate.std_dev(),
+        restarted.report.stats.samples_drawn,
+    );
+    assert_eq!(
+        restarted.report.stats.samples_drawn, 0,
+        "restart must be warm"
+    );
+
+    let identical = [&warm, &restarted].iter().all(|r| {
+        r.report.estimate.mean.to_bits() == cold.report.estimate.mean.to_bits()
+            && r.report.estimate.variance.to_bits() == cold.report.estimate.variance.to_bits()
+    });
+    println!("all three answers bit-identical: {identical}");
+    assert!(identical, "warm answers must be bit-identical to cold");
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&snapshot);
+    let _ = std::fs::remove_file(qcoral_service::store::wal_path(&snapshot));
+}

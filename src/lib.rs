@@ -5,6 +5,8 @@
 //! [`pipeline::analyze_program`] convenience API. Re-exports the
 //! workspace crates.
 
+#![warn(missing_docs)]
+
 pub mod pipeline;
 
 pub use qcoral;

@@ -13,12 +13,12 @@
 use std::sync::Arc;
 
 use qcoral::{Analyzer, CompiledPred, FactorStore, Options};
-use qcoral_icp::domain_box;
+use qcoral_icp::{domain_box, PavingCache};
 use qcoral_mc::{
     hit_or_miss_plan, hit_or_miss_plan_bulk, mix_seed, stratified_plan, stratified_plan_bulk,
     Allocation, SamplePlan, Stratum, UsageProfile,
 };
-use qcoral_subjects::{nonuniform_subjects, table3_subjects};
+use qcoral_subjects::{nonuniform_subjects, rare_subjects, table3_subjects};
 use qcoral_symexec::SymConfig;
 
 fn check_subject(name: &str, samples: u64, seed: u64) {
@@ -536,4 +536,137 @@ fn recovery_with_torn_wal_tail_is_bit_identical() {
     assert_eq!(warm.stats.samples_drawn, 0);
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_file(&wal);
+}
+
+/// The adaptive importance-sampling engine under the full determinism
+/// contract, over every closed-form rare-event subject: for a fixed
+/// seed,
+///
+/// 1. repeated runs are bit-identical (the counter-derived proposal
+///    RNG and the fixed chunk-fold reduction order leave nothing to the
+///    schedule),
+/// 2. serial and parallel runs agree bit-for-bit — the CI matrix
+///    reruns this at `RAYON_NUM_THREADS=1` and `=4` — and
+/// 3. a warm restart through a snapshot-absorbed `FactorStore`
+///    recomposes the bit-identical estimate with zero pavings and zero
+///    samples (IS fingerprint bits key the store exactly).
+///
+/// Subjects whose proposal degenerates (sin-peaks) ride the same loop:
+/// the *fallback* decision and the stratified follow-up it triggers are
+/// themselves part of the deterministic contract.
+#[test]
+fn importance_sampling_is_deterministic_and_restart_stable() {
+    for subj in rare_subjects() {
+        let (cs, domain, profile) = subj.system();
+        let cache = Arc::new(PavingCache::new());
+        let mut opts = Options::strat_partcache()
+            .with_samples(8_192)
+            .with_seed(29)
+            .with_allocation(Allocation::ImportanceAdaptive);
+        opts.paver.max_boxes = 128;
+
+        let a = Analyzer::new(opts.clone())
+            .with_paving_cache(Arc::clone(&cache))
+            .analyze(&cs, &domain, &profile);
+        let b = Analyzer::new(opts.clone())
+            .with_paving_cache(Arc::clone(&cache))
+            .analyze(&cs, &domain, &profile);
+        assert_eq!(a.estimate, b.estimate, "{}: repeat runs", subj.name);
+        assert_eq!(a.per_pc, b.per_pc, "{}: per-PC repeat", subj.name);
+        // Every subject must at least reach the escalation decision;
+        // the reachable ones must come out the IS side of it. (The
+        // degenerate-fallback side is pinned in tests/statistics.rs.)
+        assert!(
+            a.stats.is_factors + a.stats.is_fallbacks > 0,
+            "{}: escalation never ran",
+            subj.name
+        );
+        if subj.is_reachable {
+            assert!(a.stats.is_factors > 0, "{}: IS must engage", subj.name);
+        }
+
+        let c = Analyzer::new(opts.clone().with_parallel(true))
+            .with_paving_cache(Arc::clone(&cache))
+            .analyze(&cs, &domain, &profile);
+        assert_eq!(a.estimate, c.estimate, "{}: parallel vs serial", subj.name);
+        assert_eq!(a.per_pc, c.per_pc, "{}: per-PC parallel", subj.name);
+        assert_eq!(
+            a.stats.is_factors, c.stats.is_factors,
+            "{}: escalation decisions must not depend on the schedule",
+            subj.name
+        );
+
+        // Warm restart through a snapshot-style store round trip.
+        let store = Arc::new(FactorStore::new(4096));
+        let cold = Analyzer::new(opts.clone())
+            .with_paving_cache(Arc::clone(&cache))
+            .with_factor_store(Arc::clone(&store))
+            .analyze(&cs, &domain, &profile);
+        assert_eq!(
+            cold.estimate, a.estimate,
+            "{}: store changed result",
+            subj.name
+        );
+        let restarted = Arc::new(FactorStore::new(4096));
+        restarted.absorb(store.entries());
+        let warm = Analyzer::new(opts)
+            .with_factor_store(restarted)
+            .analyze(&cs, &domain, &profile);
+        assert_eq!(
+            warm.estimate, a.estimate,
+            "{}: warm restart diverged",
+            subj.name
+        );
+        assert_eq!(warm.per_pc, a.per_pc, "{}: warm per-PC", subj.name);
+        assert_eq!(warm.stats.samples_drawn, 0, "{}: warm sampled", subj.name);
+        assert_eq!(warm.stats.pavings, 0, "{}: warm paved", subj.name);
+    }
+}
+
+/// The iterative engine's escalation pass under the same contract: a
+/// round trajectory that hands rare factors to the IS engine must stay
+/// bit-identical across repeats and schedules — every escalation
+/// decision is a pure function of deterministic round estimates.
+#[test]
+fn iterative_importance_sampling_matches_across_schedules() {
+    for subj in rare_subjects() {
+        if !subj.is_reachable {
+            continue;
+        }
+        let (cs, domain, profile) = subj.system();
+        let cache = Arc::new(PavingCache::new());
+        let mut opts = Options::strat_partcache()
+            .with_samples(8_192)
+            .with_seed(37)
+            .with_allocation(Allocation::ImportanceAdaptive)
+            .with_target_stderr(0.0)
+            .with_round_budget(8_192)
+            .with_max_rounds(3);
+        opts.paver.max_boxes = 128;
+
+        let a = Analyzer::new(opts.clone())
+            .with_paving_cache(Arc::clone(&cache))
+            .analyze_iterative(&cs, &domain, &profile);
+        let b = Analyzer::new(opts.clone())
+            .with_paving_cache(Arc::clone(&cache))
+            .analyze_iterative(&cs, &domain, &profile);
+        assert_eq!(a.estimate, b.estimate, "{}: repeat runs", subj.name);
+        assert!(a.stats.is_factors > 0, "{}: IS must engage", subj.name);
+
+        let c = Analyzer::new(opts.with_parallel(true))
+            .with_paving_cache(Arc::clone(&cache))
+            .analyze_iterative(&cs, &domain, &profile);
+        assert_eq!(a.estimate, c.estimate, "{}: parallel vs serial", subj.name);
+        assert_eq!(a.per_pc, c.per_pc, "{}: per-PC parallel", subj.name);
+        assert_eq!(
+            a.stats.rounds, c.stats.rounds,
+            "{}: round trajectory differs",
+            subj.name
+        );
+        assert_eq!(
+            a.stats.samples_drawn, c.stats.samples_drawn,
+            "{}",
+            subj.name
+        );
+    }
 }

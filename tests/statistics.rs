@@ -15,6 +15,13 @@
 //! Ground truth is the paper's exact value where known (§4.4) and a
 //! large fixed-seed direct Monte Carlo elsewhere, with its own 3σ folded
 //! into the tolerance.
+//!
+//! The rare-event suite (`coverage_importance_sampling_rare_events`)
+//! holds the adaptive importance-sampling engine to the same standard
+//! on ~1e-8 probabilities with closed-form truth — a regime where the
+//! stratified engines report `0 ± 0` — and
+//! `degenerate_proposal_falls_back_deterministically` pins down the
+//! engine's behavior when the proposal cannot find a single hit.
 
 use std::sync::Arc;
 
@@ -22,8 +29,8 @@ use qcoral::{Analyzer, Options, Report};
 use qcoral_constraints::parse::parse_system;
 use qcoral_constraints::{ConstraintSet, Domain};
 use qcoral_icp::PavingCache;
-use qcoral_mc::{Moments, UsageProfile};
-use qcoral_subjects::table3_subjects;
+use qcoral_mc::{Allocation, Moments, UsageProfile};
+use qcoral_subjects::{rare_subjects, table3_subjects};
 use qcoral_symexec::SymConfig;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -32,6 +39,17 @@ const RUNS: u64 = 25;
 const SAMPLES: u64 = 1_500;
 /// Minimum fraction of runs whose reported 3σ interval covers the truth.
 const MIN_COVERAGE: f64 = 0.9;
+/// Sample budget of the rare-event (importance-sampling) runs: ~1e-8
+/// probabilities need more draws than the percent-scale subjects above,
+/// and still about six orders of magnitude fewer than direct sampling
+/// would.
+const RARE_SAMPLES: u64 = 16_384;
+/// Paver budget of the rare-event runs: rare-event work wants a finer
+/// paving than the paper's 10-box default, because the boundary boxes
+/// both seed the IS proposal and bound the importance weights
+/// (`w ≤ M_b/const` — the smaller the boundary mass, the lighter the
+/// weight tail).
+const RARE_BOXES: usize = 256;
 
 /// Ground truth with its standard error: direct Monte Carlo over the
 /// constraint set with a fixed seed, independent of every analyzer
@@ -261,6 +279,102 @@ fn coverage_nonuniform_exponential() {
         truth,
         0.0,
     );
+}
+
+/// Rare-event coverage of the adaptive importance-sampling engine
+/// ([`Allocation::ImportanceAdaptive`]): on every closed-form ~1e-8
+/// subject, at least 90% of 25 seeded one-shot runs must land within
+/// `3σ_reported` of the exact truth, and every run must actually have
+/// escalated to IS (no silent fallbacks). The classic stratified
+/// engines are structurally unable to do this at any comparable budget
+/// — nearly every stratum reports zero hits and `0 ± 0` — which is
+/// exactly the failure mode the IS escalation exists to fix.
+#[test]
+fn coverage_importance_sampling_rare_events() {
+    for subj in rare_subjects() {
+        let (cs, domain, profile) = subj.system();
+        let truth = subj.truth();
+        let cache = Arc::new(PavingCache::new());
+        let mut covered = 0u64;
+        let mut escalated = 0u64;
+        let mut dispersion = Moments::default();
+        let mut worst: Option<(f64, f64)> = None;
+        for seed in 0..RUNS {
+            let mut opts = Options::strat()
+                .with_samples(RARE_SAMPLES)
+                .with_seed(seed)
+                .with_allocation(Allocation::ImportanceAdaptive);
+            opts.paver.max_boxes = RARE_BOXES;
+            let r = Analyzer::new(opts)
+                .with_paving_cache(Arc::clone(&cache))
+                .analyze(&cs, &domain, &profile);
+            if r.stats.is_factors > 0 {
+                escalated += 1;
+            }
+            let err = (r.estimate.mean - truth).abs();
+            if err <= 3.0 * r.estimate.std_dev() + 1e-14 {
+                covered += 1;
+            } else if worst.is_none_or(|(w, _)| err > w) {
+                worst = Some((err, r.estimate.std_dev()));
+            }
+            dispersion.push(r.estimate.mean);
+        }
+        assert_eq!(
+            escalated, RUNS,
+            "{}: every run must escalate to IS",
+            subj.name
+        );
+        let coverage = covered as f64 / RUNS as f64;
+        assert!(
+            coverage >= MIN_COVERAGE,
+            "{}: only {covered}/{RUNS} IS runs within 3σ of truth {truth:.4e} \
+             (worst miss {worst:?})",
+            subj.name,
+        );
+        // The runs scatter around the truth itself, not around some
+        // other value with coincidentally wide error bars.
+        assert!(
+            (dispersion.mean() - truth).abs() <= 0.5 * truth,
+            "{}: run mean {:.4e} far from truth {truth:.4e}",
+            subj.name,
+            dispersion.mean(),
+        );
+    }
+}
+
+/// A proposal whose pilot round finds zero hits is degenerate, and the
+/// analyzer's reaction is *deterministic*: fall back to the stratified
+/// Neyman follow-up and flag it in [`qcoral::Stats::is_fallbacks`].
+/// The sin-peaks subject at the paper's default 10-box paving is
+/// engineered to trigger this: the satisfying needles occupy ~1e-7 of
+/// the coarse peak boxes, so no IS pilot at this budget ever hits one.
+#[test]
+fn degenerate_proposal_falls_back_deterministically() {
+    let subj = rare_subjects()
+        .into_iter()
+        .find(|s| !s.is_reachable)
+        .expect("a designed-fallback subject exists");
+    let (cs, domain, profile) = subj.system();
+    let run = |seed: u64| {
+        // Default paver: 10 boxes, too coarse for the needles.
+        let opts = Options::strat()
+            .with_samples(8_192)
+            .with_seed(seed)
+            .with_allocation(Allocation::ImportanceAdaptive);
+        Analyzer::new(opts).analyze(&cs, &domain, &profile)
+    };
+    for seed in [1, 7, 42] {
+        let r = run(seed);
+        assert_eq!(r.stats.is_fallbacks, 1, "seed {seed}: fallback flagged");
+        assert_eq!(r.stats.is_factors, 0, "seed {seed}: no IS factor");
+        // Same seed, same degenerate pilot, same fallback estimate.
+        let again = run(seed);
+        assert_eq!(r.estimate.mean.to_bits(), again.estimate.mean.to_bits());
+        assert_eq!(
+            r.estimate.variance.to_bits(),
+            again.estimate.variance.to_bits()
+        );
+    }
 }
 
 /// Exact subjects must be *exactly* right with zero reported variance,
