@@ -48,8 +48,12 @@ pub const LANES: usize = 128;
 /// lane-register file; the allocator guarantees `dst` is distinct from
 /// the instruction's sources, so evaluation can split the file into one
 /// mutable destination and shared sources without aliasing.
+///
+/// Crate-visible so [`crate::jit`] can translate the exact same stream —
+/// schedule, register assignment and early-exit points included — into
+/// native code.
 #[derive(Copy, Clone, Debug)]
-enum Inst {
+pub(crate) enum Inst {
     /// Broadcast a constant across the destination register.
     Const { dst: u32, value: f64 },
     /// Load a contiguous slice of an input column.
@@ -267,6 +271,14 @@ impl BulkTape {
     /// Minimum number of input columns evaluation requires.
     pub fn num_vars(&self) -> usize {
         self.nvars
+    }
+
+    /// The register-allocated instruction stream, in evaluation order.
+    /// Consumed by [`crate::jit`] so native kernels share this tape's
+    /// schedule and early-exit structure exactly.
+    #[cfg(feature = "jit")]
+    pub(crate) fn insts(&self) -> &[Inst] {
+        &self.insts
     }
 
     /// Evaluates one slab of `w <= LANES` samples starting at column

@@ -171,14 +171,43 @@ impl Builder {
             Expr::Var(id) => self.intern(NodeKey::Var(id.0), Node::Var(id.0)),
             Expr::Unary(op, e) => {
                 let c = self.emit(e);
+                if let Some(id) = self.fold(|v| op.apply(v[0]), &[c]) {
+                    return id;
+                }
                 self.intern(NodeKey::Unary(*op, c), Node::Unary(*op, c))
             }
             Expr::Binary(op, a, b) => {
                 let ca = self.emit(a);
                 let cb = self.emit(b);
+                if let Some(id) = self.fold(|v| op.apply(v[0], v[1]), &[ca, cb]) {
+                    return id;
+                }
                 self.intern(NodeKey::Binary(*op, ca, cb), Node::Binary(*op, ca, cb))
             }
         }
+    }
+
+    /// Constant-folding peephole: when every child of an operation is a
+    /// [`Node::Const`], evaluate it now — with the *same* `apply` routine
+    /// every evaluation kind dispatches to at runtime, so the folded
+    /// value is bit-for-bit the one the interpreter would recompute per
+    /// sample — and intern the result as a constant. Non-finite results
+    /// are left unfolded: the interval evaluator encloses `sqrt(-1)` or
+    /// `1/0` through the operation's interval form, and a NaN/±∞ point
+    /// "interval" has no such form, so those nodes keep their operator.
+    fn fold(&mut self, apply: impl FnOnce(&[f64]) -> f64, children: &[u32]) -> Option<u32> {
+        let mut vals = [0.0f64; 2];
+        for (v, &c) in vals.iter_mut().zip(children) {
+            match self.nodes[c as usize] {
+                Node::Const(k) => *v = k,
+                _ => return None,
+            }
+        }
+        let folded = apply(&vals[..children.len()]);
+        if !folded.is_finite() {
+            return None;
+        }
+        Some(self.intern(NodeKey::Const(folded.to_bits()), Node::Const(folded)))
     }
 }
 
@@ -196,10 +225,50 @@ impl EvalTape {
             let r = b.emit(atom.rhs());
             atoms.push((l, atom.op(), r));
         }
-        EvalTape {
-            nodes: b.nodes,
-            atoms,
+
+        // Dead-node pruning: constant folding replaces `Const op Const`
+        // parents with fresh constants, which can orphan the operand
+        // constants it consumed. A reverse liveness sweep (children have
+        // strictly smaller ids, so one pass suffices) drops every node no
+        // atom reaches, and compaction keeps ids dense and topologically
+        // ordered — all four evaluation kinds shrink together.
+        let mut live = vec![false; b.nodes.len()];
+        for &(l, _, r) in &atoms {
+            live[l as usize] = true;
+            live[r as usize] = true;
         }
+        for id in (0..b.nodes.len()).rev() {
+            if live[id] {
+                match b.nodes[id] {
+                    Node::Unary(_, c) => live[c as usize] = true,
+                    Node::Binary(_, ca, cb) => {
+                        live[ca as usize] = true;
+                        live[cb as usize] = true;
+                    }
+                    Node::Const(_) | Node::Var(_) => {}
+                }
+            }
+        }
+        let mut remap = vec![u32::MAX; b.nodes.len()];
+        let mut nodes = Vec::new();
+        for (id, node) in b.nodes.into_iter().enumerate() {
+            if live[id] {
+                remap[id] = nodes.len() as u32;
+                nodes.push(match node {
+                    Node::Unary(op, c) => Node::Unary(op, remap[c as usize]),
+                    Node::Binary(op, ca, cb) => {
+                        Node::Binary(op, remap[ca as usize], remap[cb as usize])
+                    }
+                    n => n,
+                });
+            }
+        }
+        for (l, _, r) in &mut atoms {
+            *l = remap[*l as usize];
+            *r = remap[*r as usize];
+        }
+
+        EvalTape { nodes, atoms }
     }
 
     /// Number of distinct nodes (the DAG size — compare
@@ -324,6 +393,127 @@ mod tests {
         // 2^40 * 1e-9 ≈ 1100 > 0.
         assert!(tape.holds(&[1e-9]));
         assert!(!tape.holds(&[-1e-9]));
+    }
+
+    #[test]
+    fn const_subtrees_fold_and_prune() {
+        // 2 * 3 + 1 folds to the single constant 7; its operand
+        // constants are pruned. Pool: x, 7.
+        let pc = pc_of("var x in [0, 10]; pc x < 2.0 * 3.0 + 1.0;");
+        let tape = EvalTape::compile(&pc);
+        assert_eq!(tape.len(), 2, "pool {:?}", tape.nodes());
+        assert!(tape.nodes().contains(&Node::Const(7.0)));
+        assert!(tape.holds(&[6.5]));
+        assert!(!tape.holds(&[7.0]));
+        assert_eq!(tape.holds(&[6.5]), pc.holds(&[6.5]));
+    }
+
+    #[test]
+    fn folding_uses_runtime_apply_bit_exactly() {
+        // sin(2.5) has no short decimal form: the folded constant must
+        // be the exact runtime value, not an approximation.
+        let pc = PathCondition::from_atoms(vec![Atom::new(
+            Expr::constant(2.5).sin(),
+            crate::RelOp::Lt,
+            Expr::var(VarId(0)),
+        )]);
+        let tape = EvalTape::compile(&pc);
+        assert_eq!(tape.len(), 2);
+        assert!(tape.nodes().contains(&Node::Const(2.5f64.sin())));
+        let probe = 2.5f64.sin(); // boundary: < is strict
+        assert!(!tape.holds(&[probe]));
+        assert!(tape.holds(&[probe + 1e-15]));
+        assert_eq!(tape.holds(&[probe]), pc.holds(&[probe]));
+    }
+
+    #[test]
+    fn non_finite_folds_are_left_to_the_operators() {
+        // sqrt(-1) is NaN and 1/0 is ∞: neither may become a point
+        // constant (the interval evaluator has no enclosure for one),
+        // so the operator nodes survive.
+        let nan_pc = PathCondition::from_atoms(vec![Atom::new(
+            Expr::constant(-1.0).sqrt(),
+            crate::RelOp::Ne,
+            Expr::var(VarId(0)),
+        )]);
+        let tape = EvalTape::compile(&nan_pc);
+        assert!(tape
+            .nodes()
+            .iter()
+            .any(|n| matches!(n, Node::Unary(UnOp::Sqrt, _))));
+        // NaN != x is false for every x — matching the tree walk.
+        assert!(!tape.holds(&[1.0]));
+        assert_eq!(tape.holds(&[1.0]), nan_pc.holds(&[1.0]));
+
+        let inf_pc = pc_of("var x in [0, 10]; pc x < 1.0 / 0.0;");
+        let tape = EvalTape::compile(&inf_pc);
+        assert!(tape
+            .nodes()
+            .iter()
+            .any(|n| matches!(n, Node::Binary(BinOp::Div, _, _))));
+        assert!(tape.holds(&[5.0]));
+    }
+
+    #[test]
+    fn folded_constant_dedups_with_written_constant() {
+        // 1 + 1 folds to 2, which hash-conses with the literal 2: the
+        // two atoms share one constant node.
+        let pc = pc_of("var x in [0, 10]; pc x < 1.0 + 1.0 && x > 2.0 - 4.0;");
+        let tape = EvalTape::compile(&pc);
+        // Pool: x, 2, -2 — the folded 2 and any written 2 are one node.
+        assert_eq!(tape.len(), 3, "pool {:?}", tape.nodes());
+        assert!(tape.holds(&[1.0]));
+    }
+
+    #[test]
+    fn every_pruned_tape_node_is_reachable_from_an_atom() {
+        let pc = pc_of(
+            "var x in [-2, 2]; var y in [-2, 2];
+             pc sin(x * (2.0 * 0.5)) > 0.25 - 0.25 && x + y <= 3.0 / 2.0;",
+        );
+        let tape = EvalTape::compile(&pc);
+        let mut live = vec![false; tape.len()];
+        for &(l, _, r) in tape.atom_nodes() {
+            live[l as usize] = true;
+            live[r as usize] = true;
+        }
+        for id in (0..tape.len()).rev() {
+            if live[id] {
+                match tape.nodes()[id] {
+                    Node::Unary(_, c) => live[c as usize] = true,
+                    Node::Binary(_, a, b) => {
+                        live[a as usize] = true;
+                        live[b as usize] = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(live.iter().all(|&l| l), "dead node in {:?}", tape.nodes());
+        // And the peephole preserved semantics.
+        for i in 0..20 {
+            let p = [-2.0 + i as f64 * 0.2, 2.0 - i as f64 * 0.2];
+            assert_eq!(tape.holds(&p), pc.holds(&p), "at {p:?}");
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_peephole_independent() {
+        // Fingerprints hash the *expression*, not the optimized tape:
+        // a foldable form and its folded value stay distinct keys, and
+        // compiling neither perturbs them — so every cache keyed by
+        // fingerprint (tapes, pavings, predicates, factor store) is
+        // oblivious to what the peephole does.
+        let foldable = pc_of("var x in [0, 10]; pc x < 2.0 * 3.0 + 1.0;");
+        let folded = pc_of("var x in [0, 10]; pc x < 7.0;");
+        let before = (foldable.fingerprint(), folded.fingerprint());
+        assert_ne!(before.0, before.1);
+        let _ = (EvalTape::compile(&foldable), EvalTape::compile(&folded));
+        assert_eq!(
+            (foldable.fingerprint(), folded.fingerprint()),
+            before,
+            "compilation must not perturb fingerprints"
+        );
     }
 
     #[test]

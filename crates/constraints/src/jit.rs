@@ -1,0 +1,1172 @@
+//! Runtime x86-64 code generation for the columnar hot path.
+//!
+//! [`crate::bulk::BulkTape`] already amortizes dispatch across
+//! [`LANES`](crate::bulk::LANES)-wide slabs, but every instruction still pays an interpreter
+//! `match`, slice bounds checks and a loop the backend must re-discover
+//! is vectorizable. This module compiles the *same* register-allocated
+//! instruction stream — schedule, register assignment and per-atom
+//! early-exit points included — into one native kernel per predicate
+//! (the `jitfive` technique of implicit-surface engines such as
+//! `fidget`, applied to path-condition predicates).
+//!
+//! # Bit-identity contract
+//!
+//! JIT results are **bit-for-bit** those of the interpreter, which the
+//! determinism and factor-store layers rely on:
+//!
+//! * `Neg`/`Abs`/`Sqrt`/`Add`/`Sub`/`Mul`/`Div` are emitted as SSE2
+//!   packed-double instructions (`xorpd`/`andpd` sign-mask tricks,
+//!   `sqrtpd`, `addpd`, …) — IEEE-754-exact, operand order preserved, so
+//!   they cannot differ from the scalar ops.
+//! * `Min`/`Max` mirror, packed, the exact instruction sequence rustc
+//!   emits for `f64::min`/`f64::max` at runtime (`a.is_nan() ? b :
+//!   minpd(b, a)` as a branch-free `cmpunordpd`/`andpd`/`andnpd`/`orpd`
+//!   blend): ties favor the first operand, a NaN on either side yields
+//!   the other operand's bits verbatim.
+//! * Transcendentals (`Exp`/`Ln`/`Sin`/`Cos`/`Tan`/`Asin`/`Acos`/
+//!   `Atan`/`Pow`/`Atan2`) are not re-implemented: the kernel makes an
+//!   `extern "C"` call per lane into the *same* Rust `f64` routines the
+//!   interpreter uses ([`UnOp::apply`](crate::UnOp::apply)/[`BinOp::apply`](crate::BinOp::apply)), so equality
+//!   holds by construction.
+//! * Compares produce per-atom lane masks with the interpreter's
+//!   NaN-is-miss semantics (including `!=`, which is `ordered ∧
+//!   not-equal`), AND into the running hit mask, and early-exit the
+//!   kernel when no lane can still satisfy the conjunction.
+//!
+//! # Kernel ABI
+//!
+//! Each predicate compiles to one function with the SysV signature
+//!
+//! ```text
+//! extern "C" fn(regs: *mut f64, cols: *const *const f64, mask: *mut u64)
+//! ```
+//!
+//! where `regs` is a contiguous register file (`num_registers` slabs of
+//! [`LANES`](crate::bulk::LANES) `f64`s; register `r` lives at byte offset `r * 1024`),
+//! `cols` holds one pre-offset column pointer per input variable, and
+//! the 128-bit hit mask is written to `mask[0]` (lanes 0–63) and
+//! `mask[1]` (lanes 64–127). Kernels process exactly one full slab;
+//! ragged tails stay on the (bit-identical) interpreter, which keeps
+//! variable-width handling out of the emitter entirely. All live state
+//! (register-file base, column table, running mask, loop counters) sits
+//! in callee-saved GPRs so the transcendental callbacks cannot clobber
+//! it, and the stack is kept 16-byte aligned at every call site.
+//!
+//! # Fallback rules
+//!
+//! Code pages come from `mmap`/`mprotect` declared directly (the same
+//! no-external-deps FFI pattern as the `signal(2)` handler in
+//! `qcoral-serviced`), mapped W^X: filled read-write, then flipped to
+//! read-execute. On non-x86_64 / non-Linux targets, or when
+//! [`jit_available`] reports the CPU unsuitable at runtime, or if the
+//! kernel mapping fails, [`JitTape::compile`] returns `None` and callers
+//! keep the `BulkTape` interpreter — same results, interpreter speed.
+//! The [`portable`] stub (which *is* `JitTape` on unsupported targets)
+//! compiles everywhere so the fallback path is testable from x86_64 CI.
+
+use crate::bulk::BulkTape;
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub use native::JitTape;
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+pub use portable::JitTape;
+
+/// Whether this process can execute JIT-compiled kernels: x86-64 Linux
+/// with SSE2 (checked at runtime, not assumed from the compile target).
+/// When `false`, [`JitTape::compile`] always returns `None`.
+pub fn jit_available() -> bool {
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    {
+        return std::arch::is_x86_feature_detected!("sse2");
+    }
+    #[allow(unreachable_code)]
+    false
+}
+
+/// Reusable per-thread scratch for kernel invocation: the contiguous
+/// lane-register file and the column-pointer table. Grows to the largest
+/// register file it has served, then is allocation-free. Holds raw
+/// pointers between calls only transiently (the table is rebuilt on
+/// every slab), but is still `!Send` — use one per thread.
+#[derive(Debug, Default)]
+pub struct JitScratch {
+    regs: Vec<f64>,
+    ptrs: Vec<*const f64>,
+}
+
+impl JitScratch {
+    /// An empty scratch (storage is allocated on first use).
+    pub fn new() -> JitScratch {
+        JitScratch::default()
+    }
+}
+
+/// Always-fallback stand-in for unsupported targets, compiled (and unit
+/// tested) on every target. On non-x86_64 / non-Linux builds this *is*
+/// [`crate::jit::JitTape`]: an uninhabited type whose `compile` returns
+/// `None`, so callers statically keep the interpreter path.
+pub mod portable {
+    use super::{BulkTape, JitScratch};
+
+    /// Uninhabited [`super::JitTape`] stand-in: no kernel can exist on
+    /// an unsupported target, and the type system knows it.
+    #[derive(Debug)]
+    pub enum JitTape {}
+
+    impl JitTape {
+        /// Always `None`: native code generation is unavailable.
+        pub fn compile(_tape: &BulkTape) -> Option<JitTape> {
+            None
+        }
+
+        /// Unreachable (`JitTape` is uninhabited).
+        pub fn count_hits(&self, _tail: &BulkTape, _cols: &[Vec<f64>], _n: usize) -> u64 {
+            match *self {}
+        }
+
+        /// Unreachable (`JitTape` is uninhabited).
+        pub fn hit_mask_slab(&self, _cols: &[Vec<f64>], _off: usize, _s: &mut JitScratch) -> u128 {
+            match *self {}
+        }
+
+        /// Unreachable (`JitTape` is uninhabited).
+        pub fn code_len(&self) -> usize {
+            match *self {}
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod native {
+    use std::cell::RefCell;
+
+    use super::{jit_available, JitScratch};
+    use crate::bulk::{BulkScratch, BulkTape, Inst, LANES};
+    use crate::{BinOp, RelOp, UnOp};
+
+    // ---------------------------------------------------------------
+    // Executable pages: direct mmap/mprotect/munmap FFI (no libc crate
+    // in the workspace — same pattern as the signal(2) declaration in
+    // qcoral-serviced). Constants are the Linux x86-64 ABI values.
+    // ---------------------------------------------------------------
+
+    mod sys {
+        use std::ffi::c_void;
+
+        pub const PROT_READ: i32 = 0x1;
+        pub const PROT_WRITE: i32 = 0x2;
+        pub const PROT_EXEC: i32 = 0x4;
+        pub const MAP_PRIVATE: i32 = 0x02;
+        pub const MAP_ANONYMOUS: i32 = 0x20;
+
+        extern "C" {
+            pub fn mmap(
+                addr: *mut c_void,
+                len: usize,
+                prot: i32,
+                flags: i32,
+                fd: i32,
+                offset: i64,
+            ) -> *mut c_void;
+            pub fn mprotect(addr: *mut c_void, len: usize, prot: i32) -> i32;
+            pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        }
+    }
+
+    /// An owned executable mapping, built W^X: the page is filled while
+    /// read-write, then flipped to read-execute and never writable
+    /// again. Unmapped on drop.
+    #[derive(Debug)]
+    struct ExecBuf {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is immutable after construction (RX, never
+    // written again) and owned until drop; sharing read/execute access
+    // across threads is sound.
+    unsafe impl Send for ExecBuf {}
+    unsafe impl Sync for ExecBuf {}
+
+    impl ExecBuf {
+        fn new(code: &[u8]) -> Option<ExecBuf> {
+            if code.is_empty() {
+                return None;
+            }
+            // SAFETY: anonymous private mapping of a length we own;
+            // copy stays in bounds; mprotect flips our own pages.
+            unsafe {
+                let p = sys::mmap(
+                    std::ptr::null_mut(),
+                    code.len(),
+                    sys::PROT_READ | sys::PROT_WRITE,
+                    sys::MAP_PRIVATE | sys::MAP_ANONYMOUS,
+                    -1,
+                    0,
+                );
+                if p.is_null() || p as isize == -1 {
+                    return None;
+                }
+                std::ptr::copy_nonoverlapping(code.as_ptr(), p as *mut u8, code.len());
+                if sys::mprotect(p, code.len(), sys::PROT_READ | sys::PROT_EXEC) != 0 {
+                    sys::munmap(p, code.len());
+                    return None;
+                }
+                Some(ExecBuf {
+                    ptr: p as *mut u8,
+                    len: code.len(),
+                })
+            }
+        }
+    }
+
+    impl Drop for ExecBuf {
+        fn drop(&mut self) {
+            // SAFETY: unmapping the mapping this struct owns.
+            unsafe {
+                sys::munmap(self.ptr as *mut _, self.len);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Transcendental callbacks: the exact routines the interpreter
+    // applies per lane, re-exported with the C ABI so emitted code can
+    // call them. Bit-identity is by construction — same function, same
+    // argument order.
+    // ---------------------------------------------------------------
+
+    extern "C" fn cb_exp(x: f64) -> f64 {
+        x.exp()
+    }
+    extern "C" fn cb_ln(x: f64) -> f64 {
+        x.ln()
+    }
+    extern "C" fn cb_sin(x: f64) -> f64 {
+        x.sin()
+    }
+    extern "C" fn cb_cos(x: f64) -> f64 {
+        x.cos()
+    }
+    extern "C" fn cb_tan(x: f64) -> f64 {
+        x.tan()
+    }
+    extern "C" fn cb_asin(x: f64) -> f64 {
+        x.asin()
+    }
+    extern "C" fn cb_acos(x: f64) -> f64 {
+        x.acos()
+    }
+    extern "C" fn cb_atan(x: f64) -> f64 {
+        x.atan()
+    }
+    extern "C" fn cb_pow(a: f64, b: f64) -> f64 {
+        a.powf(b)
+    }
+    extern "C" fn cb_atan2(a: f64, b: f64) -> f64 {
+        a.atan2(b)
+    }
+
+    /// Callback address for a transcendental unary, `None` for the ops
+    /// the emitter lowers to SSE2 directly.
+    fn un_callback(op: UnOp) -> Option<u64> {
+        let f: extern "C" fn(f64) -> f64 = match op {
+            UnOp::Neg | UnOp::Abs | UnOp::Sqrt => return None,
+            UnOp::Exp => cb_exp,
+            UnOp::Ln => cb_ln,
+            UnOp::Sin => cb_sin,
+            UnOp::Cos => cb_cos,
+            UnOp::Tan => cb_tan,
+            UnOp::Asin => cb_asin,
+            UnOp::Acos => cb_acos,
+            UnOp::Atan => cb_atan,
+        };
+        Some(f as usize as u64)
+    }
+
+    /// Callback address for a transcendental binary, `None` for the ops
+    /// the emitter lowers to SSE2 directly.
+    fn bin_callback(op: BinOp) -> Option<u64> {
+        let f: extern "C" fn(f64, f64) -> f64 = match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Min | BinOp::Max => {
+                return None
+            }
+            BinOp::Pow => cb_pow,
+            BinOp::Atan2 => cb_atan2,
+        };
+        Some(f as usize as u64)
+    }
+
+    // ---------------------------------------------------------------
+    // Instruction encoder: just enough x86-64 to emit the kernels.
+    // REX/ModRM/SIB encoding with disp32 memory operands throughout.
+    // ---------------------------------------------------------------
+
+    const RAX: u8 = 0;
+    const RCX: u8 = 1;
+    const RDX: u8 = 2;
+    const RBX: u8 = 3;
+    const RSP: u8 = 4;
+    const RBP: u8 = 5;
+    const RSI: u8 = 6;
+    const RDI: u8 = 7;
+    const R12: u8 = 12;
+    const R13: u8 = 13;
+    const R14: u8 = 14;
+    const R15: u8 = 15;
+
+    const XMM0: u8 = 0;
+    const XMM1: u8 = 1;
+    const XMM2: u8 = 2;
+    const XMM3: u8 = 3;
+
+    /// `0x66` operand-size prefix selecting the packed-double forms.
+    const P66: u8 = 0x66;
+    /// `0xF2` prefix selecting the scalar-double (`movsd`) forms.
+    const PF2: u8 = 0xF2;
+
+    // 0F-escaped SSE2 opcodes.
+    const MOV_LD: u8 = 0x10; // movupd / movsd load
+    const MOV_ST: u8 = 0x11; // movupd / movsd store
+    const UNPCKLPD: u8 = 0x14;
+    const MOVAPD: u8 = 0x28;
+    const SQRTPD: u8 = 0x51;
+    const ANDPD: u8 = 0x54;
+    const ANDNPD: u8 = 0x55;
+    const ORPD: u8 = 0x56;
+    const XORPD: u8 = 0x57;
+    const ADDPD: u8 = 0x58;
+    const MULPD: u8 = 0x59;
+    const SUBPD: u8 = 0x5C;
+    const MINPD: u8 = 0x5D;
+    const DIVPD: u8 = 0x5E;
+    const MAXPD: u8 = 0x5F;
+
+    // cmppd immediate predicates.
+    const CMP_EQ: u8 = 0;
+    const CMP_LT: u8 = 1;
+    const CMP_LE: u8 = 2;
+    const CMP_UNORD: u8 = 3;
+    const CMP_NEQ: u8 = 4; // true on unordered too (NEQ_UQ)
+    const CMP_ORD: u8 = 7;
+
+    // Jcc condition codes (low nibble of the 0F 8x opcode).
+    const CC_Z: u8 = 0x4;
+    const CC_NZ: u8 = 0x5;
+
+    /// Bytes per lane register slab: [`LANES`] `f64`s.
+    const SLAB: i32 = (LANES * 8) as i32;
+
+    #[derive(Default)]
+    struct Asm {
+        code: Vec<u8>,
+    }
+
+    impl Asm {
+        fn pos(&self) -> usize {
+            self.code.len()
+        }
+
+        fn b(&mut self, v: u8) {
+            self.code.push(v);
+        }
+
+        fn i32le(&mut self, v: i32) {
+            self.code.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// REX prefix for `reg` (ModRM.reg), optional SIB index, and
+        /// `base` (ModRM.rm / SIB.base); omitted when all bits are 0.
+        fn rex(&mut self, w: bool, reg: u8, index: Option<u8>, base: u8) {
+            let mut v = 0x40u8;
+            if w {
+                v |= 8;
+            }
+            if reg >= 8 {
+                v |= 4;
+            }
+            if index.is_some_and(|i| i >= 8) {
+                v |= 2;
+            }
+            if base >= 8 {
+                v |= 1;
+            }
+            if v != 0x40 {
+                self.b(v);
+            }
+        }
+
+        /// Register-direct ModRM byte.
+        fn modrm_reg(&mut self, reg: u8, rm: u8) {
+            self.b(0xC0 | ((reg & 7) << 3) | (rm & 7));
+        }
+
+        /// Memory operand `[base + index*1 + disp32]` (mod = 10). A SIB
+        /// byte is emitted when an index is present or the base encodes
+        /// as RSP/R12.
+        fn mem(&mut self, reg: u8, base: u8, index: Option<u8>, disp: i32) {
+            let reg7 = (reg & 7) << 3;
+            if index.is_none() && base & 7 != 4 {
+                self.b(0x80 | reg7 | (base & 7));
+            } else {
+                debug_assert!(index.is_none_or(|i| i & 7 != 4), "rsp cannot index");
+                self.b(0x80 | reg7 | 0b100);
+                let idx = index.map_or(0b100, |i| i & 7);
+                self.b((idx << 3) | (base & 7));
+            }
+            self.i32le(disp);
+        }
+
+        fn push_r(&mut self, r: u8) {
+            self.rex(false, 0, None, r);
+            self.b(0x50 + (r & 7));
+        }
+
+        fn pop_r(&mut self, r: u8) {
+            self.rex(false, 0, None, r);
+            self.b(0x58 + (r & 7));
+        }
+
+        /// `mov dst, src` (64-bit).
+        fn mov_rr(&mut self, dst: u8, src: u8) {
+            self.rex(true, src, None, dst);
+            self.b(0x89);
+            self.modrm_reg(src, dst);
+        }
+
+        /// `mov r64, imm64`.
+        fn mov_ri64(&mut self, r: u8, imm: u64) {
+            self.rex(true, 0, None, r);
+            self.b(0xB8 + (r & 7));
+            self.code.extend_from_slice(&imm.to_le_bytes());
+        }
+
+        /// `mov r64, imm32` (sign-extended).
+        fn mov_ri32(&mut self, r: u8, imm: i32) {
+            self.rex(true, 0, None, r);
+            self.b(0xC7);
+            self.modrm_reg(0, r);
+            self.i32le(imm);
+        }
+
+        /// `mov r64, [base + index + disp32]`.
+        fn mov_r_mem(&mut self, dst: u8, base: u8, index: Option<u8>, disp: i32) {
+            self.rex(true, dst, index, base);
+            self.b(0x8B);
+            self.mem(dst, base, index, disp);
+        }
+
+        /// `mov [base + disp32], src` (64-bit store).
+        fn mov_mem_r(&mut self, base: u8, disp: i32, src: u8) {
+            self.rex(true, src, None, base);
+            self.b(0x89);
+            self.mem(src, base, None, disp);
+        }
+
+        /// `xor dst32, src32` (zero-extends; the idiomatic zeroing).
+        fn xor_rr32(&mut self, dst: u8, src: u8) {
+            self.rex(false, src, None, dst);
+            self.b(0x31);
+            self.modrm_reg(src, dst);
+        }
+
+        /// Group-1 ALU op with an 8-bit immediate: `ext` 0 = add,
+        /// 5 = sub.
+        fn alu_ri8(&mut self, ext: u8, r: u8, imm: i8) {
+            self.rex(true, 0, None, r);
+            self.b(0x83);
+            self.modrm_reg(ext, r);
+            self.b(imm as u8);
+        }
+
+        /// `cmp r64, imm32`.
+        fn cmp_ri32(&mut self, r: u8, imm: i32) {
+            self.rex(true, 0, None, r);
+            self.b(0x81);
+            self.modrm_reg(7, r);
+            self.i32le(imm);
+        }
+
+        /// `shl r64, 2`.
+        fn shl2(&mut self, r: u8) {
+            self.rex(true, 0, None, r);
+            self.b(0xC1);
+            self.modrm_reg(4, r);
+            self.b(2);
+        }
+
+        /// `and dst, src` (64-bit).
+        fn and_rr(&mut self, dst: u8, src: u8) {
+            self.rex(true, src, None, dst);
+            self.b(0x21);
+            self.modrm_reg(src, dst);
+        }
+
+        /// `or dst, src` (64-bit).
+        fn or_rr(&mut self, dst: u8, src: u8) {
+            self.rex(true, src, None, dst);
+            self.b(0x09);
+            self.modrm_reg(src, dst);
+        }
+
+        /// `call r64` (indirect).
+        fn call_r(&mut self, r: u8) {
+            self.rex(false, 0, None, r);
+            self.b(0xFF);
+            self.modrm_reg(2, r);
+        }
+
+        fn ret(&mut self) {
+            self.b(0xC3);
+        }
+
+        /// `jcc rel32` to a known earlier position.
+        fn jcc_back(&mut self, cc: u8, target: usize) {
+            self.b(0x0F);
+            self.b(0x80 | cc);
+            let rel = target as i64 - (self.pos() as i64 + 4);
+            self.i32le(rel as i32);
+        }
+
+        /// `jcc rel32` forward; returns the patch site for
+        /// [`Asm::patch_fwd`].
+        fn jcc_fwd(&mut self, cc: u8) -> usize {
+            self.b(0x0F);
+            self.b(0x80 | cc);
+            let at = self.pos();
+            self.i32le(0);
+            at
+        }
+
+        /// Points a forward jump recorded by [`Asm::jcc_fwd`] at the
+        /// current position.
+        fn patch_fwd(&mut self, at: usize) {
+            let rel = (self.pos() as i64 - (at as i64 + 4)) as i32;
+            self.code[at..at + 4].copy_from_slice(&rel.to_le_bytes());
+        }
+
+        /// SSE op, register-register form (`dst` is ModRM.reg).
+        fn sse_rr(&mut self, pfx: u8, op: u8, dst: u8, src: u8) {
+            self.b(pfx);
+            self.rex(false, dst, None, src);
+            self.b(0x0F);
+            self.b(op);
+            self.modrm_reg(dst, src);
+        }
+
+        /// SSE op, register-memory form (`[base + index + disp32]`).
+        fn sse_rm(&mut self, pfx: u8, op: u8, x: u8, base: u8, index: Option<u8>, disp: i32) {
+            self.b(pfx);
+            self.rex(false, x, index, base);
+            self.b(0x0F);
+            self.b(op);
+            self.mem(x, base, index, disp);
+        }
+
+        /// `cmppd dst, src, pred`.
+        fn cmppd(&mut self, dst: u8, src: u8, pred: u8) {
+            self.sse_rr(P66, 0xC2, dst, src);
+            self.b(pred);
+        }
+
+        /// `movmskpd r32, xmm`: the two lane sign bits.
+        fn movmskpd(&mut self, gpr: u8, x: u8) {
+            self.b(P66);
+            self.rex(false, gpr, None, x);
+            self.b(0x0F);
+            self.b(0x50);
+            self.modrm_reg(gpr, x);
+        }
+
+        /// `movq xmm, r64`.
+        fn movq_xr(&mut self, x: u8, gpr: u8) {
+            self.b(P66);
+            self.rex(true, x, None, gpr);
+            self.b(0x0F);
+            self.b(0x6E);
+            self.modrm_reg(x, gpr);
+        }
+
+        /// Broadcasts a 64-bit pattern into both lanes of `x`
+        /// (clobbers RAX).
+        fn bcast(&mut self, x: u8, bits: u64) {
+            self.mov_ri64(RAX, bits);
+            self.movq_xr(x, RAX);
+            self.sse_rr(P66, UNPCKLPD, x, x);
+        }
+
+        /// Emits `body` inside a 16-bytes-per-step loop over one slab,
+        /// with RCX as the byte cursor (0, 16, …, SLAB-16). The body
+        /// must not clobber RCX.
+        fn vec_loop(&mut self, body: impl FnOnce(&mut Asm)) {
+            self.xor_rr32(RCX, RCX);
+            let top = self.pos();
+            body(self);
+            self.alu_ri8(0, RCX, 16);
+            self.cmp_ri32(RCX, SLAB);
+            self.jcc_back(CC_NZ, top);
+        }
+
+        /// Emits a lane-at-a-time loop that loads `srcs` (slab byte
+        /// offsets) into XMM0[, XMM1], calls `addr` with the C ABI, and
+        /// stores XMM0 to `dst`. RBP is the byte cursor (callee-saved,
+        /// so it survives the call); the callback may clobber any
+        /// caller-saved register, so the target address is reloaded
+        /// into RAX every iteration.
+        fn call_loop(&mut self, addr: u64, srcs: &[i32], dst: i32) {
+            self.xor_rr32(RBP, RBP);
+            let top = self.pos();
+            for (i, &s) in srcs.iter().enumerate() {
+                self.sse_rm(PF2, MOV_LD, i as u8, RBX, Some(RBP), s);
+            }
+            self.mov_ri64(RAX, addr);
+            self.call_r(RAX);
+            self.sse_rm(PF2, MOV_ST, XMM0, RBX, Some(RBP), dst);
+            self.alu_ri8(0, RBP, 8);
+            self.cmp_ri32(RBP, SLAB);
+            self.jcc_back(CC_NZ, top);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // The kernel emitter.
+    // ---------------------------------------------------------------
+
+    /// Register assignment inside a kernel (all callee-saved, so the
+    /// transcendental callbacks preserve them):
+    ///
+    /// | reg | holds                                   |
+    /// |-----|------------------------------------------|
+    /// | rbx | register-file base (`regs` argument)     |
+    /// | r13 | column-pointer table (`cols` argument)   |
+    /// | r12 | mask out-pointer                         |
+    /// | r14 | running hit mask, lanes 0–63             |
+    /// | r15 | running hit mask, lanes 64–127           |
+    /// | rbp | lane cursor of callback loops            |
+    ///
+    /// Caller-saved rax/rcx/rdx and xmm0–xmm3 are transient.
+    fn emit_kernel(tape: &BulkTape) -> Option<Vec<u8>> {
+        // Every slab offset must encode as disp32.
+        let file_bytes = tape.num_registers().checked_mul(LANES * 8)?;
+        if file_bytes > i32::MAX as usize || tape.num_vars() * 8 > i32::MAX as usize {
+            return None;
+        }
+        let slab = |r: u32| (r as i32) * SLAB;
+
+        let mut a = Asm::default();
+
+        // Prologue: 6 pushes keep rsp ≡ 8 (mod 16) as at entry; one
+        // 8-byte adjustment aligns every later call site.
+        for r in [RBX, RBP, R12, R13, R14, R15] {
+            a.push_r(r);
+        }
+        a.alu_ri8(5, RSP, 8);
+        a.mov_rr(RBX, RDI);
+        a.mov_rr(R13, RSI);
+        a.mov_rr(R12, RDX);
+        a.mov_ri32(R14, -1);
+        a.mov_ri32(R15, -1);
+
+        let mut exits: Vec<usize> = Vec::new();
+        for inst in tape.insts() {
+            match *inst {
+                Inst::Const { dst, value } => {
+                    let d = slab(dst);
+                    a.bcast(XMM0, value.to_bits());
+                    a.vec_loop(|a| a.sse_rm(P66, MOV_ST, XMM0, RBX, Some(RCX), d));
+                }
+                Inst::Var { dst, var } => {
+                    let d = slab(dst);
+                    a.mov_r_mem(RAX, R13, None, var as i32 * 8);
+                    a.vec_loop(|a| {
+                        a.sse_rm(P66, MOV_LD, XMM0, RAX, Some(RCX), 0);
+                        a.sse_rm(P66, MOV_ST, XMM0, RBX, Some(RCX), d);
+                    });
+                }
+                Inst::Un { op, dst, src } => {
+                    let (d, s) = (slab(dst), slab(src));
+                    if let Some(addr) = un_callback(op) {
+                        a.call_loop(addr, &[s], d);
+                        continue;
+                    }
+                    match op {
+                        // Sign-bit tricks: exactly how rustc lowers
+                        // `-x` and `x.abs()`.
+                        UnOp::Neg | UnOp::Abs => {
+                            let (bits, alu) = if op == UnOp::Neg {
+                                (0x8000_0000_0000_0000u64, XORPD)
+                            } else {
+                                (0x7fff_ffff_ffff_ffffu64, ANDPD)
+                            };
+                            a.bcast(XMM1, bits);
+                            a.vec_loop(|a| {
+                                a.sse_rm(P66, MOV_LD, XMM0, RBX, Some(RCX), s);
+                                a.sse_rr(P66, alu, XMM0, XMM1);
+                                a.sse_rm(P66, MOV_ST, XMM0, RBX, Some(RCX), d);
+                            });
+                        }
+                        UnOp::Sqrt => a.vec_loop(|a| {
+                            a.sse_rm(P66, MOV_LD, XMM0, RBX, Some(RCX), s);
+                            a.sse_rr(P66, SQRTPD, XMM0, XMM0);
+                            a.sse_rm(P66, MOV_ST, XMM0, RBX, Some(RCX), d);
+                        }),
+                        _ => unreachable!("transcendental handled by callback"),
+                    }
+                }
+                Inst::Bin {
+                    op,
+                    dst,
+                    a: ra,
+                    b: rb,
+                } => {
+                    let (d, sa, sb) = (slab(dst), slab(ra), slab(rb));
+                    if let Some(addr) = bin_callback(op) {
+                        a.call_loop(addr, &[sa, sb], d);
+                        continue;
+                    }
+                    match op {
+                        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                            let alu = match op {
+                                BinOp::Add => ADDPD,
+                                BinOp::Sub => SUBPD,
+                                BinOp::Mul => MULPD,
+                                _ => DIVPD,
+                            };
+                            a.vec_loop(|a| {
+                                a.sse_rm(P66, MOV_LD, XMM0, RBX, Some(RCX), sa);
+                                a.sse_rm(P66, MOV_LD, XMM1, RBX, Some(RCX), sb);
+                                a.sse_rr(P66, alu, XMM0, XMM1);
+                                a.sse_rm(P66, MOV_ST, XMM0, RBX, Some(RCX), d);
+                            });
+                        }
+                        // The packed mirror of rustc's runtime lowering
+                        // of `a.min(b)` / `a.max(b)`:
+                        //   isnan(a) ? b : min/maxpd(b, a)
+                        // as a branch-free blend. min/maxpd(b, a)
+                        // returns the *source* operand (a) on ties and
+                        // when b is NaN, so ties favor a and either
+                        // NaN selects the other side's bits verbatim —
+                        // the same function the interpreter computes.
+                        BinOp::Min | BinOp::Max => {
+                            let alu = if op == BinOp::Min { MINPD } else { MAXPD };
+                            a.vec_loop(|a| {
+                                a.sse_rm(P66, MOV_LD, XMM0, RBX, Some(RCX), sa);
+                                a.sse_rm(P66, MOV_LD, XMM1, RBX, Some(RCX), sb);
+                                a.sse_rr(P66, MOVAPD, XMM2, XMM0);
+                                a.cmppd(XMM2, XMM2, CMP_UNORD); // a-is-NaN mask
+                                a.sse_rr(P66, MOVAPD, XMM3, XMM2);
+                                a.sse_rr(P66, ANDPD, XMM3, XMM1); // mask & b
+                                a.sse_rr(P66, alu, XMM1, XMM0); // min/max(b, a)
+                                a.sse_rr(P66, ANDNPD, XMM2, XMM1); // !mask & result
+                                a.sse_rr(P66, ORPD, XMM2, XMM3);
+                                a.sse_rm(P66, MOV_ST, XMM2, RBX, Some(RCX), d);
+                            });
+                        }
+                        _ => unreachable!("transcendental handled by callback"),
+                    }
+                }
+                Inst::Cmp { op, a: ra, b: rb } => {
+                    emit_cmp(&mut a, op, slab(ra), slab(rb));
+                    // All-false early exit: the interpreter's per-atom
+                    // check, one branch per atom here.
+                    a.mov_rr(RAX, R14);
+                    a.or_rr(RAX, R15);
+                    exits.push(a.jcc_fwd(CC_Z));
+                }
+            }
+        }
+
+        for at in exits {
+            a.patch_fwd(at);
+        }
+        a.mov_mem_r(R12, 0, R14);
+        a.mov_mem_r(R12, 8, R15);
+        a.alu_ri8(0, RSP, 8);
+        for r in [R15, R14, R13, R12, RBP, RBX] {
+            a.pop_r(r);
+        }
+        a.ret();
+        Some(a.code)
+    }
+
+    /// Emits one atom comparison: builds the 128-lane result mask two
+    /// lanes at a time via `movmskpd` and ANDs it into r14/r15. Lanes
+    /// are walked high-to-low within each 64-lane half so `shl 2 / or`
+    /// accumulation lands lane `i` on bit `i`, matching the
+    /// interpreter's mask layout. NaN on either side misses: `< <= ==`
+    /// (and the swapped-operand `> >=`) are false on unordered lanes by
+    /// predicate definition, `!=` is `ordered ∧ neq`.
+    fn emit_cmp(a: &mut Asm, op: RelOp, sa: i32, sb: i32) {
+        for (half, acc) in [(0i32, R14), (1i32, R15)] {
+            a.xor_rr32(RAX, RAX);
+            a.mov_ri32(RCX, (half + 1) * (SLAB / 2));
+            let top = a.pos();
+            a.alu_ri8(5, RCX, 16);
+            a.sse_rm(P66, MOV_LD, XMM0, RBX, Some(RCX), sa);
+            a.sse_rm(P66, MOV_LD, XMM1, RBX, Some(RCX), sb);
+            let res = match op {
+                RelOp::Lt => {
+                    a.cmppd(XMM0, XMM1, CMP_LT);
+                    XMM0
+                }
+                RelOp::Le => {
+                    a.cmppd(XMM0, XMM1, CMP_LE);
+                    XMM0
+                }
+                // No greater-than predicate in SSE2: swap operands.
+                RelOp::Gt => {
+                    a.cmppd(XMM1, XMM0, CMP_LT);
+                    XMM1
+                }
+                RelOp::Ge => {
+                    a.cmppd(XMM1, XMM0, CMP_LE);
+                    XMM1
+                }
+                RelOp::Eq => {
+                    a.cmppd(XMM0, XMM1, CMP_EQ);
+                    XMM0
+                }
+                // cmpneqpd is true on unordered lanes, so mask it with
+                // cmpordpd to get the NaN-rejecting `!=`.
+                RelOp::Ne => {
+                    a.sse_rr(P66, MOVAPD, XMM2, XMM0);
+                    a.cmppd(XMM2, XMM1, CMP_NEQ);
+                    a.cmppd(XMM0, XMM1, CMP_ORD);
+                    a.sse_rr(P66, ANDPD, XMM0, XMM2);
+                    XMM0
+                }
+            };
+            a.movmskpd(RDX, res);
+            a.shl2(RAX);
+            a.or_rr(RAX, RDX);
+            a.cmp_ri32(RCX, half * (SLAB / 2));
+            a.jcc_back(CC_NZ, top);
+            a.and_rr(acc, RAX);
+        }
+    }
+
+    type Kernel = unsafe extern "C" fn(*mut f64, *const *const f64, *mut u64);
+
+    /// A predicate compiled to native x86-64 code. Evaluates one full
+    /// [`LANES`]-wide slab per call, bit-identical to
+    /// [`BulkTape::hit_mask`] over the same slab; ragged tails are
+    /// delegated back to the interpreter by [`JitTape::count_hits`].
+    #[derive(Debug)]
+    pub struct JitTape {
+        buf: ExecBuf,
+        nregs: usize,
+        nvars: usize,
+    }
+
+    impl JitTape {
+        /// Compiles the bulk tape's instruction stream to a native
+        /// kernel. `None` when the runtime CPU/OS cannot execute one
+        /// ([`jit_available`]) or the executable mapping fails — the
+        /// caller keeps the interpreter in that case.
+        pub fn compile(tape: &BulkTape) -> Option<JitTape> {
+            if !jit_available() {
+                return None;
+            }
+            let code = emit_kernel(tape)?;
+            Some(JitTape {
+                buf: ExecBuf::new(&code)?,
+                nregs: tape.num_registers(),
+                nvars: tape.num_vars(),
+            })
+        }
+
+        fn entry(&self) -> Kernel {
+            // SAFETY: buf holds one complete kernel emitted by
+            // emit_kernel, mapped read-execute; its entry point is its
+            // first byte.
+            unsafe { std::mem::transmute::<*mut u8, Kernel>(self.buf.ptr) }
+        }
+
+        /// Emitted kernel size in bytes.
+        pub fn code_len(&self) -> usize {
+            self.buf.len
+        }
+
+        /// Evaluates the full slab of [`LANES`] samples at column
+        /// offset `off`, returning the hit mask (bit `i` set ⇔ sample
+        /// `off + i` satisfies every atom) — bit-identical to
+        /// [`BulkTape::hit_mask`] with `w == LANES`.
+        ///
+        /// # Panics
+        ///
+        /// If fewer than `num_vars` columns are supplied or any column
+        /// is shorter than `off + LANES`.
+        pub fn hit_mask_slab(&self, cols: &[Vec<f64>], off: usize, s: &mut JitScratch) -> u128 {
+            assert!(
+                cols.len() >= self.nvars,
+                "tape reads {} columns, {} supplied",
+                self.nvars,
+                cols.len()
+            );
+            for c in &cols[..self.nvars] {
+                assert!(
+                    c.len() >= off + LANES,
+                    "column shorter than off + LANES ({} < {})",
+                    c.len(),
+                    off + LANES
+                );
+            }
+            if s.regs.len() < self.nregs * LANES {
+                s.regs.resize(self.nregs * LANES, 0.0);
+            }
+            s.ptrs.clear();
+            // SAFETY: in-bounds by the column-length assertions above.
+            s.ptrs.extend(
+                cols[..self.nvars]
+                    .iter()
+                    .map(|c| unsafe { c.as_ptr().add(off) }),
+            );
+            let mut mask = [0u64; 2];
+            // SAFETY: the kernel reads exactly LANES f64s behind each
+            // column pointer (asserted in bounds), reads/writes the
+            // register file (sized to nregs slabs above), and writes
+            // 16 bytes of mask — all live for the duration of the call.
+            unsafe {
+                (self.entry())(s.regs.as_mut_ptr(), s.ptrs.as_ptr(), mask.as_mut_ptr());
+            }
+            ((mask[1] as u128) << 64) | mask[0] as u128
+        }
+
+        /// Counts the samples among the first `n` (columnar layout)
+        /// that satisfy the conjunction: full slabs through the native
+        /// kernel, the ragged tail through `tail` — which must be the
+        /// [`BulkTape`] this kernel was compiled from, so the split is
+        /// invisible in the result. Bit-identical to
+        /// [`BulkTape::count_hits`].
+        pub fn count_hits(&self, tail: &BulkTape, cols: &[Vec<f64>], n: usize) -> u64 {
+            thread_local! {
+                static SCRATCH: RefCell<(JitScratch, BulkScratch)> =
+                    RefCell::new((JitScratch::new(), BulkScratch::new()));
+            }
+            SCRATCH.with(|s| {
+                let (js, bs) = &mut *s.borrow_mut();
+                let mut hits = 0u64;
+                let mut off = 0usize;
+                while off + LANES <= n {
+                    hits += self.hit_mask_slab(cols, off, js).count_ones() as u64;
+                    off += LANES;
+                }
+                if off < n {
+                    hits += tail.hit_mask(cols, off, n - off, bs).count_ones() as u64;
+                }
+                hits
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_stub_never_compiles() {
+        let pc = crate::parse::parse_system("var x in [0, 1]; pc x < 0.5;")
+            .unwrap()
+            .constraint_set
+            .pcs()[0]
+            .clone();
+        let tape = crate::EvalTape::compile(&pc);
+        let bulk = BulkTape::compile(&tape);
+        assert!(portable::JitTape::compile(&bulk).is_none());
+    }
+
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    mod native {
+        use super::super::*;
+        use crate::bulk::{BulkScratch, LANES};
+        use crate::parse::parse_system;
+        use crate::{Atom, EvalTape, Expr, PathCondition, RelOp, VarId};
+
+        fn compile_all(src: &str) -> (EvalTape, BulkTape, JitTape) {
+            let pc = parse_system(src).unwrap().constraint_set.pcs()[0].clone();
+            let tape = EvalTape::compile(&pc);
+            let bulk = BulkTape::compile(&tape);
+            let jit = JitTape::compile(&bulk).expect("jit available on x86-64 linux");
+            (tape, bulk, jit)
+        }
+
+        /// Columns exercising every special value the semantics care
+        /// about: NaN, ±0, ±∞, subnormals, and ordinary points.
+        fn adversarial_cols(nvars: usize, n: usize) -> Vec<Vec<f64>> {
+            let specials = [
+                f64::NAN,
+                0.0,
+                -0.0,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::MIN_POSITIVE / 2.0,
+                1.0,
+                -1.0,
+                0.5,
+                -2.5,
+                1e300,
+                -1e-300,
+            ];
+            (0..nvars)
+                .map(|v| {
+                    (0..n)
+                        .map(|i| {
+                            let k = i * 7 + v * 3 + i / 13;
+                            if i % 3 == 0 {
+                                specials[k % specials.len()]
+                            } else {
+                                ((k % 211) as f64 - 105.0) / 13.0
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+
+        /// Asserts scalar == bulk == jit, hit for hit, over `n` samples
+        /// (covering full slabs and a ragged tail when `n % LANES != 0`).
+        fn check_three_way(
+            tape: &EvalTape,
+            bulk: &BulkTape,
+            jit: &JitTape,
+            cols: &[Vec<f64>],
+            n: usize,
+        ) {
+            let mut point = vec![0.0; cols.len()];
+            let mut scalar_hits = 0u64;
+            for i in 0..n {
+                for (v, c) in cols.iter().enumerate() {
+                    point[v] = c[i];
+                }
+                scalar_hits += tape.holds(&point) as u64;
+            }
+            assert_eq!(bulk.count_hits(cols, n), scalar_hits, "bulk vs scalar");
+            assert_eq!(jit.count_hits(bulk, cols, n), scalar_hits, "jit vs scalar");
+            // Slab masks, not just counts: lane-for-lane agreement.
+            let mut js = JitScratch::new();
+            let mut bs = BulkScratch::new();
+            let mut off = 0;
+            while off + LANES <= n {
+                assert_eq!(
+                    jit.hit_mask_slab(cols, off, &mut js),
+                    bulk.hit_mask(cols, off, LANES, &mut bs),
+                    "slab mask at offset {off}"
+                );
+                off += LANES;
+            }
+        }
+
+        #[test]
+        fn arithmetic_kernel_matches_interpreter() {
+            let (tape, bulk, jit) = compile_all(
+                "var x in [-4, 4]; var y in [-4, 4];
+                 pc (x * x + y * y) / (1.0 + abs(x - y)) < 3.0 && sqrt(abs(x * y)) >= 0.2 && -x <= y;",
+            );
+            let cols = adversarial_cols(2, 5 * LANES + 17);
+            check_three_way(&tape, &bulk, &jit, &cols, 5 * LANES + 17);
+        }
+
+        #[test]
+        fn transcendental_callbacks_match_interpreter() {
+            let (tape, bulk, jit) = compile_all(
+                "var x in [-4, 4]; var y in [-4, 4];
+                 pc sin(x) * cos(y) + exp(x / 8.0) > 0.9 && atan2(y, x) < 1.0
+                    && pow(abs(x) + 0.1, y / 4.0) < 5.0 && tan(x / 3.0) > -10.0
+                    && asin(x / 8.0) + acos(y / 8.0) + atan(x * y) + ln(abs(y) + 0.5) > -20.0;",
+            );
+            let cols = adversarial_cols(2, 3 * LANES + 41);
+            check_three_way(&tape, &bulk, &jit, &cols, 3 * LANES + 41);
+        }
+
+        #[test]
+        fn min_max_nan_and_signed_zero_lanes_match() {
+            // min/max carry implementation-defined tie/NaN behavior, so
+            // drive them straight at the adversarial lanes and compare
+            // against the scalar tape (itself `f64::min`/`f64::max`).
+            let x = Expr::var(VarId(0));
+            let y = Expr::var(VarId(1));
+            let pc = PathCondition::from_atoms(vec![Atom::new(
+                x.clone().min_e(y.clone()).max_e(x.clone().mul(y.clone())),
+                RelOp::Le,
+                x.max_e(y).min_e(Expr::constant(2.0)),
+            )]);
+            let tape = EvalTape::compile(&pc);
+            let bulk = BulkTape::compile(&tape);
+            let jit = JitTape::compile(&bulk).unwrap();
+            let cols = adversarial_cols(2, 4 * LANES);
+            check_three_way(&tape, &bulk, &jit, &cols, 4 * LANES);
+        }
+
+        #[test]
+        fn every_relop_rejects_nan_lanes() {
+            for rel in ["<", "<=", ">", ">=", "==", "!="] {
+                let (tape, bulk, jit) =
+                    compile_all(&format!("var x in [-4, 4]; pc sqrt(x) {rel} 0.5;"));
+                // sqrt of the negative lanes is NaN: every relop —
+                // including != — must miss there.
+                let cols = adversarial_cols(1, 2 * LANES + 7);
+                check_three_way(&tape, &bulk, &jit, &cols, 2 * LANES + 7);
+            }
+        }
+
+        #[test]
+        fn early_exit_after_contradiction_is_invisible() {
+            // First atom is unsatisfiable: the kernel takes the
+            // all-false exit before the second atom's instructions.
+            let (tape, bulk, jit) =
+                compile_all("var x in [-4, 4]; pc x * x < -1.0 && sin(x) > -2.0;");
+            let cols = adversarial_cols(1, 2 * LANES);
+            check_three_way(&tape, &bulk, &jit, &cols, 2 * LANES);
+            let mut js = JitScratch::new();
+            assert_eq!(jit.hit_mask_slab(&cols, 0, &mut js), 0);
+        }
+
+        #[test]
+        fn empty_conjunction_hits_every_lane() {
+            let pc = PathCondition::from_atoms(vec![]);
+            let tape = EvalTape::compile(&pc);
+            let bulk = BulkTape::compile(&tape);
+            let jit = JitTape::compile(&bulk).unwrap();
+            let cols: Vec<Vec<f64>> = vec![];
+            let mut js = JitScratch::new();
+            assert_eq!(jit.hit_mask_slab(&cols, 0, &mut js), !0u128);
+            assert_eq!(
+                jit.count_hits(&bulk, &cols, 3 * LANES + 5),
+                (3 * LANES + 5) as u64
+            );
+        }
+
+        #[test]
+        fn ragged_tails_at_every_width_match() {
+            let (tape, bulk, jit) =
+                compile_all("var x in [-4, 4]; var y in [-4, 4]; pc x + y * 0.5 < 1.0;");
+            let cols = adversarial_cols(2, 2 * LANES);
+            for n in [0, 1, 63, LANES - 1, LANES, LANES + 1, 2 * LANES - 3] {
+                check_three_way(&tape, &bulk, &jit, &cols, n);
+            }
+        }
+
+        #[test]
+        fn deep_register_pressure_chain_compiles_and_matches() {
+            // Sum of many two-variable products: wide live ranges force
+            // a larger register file and long kernels.
+            let mut sum = Expr::constant(0.0);
+            for i in 0..40 {
+                let t = Expr::var(VarId(0))
+                    .mul(Expr::constant(0.01 * i as f64))
+                    .add(Expr::var(VarId(1)).mul(Expr::constant(1.0 - 0.01 * i as f64)))
+                    .sin();
+                sum = sum.add(t);
+            }
+            let pc =
+                PathCondition::from_atoms(vec![Atom::new(sum, RelOp::Gt, Expr::constant(1.0))]);
+            let tape = EvalTape::compile(&pc);
+            let bulk = BulkTape::compile(&tape);
+            let jit = JitTape::compile(&bulk).unwrap();
+            assert!(jit.code_len() > 0);
+            let cols = adversarial_cols(2, LANES + 9);
+            check_three_way(&tape, &bulk, &jit, &cols, LANES + 9);
+        }
+    }
+}

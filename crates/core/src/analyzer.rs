@@ -417,6 +417,14 @@ pub struct Stats {
     /// charge. Nothing computed after expiry is deposited in any cache.
     /// Always `false` without a deadline.
     pub deadline_exceeded: bool,
+    /// Predicate-evaluation backend the analysis used for tape-compiled
+    /// predicates: `"jit"` (native x86-64 kernels, `jit` feature on and
+    /// CPU supported), `"bulk"` (columnar interpreter — the default
+    /// build, or the runtime fallback on unsupported hosts), or
+    /// `"scalar"` (row-by-row closure predicates; not produced by the
+    /// standard analyzers). Empty on partial reports synthesized before
+    /// an analysis ran (e.g. shed-at-deadline replies).
+    pub backend: String,
 }
 
 /// The result of a qCORAL analysis.
@@ -759,6 +767,7 @@ impl Analyzer {
             is_factors: shared.is_factors.get(),
             is_fallbacks: shared.is_fallbacks.get(),
             deadline_exceeded: shared.expired(),
+            backend: crate::bulkpred::active_backend().to_string(),
         };
         if let Some(t) = &trace {
             t.record(

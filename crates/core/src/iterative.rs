@@ -813,6 +813,7 @@ impl Analyzer {
             is_factors,
             is_fallbacks,
             deadline_exceeded,
+            backend: crate::bulkpred::active_backend().to_string(),
         };
         if let Some(t) = &trace {
             t.record(

@@ -61,7 +61,14 @@ use qcoral_mc::{Dist, UsageProfile};
 /// accepts the new `ImportanceAdaptive` variant, and `Stats` gained the
 /// required `is_factors`/`is_fallbacks` counters (v5 clients fail to
 /// decode v6 reports).
-pub const PROTOCOL_VERSION: u32 = 6;
+///
+/// v7: the JIT backend. `Stats` gained the required `backend` field
+/// (which predicate-evaluation backend served the analysis — `"jit"`,
+/// `"bulk"` or `"scalar"`; the breaking change: v6 clients fail to
+/// decode v7 reports) and [`ServerStatus`] gained `backend` (what this
+/// server process would use, fixed at build/startup by the `jit`
+/// feature and runtime CPU detection).
+pub const PROTOCOL_VERSION: u32 = 7;
 
 /// One named marginal of a program request's usage profile: programs
 /// declare their inputs by name, so profiles address them by name too
@@ -205,6 +212,10 @@ pub struct ServerStatus {
     pub queue_depth: u64,
     /// Jobs of the current micro-batch not yet finished (live).
     pub inflight: u64,
+    /// Predicate-evaluation backend this server uses for tape-compiled
+    /// predicates (`"jit"` or `"bulk"`; fixed per process by the `jit`
+    /// build feature and runtime CPU detection).
+    pub backend: String,
 }
 
 /// Answer to [`Op::Metrics`]: the server's metric families rendered as

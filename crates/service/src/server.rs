@@ -531,6 +531,7 @@ fn status(shared: &ServerShared) -> ServerStatus {
         batches_dispatched: m.batches,
         queue_depth: shared.scheduler.queue_depth(),
         inflight: shared.scheduler.inflight(),
+        backend: qcoral::active_backend().to_string(),
     }
 }
 

@@ -343,6 +343,33 @@ fn bulk_path_warm_restart_is_bit_identical() {
     assert_eq!(warm.stats.pavings, 0, "warm run must not pave");
 }
 
+/// Every report names the backend that served it, and the name is the
+/// process-wide one: `"jit"` exactly when the `jit` feature is on and
+/// runtime CPU detection accepted this host, `"bulk"` otherwise. The
+/// CI matrix runs this suite with the feature on and off, and
+/// `bulk_path_matches_scalar_path_bit_for_bit` above compiles its
+/// predicates through the same full `CompiledPred::compile` path — so
+/// under `--features jit` that test pins native kernels == scalar tape
+/// bit for bit on every subject, and this one pins that the report
+/// admits which path ran.
+#[test]
+fn reported_backend_matches_process_backend() {
+    let subjects = table3_subjects();
+    let subj = subjects.iter().find(|s| s.name == "VOL").unwrap();
+    let (domain, cs) = subj.system_for(0, &SymConfig::default());
+    let profile = UsageProfile::uniform(domain.len());
+    let opts = Options::strat_partcache().with_samples(1_000).with_seed(41);
+    let report = Analyzer::new(opts).analyze(&cs, &domain, &profile);
+    assert_eq!(report.stats.backend, qcoral::active_backend());
+    assert!(
+        report.stats.backend == "jit" || report.stats.backend == "bulk",
+        "unexpected backend {:?}",
+        report.stats.backend
+    );
+    #[cfg(not(feature = "jit"))]
+    assert_eq!(report.stats.backend, "bulk");
+}
+
 /// Tracing must be a pure observer: with `Options::trace` on, every
 /// estimate (total and per-PC) is bit-identical to the untraced run —
 /// span clocks are monotonic timers that never touch an RNG stream, and
